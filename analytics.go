@@ -1,0 +1,64 @@
+package tgraph
+
+import (
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/graphx"
+	"repro/internal/temporal"
+)
+
+// Snapshot analytics over evolving graphs — the Pregel-style extension
+// the paper names as future work — re-exported from internal/algo.
+
+// Snapshot is one conventional graph state of a TGraph.
+type Snapshot = core.Snapshot
+
+// AnalyticsPoint is one snapshot's analysis result.
+type AnalyticsPoint[T any] = algo.Point[T]
+
+// ComponentsPoint summarises connectivity in one snapshot.
+type ComponentsPoint = algo.ComponentsPoint
+
+// Degree directions.
+const (
+	InDegrees    = graphx.InDegrees
+	OutDegrees   = graphx.OutDegrees
+	TotalDegrees = graphx.TotalDegrees
+)
+
+// SnapshotAt materialises the graph's state at time point t.
+func SnapshotAt(g Graph, t Time) (Snapshot, bool) { return core.SnapshotAt(g, t) }
+
+// DegreeSeries computes per-snapshot vertex degrees.
+func DegreeSeries(g Graph, dir graphx.DegreeDirection) []AnalyticsPoint[map[VertexID]int] {
+	return algo.DegreeSeries(g, dir)
+}
+
+// ConnectedComponentsSeries runs Pregel label propagation per snapshot.
+func ConnectedComponentsSeries(g Graph) []AnalyticsPoint[ComponentsPoint] {
+	return algo.ConnectedComponentsSeries(g)
+}
+
+// PageRankSeries runs damped PageRank per snapshot.
+func PageRankSeries(g Graph, iterations int) []AnalyticsPoint[map[VertexID]float64] {
+	return algo.PageRankSeries(g, iterations)
+}
+
+// EdgeChurnSeries counts edges appearing/disappearing between
+// consecutive snapshots.
+func EdgeChurnSeries(g Graph) []AnalyticsPoint[algo.ChurnPoint] { return algo.EdgeChurnSeries(g) }
+
+// VertexLifetimes returns each vertex's total existence duration.
+func VertexLifetimes(g Graph) map[VertexID]temporal.Time { return algo.VertexLifetimes(g) }
+
+// EarliestArrival computes time-respecting earliest-arrival times from
+// source, starting no earlier than start.
+func EarliestArrival(g Graph, source VertexID, start Time) map[VertexID]Time {
+	return algo.EarliestArrival(g, source, start)
+}
+
+// Reachable returns the vertices reachable from source by
+// time-respecting paths starting at or after start.
+func Reachable(g Graph, source VertexID, start Time) map[VertexID]struct{} {
+	return algo.Reachable(g, source, start)
+}

@@ -1,0 +1,85 @@
+package tgraph_test
+
+import (
+	"testing"
+
+	tgraph "repro"
+)
+
+func TestFacadeAnalytics(t *testing.T) {
+	ctx := tgraph.NewContext()
+	g := exampleGraph(ctx)
+
+	snap, ok := tgraph.SnapshotAt(g, 3)
+	if !ok || snap.Graph.NumVertices() != 3 {
+		t.Errorf("SnapshotAt(3): ok=%v", ok)
+	}
+
+	deg := tgraph.DegreeSeries(g, tgraph.TotalDegrees)
+	if len(deg) != 4 {
+		t.Errorf("degree series = %d points, want 4 snapshots", len(deg))
+	}
+
+	cc := tgraph.ConnectedComponentsSeries(g)
+	// [2,5): Ann-Bob connected, Cat isolated -> 2 components;
+	// [7,9): Bob-Cat connected (Ann gone) -> 1 component.
+	if len(cc) != 4 || cc[1].Value.Count != 2 || cc[3].Value.Count != 1 {
+		t.Errorf("component series: %+v", cc)
+	}
+
+	pr := tgraph.PageRankSeries(g, 10)
+	if len(pr) != 4 {
+		t.Errorf("pagerank series = %d", len(pr))
+	}
+
+	churn := tgraph.EdgeChurnSeries(g)
+	if len(churn) != 3 {
+		t.Errorf("churn points = %d", len(churn))
+	}
+
+	lt := tgraph.VertexLifetimes(g)
+	if lt[1] != 6 || lt[3] != 8 {
+		t.Errorf("lifetimes: %v", lt)
+	}
+}
+
+func TestFacadeTemporalReachability(t *testing.T) {
+	ctx := tgraph.NewContext()
+	g := exampleGraph(ctx)
+	// Ann(1) -> Bob(2) via e1 [2,7); Bob -> Cat(3) via e2 [7,9).
+	arr := tgraph.EarliestArrival(g, 1, 1)
+	if arr[2] != 3 {
+		t.Errorf("arrival at Bob = %d, want 3 (traverse e1 at 2)", arr[2])
+	}
+	if arr[3] != 8 {
+		t.Errorf("arrival at Cat = %d, want 8 (wait for e2 at 7)", arr[3])
+	}
+	r := tgraph.Reachable(g, 1, 1)
+	if len(r) != 3 {
+		t.Errorf("reachable = %v", r)
+	}
+	// Starting after e1 closed, Ann reaches nobody.
+	if r := tgraph.Reachable(g, 1, 7); len(r) != 0 {
+		// Ann exists [1,7): at start 7 she no longer exists.
+		t.Errorf("late reachable = %v, want none (Ann gone)", r)
+	}
+}
+
+func TestFacadeCSVRoundTrip(t *testing.T) {
+	ctx := tgraph.NewContext()
+	g := exampleGraph(ctx)
+	dir := t.TempDir()
+	if err := tgraph.ExportCSV(dir, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := tgraph.ImportCSV(ctx, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+		t.Errorf("CSV round trip: %d/%d", back.NumVertices(), back.NumEdges())
+	}
+	if err := tgraph.Validate(back); err != nil {
+		t.Errorf("imported graph invalid: %v", err)
+	}
+}

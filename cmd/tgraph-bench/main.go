@@ -1,0 +1,62 @@
+// Command tgraph-bench regenerates the paper's evaluation tables and
+// figures (Section 5) at laptop scale.
+//
+// Usage:
+//
+//	tgraph-bench -list
+//	tgraph-bench -exp fig10 [-scale 1.0] [-parallelism 8] [-seed 42]
+//	tgraph-bench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp         = flag.String("exp", "", "experiment id (see -list), or \"all\"")
+		list        = flag.Bool("list", false, "list available experiments")
+		scale       = flag.Float64("scale", 1.0, "dataset size multiplier")
+		parallelism = flag.Int("parallelism", 0, "worker pool size (0 = NumCPU)")
+		seed        = flag.Int64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("Available experiments:")
+		for _, e := range bench.Experiments() {
+			fmt.Printf("  %-9s %s\n", e.ID, e.Title)
+			fmt.Printf("            %s\n", e.Description)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	cfg := bench.Config{Scale: *scale, Parallelism: *parallelism, Seed: *seed}
+	var run []bench.Experiment
+	if *exp == "all" {
+		run = bench.Experiments()
+	} else {
+		e, ok := bench.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tgraph-bench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		run = []bench.Experiment{e}
+	}
+	for _, e := range run {
+		fmt.Printf("# %s\n# %s\n", e.Title, e.Description)
+		start := time.Now()
+		for _, tb := range e.Run(cfg) {
+			fmt.Println(tb.String())
+		}
+		fmt.Printf("# %s completed in %s\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

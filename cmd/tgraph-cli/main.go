@@ -1,0 +1,183 @@
+// Command tgraph-cli loads a persisted TGraph, optionally applies a
+// zoom pipeline, and prints the result.
+//
+// Usage:
+//
+//	tgraph-cli -dir /tmp/wiki -rep og -info
+//	tgraph-cli -dir /tmp/wiki -rep ve -azoom name -count members
+//	tgraph-cli -dir /tmp/snb -rep og -wzoom "6 months" -vquant all -equant all
+//	tgraph-cli -dir /tmp/snb -rep ve -azoom firstName -wzoom "3 months" -dump 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	tgraph "repro"
+	"repro/internal/core"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tgraph-cli: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		dir     = flag.String("dir", "", "graph directory (required)")
+		rep     = flag.String("rep", "ve", "representation: ve | rg | og | ogc")
+		from    = flag.Int64("from", 0, "load range start (0 and 0 = everything)")
+		to      = flag.Int64("to", 0, "load range end")
+		info    = flag.Bool("info", false, "print graph statistics and exit")
+		azoom   = flag.String("azoom", "", "aZoom^T: group vertices by this property")
+		count   = flag.String("count", "", "aZoom^T: add a count aggregate under this label")
+		wzoom   = flag.String("wzoom", "", "wZoom^T window spec, e.g. \"3 months\" or \"2 changes\"")
+		vquant  = flag.String("vquant", "exists", "wZoom^T vertex quantifier")
+		equant  = flag.String("equant", "exists", "wZoom^T edge quantifier")
+		dump    = flag.Int("dump", 0, "print up to N vertex and edge states of the result")
+		explain = flag.Bool("explain", false, "print the cost-based plan for the requested zooms instead of executing eagerly")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fail("-dir is required")
+	}
+
+	reps := map[string]tgraph.Representation{"ve": tgraph.VE, "rg": tgraph.RG, "og": tgraph.OG, "ogc": tgraph.OGC}
+	r, ok := reps[*rep]
+	if !ok {
+		fail("unknown representation %q", *rep)
+	}
+
+	ctx := tgraph.NewContext()
+	var rng tgraph.Interval
+	if *to > *from {
+		rng = tgraph.MustInterval(tgraph.Time(*from), tgraph.Time(*to))
+	}
+	g, stats, err := tgraph.Load(ctx, *dir, tgraph.LoadOptions{Rep: r, Range: rng})
+	if err != nil {
+		fail("load: %v", err)
+	}
+	fmt.Printf("loaded %s: %d vertices, %d edges, lifetime %v (chunks read %d, skipped %d)\n",
+		g.Rep(), g.NumVertices(), g.NumEdges(), g.Lifetime(), stats.ChunksRead, stats.ChunksSkipped)
+
+	if *info {
+		printInfo(g)
+		return
+	}
+
+	if *explain {
+		q := tgraph.NewQuery(g)
+		if *azoom != "" {
+			var aggs []tgraph.AggField
+			if *count != "" {
+				aggs = append(aggs, tgraph.Count(*count))
+			}
+			q = q.AZoom(tgraph.GroupByProperty(*azoom, *azoom+"-group", aggs...))
+		}
+		if *wzoom != "" {
+			w, err := tgraph.ParseWindowSpec(*wzoom)
+			if err != nil {
+				fail("%v", err)
+			}
+			q = q.WZoom(tgraph.WZoomSpec{Window: w})
+		}
+		plan, err := q.Explain()
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Println("plan:", plan)
+		return
+	}
+
+	p := tgraph.NewPipeline(g)
+	if *azoom != "" {
+		var aggs []tgraph.AggField
+		if *count != "" {
+			aggs = append(aggs, tgraph.Count(*count))
+		}
+		p = p.AZoom(tgraph.GroupByProperty(*azoom, *azoom+"-group", aggs...))
+	}
+	if *wzoom != "" {
+		w, err := tgraph.ParseWindowSpec(*wzoom)
+		if err != nil {
+			fail("%v", err)
+		}
+		vq, err := tgraph.ParseQuantifier(*vquant)
+		if err != nil {
+			fail("%v", err)
+		}
+		eq, err := tgraph.ParseQuantifier(*equant)
+		if err != nil {
+			fail("%v", err)
+		}
+		p = p.WZoom(tgraph.WZoomSpec{
+			Window: w, VQuant: vq, EQuant: eq,
+			VResolve: tgraph.LastWins, EResolve: tgraph.LastWins,
+		})
+	}
+	out, err := p.Result()
+	if err != nil {
+		fail("pipeline: %v", err)
+	}
+	fmt.Printf("pipeline %v -> %d vertices, %d edges, lifetime %v\n",
+		p.Steps(), out.NumVertices(), out.NumEdges(), out.Lifetime())
+	if *dump > 0 {
+		dumpStates(out, *dump)
+	}
+}
+
+func printInfo(g tgraph.Graph) {
+	vs := g.VertexStates()
+	es := g.EdgeStates()
+	fmt.Printf("  vertex states: %d\n  edge states:   %d\n", len(vs), len(es))
+	types := map[string]int{}
+	for _, v := range vs {
+		types[v.Props.Type()]++
+	}
+	keys := make([]string, 0, len(types))
+	for k := range types {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  vertex type %q: %d states\n", k, types[k])
+	}
+	if rg, ok := g.(*core.RG); ok {
+		fmt.Printf("  snapshots: %d\n", rg.NumSnapshots())
+	}
+}
+
+func dumpStates(g tgraph.Graph, n int) {
+	vs := g.VertexStates()
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].ID != vs[j].ID {
+			return vs[i].ID < vs[j].ID
+		}
+		return vs[i].Interval.Before(vs[j].Interval)
+	})
+	fmt.Println("vertices:")
+	for i, v := range vs {
+		if i >= n {
+			fmt.Printf("  ... and %d more\n", len(vs)-n)
+			break
+		}
+		fmt.Printf("  %d %v {%v}\n", v.ID, v.Interval, v.Props)
+	}
+	es := g.EdgeStates()
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].ID != es[j].ID {
+			return es[i].ID < es[j].ID
+		}
+		return es[i].Interval.Before(es[j].Interval)
+	})
+	fmt.Println("edges:")
+	for i, e := range es {
+		if i >= n {
+			fmt.Printf("  ... and %d more\n", len(es)-n)
+			break
+		}
+		fmt.Printf("  %d: %d -> %d %v {%v}\n", e.ID, e.Src, e.Dst, e.Interval, e.Props)
+	}
+}

@@ -1,0 +1,60 @@
+// Command tgraph-import converts a CSV graph directory (vertices.csv +
+// optional edges.csv, VE schema) into a PGC columnar graph directory
+// that the GraphLoader can read with predicate pushdown.
+//
+// Usage:
+//
+//	tgraph-import -in ./mydata -out /tmp/mygraph [-order structural] [-validate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	tgraph "repro"
+	"repro/internal/storage"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input directory with vertices.csv (+ edges.csv)")
+		out      = flag.String("out", "", "output PGC graph directory")
+		order    = flag.String("order", "temporal", "flat-file sort order: temporal | structural")
+		validate = flag.Bool("validate", true, "check TGraph validity before writing")
+	)
+	flag.Parse()
+	if *in == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "tgraph-import: -in and -out are required")
+		os.Exit(2)
+	}
+	var sortOrder storage.SortOrder
+	switch *order {
+	case "temporal":
+		sortOrder = storage.SortTemporal
+	case "structural":
+		sortOrder = storage.SortStructural
+	default:
+		fmt.Fprintf(os.Stderr, "tgraph-import: unknown sort order %q\n", *order)
+		os.Exit(2)
+	}
+
+	ctx := tgraph.NewContext()
+	g, err := tgraph.ImportCSV(ctx, *in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tgraph-import: %v\n", err)
+		os.Exit(1)
+	}
+	if *validate {
+		if err := tgraph.Validate(g); err != nil {
+			fmt.Fprintf(os.Stderr, "tgraph-import: input is not a valid TGraph:\n%v\n", err)
+			os.Exit(1)
+		}
+	}
+	if err := tgraph.Save(*out, g, tgraph.SaveOptions{FlatOrder: sortOrder}); err != nil {
+		fmt.Fprintf(os.Stderr, "tgraph-import: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("imported %d vertices, %d edges (lifetime %v) into %s\n",
+		g.NumVertices(), g.NumEdges(), g.Lifetime(), *out)
+}

@@ -1,0 +1,42 @@
+package tgraph
+
+import "repro/internal/datagen"
+
+// Synthetic dataset generators modelling the paper's evaluation
+// workloads (Section 5, Datasets), re-exported from internal/datagen.
+
+// Dataset is a generated evolving graph.
+type Dataset = datagen.Dataset
+
+// Generator configurations.
+type (
+	// WikiTalkConfig parameterises the WikiTalk-like generator
+	// (growth-only users, month-lived message edges, ~14% evolution
+	// rate).
+	WikiTalkConfig = datagen.WikiTalkConfig
+	// SNBConfig parameterises the LDBC-SNB-like generator (growth-only
+	// friendship network, ~90% evolution rate).
+	SNBConfig = datagen.SNBConfig
+	// NGramsConfig parameterises the NGrams-like generator (persistent
+	// words, co-occurrence edges with geometric lifespans, ~17%
+	// evolution rate).
+	NGramsConfig = datagen.NGramsConfig
+	// DatasetStats is the dataset-statistics row of the paper's Table 1.
+	DatasetStats = datagen.Stats
+)
+
+// GenerateWikiTalk builds the WikiTalk-like messaging workload.
+func GenerateWikiTalk(cfg WikiTalkConfig) Dataset { return datagen.WikiTalk(cfg) }
+
+// GenerateSNB builds the SNB-like friendship workload.
+func GenerateSNB(cfg SNBConfig) Dataset { return datagen.SNB(cfg) }
+
+// GenerateNGrams builds the NGrams-like co-occurrence workload.
+func GenerateNGrams(cfg NGramsConfig) Dataset { return datagen.NGrams(cfg) }
+
+// DescribeDataset computes Table 1 statistics (entity counts,
+// snapshots, evolution rate as average edit similarity).
+func DescribeDataset(d Dataset) DatasetStats { return datagen.Describe(d) }
+
+// GraphOf wraps a generated dataset as a VE TGraph.
+func GraphOf(ctx *Context, d Dataset) Graph { return FromStates(ctx, d.Vertices, d.Edges) }

@@ -1,0 +1,28 @@
+package tgraph_test
+
+import (
+	"testing"
+
+	tgraph "repro"
+)
+
+func TestFacadeGenerators(t *testing.T) {
+	ctx := tgraph.NewContext()
+	wiki := tgraph.GenerateWikiTalk(tgraph.WikiTalkConfig{Users: 100, Snapshots: 12, EventsPerSnapshot: 50, Seed: 1})
+	snb := tgraph.GenerateSNB(tgraph.SNBConfig{Persons: 100, Snapshots: 12, FriendshipsPerPerson: 5, Seed: 1})
+	ngrams := tgraph.GenerateNGrams(tgraph.NGramsConfig{Words: 100, Snapshots: 12, PairsPerSnapshot: 40, Seed: 1})
+	for _, d := range []tgraph.Dataset{wiki, snb, ngrams} {
+		g := tgraph.GraphOf(ctx, d)
+		if err := tgraph.Validate(g); err != nil {
+			t.Errorf("%s: invalid: %v", d.Name, err)
+		}
+		st := tgraph.DescribeDataset(d)
+		if st.Vertices != 100 || st.Snapshots == 0 {
+			t.Errorf("%s stats: %+v", d.Name, st)
+		}
+	}
+	// The evolution-rate ordering the paper's Table 1 reports.
+	if tgraph.DescribeDataset(snb).EvRate <= tgraph.DescribeDataset(wiki).EvRate {
+		t.Error("SNB must have the higher evolution rate")
+	}
+}

@@ -1,0 +1,94 @@
+// Diffusion: time-respecting reachability before and after zooming.
+//
+// Information can only flow along time-respecting paths — each edge
+// must be traversed while it exists, never moving backwards in time.
+// This example generates a WikiTalk-like messaging network, asks how
+// far a message starting at the best-connected user could spread, and
+// then shows how the answer changes after zooming out temporally with
+// wZoom^T: coarser windows lengthen edge validity, so coarse-grained
+// analysis over-estimates diffusion — a concrete reason the paper gives
+// for making temporal resolution a first-class, queryable knob.
+//
+// The graph round-trips through the CSV interchange format on the way,
+// demonstrating the import path for real datasets.
+//
+// Run with: go run ./examples/diffusion
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	tgraph "repro"
+	"repro/internal/datagen"
+)
+
+func main() {
+	ctx := tgraph.NewContext()
+
+	d := datagen.WikiTalk(datagen.WikiTalkConfig{
+		Users:             400,
+		Snapshots:         24,
+		EventsPerSnapshot: 500,
+		Seed:              21,
+	})
+	g := tgraph.FromStates(ctx, d.Vertices, d.Edges).Coalesce()
+
+	// Round-trip through CSV, as a real dataset would arrive.
+	dir, err := os.MkdirTemp("", "tgraph-diffusion-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := tgraph.ExportCSV(dir, g); err != nil {
+		log.Fatal(err)
+	}
+	g, err = tgraph.ImportCSV(ctx, dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("imported %d users, %d message edges from CSV\n", g.NumVertices(), g.NumEdges())
+
+	// Source: the user with the highest total degree in the first year.
+	deg := tgraph.DegreeSeries(g, tgraph.TotalDegrees)
+	best, bestDeg := tgraph.VertexID(0), -1
+	for _, pt := range deg {
+		for id, n := range pt.Value {
+			if n > bestDeg {
+				best, bestDeg = id, n
+			}
+		}
+	}
+	fmt.Printf("source: user %d (peak degree %d)\n\n", best, bestDeg)
+
+	report := func(label string, h tgraph.Graph) {
+		arr := tgraph.EarliestArrival(h, best, 0)
+		latest := tgraph.Time(0)
+		for _, t := range arr {
+			if t > latest {
+				latest = t
+			}
+		}
+		fmt.Printf("%-28s reachable users: %4d   latest arrival: t=%d\n", label, len(arr), latest)
+	}
+
+	report("monthly resolution:", g)
+
+	for _, w := range []tgraph.Time{3, 6, 12} {
+		zoomed, err := tgraph.NewPipeline(g).
+			WZoom(tgraph.WZoomSpec{
+				Window: tgraph.EveryN(w),
+				VQuant: tgraph.Exists(), EQuant: tgraph.Exists(),
+			}).
+			Result()
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(fmt.Sprintf("%d-month windows (exists):", w), zoomed)
+	}
+
+	fmt.Println("\ninterpretation: zooming out stretches one-month messages across")
+	fmt.Println("whole windows, creating time-respecting paths that never existed at")
+	fmt.Println("the original resolution — temporal resolution changes the answer.")
+}

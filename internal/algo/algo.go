@@ -1,0 +1,159 @@
+// Package algo implements Pregel-style analytics over evolving graphs —
+// the extension the paper names as future work ("we will extend our
+// system to support additional operations on evolving graphs, such as
+// Pregel-style analytics"). Each analysis evaluates a vertex-centric
+// graphx algorithm over every snapshot of the TGraph under snapshot
+// reducibility and reports the resulting time series, which composes
+// with the zoom operators: zoom out first, then analyse the coarser
+// graph.
+package algo
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graphx"
+	"repro/internal/temporal"
+)
+
+// Point is one snapshot's analysis result.
+type Point[T any] struct {
+	Interval temporal.Interval
+	Value    T
+}
+
+// snapshotsOf materialises the RG view of any TGraph (analytics are
+// snapshot-oriented, so RG's structural locality is the right layout,
+// exactly as in the paper's discussion of representation trade-offs).
+func snapshotsOf(g core.TGraph) []core.Snapshot {
+	return core.ToRG(g).Snapshots()
+}
+
+// DegreeSeries computes per-snapshot vertex degrees.
+func DegreeSeries(g core.TGraph, dir graphx.DegreeDirection) []Point[map[core.VertexID]int] {
+	snaps := snapshotsOf(g)
+	out := make([]Point[map[core.VertexID]int], len(snaps))
+	for i, s := range snaps {
+		out[i] = Point[map[core.VertexID]int]{Interval: s.Interval, Value: graphx.Degrees(s.Graph, dir)}
+	}
+	return out
+}
+
+// ComponentsPoint summarises connectivity in one snapshot.
+type ComponentsPoint struct {
+	// Labels maps each vertex to its component representative.
+	Labels map[core.VertexID]core.VertexID
+	// Count is the number of connected components.
+	Count int
+	// Largest is the size of the largest component.
+	Largest int
+}
+
+// ConnectedComponentsSeries runs Pregel label propagation per snapshot.
+func ConnectedComponentsSeries(g core.TGraph) []Point[ComponentsPoint] {
+	snaps := snapshotsOf(g)
+	out := make([]Point[ComponentsPoint], len(snaps))
+	for i, s := range snaps {
+		labels := graphx.ConnectedComponents(s.Graph)
+		sizes := make(map[core.VertexID]int)
+		for _, root := range labels {
+			sizes[root]++
+		}
+		largest := 0
+		for _, n := range sizes {
+			largest = max(largest, n)
+		}
+		out[i] = Point[ComponentsPoint]{
+			Interval: s.Interval,
+			Value:    ComponentsPoint{Labels: labels, Count: len(sizes), Largest: largest},
+		}
+	}
+	return out
+}
+
+// PageRankSeries runs damped PageRank per snapshot.
+func PageRankSeries(g core.TGraph, iterations int) []Point[map[core.VertexID]float64] {
+	snaps := snapshotsOf(g)
+	out := make([]Point[map[core.VertexID]float64], len(snaps))
+	for i, s := range snaps {
+		out[i] = Point[map[core.VertexID]float64]{Interval: s.Interval, Value: graphx.PageRank(s.Graph, iterations)}
+	}
+	return out
+}
+
+// TopVertices returns the ids with the highest values in a metric map,
+// ties broken by id for determinism.
+func TopVertices[V int | float64](m map[core.VertexID]V, k int) []core.VertexID {
+	ids := make([]core.VertexID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if m[ids[i]] != m[ids[j]] {
+			return m[ids[i]] > m[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	if k < len(ids) {
+		ids = ids[:k]
+	}
+	return ids
+}
+
+// VertexLifetimes returns, per vertex, the total number of time points
+// it exists — a temporal analytic that runs directly over the coalesced
+// states without snapshot expansion.
+func VertexLifetimes(g core.TGraph) map[core.VertexID]temporal.Time {
+	byID := make(map[core.VertexID][]temporal.Interval)
+	for _, v := range g.Coalesce().VertexStates() {
+		byID[v.ID] = append(byID[v.ID], v.Interval)
+	}
+	out := make(map[core.VertexID]temporal.Time, len(byID))
+	life := g.Lifetime()
+	for id, ivs := range byID {
+		out[id] = temporal.CoveredDuration(ivs, life)
+	}
+	return out
+}
+
+// EdgeChurn reports, per consecutive snapshot pair, how many edges
+// appeared and disappeared — the raw signal behind the paper's
+// evolution-rate statistic.
+type ChurnPoint struct {
+	Appeared    int
+	Disappeared int
+}
+
+// EdgeChurnSeries computes edge churn between consecutive snapshots.
+func EdgeChurnSeries(g core.TGraph) []Point[ChurnPoint] {
+	snaps := snapshotsOf(g)
+	if len(snaps) == 0 {
+		return nil
+	}
+	sets := make([]map[core.EdgeID]struct{}, len(snaps))
+	for i, s := range snaps {
+		set := make(map[core.EdgeID]struct{})
+		for _, part := range s.Graph.Edges().Partitions() {
+			for _, e := range part {
+				set[e.ID] = struct{}{}
+			}
+		}
+		sets[i] = set
+	}
+	out := make([]Point[ChurnPoint], 0, len(snaps)-1)
+	for i := 1; i < len(snaps); i++ {
+		var cp ChurnPoint
+		for id := range sets[i] {
+			if _, ok := sets[i-1][id]; !ok {
+				cp.Appeared++
+			}
+		}
+		for id := range sets[i-1] {
+			if _, ok := sets[i][id]; !ok {
+				cp.Disappeared++
+			}
+		}
+		out = append(out, Point[ChurnPoint]{Interval: snaps[i].Interval, Value: cp})
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package algo
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/graphx"
+	"repro/internal/props"
+	"repro/internal/temporal"
+)
+
+func testCtx() *dataflow.Context {
+	return dataflow.NewContext(dataflow.WithParallelism(2), dataflow.WithDefaultPartitions(2))
+}
+
+// evolvingTriangle: 1-2 always; 2-3 appears at time 5, closing a path;
+// vertex 3 joins at 5.
+func evolvingTriangle(ctx *dataflow.Context) core.TGraph {
+	vs := []core.VertexTuple{
+		{ID: 1, Interval: temporal.MustInterval(0, 10), Props: props.New("type", "n")},
+		{ID: 2, Interval: temporal.MustInterval(0, 10), Props: props.New("type", "n")},
+		{ID: 3, Interval: temporal.MustInterval(5, 10), Props: props.New("type", "n")},
+	}
+	es := []core.EdgeTuple{
+		{ID: 1, Src: 1, Dst: 2, Interval: temporal.MustInterval(0, 10), Props: props.New("type", "e")},
+		{ID: 2, Src: 2, Dst: 3, Interval: temporal.MustInterval(5, 10), Props: props.New("type", "e")},
+	}
+	return core.NewVE(ctx, vs, es)
+}
+
+func TestDegreeSeries(t *testing.T) {
+	g := evolvingTriangle(testCtx())
+	series := DegreeSeries(g, graphx.TotalDegrees)
+	if len(series) != 2 {
+		t.Fatalf("snapshots = %d, want 2", len(series))
+	}
+	if series[0].Value[2] != 1 {
+		t.Errorf("vertex 2 degree in [0,5) = %d, want 1", series[0].Value[2])
+	}
+	if series[1].Value[2] != 2 {
+		t.Errorf("vertex 2 degree in [5,10) = %d, want 2", series[1].Value[2])
+	}
+}
+
+func TestConnectedComponentsSeries(t *testing.T) {
+	g := evolvingTriangle(testCtx())
+	series := ConnectedComponentsSeries(g)
+	if len(series) != 2 {
+		t.Fatalf("snapshots = %d", len(series))
+	}
+	if series[0].Value.Count != 1 || series[0].Value.Largest != 2 {
+		t.Errorf("snapshot 0: %+v", series[0].Value)
+	}
+	if series[1].Value.Count != 1 || series[1].Value.Largest != 3 {
+		t.Errorf("snapshot 1: %+v", series[1].Value)
+	}
+}
+
+func TestPageRankSeries(t *testing.T) {
+	g := evolvingTriangle(testCtx())
+	series := PageRankSeries(g, 15)
+	if len(series) != 2 {
+		t.Fatalf("snapshots = %d", len(series))
+	}
+	// In [5,10): 1 -> 2 -> 3, so rank(3) >= rank(2) >= rank(1).
+	pr := series[1].Value
+	if !(pr[3] > pr[1]) {
+		t.Errorf("rank ordering wrong: %v", pr)
+	}
+}
+
+func TestTopVertices(t *testing.T) {
+	m := map[core.VertexID]int{1: 5, 2: 9, 3: 9, 4: 1}
+	top := TopVertices(m, 2)
+	if len(top) != 2 || top[0] != 2 || top[1] != 3 {
+		t.Errorf("TopVertices = %v, want [2 3] (ties by id)", top)
+	}
+	if got := TopVertices(m, 10); len(got) != 4 {
+		t.Errorf("k beyond size should return all: %v", got)
+	}
+}
+
+func TestVertexLifetimes(t *testing.T) {
+	g := evolvingTriangle(testCtx())
+	lt := VertexLifetimes(g)
+	if lt[1] != 10 || lt[3] != 5 {
+		t.Errorf("lifetimes = %v", lt)
+	}
+}
+
+func TestEdgeChurnSeries(t *testing.T) {
+	g := evolvingTriangle(testCtx())
+	churn := EdgeChurnSeries(g)
+	if len(churn) != 1 {
+		t.Fatalf("churn points = %d", len(churn))
+	}
+	if churn[0].Value.Appeared != 1 || churn[0].Value.Disappeared != 0 {
+		t.Errorf("churn = %+v", churn[0].Value)
+	}
+	empty := core.NewVE(testCtx(), nil, nil)
+	if EdgeChurnSeries(empty) != nil {
+		t.Error("empty graph churn should be nil")
+	}
+}
+
+// TestAnalyticsComposeWithZoom: the paper's motivating workflow — zoom
+// out to communities, then analyse the community graph.
+func TestAnalyticsComposeWithZoom(t *testing.T) {
+	ctx := testCtx()
+	vs := []core.VertexTuple{
+		{ID: 1, Interval: temporal.MustInterval(0, 6), Props: props.New("type", "p", "team", "a")},
+		{ID: 2, Interval: temporal.MustInterval(0, 6), Props: props.New("type", "p", "team", "a")},
+		{ID: 3, Interval: temporal.MustInterval(0, 6), Props: props.New("type", "p", "team", "b")},
+	}
+	es := []core.EdgeTuple{
+		{ID: 1, Src: 1, Dst: 3, Interval: temporal.MustInterval(0, 6), Props: props.New("type", "e")},
+		{ID: 2, Src: 2, Dst: 3, Interval: temporal.MustInterval(3, 6), Props: props.New("type", "e")},
+	}
+	g := core.NewVE(ctx, vs, es)
+	zoomed, err := g.AZoom(core.GroupByProperty("team", "team", props.Count("members")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := DegreeSeries(zoomed.Coalesce(), graphx.TotalDegrees)
+	if len(series) == 0 {
+		t.Fatal("no snapshots after zoom")
+	}
+	// Team graph: a->b edges; total degree of both teams nonzero.
+	for _, d := range series[0].Value {
+		if d == 0 {
+			t.Errorf("zero-degree team in %v", series[0].Value)
+		}
+	}
+}

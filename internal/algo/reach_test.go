@@ -1,0 +1,125 @@
+package algo
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/props"
+	"repro/internal/temporal"
+)
+
+// temporalChain: 1->2 exists [0,2), 2->3 exists [5,8). A time-respecting
+// path 1->2->3 exists (arrive at 2 by 2, wait, traverse 2->3 at 5).
+// 3->4 exists only [0,2): too early to use after reaching 3.
+func temporalChain(t *testing.T) core.TGraph {
+	t.Helper()
+	ctx := testCtx()
+	p := props.New("type", "n")
+	vs := []core.VertexTuple{
+		{ID: 1, Interval: temporal.MustInterval(0, 10), Props: p},
+		{ID: 2, Interval: temporal.MustInterval(0, 10), Props: p},
+		{ID: 3, Interval: temporal.MustInterval(0, 10), Props: p},
+		{ID: 4, Interval: temporal.MustInterval(0, 10), Props: p},
+	}
+	es := []core.EdgeTuple{
+		{ID: 1, Src: 1, Dst: 2, Interval: temporal.MustInterval(0, 2), Props: props.New("type", "e")},
+		{ID: 2, Src: 2, Dst: 3, Interval: temporal.MustInterval(5, 8), Props: props.New("type", "e")},
+		{ID: 3, Src: 3, Dst: 4, Interval: temporal.MustInterval(0, 2), Props: props.New("type", "e")},
+	}
+	return core.NewVE(ctx, vs, es)
+}
+
+func TestEarliestArrival(t *testing.T) {
+	g := temporalChain(t)
+	arr := EarliestArrival(g, 1, 0)
+	if arr[1] != 0 {
+		t.Errorf("source arrival = %d", arr[1])
+	}
+	if arr[2] != 1 {
+		t.Errorf("arrival at 2 = %d, want 1 (traverse at 0)", arr[2])
+	}
+	if arr[3] != 6 {
+		t.Errorf("arrival at 3 = %d, want 6 (wait for [5,8) edge)", arr[3])
+	}
+	if _, ok := arr[4]; ok {
+		t.Error("vertex 4 unreachable: its inbound edge expires before any time-respecting path arrives")
+	}
+}
+
+func TestEarliestArrivalLateStart(t *testing.T) {
+	g := temporalChain(t)
+	// Starting at 3, edge 1->2 ([0,2)) is already gone.
+	arr := EarliestArrival(g, 1, 3)
+	if len(arr) != 1 {
+		t.Errorf("late start should strand the source: %v", arr)
+	}
+	if arr[1] != 3 {
+		t.Errorf("source activation = %d, want 3", arr[1])
+	}
+}
+
+func TestEarliestArrivalMissingSource(t *testing.T) {
+	g := temporalChain(t)
+	if arr := EarliestArrival(g, 99, 0); len(arr) != 0 {
+		t.Errorf("missing source should reach nothing: %v", arr)
+	}
+	// Source exists only [0,10): starting after its death.
+	if arr := EarliestArrival(g, 1, 10); len(arr) != 0 {
+		t.Errorf("start after source's existence: %v", arr)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := temporalChain(t)
+	r := Reachable(g, 1, 0)
+	if len(r) != 3 {
+		t.Errorf("reachable set = %v, want {1,2,3}", r)
+	}
+	if _, ok := r[4]; ok {
+		t.Error("4 must not be reachable")
+	}
+}
+
+func TestReachabilityCountSeries(t *testing.T) {
+	g := temporalChain(t)
+	series := ReachabilityCountSeries(g, 1)
+	if len(series) == 0 {
+		t.Fatal("no series points")
+	}
+	// The first snapshot starts at 0: reach {1,2,3}. A later snapshot
+	// starting at 5 or beyond strands the source (edge 1->2 is gone).
+	if series[0].Value != 3 {
+		t.Errorf("reach from first snapshot = %d, want 3", series[0].Value)
+	}
+	last := series[len(series)-1]
+	if last.Value != 1 {
+		t.Errorf("reach from last snapshot = %d, want 1 (source only)", last.Value)
+	}
+}
+
+// TestEarliestArrivalRespectsTime: a path through an edge that closes
+// before the walker arrives must not be taken, even though a static
+// graph would allow it.
+func TestEarliestArrivalRespectsTime(t *testing.T) {
+	ctx := testCtx()
+	p := props.New("type", "n")
+	vs := []core.VertexTuple{
+		{ID: 1, Interval: temporal.MustInterval(0, 10), Props: p},
+		{ID: 2, Interval: temporal.MustInterval(0, 10), Props: p},
+		{ID: 3, Interval: temporal.MustInterval(0, 10), Props: p},
+	}
+	es := []core.EdgeTuple{
+		// 2->3 exists before 1->2 does: static reachability says 3 is
+		// reachable from 1, temporal says no.
+		{ID: 1, Src: 2, Dst: 3, Interval: temporal.MustInterval(0, 3), Props: props.New("type", "e")},
+		{ID: 2, Src: 1, Dst: 2, Interval: temporal.MustInterval(4, 8), Props: props.New("type", "e")},
+	}
+	g := core.NewVE(ctx, vs, es)
+	arr := EarliestArrival(g, 1, 0)
+	if _, ok := arr[3]; ok {
+		t.Errorf("time-respecting semantics violated: %v", arr)
+	}
+	if arr[2] != 5 {
+		t.Errorf("arrival at 2 = %d, want 5", arr[2])
+	}
+}

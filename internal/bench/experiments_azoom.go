@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/temporal"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Table 1: dataset statistics",
+		Description: "Vertices, edges, snapshots and evolution rate (average edit " +
+			"similarity between consecutive snapshots) for the three generated workloads.",
+		Run: runTable1,
+	})
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Figure 10: aZoom^T runtime vs. data size",
+		Description: "Fixed group-by cardinality, growing temporal slices of each dataset; " +
+			"RG vs VE vs OG. Expected: OG best (VE close), RG far worse and degrading.",
+		Run: runFig10,
+	})
+	register(Experiment{
+		ID:    "fig11",
+		Title: "Figure 11: aZoom^T runtime vs. number of snapshots",
+		Description: "Fixed dataset size and group-by cardinality; consecutive snapshots " +
+			"merged to vary interval count. Expected: RG linear in snapshots, VE/OG flat-ish.",
+		Run: runFig11,
+	})
+	register(Experiment{
+		ID:    "fig12",
+		Title: "Figure 12: aZoom^T runtime vs. group-by cardinality",
+		Description: "Random group ids drawn from ranges of different cardinality. " +
+			"Expected: runtime insensitive to cardinality for all representations.",
+		Run: runFig12,
+	})
+	register(Experiment{
+		ID:    "fig13",
+		Title: "Figure 13: aZoom^T runtime vs. frequency of attribute change",
+		Description: "Vertex attributes synthetically churned at fixed periods. " +
+			"Expected: RG flat; VE and OG degrade as change frequency grows.",
+		Run: runFig13,
+	})
+}
+
+func runTable1(cfg Config) []Table {
+	datasets := []datagen.Dataset{
+		WikiTalkDataset(cfg, 24),
+		SNBDataset(cfg, 36),
+		NGramsDataset(cfg, 32),
+	}
+	t := Table{
+		Title:  "Dataset statistics (paper Table: WikiTalk 14.4, SNB ~90, NGrams 16.6-18.2 ev.rate)",
+		Header: []string{"dataset", "vertices", "edges", "states", "snapshots", "ev.rate %"},
+	}
+	for _, d := range datasets {
+		s := datagen.Describe(d)
+		t.Rows = append(t.Rows, []string{
+			s.Name,
+			fmt.Sprint(s.Vertices), fmt.Sprint(s.Edges), fmt.Sprint(s.States),
+			fmt.Sprint(s.Snapshots), fmt.Sprintf("%.1f", s.EvRate),
+		})
+	}
+	return []Table{t}
+}
+
+// azoomReps are the representations supporting aZoom^T.
+var azoomReps = []core.Representation{core.RepRG, core.RepVE, core.RepOG}
+
+func runFig10(cfg Config) []Table {
+	type slice struct {
+		dataset datagen.Dataset
+		cuts    []temporal.Time
+	}
+	sweeps := []slice{
+		{WikiTalkDataset(cfg, 24), []temporal.Time{6, 12, 18, 24}},
+		{SNBDataset(cfg, 36), []temporal.Time{9, 18, 27, 36}},
+		{NGramsDataset(cfg, 32), []temporal.Time{8, 16, 24, 32}},
+	}
+	var out []Table
+	for _, sw := range sweeps {
+		t := Table{
+			Title:  "aZoom^T runtime (ms) vs data size: " + sw.dataset.Name,
+			Note:   "rows: temporal slice [0, cut); columns: representation",
+			Header: []string{"cut", "RG", "VE", "OG"},
+		}
+		for _, cut := range sw.cuts {
+			d := datagen.Slice(sw.dataset, cut)
+			row := []string{fmt.Sprint(cut)}
+			for _, rep := range azoomReps {
+				ctx := cfg.context()
+				g := buildRep(ctx, d, rep)
+				spec := azoomSpecFor(d.Name)
+				row = append(row, ms(timeOp(func() {
+					if _, err := g.AZoom(spec); err != nil {
+						panic(err)
+					}
+				})))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func runFig11(cfg Config) []Table {
+	base := map[string]datagen.Dataset{
+		"WikiTalk": WikiTalkDataset(cfg, 32),
+		"SNB":      SNBDataset(cfg, 32),
+		"NGrams":   NGramsDataset(cfg, 32),
+	}
+	var out []Table
+	for _, name := range []string{"WikiTalk", "SNB", "NGrams"} {
+		d0 := base[name]
+		t := Table{
+			Title:  "aZoom^T runtime (ms) vs number of snapshots: " + name,
+			Note:   "fixed node/edge count; consecutive snapshots merged",
+			Header: []string{"snapshots", "RG", "VE", "OG"},
+		}
+		for _, factor := range []temporal.Time{8, 4, 2, 1} {
+			d := datagen.MergeSnapshots(d0, factor)
+			st := datagen.Describe(d)
+			row := []string{fmt.Sprint(st.Snapshots)}
+			for _, rep := range azoomReps {
+				ctx := cfg.context()
+				g := buildRep(ctx, d, rep)
+				spec := azoomSpecFor(name)
+				row = append(row, ms(timeOp(func() {
+					if _, err := g.AZoom(spec); err != nil {
+						panic(err)
+					}
+				})))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func runFig12(cfg Config) []Table {
+	base := map[string]datagen.Dataset{
+		"WikiTalk": WikiTalkDataset(cfg, 24),
+		"SNB":      SNBDataset(cfg, 36),
+		"NGrams":   NGramsDataset(cfg, 24),
+	}
+	spec := core.GroupByProperty("grp", "group")
+	var out []Table
+	for _, name := range []string{"WikiTalk", "SNB", "NGrams"} {
+		t := Table{
+			Title:  "aZoom^T runtime (ms) vs group-by cardinality: " + name,
+			Note:   "group ids drawn uniformly from [0, cardinality)",
+			Header: []string{"cardinality", "RG", "VE", "OG"},
+		}
+		for _, card := range []int{10, 100, 1000, 10000} {
+			d := datagen.AssignRandomGroups(base[name], card, cfg.Seed+int64(card))
+			row := []string{fmt.Sprint(card)}
+			for _, rep := range azoomReps {
+				ctx := cfg.context()
+				g := buildRep(ctx, d, rep)
+				row = append(row, ms(timeOp(func() {
+					if _, err := g.AZoom(spec); err != nil {
+						panic(err)
+					}
+				})))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func runFig13(cfg Config) []Table {
+	base := map[string]datagen.Dataset{
+		"WikiTalk": WikiTalkDataset(cfg, 24),
+		"SNB":      SNBDataset(cfg, 36),
+	}
+	var out []Table
+	for _, name := range []string{"WikiTalk", "SNB"} {
+		t := Table{
+			Title:  "aZoom^T runtime (ms) vs frequency of change: " + name,
+			Note:   "vertex attributes churned every `period` points (0 = no churn); smaller period = more change",
+			Header: []string{"period", "RG", "VE", "OG"},
+		}
+		for _, period := range []temporal.Time{0, 12, 6, 3, 1} {
+			d := base[name]
+			if period > 0 {
+				d = datagen.ChurnVertexAttributes(d, period)
+			}
+			spec := azoomSpecFor(name)
+			row := []string{fmt.Sprint(period)}
+			for _, rep := range azoomReps {
+				ctx := cfg.context()
+				g := buildRep(ctx, d, rep)
+				row = append(row, ms(timeOp(func() {
+					if _, err := g.AZoom(spec); err != nil {
+						panic(err)
+					}
+				})))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/planner"
+	"repro/internal/props"
+	"repro/internal/temporal"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "planner",
+		Title: "Extension: cost-based representation planning (paper future work)",
+		Description: "A zoom chain executed on each fixed representation vs the planner's choice. " +
+			"Expected: the planned execution tracks the best fixed representation without manual tuning.",
+		Run: runPlanner,
+	})
+}
+
+func runPlanner(cfg Config) []Table {
+	datasets := map[string]struct {
+		d  func() core.TGraph
+		az core.AZoomSpec
+	}{
+		"WikiTalk": {
+			d:  func() core.TGraph { return buildRep(cfg.context(), WikiTalkDataset(cfg, 24), core.RepVE) },
+			az: core.GroupByProperty("name", "user-group", props.Count("n")),
+		},
+		"SNB": {
+			d:  func() core.TGraph { return buildRep(cfg.context(), SNBDataset(cfg, 36), core.RepVE) },
+			az: core.GroupByProperty("firstName", "name-group", props.Count("n")),
+		},
+	}
+	wz := core.WZoomSpec{
+		Window: temporal.MustEveryN(6),
+		VQuant: temporal.Exists(), EQuant: temporal.Exists(),
+		VResolve: props.LastWins, EResolve: props.LastWins,
+	}
+
+	t := Table{
+		Title:  "aZoom -> wZoom chain: fixed representation vs planned (ms)",
+		Note:   "planned column includes planning time and any conversions the plan inserts",
+		Header: []string{"dataset", "RG", "VE", "OG", "planned", "plan"},
+	}
+	for _, name := range []string{"WikiTalk", "SNB"} {
+		spec := datasets[name]
+		row := []string{name}
+		for _, rep := range []core.Representation{core.RepRG, core.RepVE, core.RepOG} {
+			g, err := core.Convert(spec.d(), rep)
+			if err != nil {
+				panic(err)
+			}
+			row = append(row, ms(timeOp(func() {
+				mid, err := g.AZoom(spec.az)
+				if err != nil {
+					panic(err)
+				}
+				res, err := mid.WZoom(wz)
+				if err != nil {
+					panic(err)
+				}
+				res.Coalesce()
+			})))
+		}
+		// Planned execution, starting from VE (the load format).
+		g := spec.d()
+		var planStr string
+		row = append(row, ms(timeOp(func() {
+			stats := planner.StatsOf(g)
+			plan, err := planner.Choose(g.Rep(), stats, []planner.OpKind{planner.OpAZoom, planner.OpWZoom}, true)
+			if err != nil {
+				panic(err)
+			}
+			planStr = plan.String()
+			cur := g
+			steps := []func(core.TGraph) (core.TGraph, error){
+				func(x core.TGraph) (core.TGraph, error) { return x.AZoom(spec.az) },
+				func(x core.TGraph) (core.TGraph, error) { return x.WZoom(wz) },
+			}
+			for i, step := range steps {
+				if cur.Rep() != plan.Steps[i].Rep {
+					if cur, err = core.Convert(cur, plan.Steps[i].Rep); err != nil {
+						panic(err)
+					}
+				}
+				if cur, err = step(cur); err != nil {
+					panic(err)
+				}
+			}
+			cur.Coalesce()
+		})))
+		row = append(row, planStr)
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}
+}

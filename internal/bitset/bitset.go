@@ -1,0 +1,183 @@
+// Package bitset implements the fixed-width bitsets that the OGC
+// (One Graph Columnar) representation uses to encode the presence of a
+// vertex or edge in each elementary interval of a TGraph.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Bitset is a fixed-length sequence of bits. The zero value is an empty
+// bitset of length 0.
+type Bitset struct {
+	n     int
+	words []uint64
+}
+
+// New returns a bitset of n bits, all zero.
+func New(n int) *Bitset {
+	if n < 0 {
+		n = 0
+	}
+	return &Bitset{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// FromBits builds a bitset from explicit bit values.
+func FromBits(bits []bool) *Bitset {
+	b := New(len(bits))
+	for i, v := range bits {
+		if v {
+			b.Set(i)
+		}
+	}
+	return b
+}
+
+// Len returns the number of bits.
+func (b *Bitset) Len() int { return b.n }
+
+// Set sets bit i to 1. It panics if i is out of range.
+func (b *Bitset) Set(i int) {
+	b.check(i)
+	b.words[i/64] |= 1 << (uint(i) % 64)
+}
+
+// Clear sets bit i to 0. It panics if i is out of range.
+func (b *Bitset) Clear(i int) {
+	b.check(i)
+	b.words[i/64] &^= 1 << (uint(i) % 64)
+}
+
+// Test reports whether bit i is 1. It panics if i is out of range.
+func (b *Bitset) Test(i int) bool {
+	b.check(i)
+	return b.words[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+func (b *Bitset) check(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0, %d)", i, b.n))
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Any reports whether at least one bit is set.
+func (b *Bitset) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns an independent copy.
+func (b *Bitset) Clone() *Bitset {
+	out := &Bitset{n: b.n, words: make([]uint64, len(b.words))}
+	copy(out.words, b.words)
+	return out
+}
+
+// And stores the bitwise AND of b and o into b and returns b. It panics
+// if the lengths differ. This is the dangling-edge removal primitive of
+// wZoom^T over OGC: edge.bits.And(src.bits).And(dst.bits).
+func (b *Bitset) And(o *Bitset) *Bitset {
+	b.checkLen(o)
+	for i := range b.words {
+		b.words[i] &= o.words[i]
+	}
+	return b
+}
+
+// Or stores the bitwise OR of b and o into b and returns b. It panics
+// if the lengths differ.
+func (b *Bitset) Or(o *Bitset) *Bitset {
+	b.checkLen(o)
+	for i := range b.words {
+		b.words[i] |= o.words[i]
+	}
+	return b
+}
+
+func (b *Bitset) checkLen(o *Bitset) {
+	if b.n != o.n {
+		panic(fmt.Sprintf("bitset: length mismatch %d vs %d", b.n, o.n))
+	}
+}
+
+// Equal reports whether two bitsets have the same length and bits.
+func (b *Bitset) Equal(o *Bitset) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEachSet calls fn for every set bit index in ascending order.
+func (b *Bitset) ForEachSet(fn func(i int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			fn(wi*64 + bit)
+			w &= w - 1
+		}
+	}
+}
+
+// SetRange sets bits [lo, hi) to 1. It panics if the range is out of
+// bounds or inverted.
+func (b *Bitset) SetRange(lo, hi int) {
+	if lo > hi || lo < 0 || hi > b.n {
+		panic(fmt.Sprintf("bitset: bad range [%d, %d) for length %d", lo, hi, b.n))
+	}
+	for i := lo; i < hi; i++ {
+		b.Set(i)
+	}
+}
+
+// String renders the bitset as the paper's [1, 0, 1] notation.
+func (b *Bitset) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i := 0; i < b.n; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if b.Test(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// Words exposes the raw backing words (read-only) for serialisation.
+func (b *Bitset) Words() []uint64 { return b.words }
+
+// FromWords reconstructs a bitset of n bits from backing words.
+func FromWords(n int, words []uint64) (*Bitset, error) {
+	want := (n + 63) / 64
+	if n < 0 || len(words) != want {
+		return nil, fmt.Errorf("bitset: want %d words for %d bits, got %d", want, n, len(words))
+	}
+	w := make([]uint64, len(words))
+	copy(w, words)
+	return &Bitset{n: n, words: w}, nil
+}

@@ -1,0 +1,161 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestClear(t *testing.T) {
+	b := New(130)
+	if b.Len() != 130 || b.Any() {
+		t.Fatalf("fresh bitset: len=%d any=%v", b.Len(), b.Any())
+	}
+	for _, i := range []int{0, 63, 64, 127, 129} {
+		b.Set(i)
+		if !b.Test(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if b.Count() != 5 {
+		t.Errorf("Count = %d, want 5", b.Count())
+	}
+	b.Clear(64)
+	if b.Test(64) || b.Count() != 4 {
+		t.Errorf("Clear(64) failed: count=%d", b.Count())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	b := New(10)
+	for name, fn := range map[string]func(){
+		"set":    func() { b.Set(10) },
+		"neg":    func() { b.Test(-1) },
+		"clear":  func() { b.Clear(99) },
+		"andLen": func() { b.And(New(5)) },
+		"range":  func() { b.SetRange(5, 11) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAndOr(t *testing.T) {
+	a := FromBits([]bool{true, true, false})
+	b := FromBits([]bool{false, true, true})
+	and := a.Clone().And(b)
+	if and.String() != "[0, 1, 0]" {
+		t.Errorf("And = %s", and)
+	}
+	or := a.Clone().Or(b)
+	if or.String() != "[1, 1, 1]" {
+		t.Errorf("Or = %s", or)
+	}
+	// a unchanged by cloned ops.
+	if a.String() != "[1, 1, 0]" {
+		t.Errorf("a mutated: %s", a)
+	}
+}
+
+func TestEqualClone(t *testing.T) {
+	a := FromBits([]bool{true, false, true})
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Error("clone not equal")
+	}
+	b.Set(1)
+	if a.Equal(b) {
+		t.Error("mutation leaked through clone")
+	}
+	if a.Equal(New(4)) {
+		t.Error("different lengths must not be equal")
+	}
+}
+
+func TestForEachSet(t *testing.T) {
+	b := New(200)
+	want := []int{3, 64, 65, 130, 199}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEachSet(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEachSet = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ForEachSet[%d] = %d, want %d (ascending order)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSetRange(t *testing.T) {
+	b := New(100)
+	b.SetRange(10, 20)
+	if b.Count() != 10 || b.Test(9) || !b.Test(10) || !b.Test(19) || b.Test(20) {
+		t.Errorf("SetRange: %s", b)
+	}
+	b.SetRange(5, 5) // empty range is a no-op
+	if b.Count() != 10 {
+		t.Error("empty SetRange changed bits")
+	}
+}
+
+func TestWordsRoundTrip(t *testing.T) {
+	b := New(70)
+	b.Set(0)
+	b.Set(69)
+	got, err := FromWords(b.Len(), b.Words())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(b) {
+		t.Error("FromWords round trip failed")
+	}
+	if _, err := FromWords(70, []uint64{1}); err == nil {
+		t.Error("FromWords with wrong word count: want error")
+	}
+	if _, err := FromWords(-1, nil); err == nil {
+		t.Error("FromWords with negative length: want error")
+	}
+}
+
+func TestNewNegative(t *testing.T) {
+	if b := New(-5); b.Len() != 0 {
+		t.Errorf("New(-5).Len() = %d", b.Len())
+	}
+}
+
+// Property: Count(a AND b) <= min(Count(a), Count(b)) and
+// Count(a OR b) = Count(a) + Count(b) - Count(a AND b).
+func TestAndOrCountProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				a.Set(i)
+			}
+			if r.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		and := a.Clone().And(b)
+		or := a.Clone().Or(b)
+		if and.Count() > a.Count() || and.Count() > b.Count() {
+			return false
+		}
+		return or.Count() == a.Count()+b.Count()-and.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

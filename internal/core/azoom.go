@@ -1,0 +1,278 @@
+package core
+
+import (
+	"repro/internal/dataflow"
+	"repro/internal/graphx"
+	"repro/internal/props"
+	"repro/internal/temporal"
+)
+
+// Temporal attribute-based zoom (aZoom^T), Section 3.1. Conceptually
+// the non-temporal node-creation operator runs over every snapshot
+// under snapshot reducibility: the Skolem function f_s assigns new
+// vertex identity, f_agg resolves identity-equivalent vertices within a
+// snapshot and computes aggregate attributes, and edges are re-created
+// re-pointed at the new vertices. aZoom^T does not require coalesced
+// input and leaves its output uncoalesced (lazy coalescing, Section 4).
+
+// azVertexState is the intermediate record of the vertex pipeline: one
+// contributing input state mapped to its new identity.
+type azVertexState struct {
+	NewID    VertexID
+	Interval temporal.Interval
+	Orig     props.Props
+}
+
+// azVertexGroupKey keys the identity-equivalence reduce: one output
+// state per (new id, elementary interval).
+type azVertexGroupKey struct {
+	NewID VertexID
+	Iv    temporal.Interval
+}
+
+// azVertexAcc accumulates one output vertex state.
+type azVertexAcc struct {
+	Base props.Props
+	Agg  props.AggState
+}
+
+// azoomMapVertices applies f_s to a vertex state, yielding the
+// intermediate record, or ok=false when the Skolem function declines.
+func azoomMapVertices(spec AZoomSpec, id VertexID, iv temporal.Interval, p props.Props) (azVertexState, bool) {
+	newID, ok := spec.Skolem(id, p)
+	if !ok {
+		return azVertexState{}, false
+	}
+	return azVertexState{NewID: newID, Interval: iv, Orig: p}, true
+}
+
+// azoomVerticesDataflow is the shared vertex pipeline of the VE and OG
+// variants (Algorithm 2 lines 1-12 / Algorithm 3 lines 1-5): group the
+// mapped states by new identity, align each group's intervals to the
+// group's elementary intervals (the temporal splitter), and reduce
+// identity-equivalent states per elementary interval with f_agg.
+func azoomVerticesDataflow(spec AZoomSpec, mapped *dataflow.Dataset[azVertexState]) *dataflow.Dataset[VertexTuple] {
+	groups := dataflow.GroupByKey(mapped, func(s azVertexState) VertexID { return s.NewID })
+	return dataflow.FlatMap(groups, func(gr dataflow.Group[VertexID, azVertexState]) []VertexTuple {
+		ivs := make([]temporal.Interval, len(gr.Values))
+		for i, s := range gr.Values {
+			ivs[i] = s.Interval
+		}
+		bounds := temporal.Boundaries(ivs)
+		acc := make(map[temporal.Interval]*azVertexAcc)
+		var order []temporal.Interval
+		for _, s := range gr.Values {
+			for _, frag := range temporal.SplitBy(s.Interval, bounds) {
+				a, ok := acc[frag]
+				if !ok {
+					a = &azVertexAcc{Base: spec.newProps(gr.Key, s.Orig), Agg: spec.Agg.Init(s.Orig)}
+					acc[frag] = a
+					order = append(order, frag)
+					continue
+				}
+				a.Agg = spec.Agg.Merge(a.Agg, spec.Agg.Init(s.Orig))
+			}
+		}
+		temporal.SortIntervals(order)
+		out := make([]VertexTuple, 0, len(order))
+		for _, frag := range order {
+			a := acc[frag]
+			out = append(out, VertexTuple{ID: gr.Key, Interval: frag, Props: spec.Agg.Result(a.Base, a.Agg)})
+		}
+		return out
+	})
+}
+
+// AZoom over VE (Algorithm 2). Vertices follow the shared pipeline;
+// edge redirection joins the edge relation with the vertex relation
+// twice (VE stores foreign keys only), recomputing each edge state's
+// interval as the intersection with both endpoint states.
+func (g *VE) AZoom(spec AZoomSpec) (TGraph, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	mapped := dataflow.FlatMap(g.v, func(t VertexTuple) []azVertexState {
+		s, ok := azoomMapVertices(spec, t.ID, t.Interval, t.Props)
+		if !ok {
+			return nil
+		}
+		return []azVertexState{s}
+	})
+	v := azoomVerticesDataflow(spec, mapped)
+
+	edgeSkolem := spec.edgeSkolem()
+	j1 := dataflow.Join(g.e, g.v,
+		func(e EdgeTuple) VertexID { return e.Src },
+		func(vt VertexTuple) VertexID { return vt.ID })
+	j2 := dataflow.Join(j1, g.v,
+		func(p dataflow.Pair[EdgeTuple, VertexTuple]) VertexID { return p.First.Dst },
+		func(vt VertexTuple) VertexID { return vt.ID })
+	e := dataflow.FlatMap(j2, func(p dataflow.Pair[dataflow.Pair[EdgeTuple, VertexTuple], VertexTuple]) []EdgeTuple {
+		et, v1, v2 := p.First.First, p.First.Second, p.Second
+		iv := et.Interval.Intersect(v1.Interval).Intersect(v2.Interval)
+		if iv.IsEmpty() {
+			return nil
+		}
+		s1, ok1 := spec.Skolem(v1.ID, v1.Props)
+		s2, ok2 := spec.Skolem(v2.ID, v2.Props)
+		if !ok1 || !ok2 {
+			return nil
+		}
+		return []EdgeTuple{{
+			ID:       edgeSkolem(et.ID, s1, s2),
+			Src:      s1,
+			Dst:      s2,
+			Interval: iv,
+			Props:    et.Props,
+		}}
+	})
+	return veFromDatasets(g.ctx, v, e, false), nil
+}
+
+// AZoom over OG (Algorithm 3). The vertex pipeline operates over the
+// flattened history arrays; edge redirection uses the triplet-view
+// routing table instead of joins, because OG gives each edge direct
+// access to its endpoint histories.
+func (g *OG) AZoom(spec AZoomSpec) (TGraph, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	mapped := dataflow.FlatMap(g.graph.Vertices(), func(v graphx.Vertex[[]HistoryItem]) []azVertexState {
+		out := make([]azVertexState, 0, len(v.Attr))
+		for _, h := range v.Attr {
+			if s, ok := azoomMapVertices(spec, v.ID, h.Interval, h.Props); ok {
+				out = append(out, s)
+			}
+		}
+		return out
+	})
+	vtuples := azoomVerticesDataflow(spec, mapped)
+
+	// Rebuild history arrays per new vertex (group is already local to
+	// the flatMap output of the shared pipeline, but identity can span
+	// partitions, so group once more).
+	vgroups := dataflow.GroupByKey(vtuples, func(t VertexTuple) VertexID { return t.ID })
+	newV := dataflow.Map(vgroups, func(gr dataflow.Group[VertexID, VertexTuple]) graphx.Vertex[[]HistoryItem] {
+		states := make([]temporal.Stated[props.Props], len(gr.Values))
+		for i, t := range gr.Values {
+			states[i] = temporal.Stated[props.Props]{Interval: t.Interval, Value: t.Props}
+		}
+		return graphx.Vertex[[]HistoryItem]{ID: gr.Key, Attr: historyFromStates(states)}
+	})
+
+	// Edge redirection via the routing table (recompute_history).
+	table := make(map[VertexID][]HistoryItem)
+	for _, part := range g.graph.Vertices().Partitions() {
+		for _, v := range part {
+			table[v.ID] = v.Attr
+		}
+	}
+	edgeSkolem := spec.edgeSkolem()
+	type newEdgeKey struct {
+		id       EdgeID
+		src, dst VertexID
+	}
+	redirected := dataflow.FlatMap(g.graph.Edges(), func(e graphx.Edge[[]HistoryItem]) []dataflow.Pair[newEdgeKey, HistoryItem] {
+		var out []dataflow.Pair[newEdgeKey, HistoryItem]
+		for _, eh := range e.Attr {
+			for _, sh := range table[e.Src] {
+				is := eh.Interval.Intersect(sh.Interval)
+				if is.IsEmpty() {
+					continue
+				}
+				s1, ok := spec.Skolem(e.Src, sh.Props)
+				if !ok {
+					continue
+				}
+				for _, dh := range table[e.Dst] {
+					iv := is.Intersect(dh.Interval)
+					if iv.IsEmpty() {
+						continue
+					}
+					s2, ok := spec.Skolem(e.Dst, dh.Props)
+					if !ok {
+						continue
+					}
+					key := newEdgeKey{id: edgeSkolem(e.ID, s1, s2), src: s1, dst: s2}
+					out = append(out, dataflow.Pair[newEdgeKey, HistoryItem]{
+						First:  key,
+						Second: HistoryItem{Interval: iv, Props: eh.Props},
+					})
+				}
+			}
+		}
+		return out
+	})
+	egroups := dataflow.GroupByKey(redirected, func(p dataflow.Pair[newEdgeKey, HistoryItem]) newEdgeKey { return p.First })
+	newE := dataflow.Map(egroups, func(gr dataflow.Group[newEdgeKey, dataflow.Pair[newEdgeKey, HistoryItem]]) graphx.Edge[[]HistoryItem] {
+		states := make([]temporal.Stated[props.Props], len(gr.Values))
+		for i, p := range gr.Values {
+			states[i] = temporal.Stated[props.Props]{Interval: p.Second.Interval, Value: p.Second.Props}
+		}
+		return graphx.Edge[[]HistoryItem]{
+			ID:   gr.Key.id,
+			Src:  gr.Key.src,
+			Dst:  gr.Key.dst,
+			Attr: historyFromStates(states),
+		}
+	})
+	return ogFromGraph(graphx.FromDatasets(newV, newE, g.graph.Strategy()), false), nil
+}
+
+// AZoom over RG (Algorithm 1): the same non-temporal node creation runs
+// independently over every snapshot — embarrassingly parallel across
+// snapshots, but repeating all work once per snapshot. Edges access
+// their endpoint attributes through the snapshot's triplet view (RG
+// edges carry endpoint copies in the paper; the triplet view is
+// GraphX's equivalent access path).
+func (g *RG) AZoom(spec AZoomSpec) (TGraph, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	edgeSkolem := spec.edgeSkolem()
+	newSnaps := make([]Snapshot, len(g.snapshots))
+	for i, snap := range g.snapshots {
+		// Vertex update + identity-equivalence reduce within the snapshot.
+		mapped := dataflow.FlatMap(snap.Graph.Vertices(), func(v graphx.Vertex[props.Props]) []dataflow.Pair[VertexID, azVertexAcc] {
+			newID, ok := spec.Skolem(v.ID, v.Attr)
+			if !ok {
+				return nil
+			}
+			return []dataflow.Pair[VertexID, azVertexAcc]{{
+				First:  newID,
+				Second: azVertexAcc{Base: spec.newProps(newID, v.Attr), Agg: spec.Agg.Init(v.Attr)},
+			}}
+		})
+		reduced := dataflow.ReduceByKey(mapped,
+			func(p dataflow.Pair[VertexID, azVertexAcc]) VertexID { return p.First },
+			func(a, b dataflow.Pair[VertexID, azVertexAcc]) dataflow.Pair[VertexID, azVertexAcc] {
+				return dataflow.Pair[VertexID, azVertexAcc]{
+					First:  a.First,
+					Second: azVertexAcc{Base: a.Second.Base, Agg: spec.Agg.Merge(a.Second.Agg, b.Second.Agg)},
+				}
+			})
+		newVerts := dataflow.Map(reduced, func(p dataflow.Pair[VertexID, azVertexAcc]) graphx.Vertex[props.Props] {
+			return graphx.Vertex[props.Props]{ID: p.First, Attr: spec.Agg.Result(p.Second.Base, p.Second.Agg)}
+		})
+
+		// Edge redirection via the snapshot triplet view.
+		newEdges := dataflow.FlatMap(graphx.Triplets(snap.Graph), func(t graphx.Triplet[props.Props, props.Props]) []graphx.Edge[props.Props] {
+			s1, ok1 := spec.Skolem(t.Edge.Src, t.SrcAttr)
+			s2, ok2 := spec.Skolem(t.Edge.Dst, t.DstAttr)
+			if !ok1 || !ok2 {
+				return nil
+			}
+			return []graphx.Edge[props.Props]{{
+				ID:   edgeSkolem(t.Edge.ID, s1, s2),
+				Src:  s1,
+				Dst:  s2,
+				Attr: t.Edge.Attr,
+			}}
+		})
+		newSnaps[i] = Snapshot{
+			Interval: snap.Interval,
+			Graph:    graphx.FromDatasets(newVerts, newEdges, snap.Graph.Strategy()),
+		}
+	}
+	return NewRG(g.ctx, newSnaps), nil
+}

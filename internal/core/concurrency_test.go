@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/props"
+	"repro/internal/temporal"
+)
+
+// TestConcurrentZoomsShareInput: TGraphs are immutable, so concurrent
+// operators over one shared graph must be safe and produce the same
+// results as sequential execution. Run with -race to make this
+// meaningful.
+func TestConcurrentZoomsShareInput(t *testing.T) {
+	ctx := testCtx()
+	g := figure1(ctx)
+	azSpec := GroupByProperty("school", "school", props.Count("students"))
+	wzSpec := WZoomSpec{
+		Window: temporal.MustEveryN(3),
+		VQuant: temporal.All(), EQuant: temporal.All(),
+		VResolve: props.LastWins, EResolve: props.LastWins,
+	}
+
+	wantAZ, err := g.AZoom(azSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWZ, err := g.WZoom(wzSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*2)
+	azOuts := make([]TGraph, workers)
+	wzOuts := make([]TGraph, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			out, err := g.AZoom(azSpec)
+			if err != nil {
+				errs <- err
+				return
+			}
+			azOuts[w] = out
+		}(w)
+		go func(w int) {
+			defer wg.Done()
+			out, err := g.WZoom(wzSpec)
+			if err != nil {
+				errs <- err
+				return
+			}
+			wzOuts[w] = out
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for w := 0; w < workers; w++ {
+		requireGraphsEqual(t, "concurrent aZoom", azOuts[w], wantAZ)
+		requireGraphsEqual(t, "concurrent wZoom", wzOuts[w], wantWZ)
+	}
+	// The shared input is untouched.
+	requireGraphsEqual(t, "input intact", g, figure1(ctx))
+}
+
+// TestConcurrentConversions: converting one graph to all
+// representations concurrently must be safe.
+func TestConcurrentConversions(t *testing.T) {
+	ctx := testCtx()
+	g := figure1(ctx)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		for _, rep := range []Representation{RepVE, RepRG, RepOG, RepOGC} {
+			wg.Add(1)
+			go func(rep Representation) {
+				defer wg.Done()
+				conv, err := Convert(g, rep)
+				if err != nil {
+					t.Errorf("Convert(%v): %v", rep, err)
+					return
+				}
+				if conv.Rep() != rep {
+					t.Errorf("got %v", conv.Rep())
+				}
+			}(rep)
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/props"
+	"repro/internal/temporal"
+)
+
+func TestMergeParallelEdges(t *testing.T) {
+	ctx := testCtx()
+	vs := []VertexTuple{
+		{ID: 1, Interval: temporal.MustInterval(0, 10), Props: props.New("type", "school")},
+		{ID: 2, Interval: temporal.MustInterval(0, 10), Props: props.New("type", "school")},
+	}
+	es := []EdgeTuple{
+		{ID: 1, Src: 1, Dst: 2, Interval: temporal.MustInterval(0, 6), Props: props.New("type", "co-author", "w", 2)},
+		{ID: 2, Src: 1, Dst: 2, Interval: temporal.MustInterval(4, 10), Props: props.New("type", "co-author", "w", 3)},
+		{ID: 3, Src: 2, Dst: 1, Interval: temporal.MustInterval(0, 10), Props: props.New("type", "co-author", "w", 7)},
+	}
+	g := NewVE(ctx, vs, es)
+	out, err := MergeParallelEdges(g, "collaborate", props.AggSpec{Fields: []props.AggField{
+		props.Count("pairs"), props.Sum("weight", "w"),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := canonE(t, out)
+	// 1->2 merges into three elementary intervals: [0,4) one edge,
+	// [4,6) two edges, [6,10) one edge; 2->1 stays separate.
+	var fwd, bwd []EdgeTuple
+	for _, e := range edges {
+		if e.Src == 1 {
+			fwd = append(fwd, e)
+		} else {
+			bwd = append(bwd, e)
+		}
+	}
+	if len(fwd) != 3 {
+		t.Fatalf("1->2 merged states = %v", fmtE(fwd))
+	}
+	checks := []struct {
+		iv     temporal.Interval
+		pairs  int64
+		weight float64
+	}{
+		{temporal.MustInterval(0, 4), 1, 2},
+		{temporal.MustInterval(4, 6), 2, 5},
+		{temporal.MustInterval(6, 10), 1, 3},
+	}
+	for i, c := range checks {
+		e := fwd[i]
+		if !e.Interval.Equal(c.iv) || e.Props.GetInt("pairs") != c.pairs {
+			t.Errorf("fwd[%d] = %s, want %v pairs=%d", i, edgeStateString(e), c.iv, c.pairs)
+		}
+		if w, _ := e.Props["weight"].AsFloat(); w != c.weight {
+			t.Errorf("fwd[%d] weight = %v, want %v", i, e.Props["weight"], c.weight)
+		}
+		if e.Props.Type() != "collaborate" {
+			t.Errorf("fwd[%d] type = %q", i, e.Props.Type())
+		}
+		if e.ID != fwd[0].ID {
+			t.Error("merged edge must keep one identity across its states")
+		}
+	}
+	if len(bwd) != 1 || bwd[0].Props.GetInt("pairs") != 1 {
+		t.Errorf("2->1 = %v", fmtE(bwd))
+	}
+	if bwd[0].ID == fwd[0].ID {
+		t.Error("opposite directions must have distinct identities")
+	}
+	if err := Validate(out.Coalesce()); err != nil {
+		t.Errorf("merged graph invalid: %v", err)
+	}
+}
+
+func TestMergeParallelEdgesKeepsTypeWhenUnset(t *testing.T) {
+	ctx := testCtx()
+	g := figure1(ctx)
+	out, err := MergeParallelEdges(g, "", props.AggSpec{Fields: []props.AggField{props.Count("n")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range out.EdgeStates() {
+		if e.Props.Type() != "co-author" {
+			t.Errorf("type = %q, want original kept", e.Props.Type())
+		}
+	}
+	if out.Rep() != RepVE {
+		t.Errorf("representation changed: %v", out.Rep())
+	}
+	// Representation preserved for OG too.
+	out2, err := MergeParallelEdges(ToOG(g), "", props.AggSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Rep() != RepOG {
+		t.Errorf("OG not preserved: %v", out2.Rep())
+	}
+}
+
+func TestMergeParallelEdgesAfterAZoom(t *testing.T) {
+	// The Figure 2 workflow completed: zoom to schools, then merge the
+	// re-pointed co-author edges into weighted collaborate edges.
+	ctx := testCtx()
+	g := figure1(ctx)
+	schools, err := g.AZoom(GroupByProperty("school", "school", props.Count("students")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeParallelEdges(schools, "collaborate", props.AggSpec{Fields: []props.AggField{props.Count("pairs")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := canonE(t, merged)
+	if len(es) != 2 {
+		t.Fatalf("merged school edges = %v", fmtE(es))
+	}
+	for _, e := range es {
+		if e.Props.Type() != "collaborate" || e.Props.GetInt("pairs") != 1 {
+			t.Errorf("edge = %s", edgeStateString(e))
+		}
+	}
+	if err := Validate(merged.Coalesce()); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+}
+
+func TestMergeParallelEdgesValidatesSpec(t *testing.T) {
+	g := figure1(testCtx())
+	bad := props.AggSpec{Fields: []props.AggField{{Kind: props.AggSum}}}
+	if _, err := MergeParallelEdges(g, "x", bad); err == nil {
+		t.Error("invalid agg spec: want error")
+	}
+}

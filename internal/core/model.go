@@ -1,0 +1,320 @@
+// Package core implements the paper's contribution: the TGraph evolving
+// property graph model, its four physical representations (RG, VE, OG,
+// OGC), and the two zoom operators — temporal attribute-based zoom
+// (aZoom^T) and temporal window-based zoom (wZoom^T) — expressed as
+// dataflow operations tailored to each representation.
+//
+// A TGraph (Definition 2.1) associates periods of validity with graph
+// nodes, edges and their properties, under point semantics: a valid
+// TGraph conceptually corresponds to a sequence of valid conventional
+// property graphs, one per time point. Intervals are a syntactic
+// compaction of adjacent time points.
+//
+// Representations and locality:
+//
+//	RG  — a sequence of snapshot graphs (structural locality, not compact)
+//	VE  — flat temporal vertex and edge relations (compact, no locality)
+//	OG  — one graph, per-entity history arrays (temporal + structural locality)
+//	OGC — one graph, presence bitsets, topology only (most compact, no attributes)
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+	"repro/internal/graphx"
+	"repro/internal/props"
+	"repro/internal/temporal"
+)
+
+// propsT abbreviates the property-map type in generic instantiations.
+type propsT = props.Props
+
+// VertexID identifies a vertex; it aliases the graphx identifier type
+// so that representations built on the graphx layer interoperate
+// without conversion (the paper keeps long ids for the same reason).
+type VertexID = graphx.VertexID
+
+// EdgeID identifies an edge. TGraph is a multigraph: edge identity is
+// separate from endpoints.
+type EdgeID = graphx.EdgeID
+
+// Representation enumerates the physical TGraph representations.
+type Representation int
+
+const (
+	// RepVE is the Vertex-Edge nested temporal relational representation.
+	RepVE Representation = iota
+	// RepRG is the Representative-Graphs (snapshot sequence) representation.
+	RepRG
+	// RepOG is the One-Graph representation with history arrays.
+	RepOG
+	// RepOGC is the One-Graph-Columnar topology-only representation.
+	RepOGC
+)
+
+// String returns the paper's abbreviation for the representation.
+func (r Representation) String() string {
+	switch r {
+	case RepVE:
+		return "VE"
+	case RepRG:
+		return "RG"
+	case RepOG:
+		return "OG"
+	case RepOGC:
+		return "OGC"
+	default:
+		return fmt.Sprintf("Representation(%d)", int(r))
+	}
+}
+
+// VertexTuple is one temporal state of a vertex: the VE relation's row,
+// and the canonical interchange record between representations.
+type VertexTuple struct {
+	ID       VertexID
+	Interval temporal.Interval
+	Props    props.Props
+}
+
+// EdgeTuple is one temporal state of an edge.
+type EdgeTuple struct {
+	ID       EdgeID
+	Src, Dst VertexID
+	Interval temporal.Interval
+	Props    props.Props
+}
+
+// TGraph is an evolving property graph in one of the four physical
+// representations. Implementations are immutable: operators return new
+// graphs.
+type TGraph interface {
+	// Rep identifies the physical representation.
+	Rep() Representation
+	// Context returns the dataflow execution context.
+	Context() *dataflow.Context
+	// Lifetime returns the smallest interval covering every state.
+	Lifetime() temporal.Interval
+	// VertexStates returns the graph's vertex states as flat tuples
+	// (the canonical interchange form; for OGC, with only the type
+	// property).
+	VertexStates() []VertexTuple
+	// EdgeStates returns the edge states as flat tuples.
+	EdgeStates() []EdgeTuple
+	// NumVertices returns the number of distinct vertex ids.
+	NumVertices() int
+	// NumEdges returns the number of distinct edge ids.
+	NumEdges() int
+	// IsCoalesced reports whether the graph is known to be temporally
+	// coalesced. aZoom^T leaves its output uncoalesced (lazy
+	// coalescing); wZoom^T coalesces its input on demand.
+	IsCoalesced() bool
+	// Coalesce returns a temporally coalesced equivalent: every vertex
+	// and edge represented by states of maximal length during which no
+	// change occurred.
+	Coalesce() TGraph
+	// AZoom applies temporal attribute-based zoom.
+	AZoom(spec AZoomSpec) (TGraph, error)
+	// WZoom applies temporal window-based zoom.
+	WZoom(spec WZoomSpec) (TGraph, error)
+}
+
+// ErrUnsupported is returned by operations a representation cannot
+// express (aZoom^T over OGC, which stores no attributes).
+type ErrUnsupported struct {
+	Rep Representation
+	Op  string
+}
+
+func (e ErrUnsupported) Error() string {
+	return fmt.Sprintf("core: representation %s does not support %s", e.Rep, e.Op)
+}
+
+// SkolemFunc assigns a new vertex identity to each (vertex id,
+// properties) state; it must generate consistent assignments across
+// time (a pure function of its arguments). Returning ok=false excludes
+// the state from the zoomed graph (e.g. a person with no school when
+// zooming to schools).
+type SkolemFunc func(id VertexID, p props.Props) (VertexID, bool)
+
+// NewPropsFunc computes the identifying properties of a newly created
+// vertex from one contributing input state (e.g. {type: school, name:
+// MIT}). All states mapping to the same Skolem id must produce equal
+// identifying properties.
+type NewPropsFunc func(id VertexID, p props.Props) props.Props
+
+// EdgeSkolemFunc assigns identity to zoomed edges. The default derives
+// a deterministic id from (input edge id, new src, new dst), because an
+// input edge whose endpoint changes groups over time yields several
+// output edges.
+type EdgeSkolemFunc func(id EdgeID, newSrc, newDst VertexID) EdgeID
+
+// AZoomSpec parameterises aZoom^T.
+type AZoomSpec struct {
+	// Skolem is f_s, the new-vertex identity function. Required.
+	Skolem SkolemFunc
+	// NewProps derives the identifying properties of new vertices.
+	// Optional; defaults to an empty property set plus whatever Agg
+	// computes. The reserved type property should be set here.
+	NewProps NewPropsFunc
+	// Agg is f_agg, resolving groups of identity-equivalent vertices
+	// within a snapshot and computing aggregate properties.
+	Agg props.AggSpec
+	// EdgeSkolem assigns output edge identity; nil selects the default.
+	EdgeSkolem EdgeSkolemFunc
+}
+
+// Validate checks the spec.
+func (s AZoomSpec) Validate() error {
+	if s.Skolem == nil {
+		return fmt.Errorf("core: aZoom spec needs a Skolem function")
+	}
+	return s.Agg.Validate()
+}
+
+func (s AZoomSpec) edgeSkolem() EdgeSkolemFunc {
+	if s.EdgeSkolem != nil {
+		return s.EdgeSkolem
+	}
+	return func(id EdgeID, src, dst VertexID) EdgeID {
+		h := mix64(uint64(id)) ^ mix64(uint64(src)*0x9e3779b97f4a7c15) ^ mix64(uint64(dst)*0xc2b2ae3d27d4eb4f)
+		return EdgeID(int64(h &^ (1 << 63)))
+	}
+}
+
+func (s AZoomSpec) newProps(id VertexID, p props.Props) props.Props {
+	if s.NewProps == nil {
+		return nil
+	}
+	return s.NewProps(id, p)
+}
+
+// mix64 is a splitmix64 finalizer used for deterministic id hashing.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashString is FNV-1a, used by property-based Skolem helpers.
+func hashString(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// SkolemByProperty returns a Skolem function that groups vertices by
+// the value of one property, declining states lacking it. Identity is a
+// hash of the value (collisions are possible but astronomically
+// unlikely for realistic cardinalities).
+func SkolemByProperty(key string) SkolemFunc {
+	return func(_ VertexID, p props.Props) (VertexID, bool) {
+		v, ok := p.Get(key)
+		if !ok || v.IsNil() {
+			return 0, false
+		}
+		return VertexID(int64(hashString(v.String()) &^ (1 << 63))), true
+	}
+}
+
+// GroupByProperty builds the common aZoom^T specification of the
+// paper's running example: group vertices by property key, produce new
+// vertices of type newType carrying the grouping value under the name
+// property, and compute the given aggregates.
+func GroupByProperty(key, newType string, agg ...props.AggField) AZoomSpec {
+	return AZoomSpec{
+		Skolem: SkolemByProperty(key),
+		NewProps: func(_ VertexID, p props.Props) props.Props {
+			v, _ := p.Get(key)
+			return props.New(props.TypeKey, newType, "name", v)
+		},
+		Agg: props.AggSpec{Fields: agg},
+	}
+}
+
+// WZoomSpec parameterises wZoom^T.
+type WZoomSpec struct {
+	// Window is the tumbling window specification. Required.
+	Window temporal.WindowSpec
+	// VQuant and EQuant are the vertex and edge existence quantifiers.
+	// Zero values are the paper's existential default.
+	VQuant temporal.Quantifier
+	EQuant temporal.Quantifier
+	// VResolve and EResolve pick representative attribute values per
+	// window. Zero values are the paper's "any" default.
+	VResolve props.ResolveSpec
+	EResolve props.ResolveSpec
+}
+
+// Validate checks the spec.
+func (s WZoomSpec) Validate() error {
+	if s.Window == nil {
+		return fmt.Errorf("core: wZoom spec needs a window specification")
+	}
+	return nil
+}
+
+// vertexEq and edgeEq are the value-equivalence predicates used for
+// temporal coalescing.
+func vertexEq(a, b VertexTuple) bool {
+	return a.ID == b.ID && a.Props.Equal(b.Props)
+}
+
+func edgeEq(a, b EdgeTuple) bool {
+	return a.ID == b.ID && a.Src == b.Src && a.Dst == b.Dst && a.Props.Equal(b.Props)
+}
+
+// lifetimeOf computes the smallest interval covering all states.
+func lifetimeOf(vs []VertexTuple, es []EdgeTuple) temporal.Interval {
+	life := temporal.Empty
+	for _, v := range vs {
+		life = temporal.Span(life, v.Interval)
+	}
+	for _, e := range es {
+		life = temporal.Span(life, e.Interval)
+	}
+	return life
+}
+
+// changePointsOf returns the sorted interior boundaries of the graph's
+// states: the time points at which some entity changed. They delimit
+// the graph's snapshots and feed change-based window specs.
+func changePointsOf(vs []VertexTuple, es []EdgeTuple) []temporal.Time {
+	ivs := make([]temporal.Interval, 0, len(vs)+len(es))
+	for _, v := range vs {
+		ivs = append(ivs, v.Interval)
+	}
+	for _, e := range es {
+		ivs = append(ivs, e.Interval)
+	}
+	return temporal.Boundaries(ivs)
+}
+
+// distinctVertexCount returns the number of distinct vertex ids among
+// the tuples.
+func distinctVertexCount(vs []VertexTuple) int {
+	seen := make(map[VertexID]struct{}, len(vs))
+	for _, v := range vs {
+		seen[v.ID] = struct{}{}
+	}
+	return len(seen)
+}
+
+// distinctEdgeCount returns the number of distinct edge ids.
+func distinctEdgeCount(es []EdgeTuple) int {
+	seen := make(map[EdgeID]struct{}, len(es))
+	for _, e := range es {
+		seen[e.ID] = struct{}{}
+	}
+	return len(seen)
+}

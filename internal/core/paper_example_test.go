@@ -1,0 +1,373 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/props"
+	"repro/internal/temporal"
+)
+
+func testCtx() *dataflow.Context {
+	return dataflow.NewContext(dataflow.WithParallelism(4), dataflow.WithDefaultPartitions(4))
+}
+
+const (
+	ann VertexID = 1
+	bob VertexID = 2
+	cat VertexID = 3
+)
+
+// figure1 builds the paper's running example TGraph G1 (Figure 1) as VE.
+func figure1(ctx *dataflow.Context) *VE {
+	vs := []VertexTuple{
+		{ID: ann, Interval: temporal.MustInterval(1, 7), Props: props.New("type", "person", "school", "MIT")},
+		{ID: bob, Interval: temporal.MustInterval(2, 5), Props: props.New("type", "person")},
+		{ID: bob, Interval: temporal.MustInterval(5, 9), Props: props.New("type", "person", "school", "CMU")},
+		{ID: cat, Interval: temporal.MustInterval(1, 9), Props: props.New("type", "person", "school", "MIT")},
+	}
+	es := []EdgeTuple{
+		{ID: 1, Src: ann, Dst: bob, Interval: temporal.MustInterval(2, 7), Props: props.New("type", "co-author")},
+		{ID: 2, Src: bob, Dst: cat, Interval: temporal.MustInterval(7, 9), Props: props.New("type", "co-author")},
+	}
+	g := NewVE(ctx, vs, es)
+	g.coalesced = true // Figure 1 is drawn coalesced
+	return g
+}
+
+// canonV returns sorted, coalesced vertex states for comparison.
+func canonV(t *testing.T, g TGraph) []VertexTuple {
+	t.Helper()
+	out := g.Coalesce().VertexStates()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		if a.Interval != b.Interval {
+			return a.Interval.Before(b.Interval)
+		}
+		return a.Props.Fingerprint() < b.Props.Fingerprint()
+	})
+	return out
+}
+
+// canonE returns sorted, coalesced edge states for comparison.
+func canonE(t *testing.T, g TGraph) []EdgeTuple {
+	t.Helper()
+	out := g.Coalesce().EdgeStates()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		if a.Interval != b.Interval {
+			return a.Interval.Before(b.Interval)
+		}
+		return a.Props.Fingerprint() < b.Props.Fingerprint()
+	})
+	return out
+}
+
+func vertexStateString(v VertexTuple) string {
+	return fmt.Sprintf("%d@%v{%v}", v.ID, v.Interval, v.Props)
+}
+
+func edgeStateString(e EdgeTuple) string {
+	return fmt.Sprintf("%d:%d->%d@%v{%v}", e.ID, e.Src, e.Dst, e.Interval, e.Props)
+}
+
+// requireGraphsEqual compares two TGraphs state-by-state after
+// coalescing.
+func requireGraphsEqual(t *testing.T, label string, got, want TGraph) {
+	t.Helper()
+	gv, wv := canonV(t, got), canonV(t, want)
+	if len(gv) != len(wv) {
+		t.Errorf("%s: %d vertex states, want %d\ngot:  %v\nwant: %v", label, len(gv), len(wv), fmtV(gv), fmtV(wv))
+	} else {
+		for i := range gv {
+			if gv[i].ID != wv[i].ID || !gv[i].Interval.Equal(wv[i].Interval) || !gv[i].Props.Equal(wv[i].Props) {
+				t.Errorf("%s: vertex state %d = %s, want %s", label, i, vertexStateString(gv[i]), vertexStateString(wv[i]))
+			}
+		}
+	}
+	ge, we := canonE(t, got), canonE(t, want)
+	if len(ge) != len(we) {
+		t.Errorf("%s: %d edge states, want %d\ngot:  %v\nwant: %v", label, len(ge), len(we), fmtE(ge), fmtE(we))
+	} else {
+		for i := range ge {
+			if ge[i].ID != we[i].ID || ge[i].Src != we[i].Src || ge[i].Dst != we[i].Dst ||
+				!ge[i].Interval.Equal(we[i].Interval) || !ge[i].Props.Equal(we[i].Props) {
+				t.Errorf("%s: edge state %d = %s, want %s", label, i, edgeStateString(ge[i]), edgeStateString(we[i]))
+			}
+		}
+	}
+}
+
+func fmtV(vs []VertexTuple) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = vertexStateString(v)
+	}
+	return out
+}
+
+func fmtE(es []EdgeTuple) []string {
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = edgeStateString(e)
+	}
+	return out
+}
+
+func TestFigure1IsValid(t *testing.T) {
+	g := figure1(testCtx())
+	if err := Validate(g); err != nil {
+		t.Fatalf("G1 should be valid: %v", err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Errorf("G1: %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if g.Lifetime() != temporal.MustInterval(1, 9) {
+		t.Errorf("G1 lifetime = %v, want [1, 9)", g.Lifetime())
+	}
+}
+
+// findVertexByName locates a zoomed vertex state by its name property.
+func findStates(vs []VertexTuple, name string) []VertexTuple {
+	var out []VertexTuple
+	for _, v := range vs {
+		if v.Props.GetString("name") == name {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TestAZoomFigure2 verifies the paper's Figure 2: zooming G1 to school
+// nodes with a student count, over every representation that supports
+// aZoom^T.
+func TestAZoomFigure2(t *testing.T) {
+	ctx := testCtx()
+	spec := GroupByProperty("school", "school", props.Count("students"))
+
+	for _, tc := range []struct {
+		rep Representation
+		g   TGraph
+	}{
+		{RepVE, figure1(ctx)},
+		{RepOG, ToOG(figure1(ctx))},
+		{RepRG, ToRG(figure1(ctx))},
+	} {
+		t.Run(tc.rep.String(), func(t *testing.T) {
+			zoomed, err := tc.g.AZoom(spec)
+			if err != nil {
+				t.Fatalf("AZoom: %v", err)
+			}
+			if zoomed.Rep() != tc.rep {
+				t.Errorf("aZoom changed representation: %v -> %v", tc.rep, zoomed.Rep())
+			}
+			vs := canonV(t, zoomed)
+
+			mit := findStates(vs, "MIT")
+			if len(mit) != 2 {
+				t.Fatalf("MIT states = %v, want 2", fmtV(mit))
+			}
+			if !mit[0].Interval.Equal(temporal.MustInterval(1, 7)) || mit[0].Props.GetInt("students") != 2 {
+				t.Errorf("MIT[0] = %s, want [1,7) students=2", vertexStateString(mit[0]))
+			}
+			if !mit[1].Interval.Equal(temporal.MustInterval(7, 9)) || mit[1].Props.GetInt("students") != 1 {
+				t.Errorf("MIT[1] = %s, want [7,9) students=1", vertexStateString(mit[1]))
+			}
+			if mit[0].Props.Type() != "school" {
+				t.Errorf("MIT type = %q", mit[0].Props.Type())
+			}
+
+			cmu := findStates(vs, "CMU")
+			if len(cmu) != 1 {
+				t.Fatalf("CMU states = %v, want 1", fmtV(cmu))
+			}
+			if !cmu[0].Interval.Equal(temporal.MustInterval(5, 9)) || cmu[0].Props.GetInt("students") != 1 {
+				t.Errorf("CMU = %s, want [5,9) students=1", vertexStateString(cmu[0]))
+			}
+
+			// Edges: e1 redirected MIT->CMU valid [5,7) (Bob at CMU only
+			// from 5); e2 redirected CMU->MIT valid [7,9).
+			es := canonE(t, zoomed)
+			if len(es) != 2 {
+				t.Fatalf("edges = %v, want 2", fmtE(es))
+			}
+			mitID, cmuID := mit[0].ID, cmu[0].ID
+			var sawE1, sawE2 bool
+			for _, e := range es {
+				switch {
+				case e.Src == mitID && e.Dst == cmuID:
+					sawE1 = true
+					if !e.Interval.Equal(temporal.MustInterval(5, 7)) {
+						t.Errorf("MIT->CMU interval = %v, want [5,7)", e.Interval)
+					}
+				case e.Src == cmuID && e.Dst == mitID:
+					sawE2 = true
+					if !e.Interval.Equal(temporal.MustInterval(7, 9)) {
+						t.Errorf("CMU->MIT interval = %v, want [7,9)", e.Interval)
+					}
+				default:
+					t.Errorf("unexpected edge %s", edgeStateString(e))
+				}
+			}
+			if !sawE1 || !sawE2 {
+				t.Errorf("missing redirected edges: e1=%v e2=%v in %v", sawE1, sawE2, fmtE(es))
+			}
+			if err := Validate(zoomed.Coalesce()); err != nil {
+				t.Errorf("zoomed graph invalid: %v", err)
+			}
+		})
+	}
+}
+
+// TestWZoomFigure3 verifies the paper's Figure 3 / Example 2.3:
+// 3-month windows with nodes=all, edges=all, school=last.
+func TestWZoomFigure3(t *testing.T) {
+	ctx := testCtx()
+	spec := WZoomSpec{
+		Window:   temporal.MustEveryN(3),
+		VQuant:   temporal.All(),
+		EQuant:   temporal.All(),
+		VResolve: props.LastWins,
+		EResolve: props.LastWins,
+	}
+	for _, tc := range []struct {
+		rep Representation
+		g   TGraph
+	}{
+		{RepVE, figure1(ctx)},
+		{RepOG, ToOG(figure1(ctx))},
+		{RepRG, ToRG(figure1(ctx))},
+		{RepOGC, ToOGC(figure1(ctx))},
+	} {
+		t.Run(tc.rep.String(), func(t *testing.T) {
+			zoomed, err := tc.g.WZoom(spec)
+			if err != nil {
+				t.Fatalf("WZoom: %v", err)
+			}
+			if zoomed.Rep() != tc.rep {
+				t.Errorf("wZoom changed representation: %v -> %v", tc.rep, zoomed.Rep())
+			}
+			vs := canonV(t, zoomed)
+			byID := map[VertexID][]VertexTuple{}
+			for _, v := range vs {
+				byID[v.ID] = append(byID[v.ID], v)
+			}
+			// Ann: W1+W2 -> [1,7). Bob: only W2 -> [4,7). Cat: W1+W2 -> [1,7).
+			for id, want := range map[VertexID]temporal.Interval{
+				ann: temporal.MustInterval(1, 7),
+				bob: temporal.MustInterval(4, 7),
+				cat: temporal.MustInterval(1, 7),
+			} {
+				states := byID[id]
+				if len(states) != 1 || !states[0].Interval.Equal(want) {
+					t.Errorf("vertex %d states = %v, want single %v", id, fmtV(states), want)
+				}
+			}
+			// Bob's resolved school in W2 must be CMU (last), except in
+			// OGC which stores no attributes.
+			if tc.rep != RepOGC {
+				if got := byID[bob][0].Props.GetString("school"); got != "CMU" {
+					t.Errorf("Bob school = %q, want CMU (last)", got)
+				}
+			}
+			// Edges: e1 -> W2 only: [4,7); e2 absent.
+			es := canonE(t, zoomed)
+			if len(es) != 1 {
+				t.Fatalf("edges = %v, want only e1", fmtE(es))
+			}
+			if es[0].Src != ann || es[0].Dst != bob || !es[0].Interval.Equal(temporal.MustInterval(4, 7)) {
+				t.Errorf("e1 = %s, want 1->2@[4,7)", edgeStateString(es[0]))
+			}
+			if err := Validate(zoomed.Coalesce()); err != nil {
+				t.Errorf("zoomed graph invalid: %v", err)
+			}
+		})
+	}
+}
+
+// TestWZoomExistsQuantifier checks Example 2.3's existential variant:
+// Bob and Cat span [1,10) under exists (the full windows they touch).
+func TestWZoomExistsQuantifier(t *testing.T) {
+	ctx := testCtx()
+	spec := WZoomSpec{
+		Window:   temporal.MustEveryN(3),
+		VResolve: props.LastWins,
+		EResolve: props.LastWins,
+	} // zero quantifiers = exists
+	for _, tc := range []struct {
+		rep Representation
+		g   TGraph
+	}{
+		{RepVE, figure1(ctx)},
+		{RepOG, ToOG(figure1(ctx))},
+		{RepRG, ToRG(figure1(ctx))},
+		{RepOGC, ToOGC(figure1(ctx))},
+	} {
+		t.Run(tc.rep.String(), func(t *testing.T) {
+			zoomed, err := tc.g.WZoom(spec)
+			if err != nil {
+				t.Fatalf("WZoom: %v", err)
+			}
+			vs := canonV(t, zoomed)
+			byID := map[VertexID][]VertexTuple{}
+			for _, v := range vs {
+				byID[v.ID] = append(byID[v.ID], v)
+			}
+			// Presence (coalesced coverage) per vertex. Bob may have two
+			// states because his resolved school differs across windows;
+			// what Example 2.3 fixes is the covered interval.
+			for id, want := range map[VertexID]temporal.Interval{
+				ann: temporal.MustInterval(1, 7),
+				bob: temporal.MustInterval(1, 10),
+				cat: temporal.MustInterval(1, 10),
+			} {
+				var ivs []temporal.Interval
+				for _, s := range byID[id] {
+					ivs = append(ivs, s.Interval)
+				}
+				cov := temporal.CoalesceIntervals(ivs)
+				if len(cov) != 1 || !cov[0].Equal(want) {
+					t.Errorf("vertex %d coverage = %v, want %v", id, cov, want)
+				}
+			}
+			es := canonE(t, zoomed)
+			if len(es) != 2 {
+				t.Fatalf("edges = %v, want e1 and e2", fmtE(es))
+			}
+		})
+	}
+}
+
+func TestAZoomUnsupportedOnOGC(t *testing.T) {
+	g := ToOGC(figure1(testCtx()))
+	_, err := g.AZoom(GroupByProperty("school", "school"))
+	if err == nil {
+		t.Fatal("aZoom over OGC must fail")
+	}
+	var unsup ErrUnsupported
+	if !asErr(err, &unsup) {
+		t.Errorf("error type = %T", err)
+	}
+}
+
+func asErr(err error, target *ErrUnsupported) bool {
+	e, ok := err.(ErrUnsupported)
+	if ok {
+		*target = e
+	}
+	return ok
+}

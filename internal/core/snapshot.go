@@ -1,0 +1,68 @@
+package core
+
+import (
+	"repro/internal/graphx"
+	"repro/internal/props"
+	"repro/internal/temporal"
+)
+
+// SnapshotAt materialises the conventional (non-temporal) property
+// graph representing the state of g at time point t — the snapshot
+// operator that underpins point semantics. ok is false when no entity
+// exists at t. For an RG input the stored snapshot containing t is
+// returned directly (with its full interval); for other representations
+// the snapshot is assembled from the states containing t, with the
+// interval narrowed to the enclosing elementary interval.
+func SnapshotAt(g TGraph, t temporal.Time) (Snapshot, bool) {
+	if rg, ok := g.(*RG); ok {
+		for _, s := range rg.snapshots {
+			if s.Interval.Contains(t) {
+				return s, true
+			}
+		}
+		return Snapshot{}, false
+	}
+	vs := g.VertexStates()
+	es := g.EdgeStates()
+	var gvs []graphx.Vertex[props.Props]
+	var ges []graphx.Edge[props.Props]
+	// The enclosing elementary interval: the tightest bounds among all
+	// state boundaries around t.
+	lo, hi := temporal.MinTime, temporal.MaxTime
+	narrow := func(iv temporal.Interval) {
+		if iv.Contains(t) {
+			if iv.Start > lo {
+				lo = iv.Start
+			}
+			if iv.End < hi {
+				hi = iv.End
+			}
+			return
+		}
+		if iv.End <= t && iv.End > lo {
+			lo = iv.End
+		}
+		if iv.Start > t && iv.Start < hi {
+			hi = iv.Start
+		}
+	}
+	for _, v := range vs {
+		narrow(v.Interval)
+		if v.Interval.Contains(t) {
+			gvs = append(gvs, graphx.Vertex[props.Props]{ID: v.ID, Attr: v.Props})
+		}
+	}
+	for _, e := range es {
+		narrow(e.Interval)
+		if e.Interval.Contains(t) {
+			ges = append(ges, graphx.Edge[props.Props]{ID: e.ID, Src: e.Src, Dst: e.Dst, Attr: e.Props})
+		}
+	}
+	if len(gvs) == 0 && len(ges) == 0 {
+		return Snapshot{}, false
+	}
+	return Snapshot{
+		Interval: temporal.Interval{Start: lo, End: hi},
+		Graph:    graphx.New(g.Context(), gvs, ges, graphx.EdgePartition2D{}),
+	}, true
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/temporal"
+)
+
+func TestSnapshotAt(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		g    func() TGraph
+	}{
+		{"VE", func() TGraph { return figure1(testCtx()) }},
+		{"OG", func() TGraph { return ToOG(figure1(testCtx())) }},
+		{"RG", func() TGraph { return ToRG(figure1(testCtx())) }},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			g := mk.g()
+			// Time 3: Ann, Bob (no school), Cat exist; edge e1 exists.
+			snap, ok := SnapshotAt(g, 3)
+			if !ok {
+				t.Fatal("no snapshot at 3")
+			}
+			if !snap.Interval.Contains(3) {
+				t.Errorf("snapshot interval %v does not contain 3", snap.Interval)
+			}
+			if snap.Graph.NumVertices() != 3 || snap.Graph.NumEdges() != 1 {
+				t.Errorf("snapshot at 3: %d vertices, %d edges", snap.Graph.NumVertices(), snap.Graph.NumEdges())
+			}
+			// The enclosing elementary interval at t=3 is [2,5).
+			if !snap.Interval.Equal(temporal.MustInterval(2, 5)) {
+				t.Errorf("snapshot interval = %v, want [2, 5)", snap.Interval)
+			}
+			// Time 8: Bob and Cat, edge e2.
+			snap8, ok := SnapshotAt(g, 8)
+			if !ok || snap8.Graph.NumVertices() != 2 || snap8.Graph.NumEdges() != 1 {
+				t.Errorf("snapshot at 8 wrong: ok=%v", ok)
+			}
+			// Time 100: nothing exists.
+			if _, ok := SnapshotAt(g, 100); ok {
+				t.Error("snapshot at 100 should not exist")
+			}
+			if err := snap.Graph.Validate(); err != nil {
+				t.Errorf("snapshot graph invalid: %v", err)
+			}
+		})
+	}
+}
+
+func TestSnapshotAtBoundarySemantics(t *testing.T) {
+	g := figure1(testCtx())
+	// Bob's school changes at 5: the closed-open semantics put time 5
+	// in the CMU state.
+	snap, ok := SnapshotAt(g, 5)
+	if !ok {
+		t.Fatal("no snapshot at 5")
+	}
+	for _, part := range snap.Graph.Vertices().Partitions() {
+		for _, v := range part {
+			if v.ID == bob && v.Attr.GetString("school") != "CMU" {
+				t.Errorf("Bob at 5 = %v, want CMU", v.Attr)
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/temporal"
+)
+
+// Validate checks that a TGraph satisfies the validity conditions of
+// Definition 2.1:
+//
+//  1. an edge exists only at times when both endpoints exist (the
+//     condition on ξ^T);
+//  2. every entity assigns a value to the required type property
+//     whenever it exists;
+//  3. an entity has at most one state at any time point (states of one
+//     entity never overlap);
+//  4. an edge's endpoints are constant across its states (ρ is a
+//     function of the edge).
+//
+// All violations found are joined into the returned error; nil means
+// the graph is valid.
+func Validate(g TGraph) error {
+	vs := g.VertexStates()
+	es := g.EdgeStates()
+	var errs []error
+
+	// 3 for vertices + 2.
+	byVertex := make(map[VertexID][]temporal.Interval)
+	for _, v := range vs {
+		if v.Props.Type() == "" {
+			errs = append(errs, fmt.Errorf("vertex %d at %v lacks the type property", v.ID, v.Interval))
+		}
+		byVertex[v.ID] = append(byVertex[v.ID], v.Interval)
+	}
+	for id, ivs := range byVertex {
+		if overlapsAny(ivs) {
+			errs = append(errs, fmt.Errorf("vertex %d has overlapping states", id))
+		}
+	}
+
+	// 3, 4 for edges + 2.
+	byEdge := make(map[EdgeID][]temporal.Interval)
+	endpoints := make(map[EdgeID][2]VertexID)
+	for _, e := range es {
+		if e.Props.Type() == "" {
+			errs = append(errs, fmt.Errorf("edge %d at %v lacks the type property", e.ID, e.Interval))
+		}
+		byEdge[e.ID] = append(byEdge[e.ID], e.Interval)
+		ep := [2]VertexID{e.Src, e.Dst}
+		if prev, ok := endpoints[e.ID]; ok && prev != ep {
+			errs = append(errs, fmt.Errorf("edge %d changes endpoints (%v -> %v)", e.ID, prev, ep))
+		}
+		endpoints[e.ID] = ep
+	}
+	for id, ivs := range byEdge {
+		if overlapsAny(ivs) {
+			errs = append(errs, fmt.Errorf("edge %d has overlapping states", id))
+		}
+	}
+
+	// 1: edge existence implies endpoint existence.
+	for _, e := range es {
+		for _, end := range [2]VertexID{e.Src, e.Dst} {
+			uncovered := temporal.SubtractAll(e.Interval, byVertex[end])
+			if len(uncovered) > 0 {
+				errs = append(errs, fmt.Errorf("edge %d exists during %v while vertex %d does not", e.ID, uncovered[0], end))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// overlapsAny reports whether any two intervals in the (unsorted) slice
+// share a time point.
+func overlapsAny(ivs []temporal.Interval) bool {
+	sorted := make([]temporal.Interval, len(ivs))
+	copy(sorted, ivs)
+	temporal.SortIntervals(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1].Overlaps(sorted[i]) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"repro/internal/dataflow"
+	"repro/internal/temporal"
+)
+
+// VE is the Vertex-Edge representation: two flat temporal relations,
+// one for vertex states and one for edge states (Figure 5 of the
+// paper). It is compact but keeps neither temporal nor structural
+// locality by default — consecutive states of an entity may live in
+// different partitions; keyed operations re-establish locality at
+// runtime via shuffles. VE is implemented directly over the dataflow
+// engine (the paper implements it directly over Spark RDDs).
+type VE struct {
+	ctx       *dataflow.Context
+	v         *dataflow.Dataset[VertexTuple]
+	e         *dataflow.Dataset[EdgeTuple]
+	coalesced bool
+	lifetime  temporal.Interval
+}
+
+// NewVE builds a VE graph from vertex and edge state slices. States
+// with empty intervals are dropped. The result is not assumed
+// coalesced.
+func NewVE(ctx *dataflow.Context, vs []VertexTuple, es []EdgeTuple) *VE {
+	keptV := make([]VertexTuple, 0, len(vs))
+	for _, v := range vs {
+		if !v.Interval.IsEmpty() {
+			keptV = append(keptV, v)
+		}
+	}
+	keptE := make([]EdgeTuple, 0, len(es))
+	for _, e := range es {
+		if !e.Interval.IsEmpty() {
+			keptE = append(keptE, e)
+		}
+	}
+	return &VE{
+		ctx:      ctx,
+		v:        dataflow.Parallelize(ctx, keptV, 0),
+		e:        dataflow.Parallelize(ctx, keptE, 0),
+		lifetime: lifetimeOf(keptV, keptE),
+	}
+}
+
+func veFromDatasets(ctx *dataflow.Context, v *dataflow.Dataset[VertexTuple], e *dataflow.Dataset[EdgeTuple], coalesced bool) *VE {
+	vs, es := v.Collect(), e.Collect()
+	return &VE{ctx: ctx, v: v, e: e, coalesced: coalesced, lifetime: lifetimeOf(vs, es)}
+}
+
+// Rep implements TGraph.
+func (g *VE) Rep() Representation { return RepVE }
+
+// Context implements TGraph.
+func (g *VE) Context() *dataflow.Context { return g.ctx }
+
+// Lifetime implements TGraph.
+func (g *VE) Lifetime() temporal.Interval { return g.lifetime }
+
+// Vertices returns the vertex relation.
+func (g *VE) Vertices() *dataflow.Dataset[VertexTuple] { return g.v }
+
+// Edges returns the edge relation.
+func (g *VE) Edges() *dataflow.Dataset[EdgeTuple] { return g.e }
+
+// VertexStates implements TGraph.
+func (g *VE) VertexStates() []VertexTuple { return g.v.Collect() }
+
+// EdgeStates implements TGraph.
+func (g *VE) EdgeStates() []EdgeTuple { return g.e.Collect() }
+
+// NumVertices implements TGraph.
+func (g *VE) NumVertices() int { return distinctVertexCount(g.VertexStates()) }
+
+// NumEdges implements TGraph.
+func (g *VE) NumEdges() int { return distinctEdgeCount(g.EdgeStates()) }
+
+// IsCoalesced implements TGraph.
+func (g *VE) IsCoalesced() bool { return g.coalesced }
+
+// Coalesce implements TGraph using the partitioning method: group each
+// relation by entity key, sort group states by start time, and fold,
+// merging value-equivalent adjacent states (Section 4 "Coalescing").
+func (g *VE) Coalesce() TGraph {
+	if g.coalesced {
+		return g
+	}
+	v := coalesceVertexDataset(g.v)
+	e := coalesceEdgeDataset(g.e)
+	return &VE{ctx: g.ctx, v: v, e: e, coalesced: true, lifetime: g.lifetime}
+}
+
+// coalesceVertexDataset groups vertex states by id and coalesces each
+// group.
+func coalesceVertexDataset(v *dataflow.Dataset[VertexTuple]) *dataflow.Dataset[VertexTuple] {
+	groups := dataflow.GroupByKey(v, func(t VertexTuple) VertexID { return t.ID })
+	return dataflow.FlatMap(groups, func(gr dataflow.Group[VertexID, VertexTuple]) []VertexTuple {
+		states := make([]temporal.Stated[VertexTuple], len(gr.Values))
+		for i, t := range gr.Values {
+			states[i] = temporal.Stated[VertexTuple]{Interval: t.Interval, Value: t}
+		}
+		merged := temporal.Coalesce(states, vertexEq)
+		out := make([]VertexTuple, len(merged))
+		for i, s := range merged {
+			t := s.Value
+			t.Interval = s.Interval
+			out[i] = t
+		}
+		return out
+	})
+}
+
+// coalesceEdgeDataset groups edge states by id and coalesces each
+// group.
+func coalesceEdgeDataset(e *dataflow.Dataset[EdgeTuple]) *dataflow.Dataset[EdgeTuple] {
+	groups := dataflow.GroupByKey(e, func(t EdgeTuple) EdgeID { return t.ID })
+	return dataflow.FlatMap(groups, func(gr dataflow.Group[EdgeID, EdgeTuple]) []EdgeTuple {
+		states := make([]temporal.Stated[EdgeTuple], len(gr.Values))
+		for i, t := range gr.Values {
+			states[i] = temporal.Stated[EdgeTuple]{Interval: t.Interval, Value: t}
+		}
+		merged := temporal.Coalesce(states, edgeEq)
+		out := make([]EdgeTuple, len(merged))
+		for i, s := range merged {
+			t := s.Value
+			t.Interval = s.Interval
+			out[i] = t
+		}
+		return out
+	})
+}

@@ -1,0 +1,397 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/dataflow"
+	"repro/internal/graphx"
+	"repro/internal/props"
+	"repro/internal/temporal"
+)
+
+// Temporal window-based zoom (wZoom^T), Section 3.2. The window
+// specification materialises the temporal relation W; each entity's
+// states are mapped to the windows they overlap; an existence
+// quantifier decides, per window, whether the entity is retained (for
+// the full window interval); resolve functions pick representative
+// attribute values; and a dangling-edge check runs when the vertex
+// quantifier is more restrictive than the edge quantifier. Unlike
+// aZoom^T, wZoom^T computes across snapshots, so its input must be
+// temporally coalesced — representations coalesce on demand (lazy
+// coalescing).
+
+// wzKey identifies one (entity, window) group.
+type wzKey[ID comparable] struct {
+	ID  ID
+	Win int
+}
+
+// wzState is one input state clipped to a window.
+type wzState struct {
+	Start   temporal.Time // original state start, for first/last ordering
+	Covered temporal.Time // points of the window covered by this state
+	Props   props.Props
+}
+
+// wzReduce groups clipped states per (entity, window), applies the
+// quantifier against the window duration, and resolves attributes.
+// Returns ok=false when the quantifier rejects the group.
+func wzReduce(states []wzState, window temporal.Window, q temporal.Quantifier, r props.ResolveSpec) (props.Props, bool) {
+	var covered temporal.Time
+	for _, s := range states {
+		covered += s.Covered
+	}
+	if !q.Satisfied(covered, window.Interval.Duration()) {
+		return nil, false
+	}
+	sort.SliceStable(states, func(i, j int) bool { return states[i].Start < states[j].Start })
+	ps := make([]props.Props, len(states))
+	for i, s := range states {
+		ps[i] = s.Props
+	}
+	return r.Apply(ps), true
+}
+
+// wzoomWindows materialises the window relation for a graph. Change
+// points feed change-based window specs; unit specs ignore them.
+func wzoomWindows(g TGraph, spec WZoomSpec) []temporal.Window {
+	changePoints := changePointsOf(g.VertexStates(), g.EdgeStates())
+	return spec.Window.Windows(g.Lifetime(), changePoints)
+}
+
+// WZoom over VE (Algorithm 5): join states with the window relation
+// (expressed as a flatMap over overlapping windows — each state is
+// copied once per window it spans, the cost the paper attributes to VE
+// for small windows), group by (entity, window), filter by quantifier,
+// and resolve. Dangling edges are removed with two semijoins.
+func (g *VE) WZoom(spec WZoomSpec) (TGraph, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if !g.coalesced {
+		return g.Coalesce().(*VE).WZoom(spec)
+	}
+	windows := wzoomWindows(g, spec)
+
+	v := wzoomTuplesDataflow(g.ctx, g.v, windows, spec.VQuant, spec.VResolve,
+		func(t VertexTuple) VertexID { return t.ID },
+		func(t VertexTuple) temporal.Interval { return t.Interval },
+		func(t VertexTuple) props.Props { return t.Props },
+		func(id VertexID, iv temporal.Interval, p props.Props) VertexTuple {
+			return VertexTuple{ID: id, Interval: iv, Props: p}
+		})
+
+	type eid struct {
+		ID       EdgeID
+		Src, Dst VertexID
+	}
+	e := wzoomTuplesDataflow(g.ctx, g.e, windows, spec.EQuant, spec.EResolve,
+		func(t EdgeTuple) eid { return eid{t.ID, t.Src, t.Dst} },
+		func(t EdgeTuple) temporal.Interval { return t.Interval },
+		func(t EdgeTuple) props.Props { return t.Props },
+		func(id eid, iv temporal.Interval, p props.Props) EdgeTuple {
+			return EdgeTuple{ID: id.ID, Src: id.Src, Dst: id.Dst, Interval: iv, Props: p}
+		})
+
+	if spec.VQuant.MoreRestrictiveThan(spec.EQuant) {
+		// Two semijoins: an edge state (always a whole window) survives
+		// only if both endpoints exist in the same window.
+		e = dataflow.SemiJoin(e, v,
+			func(t EdgeTuple) VertexID { return t.Src },
+			func(t VertexTuple) VertexID { return t.ID },
+			func(et EdgeTuple, vt VertexTuple) bool { return vt.Interval.Covers(et.Interval) })
+		e = dataflow.SemiJoin(e, v,
+			func(t EdgeTuple) VertexID { return t.Dst },
+			func(t VertexTuple) VertexID { return t.ID },
+			func(et EdgeTuple, vt VertexTuple) bool { return vt.Interval.Covers(et.Interval) })
+	}
+	return veFromDatasets(g.ctx, v, e, false), nil
+}
+
+// wzoomTuplesDataflow is the generic per-relation pipeline of
+// Algorithm 5: align with windows, group, filter, resolve.
+func wzoomTuplesDataflow[T any, ID comparable](
+	ctx *dataflow.Context,
+	d *dataflow.Dataset[T],
+	windows []temporal.Window,
+	q temporal.Quantifier,
+	r props.ResolveSpec,
+	idOf func(T) ID,
+	ivOf func(T) temporal.Interval,
+	propsOf func(T) props.Props,
+	make_ func(ID, temporal.Interval, props.Props) T,
+) *dataflow.Dataset[T] {
+	aligned := dataflow.FlatMap(d, func(t T) []dataflow.Pair[wzKey[ID], wzState] {
+		iv := ivOf(t)
+		var out []dataflow.Pair[wzKey[ID], wzState]
+		for _, w := range temporal.OverlappingWindows(windows, iv) {
+			out = append(out, dataflow.Pair[wzKey[ID], wzState]{
+				First: wzKey[ID]{ID: idOf(t), Win: w.Index},
+				Second: wzState{
+					Start:   iv.Start,
+					Covered: iv.Intersect(w.Interval).Duration(),
+					Props:   propsOf(t),
+				},
+			})
+		}
+		return out
+	})
+	groups := dataflow.GroupByKey(aligned, func(p dataflow.Pair[wzKey[ID], wzState]) wzKey[ID] { return p.First })
+	return dataflow.FlatMap(groups, func(gr dataflow.Group[wzKey[ID], dataflow.Pair[wzKey[ID], wzState]]) []T {
+		states := make([]wzState, len(gr.Values))
+		for i, p := range gr.Values {
+			states[i] = p.Second
+		}
+		w := windows[gr.Key.Win]
+		p, ok := wzReduce(states, w, q, r)
+		if !ok {
+			return nil
+		}
+		return []T{make_(gr.Key.ID, w.Interval, p)}
+	})
+}
+
+// WZoom over OG (Algorithm 6): every entity's history is recomputed
+// in-place — a narrow map with no shuffle, because OG's temporal
+// locality puts all states of an entity in one record. Dangling-edge
+// removal intersects edge histories with endpoint histories through the
+// routing table.
+func (g *OG) WZoom(spec WZoomSpec) (TGraph, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if !g.coalesced {
+		return g.Coalesce().(*OG).WZoom(spec)
+	}
+	windows := wzoomWindows(g, spec)
+
+	recompute := func(h []HistoryItem, q temporal.Quantifier, r props.ResolveSpec) []HistoryItem {
+		byWin := make(map[int][]wzState)
+		for _, it := range h {
+			for _, w := range temporal.OverlappingWindows(windows, it.Interval) {
+				byWin[w.Index] = append(byWin[w.Index], wzState{
+					Start:   it.Interval.Start,
+					Covered: it.Interval.Intersect(w.Interval).Duration(),
+					Props:   it.Props,
+				})
+			}
+		}
+		wins := make([]int, 0, len(byWin))
+		for w := range byWin {
+			wins = append(wins, w)
+		}
+		sort.Ints(wins)
+		out := make([]HistoryItem, 0, len(wins))
+		for _, wi := range wins {
+			w := windows[wi]
+			if p, ok := wzReduce(byWin[wi], w, q, r); ok {
+				out = append(out, HistoryItem{Interval: w.Interval, Props: p})
+			}
+		}
+		return out
+	}
+
+	newV := dataflow.Map(g.graph.Vertices(), func(v graphx.Vertex[[]HistoryItem]) graphx.Vertex[[]HistoryItem] {
+		v.Attr = recompute(v.Attr, spec.VQuant, spec.VResolve)
+		return v
+	}).Filter(func(v graphx.Vertex[[]HistoryItem]) bool { return len(v.Attr) > 0 })
+
+	newE := dataflow.Map(g.graph.Edges(), func(e graphx.Edge[[]HistoryItem]) graphx.Edge[[]HistoryItem] {
+		e.Attr = recompute(e.Attr, spec.EQuant, spec.EResolve)
+		return e
+	}).Filter(func(e graphx.Edge[[]HistoryItem]) bool { return len(e.Attr) > 0 })
+
+	if spec.VQuant.MoreRestrictiveThan(spec.EQuant) {
+		table := make(map[VertexID][]temporal.Interval)
+		for _, part := range newV.Partitions() {
+			for _, v := range part {
+				ivs := make([]temporal.Interval, len(v.Attr))
+				for i, it := range v.Attr {
+					ivs[i] = it.Interval
+				}
+				table[v.ID] = ivs
+			}
+		}
+		coveredByVertex := func(id VertexID, iv temporal.Interval) bool {
+			for _, viv := range table[id] {
+				if viv.Covers(iv) {
+					return true
+				}
+			}
+			return false
+		}
+		newE = dataflow.Map(newE, func(e graphx.Edge[[]HistoryItem]) graphx.Edge[[]HistoryItem] {
+			kept := make([]HistoryItem, 0, len(e.Attr))
+			for _, it := range e.Attr {
+				if coveredByVertex(e.Src, it.Interval) && coveredByVertex(e.Dst, it.Interval) {
+					kept = append(kept, it)
+				}
+			}
+			e.Attr = kept
+			return e
+		}).Filter(func(e graphx.Edge[[]HistoryItem]) bool { return len(e.Attr) > 0 })
+	}
+	return ogFromGraph(graphx.FromDatasets(newV, newE, g.graph.Strategy()), false), nil
+}
+
+// WZoom over RG (Algorithm 4): snapshots are grouped by the window
+// containing them, per-window vertex and edge sets are aggregated with
+// quantifier filtering, and one snapshot per window is emitted.
+func (g *RG) WZoom(spec WZoomSpec) (TGraph, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	windows := wzoomWindows(g, spec)
+
+	type snapRef struct {
+		iv temporal.Interval
+		g  *graphx.Graph[props.Props, props.Props]
+	}
+	byWin := make(map[int][]snapRef)
+	for _, s := range g.snapshots {
+		for _, w := range temporal.OverlappingWindows(windows, s.Interval) {
+			byWin[w.Index] = append(byWin[w.Index], snapRef{iv: s.Interval, g: s.Graph})
+		}
+	}
+	wins := make([]int, 0, len(byWin))
+	for w := range byWin {
+		wins = append(wins, w)
+	}
+	sort.Ints(wins)
+
+	newSnaps := make([]Snapshot, 0, len(wins))
+	for _, wi := range wins {
+		w := windows[wi]
+		vStates := make(map[VertexID][]wzState)
+		type ekey struct {
+			id       EdgeID
+			src, dst VertexID
+		}
+		eStates := make(map[ekey][]wzState)
+		for _, ref := range byWin[wi] {
+			covered := ref.iv.Intersect(w.Interval).Duration()
+			for _, part := range ref.g.Vertices().Partitions() {
+				for _, v := range part {
+					vStates[v.ID] = append(vStates[v.ID], wzState{Start: ref.iv.Start, Covered: covered, Props: v.Attr})
+				}
+			}
+			for _, part := range ref.g.Edges().Partitions() {
+				for _, e := range part {
+					k := ekey{id: e.ID, src: e.Src, dst: e.Dst}
+					eStates[k] = append(eStates[k], wzState{Start: ref.iv.Start, Covered: covered, Props: e.Attr})
+				}
+			}
+		}
+		keptV := make(map[VertexID]struct{})
+		var svs []graphx.Vertex[props.Props]
+		vids := make([]VertexID, 0, len(vStates))
+		for id := range vStates {
+			vids = append(vids, id)
+		}
+		sort.Slice(vids, func(i, j int) bool { return vids[i] < vids[j] })
+		for _, id := range vids {
+			if p, ok := wzReduce(vStates[id], w, spec.VQuant, spec.VResolve); ok {
+				keptV[id] = struct{}{}
+				svs = append(svs, graphx.Vertex[props.Props]{ID: id, Attr: p})
+			}
+		}
+		var ses []graphx.Edge[props.Props]
+		eks := make([]ekey, 0, len(eStates))
+		for k := range eStates {
+			eks = append(eks, k)
+		}
+		sort.Slice(eks, func(i, j int) bool { return eks[i].id < eks[j].id })
+		dangling := spec.VQuant.MoreRestrictiveThan(spec.EQuant)
+		for _, k := range eks {
+			p, ok := wzReduce(eStates[k], w, spec.EQuant, spec.EResolve)
+			if !ok {
+				continue
+			}
+			if dangling {
+				if _, ok := keptV[k.src]; !ok {
+					continue
+				}
+				if _, ok := keptV[k.dst]; !ok {
+					continue
+				}
+			}
+			ses = append(ses, graphx.Edge[props.Props]{ID: k.id, Src: k.src, Dst: k.dst, Attr: p})
+		}
+		if len(svs) == 0 && len(ses) == 0 {
+			continue
+		}
+		newSnaps = append(newSnaps, Snapshot{
+			Interval: w.Interval,
+			Graph:    graphx.New(g.ctx, svs, ses, graphx.EdgePartition2D{}),
+		})
+	}
+	return NewRG(g.ctx, newSnaps), nil
+}
+
+// WZoom over OGC: bitsets are recomputed per window — the new
+// elementary intervals are the windows, a new bit is set when the
+// quantifier accepts the covered duration of the old set bits within
+// the window, and dangling-edge removal is the logical AND of the edge
+// bitset with both endpoint bitsets.
+func (g *OGC) WZoom(spec WZoomSpec) (TGraph, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	windows := wzoomWindows(g, spec)
+	newIvs := make([]temporal.Interval, len(windows))
+	for i, w := range windows {
+		newIvs[i] = w.Interval
+	}
+
+	rebits := func(old *bitset.Bitset, q temporal.Quantifier) *bitset.Bitset {
+		nb := bitset.New(len(windows))
+		for wi, w := range windows {
+			var covered temporal.Time
+			old.ForEachSet(func(i int) {
+				covered += g.intervals[i].Intersect(w.Interval).Duration()
+			})
+			if q.Satisfied(covered, w.Interval.Duration()) {
+				nb.Set(wi)
+			}
+		}
+		return nb
+	}
+
+	newV := dataflow.Map(g.graph.Vertices(), func(v graphx.Vertex[OGCEntity]) graphx.Vertex[OGCEntity] {
+		return graphx.Vertex[OGCEntity]{ID: v.ID, Attr: OGCEntity{Type: v.Attr.Type, Bits: rebits(v.Attr.Bits, spec.VQuant)}}
+	}).Filter(func(v graphx.Vertex[OGCEntity]) bool { return v.Attr.Bits.Any() })
+
+	newE := dataflow.Map(g.graph.Edges(), func(e graphx.Edge[OGCEntity]) graphx.Edge[OGCEntity] {
+		return graphx.Edge[OGCEntity]{ID: e.ID, Src: e.Src, Dst: e.Dst, Attr: OGCEntity{Type: e.Attr.Type, Bits: rebits(e.Attr.Bits, spec.EQuant)}}
+	})
+
+	if spec.VQuant.MoreRestrictiveThan(spec.EQuant) {
+		table := make(map[VertexID]*bitset.Bitset)
+		for _, part := range newV.Partitions() {
+			for _, v := range part {
+				table[v.ID] = v.Attr.Bits
+			}
+		}
+		empty := bitset.New(len(windows))
+		newE = dataflow.Map(newE, func(e graphx.Edge[OGCEntity]) graphx.Edge[OGCEntity] {
+			b := e.Attr.Bits.Clone()
+			src, ok1 := table[e.Src]
+			dst, ok2 := table[e.Dst]
+			if !ok1 || !ok2 {
+				b = empty.Clone()
+			} else {
+				b.And(src).And(dst)
+			}
+			return graphx.Edge[OGCEntity]{ID: e.ID, Src: e.Src, Dst: e.Dst, Attr: OGCEntity{Type: e.Attr.Type, Bits: b}}
+		})
+	}
+	newE = newE.Filter(func(e graphx.Edge[OGCEntity]) bool { return e.Attr.Bits.Any() })
+
+	gx := graphx.FromDatasets(newV, newE, g.graph.Strategy())
+	life := temporal.Empty
+	for _, iv := range newIvs {
+		life = temporal.Span(life, iv)
+	}
+	return &OGC{graph: gx, intervals: newIvs, lifetime: life}, nil
+}

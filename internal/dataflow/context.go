@@ -1,0 +1,152 @@
+// Package dataflow implements an in-process partitioned dataflow engine
+// — the substitute this reproduction uses for Apache Spark's RDDs.
+//
+// A Dataset[T] is a horizontally partitioned collection. Transformations
+// are the parallelizable second-order functions of the paper's
+// algorithms (map, flatMap, filter, groupBy, reduceByKey, join,
+// semijoin, sort, fold), executing user-defined first-order functions on
+// each partition in parallel on a worker pool. Wide transformations
+// perform an explicit hash shuffle between partitions; the engine counts
+// tasks and shuffled records so that experiments can report work
+// alongside wall-clock time, the way Spark's UI does.
+//
+// The engine is deliberately eager (each transformation materialises its
+// output) — the paper's operators are one- or two-pass pipelines where
+// lazy stage fusion would not change the asymptotics, and eagerness
+// keeps memory accounting observable.
+package dataflow
+
+import (
+	"fmt"
+	"hash/maphash"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Context owns the worker pool and execution metrics shared by all
+// datasets derived from it. A Context is safe for concurrent use.
+type Context struct {
+	parallelism int
+	defaultPart int
+	seed        maphash.Seed
+
+	tasks    atomic.Int64
+	shuffled atomic.Int64
+	shuffles atomic.Int64
+}
+
+// Option configures a Context.
+type Option func(*Context)
+
+// WithParallelism bounds the number of concurrently executing partition
+// tasks (the "cluster cores"). Values < 1 select runtime.NumCPU().
+func WithParallelism(n int) Option {
+	return func(c *Context) {
+		if n >= 1 {
+			c.parallelism = n
+		}
+	}
+}
+
+// WithDefaultPartitions sets the partition count used when a caller
+// passes numPartitions <= 0. Values < 1 are ignored.
+func WithDefaultPartitions(n int) Option {
+	return func(c *Context) {
+		if n >= 1 {
+			c.defaultPart = n
+		}
+	}
+}
+
+// NewContext returns a Context with the given options. By default both
+// parallelism and the default partition count equal runtime.NumCPU().
+func NewContext(opts ...Option) *Context {
+	c := &Context{
+		parallelism: runtime.NumCPU(),
+		defaultPart: runtime.NumCPU(),
+		seed:        maphash.MakeSeed(),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Parallelism returns the worker-pool size.
+func (c *Context) Parallelism() int { return c.parallelism }
+
+// DefaultPartitions returns the default partition count.
+func (c *Context) DefaultPartitions() int { return c.defaultPart }
+
+// Metrics is a snapshot of the engine's execution counters.
+type Metrics struct {
+	// Tasks is the number of partition tasks executed.
+	Tasks int64
+	// ShuffledRecords is the number of records moved across partitions
+	// by wide transformations.
+	ShuffledRecords int64
+	// Shuffles is the number of wide transformations executed.
+	Shuffles int64
+}
+
+// Metrics returns a snapshot of the context's counters.
+func (c *Context) Metrics() Metrics {
+	return Metrics{
+		Tasks:           c.tasks.Load(),
+		ShuffledRecords: c.shuffled.Load(),
+		Shuffles:        c.shuffles.Load(),
+	}
+}
+
+// ResetMetrics zeroes the context's counters.
+func (c *Context) ResetMetrics() {
+	c.tasks.Store(0)
+	c.shuffled.Store(0)
+	c.shuffles.Store(0)
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("tasks=%d shuffles=%d shuffledRecords=%d", m.Tasks, m.Shuffles, m.ShuffledRecords)
+}
+
+// runTasks executes fn(i) for i in [0, n) on the worker pool and blocks
+// until all complete. Panics in tasks propagate to the caller.
+func (c *Context) runTasks(n int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	c.tasks.Add(int64(n))
+	if n == 1 || c.parallelism == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	sem := make(chan struct{}, c.parallelism)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstPanic any
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if firstPanic == nil {
+						firstPanic = r
+					}
+					mu.Unlock()
+				}
+				<-sem
+				wg.Done()
+			}()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
+}

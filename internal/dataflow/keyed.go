@@ -1,0 +1,270 @@
+package dataflow
+
+import "hash/maphash"
+
+// Keyed (wide) transformations. Each performs a hash shuffle: every
+// source partition routes its records to a target partition determined
+// by the hash of the record's key, then the per-key operation runs
+// partition-locally. ReduceByKey and AggregateByKey apply map-side
+// combining before the shuffle, mirroring Spark's combiners.
+
+// Pair is a generic 2-tuple, used for join results and keyed outputs.
+type Pair[A, B any] struct {
+	First  A
+	Second B
+}
+
+// Group is a key with all records sharing it.
+type Group[K comparable, V any] struct {
+	Key    K
+	Values []V
+}
+
+func hashKey[K comparable](seed maphash.Seed, k K) uint64 {
+	return maphash.Comparable(seed, k)
+}
+
+// shuffleByKey routes each record to partition hash(key) % numOut.
+func shuffleByKey[K comparable, V any](d *Dataset[V], key func(V) K, numOut int) [][]V {
+	if numOut <= 0 {
+		numOut = max(len(d.parts), 1)
+	}
+	// buckets[src][dst] holds the records of source partition src bound
+	// for destination dst.
+	buckets := make([][][]V, len(d.parts))
+	d.ctx.runTasks(len(d.parts), func(i int) {
+		local := make([][]V, numOut)
+		for _, rec := range d.parts[i] {
+			dst := int(hashKey(d.ctx.seed, key(rec)) % uint64(numOut))
+			local[dst] = append(local[dst], rec)
+		}
+		buckets[i] = local
+	})
+	out := make([][]V, numOut)
+	var moved int64
+	d.ctx.runTasks(numOut, func(dst int) {
+		var p []V
+		for src := range buckets {
+			p = append(p, buckets[src][dst]...)
+		}
+		out[dst] = p
+	})
+	for _, p := range out {
+		moved += int64(len(p))
+	}
+	d.ctx.shuffles.Add(1)
+	d.ctx.shuffled.Add(moved)
+	return out
+}
+
+// GroupByKey shuffles by key and materialises one Group per distinct
+// key. Like Spark's groupByKey it moves every record; prefer
+// ReduceByKey or AggregateByKey when a combiner applies.
+func GroupByKey[K comparable, V any](d *Dataset[V], key func(V) K) *Dataset[Group[K, V]] {
+	shuffled := shuffleByKey(d, key, len(d.parts))
+	out := make([][]Group[K, V], len(shuffled))
+	d.ctx.runTasks(len(shuffled), func(i int) {
+		idx := make(map[K]int)
+		var groups []Group[K, V]
+		for _, rec := range shuffled[i] {
+			k := key(rec)
+			j, ok := idx[k]
+			if !ok {
+				j = len(groups)
+				idx[k] = j
+				groups = append(groups, Group[K, V]{Key: k})
+			}
+			groups[j].Values = append(groups[j].Values, rec)
+		}
+		out[i] = groups
+	})
+	return &Dataset[Group[K, V]]{ctx: d.ctx, parts: out}
+}
+
+// ReduceByKey combines records sharing a key with reduce, which must be
+// commutative and associative. A map-side combiner runs before the
+// shuffle, so only one record per (partition, key) is moved. Keys are
+// computed once per input record and carried explicitly, so reduce need
+// not preserve the derived key.
+func ReduceByKey[K comparable, V any](d *Dataset[V], key func(V) K, reduce func(a, b V) V) *Dataset[V] {
+	combined := MapPartitions(d, func(_ int, recs []V) []Pair[K, V] {
+		idx := make(map[K]int)
+		var acc []Pair[K, V]
+		for _, rec := range recs {
+			k := key(rec)
+			if j, ok := idx[k]; ok {
+				acc[j].Second = reduce(acc[j].Second, rec)
+			} else {
+				idx[k] = len(acc)
+				acc = append(acc, Pair[K, V]{First: k, Second: rec})
+			}
+		}
+		return acc
+	})
+	shuffled := shuffleByKey(combined, func(p Pair[K, V]) K { return p.First }, len(d.parts))
+	out := make([][]V, len(shuffled))
+	d.ctx.runTasks(len(shuffled), func(i int) {
+		idx := make(map[K]int)
+		var acc []V
+		for _, p := range shuffled[i] {
+			if j, ok := idx[p.First]; ok {
+				acc[j] = reduce(acc[j], p.Second)
+			} else {
+				idx[p.First] = len(acc)
+				acc = append(acc, p.Second)
+			}
+		}
+		out[i] = acc
+	})
+	return &Dataset[V]{ctx: d.ctx, parts: out}
+}
+
+// AggregateByKey folds records sharing a key into an accumulator of a
+// different type: init seeds the accumulator from a record, merge
+// combines accumulators (commutative, associative). Map-side combining
+// applies.
+func AggregateByKey[K comparable, V, A any](d *Dataset[V], key func(V) K, init func(V) A, merge func(a, b A) A) *Dataset[Pair[K, A]] {
+	prepared := MapPartitions(d, func(_ int, recs []V) []Pair[K, A] {
+		idx := make(map[K]int)
+		var acc []Pair[K, A]
+		for _, rec := range recs {
+			k := key(rec)
+			if j, ok := idx[k]; ok {
+				acc[j].Second = merge(acc[j].Second, init(rec))
+			} else {
+				idx[k] = len(acc)
+				acc = append(acc, Pair[K, A]{First: k, Second: init(rec)})
+			}
+		}
+		return acc
+	})
+	return ReduceByKey(prepared,
+		func(p Pair[K, A]) K { return p.First },
+		func(a, b Pair[K, A]) Pair[K, A] { return Pair[K, A]{First: a.First, Second: merge(a.Second, b.Second)} })
+}
+
+// CountByKey returns the number of records per distinct key.
+func CountByKey[K comparable, V any](d *Dataset[V], key func(V) K) map[K]int64 {
+	counts := AggregateByKey(d, key,
+		func(V) int64 { return 1 },
+		func(a, b int64) int64 { return a + b }).Collect()
+	out := make(map[K]int64, len(counts))
+	for _, p := range counts {
+		out[p.First] = p.Second
+	}
+	return out
+}
+
+// Distinct removes duplicate records under the given key.
+func Distinct[K comparable, V any](d *Dataset[V], key func(V) K) *Dataset[V] {
+	return ReduceByKey(d, key, func(a, _ V) V { return a })
+}
+
+// Join computes the inner equi-join of l and r on their keys: one
+// output pair per matching (left, right) combination. Both sides are
+// hash-shuffled to the same partitioning.
+func Join[K comparable, L, R any](l *Dataset[L], r *Dataset[R], lKey func(L) K, rKey func(R) K) *Dataset[Pair[L, R]] {
+	n := max(len(l.parts), len(r.parts))
+	ls := shuffleByKey(l, lKey, n)
+	rs := shuffleByKey(r, rKey, n)
+	out := make([][]Pair[L, R], n)
+	l.ctx.runTasks(n, func(i int) {
+		byKey := make(map[K][]R)
+		for _, rr := range rs[i] {
+			k := rKey(rr)
+			byKey[k] = append(byKey[k], rr)
+		}
+		var p []Pair[L, R]
+		for _, ll := range ls[i] {
+			for _, rr := range byKey[lKey(ll)] {
+				p = append(p, Pair[L, R]{First: ll, Second: rr})
+			}
+		}
+		out[i] = p
+	})
+	return &Dataset[Pair[L, R]]{ctx: l.ctx, parts: out}
+}
+
+// SemiJoin keeps the left records whose key appears in the right
+// dataset (at most once each), optionally filtered by match: if match
+// is non-nil a left record is kept when match(l, r) holds for at least
+// one right record with the same key.
+func SemiJoin[K comparable, L, R any](l *Dataset[L], r *Dataset[R], lKey func(L) K, rKey func(R) K, match func(L, R) bool) *Dataset[L] {
+	n := max(len(l.parts), len(r.parts))
+	ls := shuffleByKey(l, lKey, n)
+	rs := shuffleByKey(r, rKey, n)
+	out := make([][]L, n)
+	l.ctx.runTasks(n, func(i int) {
+		byKey := make(map[K][]R)
+		for _, rr := range rs[i] {
+			k := rKey(rr)
+			byKey[k] = append(byKey[k], rr)
+		}
+		var p []L
+		for _, ll := range ls[i] {
+			rights, ok := byKey[lKey(ll)]
+			if !ok {
+				continue
+			}
+			if match == nil {
+				p = append(p, ll)
+				continue
+			}
+			for _, rr := range rights {
+				if match(ll, rr) {
+					p = append(p, ll)
+					break
+				}
+			}
+		}
+		out[i] = p
+	})
+	return &Dataset[L]{ctx: l.ctx, parts: out}
+}
+
+// CoGroup joins the groups of two datasets by key: one output per key
+// present on either side, with all left and right records for it.
+func CoGroup[K comparable, L, R any](l *Dataset[L], r *Dataset[R], lKey func(L) K, rKey func(R) K) *Dataset[Pair[Group[K, L], Group[K, R]]] {
+	n := max(len(l.parts), len(r.parts))
+	ls := shuffleByKey(l, lKey, n)
+	rs := shuffleByKey(r, rKey, n)
+	out := make([][]Pair[Group[K, L], Group[K, R]], n)
+	l.ctx.runTasks(n, func(i int) {
+		type slot struct {
+			ls []L
+			rs []R
+		}
+		idx := make(map[K]*slot)
+		order := make([]K, 0)
+		for _, ll := range ls[i] {
+			k := lKey(ll)
+			s, ok := idx[k]
+			if !ok {
+				s = &slot{}
+				idx[k] = s
+				order = append(order, k)
+			}
+			s.ls = append(s.ls, ll)
+		}
+		for _, rr := range rs[i] {
+			k := rKey(rr)
+			s, ok := idx[k]
+			if !ok {
+				s = &slot{}
+				idx[k] = s
+				order = append(order, k)
+			}
+			s.rs = append(s.rs, rr)
+		}
+		p := make([]Pair[Group[K, L], Group[K, R]], 0, len(order))
+		for _, k := range order {
+			s := idx[k]
+			p = append(p, Pair[Group[K, L], Group[K, R]]{
+				First:  Group[K, L]{Key: k, Values: s.ls},
+				Second: Group[K, R]{Key: k, Values: s.rs},
+			})
+		}
+		out[i] = p
+	})
+	return &Dataset[Pair[Group[K, L], Group[K, R]]]{ctx: l.ctx, parts: out}
+}

@@ -1,0 +1,207 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/temporal"
+)
+
+func testCtx() *dataflow.Context {
+	return dataflow.NewContext(dataflow.WithParallelism(2), dataflow.WithDefaultPartitions(2))
+}
+
+func TestWikiTalkShape(t *testing.T) {
+	d := WikiTalk(WikiTalkConfig{Users: 300, Snapshots: 24, EventsPerSnapshot: 100, Seed: 1})
+	if err := core.Validate(d.Graph(testCtx())); err != nil {
+		t.Fatalf("WikiTalk graph invalid: %v", err)
+	}
+	st := Describe(d)
+	if st.Vertices != 300 {
+		t.Errorf("vertices = %d", st.Vertices)
+	}
+	if st.Edges == 0 {
+		t.Error("no edges generated")
+	}
+	// Growth-only vertices with static attributes: one state per vertex.
+	if len(d.Vertices) != 300 {
+		t.Errorf("vertex states = %d, want one per vertex", len(d.Vertices))
+	}
+	// Short-lived edges: every edge state spans exactly one snapshot.
+	for _, e := range d.Edges {
+		if e.Interval.Duration() != 1 {
+			t.Fatalf("WikiTalk edge %v should live one month", e.Interval)
+		}
+	}
+	// Low evolution rate: messaging edges churn every month, but hub
+	// pairs recur (pair-identity edges), so the rate is low yet nonzero.
+	if st.EvRate <= 0 || st.EvRate > 40 {
+		t.Errorf("WikiTalk evolution rate = %.1f%%, want low but nonzero", st.EvRate)
+	}
+}
+
+func TestWikiTalkDeterminism(t *testing.T) {
+	cfg := WikiTalkConfig{Users: 50, Snapshots: 10, EventsPerSnapshot: 30, Seed: 7}
+	a, b := WikiTalk(cfg), WikiTalk(cfg)
+	if len(a.Edges) != len(b.Edges) || len(a.Vertices) != len(b.Vertices) {
+		t.Fatal("same seed must generate identical datasets")
+	}
+	for i := range a.Edges {
+		x, y := a.Edges[i], b.Edges[i]
+		if x.ID != y.ID || x.Src != y.Src || x.Dst != y.Dst || !x.Interval.Equal(y.Interval) || !x.Props.Equal(y.Props) {
+			t.Fatal("edge mismatch under same seed")
+		}
+	}
+}
+
+func TestNGramsShape(t *testing.T) {
+	d := NGrams(NGramsConfig{Words: 200, Snapshots: 30, PairsPerSnapshot: 60, Persistence: 0.18, Seed: 2})
+	if err := core.Validate(d.Graph(testCtx())); err != nil {
+		t.Fatalf("NGrams graph invalid: %v", err)
+	}
+	st := Describe(d)
+	if st.Vertices != 200 || st.Edges == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Persistent vertices; edges have geometric lifespans, so some span
+	// multiple years.
+	var totalLife temporal.Time
+	for _, e := range d.Edges {
+		totalLife += e.Interval.Duration()
+	}
+	if mean := float64(totalLife) / float64(len(d.Edges)); mean <= 1.05 {
+		t.Errorf("mean edge lifetime = %.2f, want > 1 year on average", mean)
+	}
+	// Evolution rate in the paper's NGrams band (16.6-18.2%), i.e.
+	// between WikiTalk (~14%) and SNB (~90%).
+	if st.EvRate < 5 || st.EvRate > 40 {
+		t.Errorf("NGrams evolution rate = %.1f%%, want the paper's medium band", st.EvRate)
+	}
+}
+
+func TestSNBShape(t *testing.T) {
+	d := SNB(SNBConfig{Persons: 300, Snapshots: 36, FriendshipsPerPerson: 10, FirstNames: 40, Seed: 3})
+	if err := core.Validate(d.Graph(testCtx())); err != nil {
+		t.Fatalf("SNB graph invalid: %v", err)
+	}
+	st := Describe(d)
+	// Growth-only: every entity persists to the end of the lifetime.
+	end := temporal.Time(36)
+	for _, v := range d.Vertices {
+		if v.Interval.End != end {
+			t.Fatalf("SNB vertex ends at %d, want growth-only", v.Interval.End)
+		}
+	}
+	for _, e := range d.Edges {
+		if e.Interval.End != end {
+			t.Fatalf("SNB edge ends at %d, want growth-only", e.Interval.End)
+		}
+	}
+	// High evolution rate (paper reports ~90%).
+	if st.EvRate < 70 {
+		t.Errorf("SNB evolution rate = %.1f%%, want high", st.EvRate)
+	}
+}
+
+func TestEvolutionRateOrdering(t *testing.T) {
+	wiki := Describe(WikiTalk(WikiTalkConfig{Users: 200, Snapshots: 24, EventsPerSnapshot: 80, Seed: 1}))
+	snb := Describe(SNB(SNBConfig{Persons: 200, Snapshots: 24, FriendshipsPerPerson: 8, Seed: 1}))
+	if snb.EvRate <= wiki.EvRate {
+		t.Errorf("SNB (%.1f%%) must evolve slower (higher similarity) than WikiTalk (%.1f%%)", snb.EvRate, wiki.EvRate)
+	}
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	d := WikiTalk(WikiTalkConfig{Users: 100, Snapshots: 32, EventsPerSnapshot: 50, Seed: 4})
+	before := Describe(d)
+	merged := MergeSnapshots(d, 4)
+	after := Describe(merged)
+	if after.Snapshots >= before.Snapshots {
+		t.Errorf("snapshots %d -> %d, want reduction", before.Snapshots, after.Snapshots)
+	}
+	if after.Vertices != before.Vertices || after.Edges != before.Edges {
+		t.Errorf("merge changed entity counts: %+v vs %+v", before, after)
+	}
+	if got := MergeSnapshots(d, 1); got.Name != d.Name {
+		t.Error("factor 1 must be identity")
+	}
+}
+
+func TestAssignRandomGroups(t *testing.T) {
+	d := SNB(SNBConfig{Persons: 200, Snapshots: 12, FriendshipsPerPerson: 5, Seed: 5})
+	g := AssignRandomGroups(d, 10, 42)
+	seen := map[int64]bool{}
+	perVertex := map[core.VertexID]int64{}
+	for _, v := range g.Vertices {
+		grp := v.Props.GetInt("grp")
+		if grp < 0 || grp >= 10 {
+			t.Fatalf("group %d out of range", grp)
+		}
+		seen[grp] = true
+		if prev, ok := perVertex[v.ID]; ok && prev != grp {
+			t.Fatal("vertex states must share one group")
+		}
+		perVertex[v.ID] = grp
+	}
+	if len(seen) < 5 {
+		t.Errorf("only %d distinct groups used", len(seen))
+	}
+	// Deterministic under seed.
+	g2 := AssignRandomGroups(d, 10, 42)
+	for i := range g.Vertices {
+		if g.Vertices[i].Props.GetInt("grp") != g2.Vertices[i].Props.GetInt("grp") {
+			t.Fatal("group assignment must be deterministic")
+		}
+	}
+}
+
+func TestChurnVertexAttributes(t *testing.T) {
+	d := SNB(SNBConfig{Persons: 50, Snapshots: 24, FriendshipsPerPerson: 4, Seed: 6})
+	churned := ChurnVertexAttributes(d, 6)
+	if len(churned.Vertices) <= len(d.Vertices) {
+		t.Errorf("churn must add vertex states: %d vs %d", len(churned.Vertices), len(d.Vertices))
+	}
+	if err := core.Validate(churned.Graph(testCtx())); err != nil {
+		t.Fatalf("churned graph invalid: %v", err)
+	}
+	// Revisions increase along each vertex's timeline.
+	if got := ChurnVertexAttributes(d, 0); len(got.Vertices) != len(d.Vertices) {
+		t.Error("period 0 must be identity")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	d := SNB(SNBConfig{Persons: 100, Snapshots: 36, FriendshipsPerPerson: 5, Seed: 7})
+	s := Slice(d, 12)
+	for _, v := range s.Vertices {
+		if v.Interval.End > 12 {
+			t.Fatalf("slice leaked state %v", v.Interval)
+		}
+	}
+	if len(s.Vertices) >= len(d.Vertices) {
+		t.Errorf("slice should drop late joiners: %d vs %d", len(s.Vertices), len(d.Vertices))
+	}
+	if err := core.Validate(s.Graph(testCtx())); err != nil {
+		t.Fatalf("sliced graph invalid: %v", err)
+	}
+}
+
+func TestEditSimilarityFormula(t *testing.T) {
+	// Two snapshots sharing 1 of 2+2 edges: similarity = 2*1/4 = 50%.
+	es := []core.EdgeTuple{
+		{ID: 1, Interval: temporal.MustInterval(0, 2)}, // in both
+		{ID: 2, Interval: temporal.MustInterval(0, 1)}, // only first
+		{ID: 3, Interval: temporal.MustInterval(1, 2)}, // only second
+	}
+	snaps := []temporal.Interval{temporal.MustInterval(0, 1), temporal.MustInterval(1, 2)}
+	if got := EditSimilarity(es, snaps); got != 50 {
+		t.Errorf("EditSimilarity = %.1f, want 50", got)
+	}
+	if EditSimilarity(nil, snaps) != 0 {
+		t.Error("no edges -> 0")
+	}
+	if EditSimilarity(es, snaps[:1]) != 0 {
+		t.Error("single snapshot -> 0")
+	}
+}

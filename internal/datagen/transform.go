@@ -1,0 +1,190 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/props"
+	"repro/internal/temporal"
+)
+
+// Transformations used by the paper's parameter sweeps.
+
+// MergeSnapshots coarsens the temporal resolution by the given factor —
+// the paper's device for varying the number of snapshots while keeping
+// the number of nodes and edges fixed (Figure 11). Each time point t
+// maps to t/factor.
+func MergeSnapshots(d Dataset, factor temporal.Time) Dataset {
+	if factor <= 1 {
+		return d
+	}
+	scale := func(iv temporal.Interval) temporal.Interval {
+		s := iv.Start / factor
+		e := (iv.End + factor - 1) / factor
+		if e <= s {
+			e = s + 1
+		}
+		return temporal.Interval{Start: s, End: e}
+	}
+	vs := make([]core.VertexTuple, len(d.Vertices))
+	for i, v := range d.Vertices {
+		v.Interval = scale(v.Interval)
+		vs[i] = v
+	}
+	es := make([]core.EdgeTuple, len(d.Edges))
+	for i, e := range d.Edges {
+		e.Interval = scale(e.Interval)
+		es[i] = e
+	}
+	return Dataset{Name: fmt.Sprintf("%s/merge%d", d.Name, factor), Vertices: vs, Edges: es}
+}
+
+// AssignRandomGroups projects a fresh "grp" property onto every vertex
+// state, drawn uniformly from [0, cardinality) — the paper's device for
+// controlling group-by cardinality (Figures 12 and 17). All states of a
+// vertex receive the same group.
+func AssignRandomGroups(d Dataset, cardinality int, seed int64) Dataset {
+	r := rand.New(rand.NewSource(seed))
+	assigned := make(map[core.VertexID]int64)
+	vs := make([]core.VertexTuple, len(d.Vertices))
+	for i, v := range d.Vertices {
+		g, ok := assigned[v.ID]
+		if !ok {
+			g = int64(r.Intn(cardinality))
+			assigned[v.ID] = g
+		}
+		v.Props = v.Props.With("grp", props.Int(g))
+		vs[i] = v
+	}
+	return Dataset{Name: fmt.Sprintf("%s/grp%d", d.Name, cardinality), Vertices: vs, Edges: d.Edges}
+}
+
+// ChurnVertexAttributes splits every vertex state so that a synthetic
+// "rev" attribute changes every `period` time points — the paper's
+// device for varying the frequency of attribute change while keeping
+// the graph's topology fixed (Figure 13).
+func ChurnVertexAttributes(d Dataset, period temporal.Time) Dataset {
+	if period <= 0 {
+		return d
+	}
+	var vs []core.VertexTuple
+	for _, v := range d.Vertices {
+		rev := int64(0)
+		for cur := v.Interval.Start; cur < v.Interval.End; cur += period {
+			end := min(cur+period, v.Interval.End)
+			nv := v
+			nv.Interval = temporal.Interval{Start: cur, End: end}
+			nv.Props = v.Props.With("rev", props.Int(rev))
+			vs = append(vs, nv)
+			rev++
+		}
+	}
+	return Dataset{Name: fmt.Sprintf("%s/churn%d", d.Name, period), Vertices: vs, Edges: d.Edges}
+}
+
+// Slice restricts the dataset to states overlapping [0, upTo),
+// clipping intervals — the paper's device for varying data size by
+// loading temporal slices (Figures 10 and 14).
+func Slice(d Dataset, upTo temporal.Time) Dataset {
+	rng := temporal.Interval{Start: 0, End: upTo}
+	var vs []core.VertexTuple
+	for _, v := range d.Vertices {
+		iv := v.Interval.Intersect(rng)
+		if iv.IsEmpty() {
+			continue
+		}
+		v.Interval = iv
+		vs = append(vs, v)
+	}
+	var es []core.EdgeTuple
+	for _, e := range d.Edges {
+		iv := e.Interval.Intersect(rng)
+		if iv.IsEmpty() {
+			continue
+		}
+		e.Interval = iv
+		es = append(es, e)
+	}
+	return Dataset{Name: fmt.Sprintf("%s[0:%d)", d.Name, upTo), Vertices: vs, Edges: es}
+}
+
+// Stats describes a dataset the way the paper's dataset table does.
+type Stats struct {
+	Name      string
+	Vertices  int     // distinct vertex ids
+	Edges     int     // distinct edge ids
+	States    int     // total states (tuples)
+	Snapshots int     // elementary intervals
+	EvRate    float64 // average edit similarity between consecutive snapshots, in percent
+}
+
+// Describe computes the dataset-table statistics, including the
+// evolution rate: the average graph edit similarity between consecutive
+// snapshots, 2*|Ei ∩ Ej| / (|Ei| + |Ej|).
+func Describe(d Dataset) Stats {
+	vset := make(map[core.VertexID]struct{})
+	for _, v := range d.Vertices {
+		vset[v.ID] = struct{}{}
+	}
+	eset := make(map[core.EdgeID]struct{})
+	var ivs []temporal.Interval
+	for _, v := range d.Vertices {
+		ivs = append(ivs, v.Interval)
+	}
+	for _, e := range d.Edges {
+		eset[e.ID] = struct{}{}
+		ivs = append(ivs, e.Interval)
+	}
+	elem := temporal.Elementary(ivs)
+	return Stats{
+		Name:      d.Name,
+		Vertices:  len(vset),
+		Edges:     len(eset),
+		States:    len(d.Vertices) + len(d.Edges),
+		Snapshots: len(elem),
+		EvRate:    EditSimilarity(d.Edges, elem),
+	}
+}
+
+// EditSimilarity computes the average edit similarity (in percent)
+// between the edge sets of consecutive snapshots.
+func EditSimilarity(edges []core.EdgeTuple, snapshots []temporal.Interval) float64 {
+	if len(snapshots) < 2 {
+		return 0
+	}
+	// Edge id sets per snapshot.
+	sets := make([]map[core.EdgeID]struct{}, len(snapshots))
+	for i := range sets {
+		sets[i] = make(map[core.EdgeID]struct{})
+	}
+	// Each snapshot is elementary w.r.t. the generating intervals, so
+	// overlap implies cover; binary-search the first overlapping one.
+	for _, e := range edges {
+		lo := sort.Search(len(snapshots), func(i int) bool { return snapshots[i].End > e.Interval.Start })
+		for i := lo; i < len(snapshots) && snapshots[i].Start < e.Interval.End; i++ {
+			sets[i][e.ID] = struct{}{}
+		}
+	}
+	var total float64
+	n := 0
+	for i := 1; i < len(sets); i++ {
+		a, b := sets[i-1], sets[i]
+		if len(a)+len(b) == 0 {
+			continue
+		}
+		common := 0
+		for id := range a {
+			if _, ok := b[id]; ok {
+				common++
+			}
+		}
+		total += 2 * float64(common) / float64(len(a)+len(b))
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return 100 * total / float64(n)
+}

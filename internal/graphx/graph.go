@@ -1,0 +1,194 @@
+// Package graphx implements a static property-graph layer on top of the
+// dataflow engine — the substitute this reproduction uses for Apache
+// Spark's GraphX library. Like GraphX it offers vertex-cut edge
+// partitioning strategies, a materialised triplet view built by
+// vertex-mirroring, aggregateMessages, and Pregel iteration. The RG, OG
+// and OGC representations of a TGraph are built on this layer; VE
+// bypasses it and works on raw datasets, exactly as in the paper.
+package graphx
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+)
+
+// VertexID identifies a vertex. The paper uses long identifiers for
+// interoperability with GraphX; we do the same.
+type VertexID int64
+
+// EdgeID identifies an edge. TGraph is a multigraph, so edges carry
+// identity separate from their endpoints.
+type EdgeID int64
+
+// Vertex is a vertex with an attribute of type VD.
+type Vertex[VD any] struct {
+	ID   VertexID
+	Attr VD
+}
+
+// Edge is a directed edge with an attribute of type ED.
+type Edge[ED any] struct {
+	ID   EdgeID
+	Src  VertexID
+	Dst  VertexID
+	Attr ED
+}
+
+// Triplet is an edge together with its source and destination vertex
+// attributes — GraphX's EdgeTriplet view.
+type Triplet[VD, ED any] struct {
+	Edge    Edge[ED]
+	SrcAttr VD
+	DstAttr VD
+}
+
+// Graph is an immutable property graph distributed over the dataflow
+// engine: a vertex dataset and an edge dataset partitioned by a
+// vertex-cut strategy.
+type Graph[VD, ED any] struct {
+	vertices *dataflow.Dataset[Vertex[VD]]
+	edges    *dataflow.Dataset[Edge[ED]]
+	strategy PartitionStrategy
+}
+
+// New builds a graph from vertex and edge slices, partitioning edges
+// with the given strategy (nil selects EdgePartition2D, GraphX's
+// default for large graphs).
+func New[VD, ED any](ctx *dataflow.Context, vertices []Vertex[VD], edges []Edge[ED], strategy PartitionStrategy) *Graph[VD, ED] {
+	if strategy == nil {
+		strategy = EdgePartition2D{}
+	}
+	v := dataflow.Parallelize(ctx, vertices, 0)
+	e := partitionEdges(ctx, edges, strategy, ctx.DefaultPartitions())
+	return &Graph[VD, ED]{vertices: v, edges: e, strategy: strategy}
+}
+
+// FromDatasets wraps existing datasets as a graph without
+// repartitioning.
+func FromDatasets[VD, ED any](v *dataflow.Dataset[Vertex[VD]], e *dataflow.Dataset[Edge[ED]], strategy PartitionStrategy) *Graph[VD, ED] {
+	if strategy == nil {
+		strategy = EdgePartition2D{}
+	}
+	return &Graph[VD, ED]{vertices: v, edges: e, strategy: strategy}
+}
+
+// Context returns the execution context.
+func (g *Graph[VD, ED]) Context() *dataflow.Context { return g.vertices.Context() }
+
+// Vertices returns the vertex dataset.
+func (g *Graph[VD, ED]) Vertices() *dataflow.Dataset[Vertex[VD]] { return g.vertices }
+
+// Edges returns the edge dataset.
+func (g *Graph[VD, ED]) Edges() *dataflow.Dataset[Edge[ED]] { return g.edges }
+
+// Strategy returns the edge partition strategy.
+func (g *Graph[VD, ED]) Strategy() PartitionStrategy { return g.strategy }
+
+// NumVertices returns the vertex count.
+func (g *Graph[VD, ED]) NumVertices() int { return g.vertices.Count() }
+
+// NumEdges returns the edge count.
+func (g *Graph[VD, ED]) NumEdges() int { return g.edges.Count() }
+
+// MapVertices transforms every vertex attribute, preserving structure.
+func MapVertices[VD, VD2, ED any](g *Graph[VD, ED], f func(Vertex[VD]) VD2) *Graph[VD2, ED] {
+	v := dataflow.Map(g.vertices, func(x Vertex[VD]) Vertex[VD2] {
+		return Vertex[VD2]{ID: x.ID, Attr: f(x)}
+	})
+	return &Graph[VD2, ED]{vertices: v, edges: g.edges, strategy: g.strategy}
+}
+
+// MapEdges transforms every edge attribute, preserving structure.
+func MapEdges[VD, ED, ED2 any](g *Graph[VD, ED], f func(Edge[ED]) ED2) *Graph[VD, ED2] {
+	e := dataflow.Map(g.edges, func(x Edge[ED]) Edge[ED2] {
+		return Edge[ED2]{ID: x.ID, Src: x.Src, Dst: x.Dst, Attr: f(x)}
+	})
+	return &Graph[VD, ED2]{vertices: g.vertices, edges: e, strategy: g.strategy}
+}
+
+// routingTable materialises the vertex attributes once so that each
+// edge partition can mirror the vertices it references — the
+// "vertex-mirroring and multicast join" GraphX uses to build the
+// triplet view. The returned map is shared read-only across tasks.
+func (g *Graph[VD, ED]) routingTable() map[VertexID]VD {
+	table := make(map[VertexID]VD, g.vertices.Count())
+	for _, part := range g.vertices.Partitions() {
+		for _, v := range part {
+			table[v.ID] = v.Attr
+		}
+	}
+	return table
+}
+
+// Triplets materialises the triplet view: every edge joined with the
+// attributes of its endpoints. Edges referencing missing vertices are
+// dropped (the graph is then not well-formed; see Validate).
+func Triplets[VD, ED any](g *Graph[VD, ED]) *dataflow.Dataset[Triplet[VD, ED]] {
+	table := g.routingTable()
+	return dataflow.MapPartitions(g.edges, func(_ int, edges []Edge[ED]) []Triplet[VD, ED] {
+		out := make([]Triplet[VD, ED], 0, len(edges))
+		for _, e := range edges {
+			src, ok1 := table[e.Src]
+			dst, ok2 := table[e.Dst]
+			if !ok1 || !ok2 {
+				continue
+			}
+			out = append(out, Triplet[VD, ED]{Edge: e, SrcAttr: src, DstAttr: dst})
+		}
+		return out
+	})
+}
+
+// Validate returns an error if any edge references a missing vertex.
+func (g *Graph[VD, ED]) Validate() error {
+	table := g.routingTable()
+	var bad []EdgeID
+	for _, part := range g.edges.Partitions() {
+		for _, e := range part {
+			if _, ok := table[e.Src]; !ok {
+				bad = append(bad, e.ID)
+				continue
+			}
+			if _, ok := table[e.Dst]; !ok {
+				bad = append(bad, e.ID)
+			}
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("graphx: %d edges reference missing vertices (first: %d)", len(bad), bad[0])
+	}
+	return nil
+}
+
+// DegreeDirection selects which degree Degrees computes.
+type DegreeDirection int
+
+const (
+	// InDegrees counts incoming edges.
+	InDegrees DegreeDirection = iota
+	// OutDegrees counts outgoing edges.
+	OutDegrees
+	// TotalDegrees counts both.
+	TotalDegrees
+)
+
+// Degrees computes per-vertex degree via aggregateMessages. Vertices
+// with no incident edges are absent from the result, as in GraphX.
+func Degrees[VD, ED any](g *Graph[VD, ED], dir DegreeDirection) map[VertexID]int {
+	msgs := AggregateMessages(g,
+		func(t Triplet[VD, ED], send func(VertexID, int)) {
+			if dir == OutDegrees || dir == TotalDegrees {
+				send(t.Edge.Src, 1)
+			}
+			if dir == InDegrees || dir == TotalDegrees {
+				send(t.Edge.Dst, 1)
+			}
+		},
+		func(a, b int) int { return a + b })
+	out := make(map[VertexID]int, msgs.Count())
+	for _, p := range msgs.Collect() {
+		out[p.First] = p.Second
+	}
+	return out
+}

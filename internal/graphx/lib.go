@@ -1,0 +1,179 @@
+package graphx
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Additional vertex-centric algorithms in the style of GraphX's lib
+// package, used by the temporal analytics layer (internal/algo).
+
+// ShortestPaths computes single-source shortest hop counts from source
+// over directed edges via Pregel. Unreachable vertices map to -1.
+func ShortestPaths[VD, ED any](g *Graph[VD, ED], source VertexID) map[VertexID]int {
+	const unreached = math.MaxInt32
+	init := MapVertices(g, func(v Vertex[VD]) int {
+		if v.ID == source {
+			return 0
+		}
+		return unreached
+	})
+	res := Pregel(init, unreached, g.NumVertices()+1,
+		func(id VertexID, attr int, msg int) int {
+			if msg < attr {
+				return msg
+			}
+			return attr
+		},
+		func(t Triplet[int, ED], send func(VertexID, int)) {
+			if t.SrcAttr != unreached && t.SrcAttr+1 < t.DstAttr {
+				send(t.Edge.Dst, t.SrcAttr+1)
+			}
+		},
+		func(a, b int) int {
+			if a < b {
+				return a
+			}
+			return b
+		})
+	out := make(map[VertexID]int, res.NumVertices())
+	for _, v := range res.Vertices().Collect() {
+		if v.Attr == unreached {
+			out[v.ID] = -1
+		} else {
+			out[v.ID] = v.Attr
+		}
+	}
+	return out
+}
+
+// WeightedShortestPaths computes single-source shortest path distances
+// using the edge weight function. Negative weights are not supported
+// (the Pregel sweep terminates only because relaxations are monotone).
+// Unreachable vertices map to +Inf.
+func WeightedShortestPaths[VD, ED any](g *Graph[VD, ED], source VertexID, weight func(Edge[ED]) float64) map[VertexID]float64 {
+	inf := math.Inf(1)
+	init := MapVertices(g, func(v Vertex[VD]) float64 {
+		if v.ID == source {
+			return 0
+		}
+		return inf
+	})
+	res := Pregel(init, inf, g.NumVertices()*2+1,
+		func(id VertexID, attr float64, msg float64) float64 {
+			return math.Min(attr, msg)
+		},
+		func(t Triplet[float64, ED], send func(VertexID, float64)) {
+			if w := t.SrcAttr + weight(t.Edge); !math.IsInf(t.SrcAttr, 1) && w < t.DstAttr {
+				send(t.Edge.Dst, w)
+			}
+		},
+		math.Min)
+	out := make(map[VertexID]float64, res.NumVertices())
+	for _, v := range res.Vertices().Collect() {
+		out[v.ID] = v.Attr
+	}
+	return out
+}
+
+// TriangleCount returns the number of triangles each vertex
+// participates in, treating edges as undirected and ignoring parallel
+// edges and self-loops.
+func TriangleCount[VD, ED any](g *Graph[VD, ED]) map[VertexID]int {
+	// Build canonical neighbour sets.
+	neighbors := make(map[VertexID]map[VertexID]struct{})
+	add := func(a, b VertexID) {
+		if a == b {
+			return
+		}
+		m, ok := neighbors[a]
+		if !ok {
+			m = make(map[VertexID]struct{})
+			neighbors[a] = m
+		}
+		m[b] = struct{}{}
+	}
+	for _, part := range g.Edges().Partitions() {
+		for _, e := range part {
+			add(e.Src, e.Dst)
+			add(e.Dst, e.Src)
+		}
+	}
+	counts := make(map[VertexID]int, g.NumVertices())
+	for _, part := range g.Vertices().Partitions() {
+		for _, v := range part {
+			counts[v.ID] = 0
+		}
+	}
+	for v, ns := range neighbors {
+		for u := range ns {
+			if u <= v {
+				continue
+			}
+			// Count common neighbours w > u to count each triangle once.
+			for w := range neighbors[u] {
+				if w <= u {
+					continue
+				}
+				if _, ok := ns[w]; ok {
+					counts[v]++
+					counts[u]++
+					counts[w]++
+				}
+			}
+		}
+	}
+	return counts
+}
+
+// LabelPropagation runs synchronous label propagation for community
+// detection: each vertex adopts the most frequent label among its
+// neighbours (ties to the smallest label), for maxIterations rounds.
+func LabelPropagation[VD, ED any](g *Graph[VD, ED], maxIterations int) map[VertexID]VertexID {
+	labels := MapVertices(g, func(v Vertex[VD]) VertexID { return v.ID })
+	for i := 0; i < maxIterations; i++ {
+		msgs := AggregateMessages(labels,
+			func(t Triplet[VertexID, ED], send func(VertexID, map[VertexID]int)) {
+				send(t.Edge.Dst, map[VertexID]int{t.SrcAttr: 1})
+				send(t.Edge.Src, map[VertexID]int{t.DstAttr: 1})
+			},
+			func(a, b map[VertexID]int) map[VertexID]int {
+				for k, n := range b {
+					a[k] += n
+				}
+				return a
+			})
+		if msgs.Count() == 0 {
+			break
+		}
+		inbox := make(map[VertexID]map[VertexID]int, msgs.Count())
+		for _, p := range msgs.Collect() {
+			inbox[p.First] = p.Second
+		}
+		var changed atomic.Bool
+		labels = MapVertices(labels, func(v Vertex[VertexID]) VertexID {
+			hist, ok := inbox[v.ID]
+			if !ok {
+				return v.Attr
+			}
+			best, bestN := v.Attr, -1
+			for label, n := range hist {
+				if n > bestN || (n == bestN && label < best) {
+					best, bestN = label, n
+				}
+			}
+			if best != v.Attr {
+				changed.Store(true)
+			}
+			return best
+		})
+		if !changed.Load() {
+			break
+		}
+	}
+	out := make(map[VertexID]VertexID, labels.NumVertices())
+	for _, v := range labels.Vertices().Collect() {
+		out[v.ID] = v.Attr
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package graphx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestShortestPaths(t *testing.T) {
+	ctx := testCtx()
+	// 1 -> 2 -> 3 -> 4, plus shortcut 1 -> 3. Vertex 9 isolated.
+	vs := []Vertex[struct{}]{{ID: 1}, {ID: 2}, {ID: 3}, {ID: 4}, {ID: 9}}
+	es := []Edge[struct{}]{
+		{ID: 0, Src: 1, Dst: 2}, {ID: 1, Src: 2, Dst: 3},
+		{ID: 2, Src: 3, Dst: 4}, {ID: 3, Src: 1, Dst: 3},
+	}
+	g := New(ctx, vs, es, nil)
+	d := ShortestPaths(g, 1)
+	want := map[VertexID]int{1: 0, 2: 1, 3: 1, 4: 2, 9: -1}
+	for id, w := range want {
+		if d[id] != w {
+			t.Errorf("dist[%d] = %d, want %d", id, d[id], w)
+		}
+	}
+}
+
+func TestWeightedShortestPaths(t *testing.T) {
+	ctx := testCtx()
+	// 1 -> 2 (5), 1 -> 3 (1), 3 -> 2 (1): best 1->2 is 2 via 3.
+	vs := []Vertex[struct{}]{{ID: 1}, {ID: 2}, {ID: 3}, {ID: 4}}
+	es := []Edge[float64]{
+		{ID: 0, Src: 1, Dst: 2, Attr: 5},
+		{ID: 1, Src: 1, Dst: 3, Attr: 1},
+		{ID: 2, Src: 3, Dst: 2, Attr: 1},
+	}
+	g := New(ctx, vs, es, nil)
+	d := WeightedShortestPaths(g, 1, func(e Edge[float64]) float64 { return e.Attr })
+	if d[2] != 2 || d[3] != 1 || d[1] != 0 {
+		t.Errorf("distances: %v", d)
+	}
+	if !math.IsInf(d[4], 1) {
+		t.Errorf("unreachable vertex distance = %v, want +Inf", d[4])
+	}
+}
+
+func TestTriangleCount(t *testing.T) {
+	ctx := testCtx()
+	// Triangle 1-2-3 plus a tail 3-4.
+	vs := []Vertex[struct{}]{{ID: 1}, {ID: 2}, {ID: 3}, {ID: 4}}
+	es := []Edge[struct{}]{
+		{ID: 0, Src: 1, Dst: 2}, {ID: 1, Src: 2, Dst: 3},
+		{ID: 2, Src: 3, Dst: 1}, {ID: 3, Src: 3, Dst: 4},
+	}
+	g := New(ctx, vs, es, nil)
+	tc := TriangleCount(g)
+	want := map[VertexID]int{1: 1, 2: 1, 3: 1, 4: 0}
+	for id, w := range want {
+		if tc[id] != w {
+			t.Errorf("triangles[%d] = %d, want %d", id, tc[id], w)
+		}
+	}
+}
+
+func TestTriangleCountIgnoresParallelAndSelf(t *testing.T) {
+	ctx := testCtx()
+	vs := []Vertex[struct{}]{{ID: 1}, {ID: 2}, {ID: 3}}
+	es := []Edge[struct{}]{
+		{ID: 0, Src: 1, Dst: 2}, {ID: 1, Src: 2, Dst: 1}, // parallel/reverse
+		{ID: 2, Src: 2, Dst: 3}, {ID: 3, Src: 3, Dst: 1},
+		{ID: 4, Src: 1, Dst: 1}, // self loop
+	}
+	g := New(ctx, vs, es, nil)
+	tc := TriangleCount(g)
+	if tc[1] != 1 || tc[2] != 1 || tc[3] != 1 {
+		t.Errorf("triangles: %v", tc)
+	}
+}
+
+func TestLabelPropagation(t *testing.T) {
+	ctx := testCtx()
+	// Two cliques {1,2,3} and {10,11,12} joined by a weak bridge 3-10.
+	vs := []Vertex[struct{}]{{ID: 1}, {ID: 2}, {ID: 3}, {ID: 10}, {ID: 11}, {ID: 12}}
+	es := []Edge[struct{}]{
+		{ID: 0, Src: 1, Dst: 2}, {ID: 1, Src: 2, Dst: 3}, {ID: 2, Src: 3, Dst: 1},
+		{ID: 3, Src: 10, Dst: 11}, {ID: 4, Src: 11, Dst: 12}, {ID: 5, Src: 12, Dst: 10},
+		{ID: 6, Src: 3, Dst: 10},
+	}
+	g := New(ctx, vs, es, nil)
+	labels := LabelPropagation(g, 10)
+	if labels[1] != labels[2] || labels[2] != labels[3] {
+		t.Errorf("clique 1 split: %v", labels)
+	}
+	if labels[10] != labels[11] || labels[11] != labels[12] {
+		t.Errorf("clique 2 split: %v", labels)
+	}
+}
+
+func TestLabelPropagationIsolated(t *testing.T) {
+	ctx := testCtx()
+	g := New[struct{}, struct{}](ctx, []Vertex[struct{}]{{ID: 5}}, nil, nil)
+	labels := LabelPropagation(g, 3)
+	if labels[5] != 5 {
+		t.Errorf("isolated vertex label = %d", labels[5])
+	}
+}

@@ -1,0 +1,109 @@
+package graphx
+
+import (
+	"math"
+
+	"repro/internal/dataflow"
+)
+
+// PartitionStrategy assigns each edge to a partition. GraphX uses
+// vertex-cut partitioning: edges never span partitions, vertices are
+// mirrored to every partition holding one of their edges, which bounds
+// communication for aggregations along edges.
+type PartitionStrategy interface {
+	// Partition returns the partition for an edge among numParts
+	// partitions.
+	Partition(src, dst VertexID, numParts int) int
+	String() string
+}
+
+// mix64 is a splitmix64-style finalizer giving a well-distributed hash
+// of a vertex identifier; all strategies share it so placements are
+// deterministic across runs.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// EdgePartition1D assigns edges by hashing the source vertex, so all
+// out-edges of a vertex colocate. Skewed for high-out-degree hubs.
+type EdgePartition1D struct{}
+
+// Partition implements PartitionStrategy.
+func (EdgePartition1D) Partition(src, _ VertexID, numParts int) int {
+	return int(mix64(uint64(src)) % uint64(numParts))
+}
+
+func (EdgePartition1D) String() string { return "EdgePartition1D" }
+
+// EdgePartition2D arranges partitions in a sqrt(P) x sqrt(P) grid and
+// assigns edge (s, d) to cell (hash(s) mod R, hash(d) mod C). Each
+// vertex is mirrored to at most 2*sqrt(P) partitions — GraphX's
+// bounded-replication guarantee.
+type EdgePartition2D struct{}
+
+// Partition implements PartitionStrategy.
+func (EdgePartition2D) Partition(src, dst VertexID, numParts int) int {
+	side := int(math.Ceil(math.Sqrt(float64(numParts))))
+	row := int(mix64(uint64(src)) % uint64(side))
+	col := int(mix64(uint64(dst)) % uint64(side))
+	return (row*side + col) % numParts
+}
+
+func (EdgePartition2D) String() string { return "EdgePartition2D" }
+
+// RandomVertexCut hashes the (src, dst) pair, colocating parallel edges
+// of a multigraph while spreading everything else uniformly.
+type RandomVertexCut struct{}
+
+// Partition implements PartitionStrategy.
+func (RandomVertexCut) Partition(src, dst VertexID, numParts int) int {
+	return int(mix64(mix64(uint64(src))^uint64(dst)) % uint64(numParts))
+}
+
+func (RandomVertexCut) String() string { return "RandomVertexCut" }
+
+// partitionEdges distributes edges over numParts partitions with the
+// given strategy.
+func partitionEdges[ED any](ctx *dataflow.Context, edges []Edge[ED], strategy PartitionStrategy, numParts int) *dataflow.Dataset[Edge[ED]] {
+	if numParts < 1 {
+		numParts = 1
+	}
+	parts := make([][]Edge[ED], numParts)
+	for _, e := range edges {
+		p := strategy.Partition(e.Src, e.Dst, numParts)
+		parts[p] = append(parts[p], e)
+	}
+	return dataflow.FromPartitions(ctx, parts)
+}
+
+// ReplicationFactor measures the average number of partitions each
+// vertex is mirrored to under the graph's partitioning — the cost
+// metric vertex-cut strategies minimise.
+func ReplicationFactor[VD, ED any](g *Graph[VD, ED]) float64 {
+	seen := make(map[VertexID]map[int]struct{})
+	for pi, part := range g.Edges().Partitions() {
+		for _, e := range part {
+			for _, v := range [2]VertexID{e.Src, e.Dst} {
+				m, ok := seen[v]
+				if !ok {
+					m = make(map[int]struct{})
+					seen[v] = m
+				}
+				m[pi] = struct{}{}
+			}
+		}
+	}
+	if len(seen) == 0 {
+		return 0
+	}
+	total := 0
+	for _, m := range seen {
+		total += len(m)
+	}
+	return float64(total) / float64(len(seen))
+}

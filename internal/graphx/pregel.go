@@ -1,0 +1,126 @@
+package graphx
+
+import "repro/internal/dataflow"
+
+// AggregateMessages applies sendMsg to every triplet; messages sent to
+// the same vertex are combined with merge (commutative, associative).
+// It is GraphX's aggregateMessages and the building block for Pregel.
+func AggregateMessages[VD, ED, M any](
+	g *Graph[VD, ED],
+	sendMsg func(t Triplet[VD, ED], send func(to VertexID, msg M)),
+	merge func(a, b M) M,
+) *dataflow.Dataset[dataflow.Pair[VertexID, M]] {
+	msgs := dataflow.FlatMap(Triplets(g), func(t Triplet[VD, ED]) []dataflow.Pair[VertexID, M] {
+		var out []dataflow.Pair[VertexID, M]
+		sendMsg(t, func(to VertexID, m M) {
+			out = append(out, dataflow.Pair[VertexID, M]{First: to, Second: m})
+		})
+		return out
+	})
+	return dataflow.ReduceByKey(msgs,
+		func(p dataflow.Pair[VertexID, M]) VertexID { return p.First },
+		func(a, b dataflow.Pair[VertexID, M]) dataflow.Pair[VertexID, M] {
+			return dataflow.Pair[VertexID, M]{First: a.First, Second: merge(a.Second, b.Second)}
+		})
+}
+
+// Pregel runs bulk-synchronous vertex-centric iteration: every vertex
+// first receives initialMsg via vprog, then supersteps alternate
+// message generation along triplets (sendMsg) with vertex updates
+// (vprog) until no messages remain or maxIterations supersteps have
+// run. Only vertices that received a message are updated in a
+// superstep, matching GraphX semantics. The paper lists Pregel-style
+// analytics over TGraph as future work; this layer enables the
+// implementation in internal/algo.
+func Pregel[VD, ED, M any](
+	g *Graph[VD, ED],
+	initialMsg M,
+	maxIterations int,
+	vprog func(id VertexID, attr VD, msg M) VD,
+	sendMsg func(t Triplet[VD, ED], send func(to VertexID, msg M)),
+	merge func(a, b M) M,
+) *Graph[VD, ED] {
+	cur := MapVertices(g, func(v Vertex[VD]) VD { return vprog(v.ID, v.Attr, initialMsg) })
+	for iter := 0; iter < maxIterations; iter++ {
+		msgs := AggregateMessages(cur, sendMsg, merge)
+		if msgs.Count() == 0 {
+			break
+		}
+		inbox := make(map[VertexID]M, msgs.Count())
+		for _, p := range msgs.Collect() {
+			inbox[p.First] = p.Second
+		}
+		cur = MapVertices(cur, func(v Vertex[VD]) VD {
+			if m, ok := inbox[v.ID]; ok {
+				return vprog(v.ID, v.Attr, m)
+			}
+			return v.Attr
+		})
+	}
+	return cur
+}
+
+// ConnectedComponents labels every vertex with the smallest vertex id
+// reachable from it treating edges as undirected, via Pregel label
+// propagation.
+func ConnectedComponents[VD, ED any](g *Graph[VD, ED]) map[VertexID]VertexID {
+	init := MapVertices(g, func(v Vertex[VD]) VertexID { return v.ID })
+	res := Pregel(init, VertexID(int64(^uint64(0)>>1)), g.NumVertices()+1,
+		func(id VertexID, attr VertexID, msg VertexID) VertexID {
+			if msg < attr {
+				return msg
+			}
+			return attr
+		},
+		func(t Triplet[VertexID, ED], send func(VertexID, VertexID)) {
+			if t.SrcAttr < t.DstAttr {
+				send(t.Edge.Dst, t.SrcAttr)
+			} else if t.DstAttr < t.SrcAttr {
+				send(t.Edge.Src, t.DstAttr)
+			}
+		},
+		func(a, b VertexID) VertexID {
+			if a < b {
+				return a
+			}
+			return b
+		})
+	out := make(map[VertexID]VertexID, res.NumVertices())
+	for _, v := range res.Vertices().Collect() {
+		out[v.ID] = v.Attr
+	}
+	return out
+}
+
+// PageRank runs numIter iterations of the classic damped PageRank
+// (d = 0.85) and returns the per-vertex rank.
+func PageRank[VD, ED any](g *Graph[VD, ED], numIter int) map[VertexID]float64 {
+	const damping = 0.85
+	n := g.NumVertices()
+	if n == 0 {
+		return map[VertexID]float64{}
+	}
+	outDeg := Degrees(g, OutDegrees)
+	ranks := MapVertices(g, func(v Vertex[VD]) float64 { return 1.0 / float64(n) })
+	for i := 0; i < numIter; i++ {
+		contrib := AggregateMessages(ranks,
+			func(t Triplet[float64, ED], send func(VertexID, float64)) {
+				if d := outDeg[t.Edge.Src]; d > 0 {
+					send(t.Edge.Dst, t.SrcAttr/float64(d))
+				}
+			},
+			func(a, b float64) float64 { return a + b })
+		inbox := make(map[VertexID]float64, contrib.Count())
+		for _, p := range contrib.Collect() {
+			inbox[p.First] = p.Second
+		}
+		ranks = MapVertices(ranks, func(v Vertex[float64]) float64 {
+			return (1-damping)/float64(n) + damping*inbox[v.ID]
+		})
+	}
+	out := make(map[VertexID]float64, n)
+	for _, v := range ranks.Vertices().Collect() {
+		out[v.ID] = v.Attr
+	}
+	return out
+}

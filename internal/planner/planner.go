@@ -1,0 +1,286 @@
+// Package planner implements a prototype of the query-optimization
+// technique the paper names as future work: cost-based selection of the
+// physical representation for each operator in a zoom query.
+//
+// The cost model encodes the evaluation's findings (Section 5.4):
+//
+//   - RG materialises every entity once per snapshot, so any operator
+//     over RG pays |V ∪ E| × snapshots;
+//   - aZoom^T: OG best, VE close behind (its edge redirection joins
+//     shuffle), RG far behind;
+//   - wZoom^T: OGC ≪ OG < VE < RG, and VE degrades as windows shrink;
+//   - OGC stores no attributes, so it is only usable when no subsequent
+//     operator (and not the final result) needs them;
+//   - switching representations costs a conversion pass over the data.
+//
+// Costs are unit-free work estimates (records touched, weighted by the
+// measured constants), not time predictions; the planner's job is to
+// get the argmin right, which the relative ordering above determines.
+package planner
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// OpKind classifies query operators by their cost behaviour.
+type OpKind int
+
+const (
+	// OpAZoom is attribute-based zoom (needs attributes; not OGC).
+	OpAZoom OpKind = iota
+	// OpWZoom is window-based zoom.
+	OpWZoom
+	// OpFilter is trim/subgraph-style narrowing.
+	OpFilter
+	// OpMap is an attribute transformation (needs attributes; not OGC).
+	OpMap
+	// OpSetOp is union/intersection/difference.
+	OpSetOp
+)
+
+// String names the operator kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpAZoom:
+		return "aZoom"
+	case OpWZoom:
+		return "wZoom"
+	case OpFilter:
+		return "filter"
+	case OpMap:
+		return "map"
+	case OpSetOp:
+		return "setop"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// NeedsAttributes reports whether the operator reads or writes
+// properties beyond presence and type, which OGC cannot represent.
+func (k OpKind) NeedsAttributes() bool { return k == OpAZoom || k == OpMap }
+
+// Stats summarises the graph for costing.
+type Stats struct {
+	// Vertices and Edges are distinct entity counts.
+	Vertices, Edges int
+	// VStates and EStates are temporal state (tuple) counts.
+	VStates, EStates int
+	// Snapshots is the number of elementary intervals.
+	Snapshots int
+}
+
+// StatsOf measures a TGraph.
+func StatsOf(g core.TGraph) Stats {
+	vs := g.VertexStates()
+	es := g.EdgeStates()
+	vset := make(map[core.VertexID]struct{}, len(vs))
+	for _, v := range vs {
+		vset[v.ID] = struct{}{}
+	}
+	eset := make(map[core.EdgeID]struct{}, len(es))
+	for _, e := range es {
+		eset[e.ID] = struct{}{}
+	}
+	// Snapshot count from change points.
+	boundaries := make(map[int64]struct{})
+	for _, v := range vs {
+		boundaries[int64(v.Interval.Start)] = struct{}{}
+		boundaries[int64(v.Interval.End)] = struct{}{}
+	}
+	for _, e := range es {
+		boundaries[int64(e.Interval.Start)] = struct{}{}
+		boundaries[int64(e.Interval.End)] = struct{}{}
+	}
+	snaps := len(boundaries) - 1
+	if snaps < 0 {
+		snaps = 0
+	}
+	return Stats{
+		Vertices: len(vset), Edges: len(eset),
+		VStates: len(vs), EStates: len(es),
+		Snapshots: snaps,
+	}
+}
+
+// states returns the number of records an operator touches in the given
+// representation.
+func (s Stats) states(rep core.Representation) float64 {
+	switch rep {
+	case core.RepRG:
+		// One copy of every live entity per snapshot.
+		return float64((s.Vertices + s.Edges) * max(s.Snapshots, 1))
+	default:
+		return float64(s.VStates + s.EStates)
+	}
+}
+
+// Calibrated relative constants (from the measurements recorded in
+// EXPERIMENTS.md).
+const (
+	aZoomOG  = 1.0
+	aZoomVE  = 1.4 // two redirection joins
+	aZoomRG  = 1.2 // per-record constant over the blown-up RG state count
+	wZoomOGC = 0.15
+	wZoomOG  = 0.8
+	wZoomVE  = 1.3 // per-window tuple copies
+	wZoomRG  = 1.1
+	filterC  = 0.2
+	mapC     = 0.25
+	setOpC   = 0.6
+	// Conversion is a single re-grouping pass, measurably cheaper than
+	// an operator over the same data (see the `planner` experiment).
+	convertC = 0.3
+)
+
+// opCost estimates the work of one operator in one representation.
+// math.Inf marks invalid combinations (aZoom/map over OGC).
+func opCost(k OpKind, rep core.Representation, s Stats) float64 {
+	n := s.states(rep)
+	switch k {
+	case OpAZoom:
+		switch rep {
+		case core.RepOG:
+			return aZoomOG * n
+		case core.RepVE:
+			return aZoomVE * n
+		case core.RepRG:
+			return aZoomRG * n
+		default:
+			return math.Inf(1)
+		}
+	case OpWZoom:
+		switch rep {
+		case core.RepOGC:
+			return wZoomOGC * n
+		case core.RepOG:
+			return wZoomOG * n
+		case core.RepVE:
+			return wZoomVE * n
+		default:
+			return wZoomRG * n
+		}
+	case OpMap:
+		if rep == core.RepOGC {
+			return math.Inf(1)
+		}
+		return mapC * n
+	case OpSetOp:
+		return setOpC * n
+	default: // filter
+		return filterC * n
+	}
+}
+
+// convCost estimates switching representations.
+func convCost(from, to core.Representation, s Stats) float64 {
+	if from == to {
+		return 0
+	}
+	return convertC * (s.states(from) + s.states(to))
+}
+
+// Step is one planned operator.
+type Step struct {
+	Op   OpKind
+	Rep  core.Representation
+	Cost float64
+}
+
+// Plan is a fully costed physical plan.
+type Plan struct {
+	Start core.Representation
+	Steps []Step
+	Total float64
+}
+
+// String renders the plan like "VE ->OG aZoom ->OG wZoom".
+func (p Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", p.Start)
+	for _, st := range p.Steps {
+		fmt.Fprintf(&b, " ->%s %s", st.Rep, st.Op)
+	}
+	fmt.Fprintf(&b, " (cost %.0f)", p.Total)
+	return b.String()
+}
+
+var allReps = []core.Representation{core.RepVE, core.RepRG, core.RepOG, core.RepOGC}
+
+// Choose assigns a representation to every operator, minimising
+// estimated total work (operator costs plus conversions) by dynamic
+// programming over the four representations. needAttributes declares
+// that the final result must retain properties; since converting to OGC
+// discards them irreversibly, OGC is then excluded from every suffix
+// position (attributes cannot be recovered downstream).
+func Choose(start core.Representation, s Stats, ops []OpKind, needAttributes bool) (Plan, error) {
+	if len(ops) == 0 {
+		return Plan{Start: start}, nil
+	}
+	// attrsNeededFrom[i] is true when some op j >= i needs attributes,
+	// or the final result does: OGC is then invalid at position i.
+	attrsNeededFrom := make([]bool, len(ops)+1)
+	attrsNeededFrom[len(ops)] = needAttributes
+	for i := len(ops) - 1; i >= 0; i-- {
+		attrsNeededFrom[i] = attrsNeededFrom[i+1] || ops[i].NeedsAttributes()
+	}
+
+	const inf = math.MaxFloat64
+	type cell struct {
+		cost float64
+		prev core.Representation
+	}
+	dp := make([]map[core.Representation]cell, len(ops))
+	for i, op := range ops {
+		dp[i] = make(map[core.Representation]cell, len(allReps))
+		for _, rep := range allReps {
+			if rep == core.RepOGC && attrsNeededFrom[i] {
+				continue
+			}
+			oc := opCost(op, rep, s)
+			if math.IsInf(oc, 1) {
+				continue
+			}
+			best := cell{cost: inf}
+			if i == 0 {
+				best = cell{cost: convCost(start, rep, s) + oc, prev: start}
+			} else {
+				for prevRep, pc := range dp[i-1] {
+					c := pc.cost + convCost(prevRep, rep, s) + oc
+					if c < best.cost {
+						best = cell{cost: c, prev: prevRep}
+					}
+				}
+			}
+			if best.cost < inf {
+				dp[i][rep] = best
+			}
+		}
+		if len(dp[i]) == 0 {
+			return Plan{}, fmt.Errorf("planner: no representation can evaluate %s at step %d", op, i)
+		}
+	}
+	// Backtrack from the cheapest final cell.
+	last := core.RepVE
+	bestCost := inf
+	for rep, c := range dp[len(ops)-1] {
+		if c.cost < bestCost {
+			bestCost = c.cost
+			last = rep
+		}
+	}
+	reps := make([]core.Representation, len(ops))
+	reps[len(ops)-1] = last
+	for i := len(ops) - 1; i > 0; i-- {
+		reps[i-1] = dp[i][reps[i]].prev
+	}
+	plan := Plan{Start: start, Total: bestCost}
+	for i, op := range ops {
+		plan.Steps = append(plan.Steps, Step{Op: op, Rep: reps[i], Cost: opCost(op, reps[i], s)})
+	}
+	return plan, nil
+}

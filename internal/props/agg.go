@@ -1,0 +1,217 @@
+package props
+
+import "fmt"
+
+// This file implements f_agg, the commutative and associative
+// aggregation applied by aZoom^T to the property sets of vertices that
+// map to the same new (Skolem) identifier within one snapshot.
+//
+// An AggSpec is a list of output fields, each computed by an AggKind
+// over an input property. Aggregation proceeds in three phases that
+// parallel a dataflow combiner: Init maps a single entity state to an
+// accumulator, Merge combines two accumulators (commutatively and
+// associatively), and Result materialises the output property set.
+
+// AggKind enumerates the built-in aggregation functions.
+type AggKind int
+
+const (
+	// AggCount counts the number of input entities in the group.
+	AggCount AggKind = iota
+	// AggSum sums the numeric input property.
+	AggSum
+	// AggMin takes the minimum input property value (Value.Less order).
+	AggMin
+	// AggMax takes the maximum input property value.
+	AggMax
+	// AggAvg averages the numeric input property.
+	AggAvg
+	// AggAny keeps an arbitrary but deterministic (smallest) value.
+	AggAny
+	// AggCustom applies a user-provided commutative, associative
+	// combine function.
+	AggCustom
+)
+
+// String returns the SQL-ish name of the aggregation kind.
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	case AggAny:
+		return "any"
+	case AggCustom:
+		return "custom"
+	default:
+		return fmt.Sprintf("agg(%d)", int(k))
+	}
+}
+
+// CombineFunc combines two property values. User-supplied functions
+// must be commutative and associative, as required by the paper.
+type CombineFunc func(a, b Value) Value
+
+// AggField computes one output property.
+type AggField struct {
+	// Out is the output property label (e.g. "students").
+	Out string
+	// Kind selects the aggregation function.
+	Kind AggKind
+	// In is the input property label the aggregate reads. Ignored by
+	// AggCount.
+	In string
+	// Combine is the user combine function for AggCustom.
+	Combine CombineFunc
+}
+
+// Count returns a count(*) aggregate field.
+func Count(out string) AggField { return AggField{Out: out, Kind: AggCount} }
+
+// Sum returns a sum(in) aggregate field.
+func Sum(out, in string) AggField { return AggField{Out: out, Kind: AggSum, In: in} }
+
+// Min returns a min(in) aggregate field.
+func Min(out, in string) AggField { return AggField{Out: out, Kind: AggMin, In: in} }
+
+// Max returns a max(in) aggregate field.
+func Max(out, in string) AggField { return AggField{Out: out, Kind: AggMax, In: in} }
+
+// Avg returns an avg(in) aggregate field.
+func Avg(out, in string) AggField { return AggField{Out: out, Kind: AggAvg, In: in} }
+
+// Any returns an any(in) aggregate field keeping a deterministic value.
+func Any(out, in string) AggField { return AggField{Out: out, Kind: AggAny, In: in} }
+
+// Custom returns a user-defined aggregate field; combine must be
+// commutative and associative.
+func Custom(out, in string, combine CombineFunc) AggField {
+	return AggField{Out: out, Kind: AggCustom, In: in, Combine: combine}
+}
+
+// AggSpec is the full f_agg specification: zero or more aggregate
+// fields. An empty spec still enforces identity-equivalence (the group
+// collapses to one node) but adds no computed properties.
+type AggSpec struct {
+	Fields []AggField
+}
+
+// Validate checks the spec for malformed fields.
+func (s AggSpec) Validate() error {
+	for i, f := range s.Fields {
+		if f.Out == "" {
+			return fmt.Errorf("props: aggregate field %d has empty output label", i)
+		}
+		if f.Kind != AggCount && f.In == "" {
+			return fmt.Errorf("props: aggregate field %q (%v) needs an input label", f.Out, f.Kind)
+		}
+		if f.Kind == AggCustom && f.Combine == nil {
+			return fmt.Errorf("props: custom aggregate field %q has nil combine", f.Out)
+		}
+	}
+	return nil
+}
+
+// accum is the per-field accumulator.
+type accum struct {
+	count int64
+	sum   float64
+	val   Value
+	has   bool
+}
+
+// AggState is the opaque accumulator for a group.
+type AggState []accum
+
+// Init maps one entity's property set to a fresh accumulator state.
+func (s AggSpec) Init(p Props) AggState {
+	st := make(AggState, len(s.Fields))
+	for i, f := range s.Fields {
+		switch f.Kind {
+		case AggCount:
+			st[i] = accum{count: 1, has: true}
+		case AggSum, AggAvg:
+			if v, ok := p[f.In]; ok {
+				if fl, ok := v.AsFloat(); ok {
+					st[i] = accum{count: 1, sum: fl, has: true}
+				}
+			}
+		default: // min, max, any, custom
+			if v, ok := p[f.In]; ok {
+				st[i] = accum{count: 1, val: v, has: true}
+			}
+		}
+	}
+	return st
+}
+
+// Merge combines two accumulator states. It is commutative and
+// associative for all built-in kinds, and for AggCustom whenever the
+// user combine function is.
+func (s AggSpec) Merge(a, b AggState) AggState {
+	out := make(AggState, len(s.Fields))
+	for i, f := range s.Fields {
+		x, y := a[i], b[i]
+		if !x.has {
+			out[i] = y
+			continue
+		}
+		if !y.has {
+			out[i] = x
+			continue
+		}
+		m := accum{count: x.count + y.count, sum: x.sum + y.sum, has: true}
+		switch f.Kind {
+		case AggMin, AggAny:
+			if y.val.Less(x.val) {
+				m.val = y.val
+			} else {
+				m.val = x.val
+			}
+		case AggMax:
+			if x.val.Less(y.val) {
+				m.val = y.val
+			} else {
+				m.val = x.val
+			}
+		case AggCustom:
+			m.val = f.Combine(x.val, y.val)
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// Result materialises the output property set: base (typically the
+// Skolem-derived identifying properties of the new node) extended with
+// the computed aggregate fields.
+func (s AggSpec) Result(base Props, st AggState) Props {
+	out := base.Clone()
+	if out == nil {
+		out = make(Props, len(s.Fields))
+	}
+	for i, f := range s.Fields {
+		a := st[i]
+		if !a.has {
+			continue
+		}
+		switch f.Kind {
+		case AggCount:
+			out[f.Out] = Int(a.count)
+		case AggSum:
+			out[f.Out] = Float(a.sum)
+		case AggAvg:
+			out[f.Out] = Float(a.sum / float64(a.count))
+		default:
+			out[f.Out] = a.val
+		}
+	}
+	return out
+}

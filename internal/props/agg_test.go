@@ -1,0 +1,167 @@
+package props
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAggSpecValidate(t *testing.T) {
+	good := AggSpec{Fields: []AggField{Count("n"), Sum("s", "x"), Custom("c", "x", func(a, b Value) Value { return a })}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	for name, spec := range map[string]AggSpec{
+		"empty out":   {Fields: []AggField{{Kind: AggCount}}},
+		"missing in":  {Fields: []AggField{{Out: "s", Kind: AggSum}}},
+		"nil combine": {Fields: []AggField{{Out: "c", Kind: AggCustom, In: "x"}}},
+	} {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestAggCount(t *testing.T) {
+	spec := AggSpec{Fields: []AggField{Count("students")}}
+	st := spec.Init(New("type", "person"))
+	st = spec.Merge(st, spec.Init(New("type", "person")))
+	st = spec.Merge(st, spec.Init(New("type", "person")))
+	out := spec.Result(New("type", "school", "name", "MIT"), st)
+	if out.GetInt("students") != 3 {
+		t.Errorf("count = %d, want 3", out.GetInt("students"))
+	}
+	if out.Type() != "school" || out.GetString("name") != "MIT" {
+		t.Errorf("base props lost: %v", out)
+	}
+}
+
+func TestAggSumMinMaxAvgAny(t *testing.T) {
+	spec := AggSpec{Fields: []AggField{
+		Sum("total", "x"), Min("lo", "x"), Max("hi", "x"), Avg("mean", "x"), Any("pick", "x"),
+	}}
+	inputs := []int64{5, 1, 9, 3}
+	var st AggState
+	for i, n := range inputs {
+		s := spec.Init(New("x", n))
+		if i == 0 {
+			st = s
+		} else {
+			st = spec.Merge(st, s)
+		}
+	}
+	out := spec.Result(nil, st)
+	if f, _ := out["total"].AsFloat(); f != 18 {
+		t.Errorf("sum = %v, want 18", out["total"])
+	}
+	if out.GetInt("lo") != 1 || out.GetInt("hi") != 9 {
+		t.Errorf("min/max = %v/%v", out["lo"], out["hi"])
+	}
+	if f, _ := out["mean"].AsFloat(); f != 4.5 {
+		t.Errorf("avg = %v, want 4.5", out["mean"])
+	}
+	if out.GetInt("pick") != 1 {
+		t.Errorf("any should be deterministic smallest, got %v", out["pick"])
+	}
+}
+
+func TestAggMissingInputs(t *testing.T) {
+	spec := AggSpec{Fields: []AggField{Sum("s", "x"), Count("n")}}
+	st := spec.Merge(spec.Init(New("y", 1)), spec.Init(New("x", 4)))
+	out := spec.Result(nil, st)
+	if f, _ := out["s"].AsFloat(); f != 4 {
+		t.Errorf("sum over partial inputs = %v, want 4", out["s"])
+	}
+	if out.GetInt("n") != 2 {
+		t.Errorf("count = %d, want 2", out.GetInt("n"))
+	}
+	// All-missing: no output key at all.
+	st2 := spec.Init(New("y", 1))
+	out2 := spec.Result(nil, st2)
+	if _, ok := out2["s"]; ok {
+		t.Error("sum with no inputs must be absent")
+	}
+}
+
+func TestAggCustom(t *testing.T) {
+	concatMax := func(a, b Value) Value {
+		if a.Less(b) {
+			return b
+		}
+		return a
+	}
+	spec := AggSpec{Fields: []AggField{Custom("best", "name", concatMax)}}
+	st := spec.Merge(spec.Init(New("name", "ann")), spec.Init(New("name", "cat")))
+	out := spec.Result(nil, st)
+	if out.GetString("best") != "cat" {
+		t.Errorf("custom = %v", out["best"])
+	}
+}
+
+// Property: Merge is commutative and associative for built-in kinds
+// (the paper requires f_agg to be commutative and associative so that
+// the dataflow reduce is well-defined).
+func TestAggMergeCommutativeAssociative(t *testing.T) {
+	spec := AggSpec{Fields: []AggField{
+		Count("n"), Sum("s", "x"), Min("lo", "x"), Max("hi", "x"), Avg("m", "x"), Any("a", "x"),
+	}}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		gen := func() AggState {
+			if r.Intn(5) == 0 {
+				return spec.Init(New("y", 0)) // missing input
+			}
+			return spec.Init(New("x", int64(r.Intn(100))))
+		}
+		a, b, c := gen(), gen(), gen()
+		ab := spec.Result(nil, spec.Merge(spec.Merge(a, b), c))
+		ba := spec.Result(nil, spec.Merge(spec.Merge(b, a), c))
+		bc := spec.Result(nil, spec.Merge(a, spec.Merge(b, c)))
+		return aggEqual(ab, ba) && aggEqual(ab, bc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func aggEqual(a, b Props) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		w, ok := b[k]
+		if !ok {
+			return false
+		}
+		fa, oka := v.AsFloat()
+		fb, okb := w.AsFloat()
+		if oka && okb {
+			if math.Abs(fa-fb) > 1e-9 {
+				return false
+			}
+			continue
+		}
+		if !v.Equal(w) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAggKindString(t *testing.T) {
+	for k, want := range map[AggKind]string{
+		AggCount: "count", AggSum: "sum", AggMin: "min", AggMax: "max",
+		AggAvg: "avg", AggAny: "any", AggCustom: "custom",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestAggKindUnknownString(t *testing.T) {
+	if got := AggKind(99).String(); got != "agg(99)" {
+		t.Errorf("unknown agg kind = %q", got)
+	}
+}

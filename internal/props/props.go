@@ -1,0 +1,150 @@
+package props
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TypeKey is the reserved property label that every TGraph entity must
+// assign a value to whenever it exists (Definition 2.1).
+const TypeKey = "type"
+
+// Props is a set of key-value pairs representing an assignment of
+// values to the properties of a node or edge. A nil map is a valid
+// empty property set.
+type Props map[string]Value
+
+// New builds a Props from alternating key, value pairs. It panics on an
+// odd number of arguments; it is intended for literals in tests and
+// examples.
+func New(pairs ...any) Props {
+	if len(pairs)%2 != 0 {
+		panic("props.New: odd number of arguments")
+	}
+	p := make(Props, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		key, ok := pairs[i].(string)
+		if !ok {
+			panic(fmt.Sprintf("props.New: key %v is not a string", pairs[i]))
+		}
+		switch v := pairs[i+1].(type) {
+		case Value:
+			p[key] = v
+		case string:
+			p[key] = StringVal(v)
+		case int:
+			p[key] = Int(int64(v))
+		case int64:
+			p[key] = Int(v)
+		case float64:
+			p[key] = Float(v)
+		case bool:
+			p[key] = Bool(v)
+		case nil:
+			p[key] = Nil()
+		default:
+			panic(fmt.Sprintf("props.New: unsupported value type %T for key %q", v, key))
+		}
+	}
+	return p
+}
+
+// Clone returns an independent copy of the property set.
+func (p Props) Clone() Props {
+	if p == nil {
+		return nil
+	}
+	out := make(Props, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// Equal reports whether two property sets assign the same values to the
+// same labels.
+func (p Props) Equal(o Props) bool {
+	if len(p) != len(o) {
+		return false
+	}
+	for k, v := range p {
+		ov, ok := o[k]
+		if !ok || !v.Equal(ov) {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the value for label k and whether it is present.
+func (p Props) Get(k string) (Value, bool) {
+	v, ok := p[k]
+	return v, ok
+}
+
+// GetString returns the string value for label k, or "" if absent or of
+// another kind.
+func (p Props) GetString(k string) string {
+	s, _ := p[k].AsString()
+	return s
+}
+
+// GetInt returns the integer value for label k, or 0 if absent or of
+// another kind.
+func (p Props) GetInt(k string) int64 {
+	n, _ := p[k].AsInt()
+	return n
+}
+
+// Type returns the value of the reserved type property.
+func (p Props) Type() string { return p.GetString(TypeKey) }
+
+// With returns a copy of p with label k set to v.
+func (p Props) With(k string, v Value) Props {
+	out := p.Clone()
+	if out == nil {
+		out = make(Props, 1)
+	}
+	out[k] = v
+	return out
+}
+
+// Keys returns the sorted property labels.
+func (p Props) Keys() []string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Fingerprint returns a canonical string encoding of the property set,
+// usable as a grouping/equality key (e.g. for coalescing via hashing).
+func (p Props) Fingerprint() string {
+	if len(p) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, k := range p.Keys() {
+		kind, payload := p[k].Encode()
+		fmt.Fprintf(&b, "%s\x00%d\x00%s\x01", k, kind, payload)
+	}
+	return b.String()
+}
+
+// String renders the property set in the paper's "k=v, k=v" notation
+// with sorted keys.
+func (p Props) String() string {
+	var b strings.Builder
+	for i, k := range p.Keys() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(p[k].String())
+	}
+	return b.String()
+}

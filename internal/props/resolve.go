@@ -1,0 +1,104 @@
+package props
+
+import "fmt"
+
+// This file implements the window aggregation (resolve) functions of
+// wZoom^T. A given entity may have several states inside one temporal
+// window; the resolve function decides, per attribute, which value
+// represents the window: first, last, or any (the default).
+
+// Resolver selects which of an attribute's values within a window to
+// accept.
+type Resolver int
+
+const (
+	// ResolveAny keeps the value of the earliest state that defines the
+	// attribute (deterministic "any").
+	ResolveAny Resolver = iota
+	// ResolveFirst keeps the value from the earliest state.
+	ResolveFirst
+	// ResolveLast keeps the value from the latest state.
+	ResolveLast
+)
+
+// String returns the paper's name for the resolver.
+func (r Resolver) String() string {
+	switch r {
+	case ResolveFirst:
+		return "first"
+	case ResolveLast:
+		return "last"
+	case ResolveAny:
+		return "any"
+	default:
+		return fmt.Sprintf("resolver(%d)", int(r))
+	}
+}
+
+// ParseResolver parses "first", "last" or "any".
+func ParseResolver(s string) (Resolver, error) {
+	switch s {
+	case "first":
+		return ResolveFirst, nil
+	case "last":
+		return ResolveLast, nil
+	case "any", "":
+		return ResolveAny, nil
+	default:
+		return 0, fmt.Errorf("props: unknown resolver %q", s)
+	}
+}
+
+// ResolveSpec assigns a resolver per attribute, with a default for
+// attributes not listed.
+type ResolveSpec struct {
+	Default Resolver
+	PerKey  map[string]Resolver
+}
+
+// LastWins is a ResolveSpec resolving every attribute to its latest
+// value in the window.
+var LastWins = ResolveSpec{Default: ResolveLast}
+
+// FirstWins is a ResolveSpec resolving every attribute to its earliest
+// value in the window.
+var FirstWins = ResolveSpec{Default: ResolveFirst}
+
+// AnyWins is the paper's default ResolveSpec.
+var AnyWins = ResolveSpec{Default: ResolveAny}
+
+// For returns the resolver for attribute k.
+func (s ResolveSpec) For(k string) Resolver {
+	if r, ok := s.PerKey[k]; ok {
+		return r
+	}
+	return s.Default
+}
+
+// Apply resolves a sequence of property-set states into a single
+// representative property set. The states must be ordered by start
+// time ascending (the natural order of an entity's states within a
+// window). The output contains every attribute defined by at least one
+// state.
+func (s ResolveSpec) Apply(states []Props) Props {
+	if len(states) == 0 {
+		return nil
+	}
+	if len(states) == 1 {
+		return states[0].Clone()
+	}
+	out := make(Props)
+	for _, st := range states {
+		for k, v := range st {
+			switch s.For(k) {
+			case ResolveLast:
+				out[k] = v // later states overwrite
+			default: // first, any
+				if _, ok := out[k]; !ok {
+					out[k] = v
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package props
+
+import "testing"
+
+func TestParseResolver(t *testing.T) {
+	for in, want := range map[string]Resolver{
+		"first": ResolveFirst, "last": ResolveLast, "any": ResolveAny, "": ResolveAny,
+	} {
+		got, err := ParseResolver(in)
+		if err != nil || got != want {
+			t.Errorf("ParseResolver(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseResolver("middle"); err == nil {
+		t.Error("ParseResolver(middle): want error")
+	}
+}
+
+func TestResolverString(t *testing.T) {
+	for r, want := range map[Resolver]string{ResolveFirst: "first", ResolveLast: "last", ResolveAny: "any"} {
+		if r.String() != want {
+			t.Errorf("%v", r)
+		}
+	}
+}
+
+func TestResolveApplyFirstLast(t *testing.T) {
+	// Bob's two states within a window: person, then person@CMU.
+	states := []Props{
+		New("type", "person"),
+		New("type", "person", "school", "CMU"),
+	}
+	first := ResolveSpec{Default: ResolveFirst}.Apply(states)
+	if _, ok := first["school"]; !ok {
+		t.Error("first: attribute defined only later must still appear (earliest defining state wins)")
+	}
+	last := ResolveSpec{Default: ResolveLast}.Apply(states)
+	if last.GetString("school") != "CMU" {
+		t.Errorf("last: school = %q, want CMU", last.GetString("school"))
+	}
+
+	states2 := []Props{
+		New("school", "MIT"),
+		New("school", "CMU"),
+	}
+	if got := FirstWins.Apply(states2).GetString("school"); got != "MIT" {
+		t.Errorf("first: school = %q, want MIT", got)
+	}
+	if got := LastWins.Apply(states2).GetString("school"); got != "CMU" {
+		t.Errorf("last: school = %q, want CMU", got)
+	}
+	if got := AnyWins.Apply(states2).GetString("school"); got != "MIT" {
+		t.Errorf("any must be deterministic (earliest), got %q", got)
+	}
+}
+
+func TestResolvePerKey(t *testing.T) {
+	spec := ResolveSpec{
+		Default: ResolveFirst,
+		PerKey:  map[string]Resolver{"school": ResolveLast},
+	}
+	states := []Props{
+		New("name", "bob", "school", "MIT"),
+		New("name", "bobby", "school", "CMU"),
+	}
+	out := spec.Apply(states)
+	if out.GetString("name") != "bob" || out.GetString("school") != "CMU" {
+		t.Errorf("per-key resolve = %v", out)
+	}
+}
+
+func TestResolveApplyEdgeCases(t *testing.T) {
+	if (ResolveSpec{}).Apply(nil) != nil {
+		t.Error("resolving no states should yield nil")
+	}
+	p := New("a", 1)
+	out := LastWins.Apply([]Props{p})
+	if !out.Equal(p) {
+		t.Error("single state should round-trip")
+	}
+	out["b"] = Int(2)
+	if _, ok := p["b"]; ok {
+		t.Error("single-state resolve must clone, not alias")
+	}
+}
+
+func TestResolverUnknownString(t *testing.T) {
+	if got := Resolver(9).String(); got != "resolver(9)" {
+		t.Errorf("unknown resolver = %q", got)
+	}
+}

@@ -1,0 +1,152 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/props"
+	"repro/internal/temporal"
+)
+
+func TestCSVVertexRoundTrip(t *testing.T) {
+	in := []core.VertexTuple{
+		{ID: 1, Interval: temporal.MustInterval(1, 7), Props: props.New("type", "person", "school", "MIT", "editCount", 15)},
+		{ID: 2, Interval: temporal.MustInterval(2, 5), Props: props.New("type", "person")},
+		{ID: 3, Interval: temporal.MustInterval(0, 9), Props: props.New("type", "person", "score", 2.5, "active", true)},
+	}
+	var buf bytes.Buffer
+	if err := WriteVerticesCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadVerticesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("rows = %d", len(out))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	for i := range in {
+		if out[i].ID != in[i].ID || !out[i].Interval.Equal(in[i].Interval) || !out[i].Props.Equal(in[i].Props) {
+			t.Errorf("row %d: got %v %v {%v}, want {%v}", i, out[i].ID, out[i].Interval, out[i].Props, in[i].Props)
+		}
+	}
+}
+
+func TestCSVEdgeRoundTrip(t *testing.T) {
+	in := []core.EdgeTuple{
+		{ID: 1, Src: 1, Dst: 2, Interval: temporal.MustInterval(2, 7), Props: props.New("type", "co-author", "weight", 3)},
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgesCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadEdgesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Src != 1 || out[0].Dst != 2 || !out[0].Props.Equal(in[0].Props) {
+		t.Errorf("round trip: %+v", out)
+	}
+}
+
+func TestCSVValueTyping(t *testing.T) {
+	csv := "id,start,end,type,n,f,b,s\n1,0,5,node,42,2.5,true,hello\n"
+	out, err := ReadVerticesCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := out[0].Props
+	if p.GetInt("n") != 42 {
+		t.Errorf("int: %v", p["n"])
+	}
+	if f, ok := p["f"].AsFloat(); !ok || f != 2.5 {
+		t.Errorf("float: %v", p["f"])
+	}
+	if b, ok := p["b"].AsBool(); !ok || !b {
+		t.Errorf("bool: %v", p["b"])
+	}
+	if p.GetString("s") != "hello" {
+		t.Errorf("string: %v", p["s"])
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"bad header":    "x,y,z\n",
+		"short header":  "id\n",
+		"bad id":        "id,start,end\nxx,0,5\n",
+		"bad interval":  "id,start,end\n1,9,2\n",
+		"ragged row":    "id,start,end,type\n1,0,5\n",
+		"bad start num": "id,start,end\n1,zz,5\n",
+	}
+	for name, csv := range cases {
+		if _, err := ReadVerticesCSV(strings.NewReader(csv)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+	if _, err := ReadEdgesCSV(strings.NewReader("id,src,dst,start,end\n1,x,2,0,5\n")); err == nil {
+		t.Error("bad edge src: want error")
+	}
+}
+
+func TestCSVEmptyCellsSkipProps(t *testing.T) {
+	csv := "id,start,end,type,school\n1,0,5,person,\n2,0,5,person,MIT\n"
+	out, err := ReadVerticesCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	if _, ok := out[0].Props["school"]; ok {
+		t.Error("empty cell must not define the property")
+	}
+	if out[1].Props.GetString("school") != "MIT" {
+		t.Error("non-empty cell lost")
+	}
+}
+
+func TestImportExportCSV(t *testing.T) {
+	ctx := testCtx()
+	g := core.NewVE(ctx, sampleVertices(50), sampleEdgesWithin(50))
+	dir := t.TempDir()
+	if err := ExportCSV(dir, g); err != nil {
+		t.Fatal(err)
+	}
+	vs, es, err := ImportCSV(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := core.NewVE(ctx, vs, es)
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Errorf("import: %d/%d vs %d/%d", g2.NumVertices(), g2.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	if err := core.Validate(g2); err != nil {
+		t.Errorf("imported graph invalid: %v", err)
+	}
+}
+
+func TestImportCSVWithoutEdges(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeFile(dir+"/vertices.csv", "id,start,end,type\n1,0,5,n\n"); err != nil {
+		t.Fatal(err)
+	}
+	vs, es, err := ImportCSV(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || es != nil {
+		t.Errorf("vs=%d es=%v", len(vs), es)
+	}
+	if _, _, err := ImportCSV(t.TempDir()); err == nil {
+		t.Error("missing vertices.csv: want error")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

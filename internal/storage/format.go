@@ -1,0 +1,258 @@
+// Package storage implements PGC, the columnar on-disk graph format
+// this reproduction uses in place of Apache Parquet on HDFS.
+//
+// A PGC file stores one relation (vertex states or edge states) as a
+// sequence of row chunks; within a chunk each column is stored
+// contiguously with a per-column encoding (zig-zag delta varints for
+// integers, dictionary encoding for property sets) and CRC32 checksum.
+// The footer records per-chunk, per-column min/max statistics (zone
+// maps). Like Parquet, PGC has no index, but supports predicate
+// pushdown over any column the data is sorted by: a time-range scan
+// skips chunks whose zone maps prove no overlap.
+//
+// Two sort orders mirror the paper's Section 4 loading strategies:
+//
+//	SortTemporal   — (entity id, start): the history of an entity is
+//	                 contiguous (temporal locality; used for VE)
+//	SortStructural — (start, entity id): each snapshot is contiguous
+//	                 (structural locality; used for RG, loads ~30% faster
+//	                 for snapshot-oriented representations)
+//
+// The nested layout for OG/OGC (history arrays, with first/last
+// existence columns for pushdown) lives in nested.go.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/props"
+)
+
+const (
+	magic          = "PGC1"
+	nestedMagic    = "PGN1"
+	defaultChunkSz = 4096
+)
+
+// SortOrder selects the on-disk row order.
+type SortOrder int
+
+const (
+	// SortTemporal orders rows by (entity id, interval start).
+	SortTemporal SortOrder = iota
+	// SortStructural orders rows by (interval start, entity id).
+	SortStructural
+)
+
+// String names the sort order.
+func (s SortOrder) String() string {
+	if s == SortStructural {
+		return "structural"
+	}
+	return "temporal"
+}
+
+// putUvarint appends x as an unsigned varint.
+func putUvarint(buf []byte, x uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], x)
+	return append(buf, tmp[:n]...)
+}
+
+// putVarint appends x as a zig-zag signed varint.
+func putVarint(buf []byte, x int64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], x)
+	return append(buf, tmp[:n]...)
+}
+
+// byteReader consumes varints and length-prefixed byte runs from a
+// buffer.
+type byteReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *byteReader) uvarint() (uint64, error) {
+	x, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("storage: corrupt uvarint at offset %d", r.pos)
+	}
+	r.pos += n
+	return x, nil
+}
+
+func (r *byteReader) varint() (int64, error) {
+	x, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("storage: corrupt varint at offset %d", r.pos)
+	}
+	r.pos += n
+	return x, nil
+}
+
+func (r *byteReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.pos+n > len(r.buf) {
+		return nil, fmt.Errorf("storage: truncated read of %d bytes at offset %d", n, r.pos)
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+// encodeDeltaInts encodes ints as zig-zag deltas (first value absolute).
+func encodeDeltaInts(vals []int64) []byte {
+	buf := make([]byte, 0, len(vals))
+	prev := int64(0)
+	for _, v := range vals {
+		buf = putVarint(buf, v-prev)
+		prev = v
+	}
+	return buf
+}
+
+// decodeDeltaInts decodes n zig-zag delta varints.
+func decodeDeltaInts(data []byte, n int) ([]int64, error) {
+	r := &byteReader{buf: data}
+	out := make([]int64, n)
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		d, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		prev += d
+		out[i] = prev
+	}
+	return out, nil
+}
+
+// encodeProps serialises a property set deterministically: count, then
+// per key (len, key, kind, len, payload) with keys sorted.
+func encodeProps(p props.Props) []byte {
+	keys := p.Keys()
+	buf := putUvarint(nil, uint64(len(keys)))
+	for _, k := range keys {
+		kind, payload := p[k].Encode()
+		buf = putUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+		buf = putUvarint(buf, uint64(kind))
+		buf = putUvarint(buf, uint64(len(payload)))
+		buf = append(buf, payload...)
+	}
+	return buf
+}
+
+// decodeProps reverses encodeProps.
+func decodeProps(data []byte) (props.Props, error) {
+	r := &byteReader{buf: data}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	p := make(props.Props, n)
+	for i := uint64(0); i < n; i++ {
+		klen, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		kb, err := r.bytes(int(klen))
+		if err != nil {
+			return nil, err
+		}
+		kind, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		plen, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		pb, err := r.bytes(int(plen))
+		if err != nil {
+			return nil, err
+		}
+		v, err := props.Decode(props.Kind(kind), string(pb))
+		if err != nil {
+			return nil, err
+		}
+		p[string(kb)] = v
+	}
+	return p, nil
+}
+
+// dictEncode dictionary-encodes byte strings: returns the dictionary
+// (unique values, first-seen order... sorted for determinism) and the
+// per-row indexes.
+func dictEncode(rows [][]byte) (dict [][]byte, idx []uint64) {
+	seen := make(map[string]int)
+	var uniq []string
+	for _, r := range rows {
+		s := string(r)
+		if _, ok := seen[s]; !ok {
+			seen[s] = 0
+			uniq = append(uniq, s)
+		}
+	}
+	sort.Strings(uniq)
+	for i, s := range uniq {
+		seen[s] = i
+		dict = append(dict, []byte(s))
+	}
+	idx = make([]uint64, len(rows))
+	for i, r := range rows {
+		idx[i] = uint64(seen[string(r)])
+	}
+	return dict, idx
+}
+
+// encodeDictColumn serialises a dictionary-encoded column.
+func encodeDictColumn(rows [][]byte) []byte {
+	dict, idx := dictEncode(rows)
+	buf := putUvarint(nil, uint64(len(dict)))
+	for _, d := range dict {
+		buf = putUvarint(buf, uint64(len(d)))
+		buf = append(buf, d...)
+	}
+	for _, i := range idx {
+		buf = putUvarint(buf, i)
+	}
+	return buf
+}
+
+// decodeDictColumn deserialises n rows of a dictionary-encoded column.
+func decodeDictColumn(data []byte, n int) ([][]byte, error) {
+	r := &byteReader{buf: data}
+	dn, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	dict := make([][]byte, dn)
+	for i := range dict {
+		l, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		dict[i], err = r.bytes(int(l))
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		ix, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if ix >= dn {
+			return nil, fmt.Errorf("storage: dictionary index %d out of range %d", ix, dn)
+		}
+		out[i] = dict[ix]
+	}
+	return out, nil
+}

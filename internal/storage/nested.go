@@ -1,0 +1,405 @@
+package storage
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/temporal"
+)
+
+// The nested layout stores pre-grouped OG entities — one row per
+// vertex/edge with its full history array — so that OG and OGC load
+// without re-grouping. Interval data lives inside the nested history
+// column, which a Parquet-style zone map cannot see; following the
+// paper (Section 4), each row therefore also stores the first start and
+// last end of its history as separate columns, and the file is sorted
+// on these so the time-range pushdown still works.
+
+// nestedRow is the on-disk record of one entity.
+type nestedRow struct {
+	id         int64
+	src, dst   int64
+	firstStart int64
+	lastEnd    int64
+	history    []byte
+}
+
+type nestedChunkMeta struct {
+	Rows          int    `json:"rows"`
+	Offset        int64  `json:"offset"`
+	Length        int    `json:"length"`
+	CRC           uint32 `json:"crc"`
+	MinFirstStart int64  `json:"minFirstStart"`
+	MaxFirstStart int64  `json:"maxFirstStart"`
+	MinLastEnd    int64  `json:"minLastEnd"`
+	MaxLastEnd    int64  `json:"maxLastEnd"`
+	ColLens       []int  `json:"colLens"`
+}
+
+type nestedFooter struct {
+	Version   int               `json:"version"`
+	Kind      string            `json:"kind"`
+	RowCount  int               `json:"rowCount"`
+	ChunkRows int               `json:"chunkRows"`
+	Chunks    []nestedChunkMeta `json:"chunks"`
+}
+
+// encodeHistory serialises a history array: count, then per item
+// (start, end, propsLen, props).
+func encodeHistory(h []core.HistoryItem) []byte {
+	buf := putUvarint(nil, uint64(len(h)))
+	for _, it := range h {
+		buf = putVarint(buf, int64(it.Interval.Start))
+		buf = putVarint(buf, int64(it.Interval.End))
+		pb := encodeProps(it.Props)
+		buf = putUvarint(buf, uint64(len(pb)))
+		buf = append(buf, pb...)
+	}
+	return buf
+}
+
+func decodeHistory(data []byte) ([]core.HistoryItem, error) {
+	r := &byteReader{buf: data}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.HistoryItem, 0, n)
+	for i := uint64(0); i < n; i++ {
+		s, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		e, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		plen, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		pb, err := r.bytes(int(plen))
+		if err != nil {
+			return nil, err
+		}
+		p, err := decodeProps(pb)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, core.HistoryItem{
+			Interval: temporal.Interval{Start: temporal.Time(s), End: temporal.Time(e)},
+			Props:    p,
+		})
+	}
+	return out, nil
+}
+
+func historySpan(h []core.HistoryItem) (first, last int64) {
+	if len(h) == 0 {
+		return 0, 0
+	}
+	first, last = int64(h[0].Interval.Start), int64(h[0].Interval.End)
+	for _, it := range h[1:] {
+		first = min(first, int64(it.Interval.Start))
+		last = max(last, int64(it.Interval.End))
+	}
+	return first, last
+}
+
+// WriteNestedVertices writes OG vertices in the nested layout.
+func WriteNestedVertices(path string, vs []core.OGVertex, opts WriteOptions) error {
+	rows := make([]nestedRow, len(vs))
+	for i, v := range vs {
+		first, last := historySpan(v.History)
+		rows[i] = nestedRow{id: int64(v.ID), firstStart: first, lastEnd: last, history: encodeHistory(v.History)}
+	}
+	return writeNested(path, "vertices", rows, opts)
+}
+
+// WriteNestedEdges writes OG edges in the nested layout.
+func WriteNestedEdges(path string, es []core.OGEdge, opts WriteOptions) error {
+	rows := make([]nestedRow, len(es))
+	for i, e := range es {
+		first, last := historySpan(e.History)
+		rows[i] = nestedRow{id: int64(e.ID), src: int64(e.Src), dst: int64(e.Dst), firstStart: first, lastEnd: last, history: encodeHistory(e.History)}
+	}
+	return writeNested(path, "edges", rows, opts)
+}
+
+func writeNested(path, kind string, rows []nestedRow, opts WriteOptions) error {
+	// Sort on the pushdown columns (firstStart, then id).
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].firstStart != rows[j].firstStart {
+			return rows[i].firstStart < rows[j].firstStart
+		}
+		return rows[i].id < rows[j].id
+	})
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("storage: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if _, err := f.WriteString(nestedMagic); err != nil {
+		return err
+	}
+	offset := int64(len(nestedMagic))
+	footer := nestedFooter{Version: 1, Kind: kind, RowCount: len(rows), ChunkRows: opts.chunkRows()}
+	for lo := 0; lo < len(rows); lo += footer.ChunkRows {
+		hi := min(lo+footer.ChunkRows, len(rows))
+		data, meta := encodeNestedChunk(rows[lo:hi])
+		meta.Offset = offset
+		if _, err := f.Write(data); err != nil {
+			return err
+		}
+		offset += int64(len(data))
+		footer.Chunks = append(footer.Chunks, meta)
+	}
+	fb, err := json.Marshal(footer)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(fb); err != nil {
+		return err
+	}
+	var trailer [16]byte
+	binary.LittleEndian.PutUint64(trailer[:8], uint64(len(fb)))
+	binary.LittleEndian.PutUint32(trailer[8:12], crc32.ChecksumIEEE(fb))
+	copy(trailer[12:], nestedMagic)
+	_, err = f.Write(trailer[:])
+	return err
+}
+
+func encodeNestedChunk(rows []nestedRow) ([]byte, nestedChunkMeta) {
+	n := len(rows)
+	ids := make([]int64, n)
+	srcs := make([]int64, n)
+	dsts := make([]int64, n)
+	firsts := make([]int64, n)
+	lasts := make([]int64, n)
+	hists := make([][]byte, n)
+	meta := nestedChunkMeta{Rows: n}
+	for i, r := range rows {
+		ids[i], srcs[i], dsts[i], firsts[i], lasts[i], hists[i] = r.id, r.src, r.dst, r.firstStart, r.lastEnd, r.history
+		if i == 0 {
+			meta.MinFirstStart, meta.MaxFirstStart = r.firstStart, r.firstStart
+			meta.MinLastEnd, meta.MaxLastEnd = r.lastEnd, r.lastEnd
+		} else {
+			meta.MinFirstStart = min(meta.MinFirstStart, r.firstStart)
+			meta.MaxFirstStart = max(meta.MaxFirstStart, r.firstStart)
+			meta.MinLastEnd = min(meta.MinLastEnd, r.lastEnd)
+			meta.MaxLastEnd = max(meta.MaxLastEnd, r.lastEnd)
+		}
+	}
+	// History is stored plain length-prefixed (histories are unique per
+	// entity; dictionary encoding would not pay off).
+	var hcol []byte
+	for _, h := range hists {
+		hcol = putUvarint(hcol, uint64(len(h)))
+		hcol = append(hcol, h...)
+	}
+	cols := [][]byte{
+		encodeDeltaInts(ids), encodeDeltaInts(srcs), encodeDeltaInts(dsts),
+		encodeDeltaInts(firsts), encodeDeltaInts(lasts), hcol,
+	}
+	var data []byte
+	for _, c := range cols {
+		meta.ColLens = append(meta.ColLens, len(c))
+		data = append(data, c...)
+	}
+	meta.Length = len(data)
+	meta.CRC = crc32.ChecksumIEEE(data)
+	return data, meta
+}
+
+type nestedReader struct {
+	footer nestedFooter
+	data   []byte
+}
+
+func openNested(path string) (*nestedReader, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: read %s: %w", path, err)
+	}
+	if len(data) < len(nestedMagic)+16 || string(data[:len(nestedMagic)]) != nestedMagic {
+		return nil, fmt.Errorf("storage: %s is not a nested PGC file", path)
+	}
+	trailer := data[len(data)-16:]
+	if string(trailer[12:]) != nestedMagic {
+		return nil, fmt.Errorf("storage: %s has a corrupt trailer", path)
+	}
+	flen := binary.LittleEndian.Uint64(trailer[:8])
+	fstart := len(data) - 16 - int(flen)
+	if fstart < len(nestedMagic) {
+		return nil, fmt.Errorf("storage: %s footer length out of bounds", path)
+	}
+	fb := data[fstart : len(data)-16]
+	if crc32.ChecksumIEEE(fb) != binary.LittleEndian.Uint32(trailer[8:12]) {
+		return nil, fmt.Errorf("storage: %s footer fails CRC check", path)
+	}
+	var footer nestedFooter
+	if err := json.Unmarshal(fb, &footer); err != nil {
+		return nil, fmt.Errorf("storage: %s footer: %w", path, err)
+	}
+	return &nestedReader{footer: footer, data: data}, nil
+}
+
+func (r *nestedReader) scan(rng temporal.Interval) ([]nestedRow, ScanStats, error) {
+	var stats ScanStats
+	var out []nestedRow
+	pushdown := !rng.IsEmpty()
+	for _, cm := range r.footer.Chunks {
+		if pushdown && (cm.MinFirstStart >= int64(rng.End) || cm.MaxLastEnd <= int64(rng.Start)) {
+			stats.ChunksSkipped++
+			continue
+		}
+		stats.ChunksRead++
+		stats.BytesRead += int64(cm.Length)
+		rows, err := decodeNestedChunk(r.data, cm)
+		if err != nil {
+			return nil, stats, err
+		}
+		for _, rw := range rows {
+			if pushdown && (rw.firstStart >= int64(rng.End) || rw.lastEnd <= int64(rng.Start)) {
+				continue
+			}
+			out = append(out, rw)
+			stats.RowsRead++
+		}
+	}
+	return out, stats, nil
+}
+
+func decodeNestedChunk(data []byte, cm nestedChunkMeta) ([]nestedRow, error) {
+	if cm.Offset < 0 || cm.Offset+int64(cm.Length) > int64(len(data)) {
+		return nil, fmt.Errorf("storage: nested chunk out of bounds")
+	}
+	chunk := data[cm.Offset : cm.Offset+int64(cm.Length)]
+	if crc32.ChecksumIEEE(chunk) != cm.CRC {
+		return nil, fmt.Errorf("storage: nested chunk at offset %d fails CRC check", cm.Offset)
+	}
+	if len(cm.ColLens) != 6 {
+		return nil, fmt.Errorf("storage: nested chunk has %d columns, want 6", len(cm.ColLens))
+	}
+	var cols [6][]byte
+	pos := 0
+	for i, l := range cm.ColLens {
+		if pos+l > len(chunk) {
+			return nil, fmt.Errorf("storage: nested column %d overruns chunk", i)
+		}
+		cols[i] = chunk[pos : pos+l]
+		pos += l
+	}
+	n := cm.Rows
+	ids, err := decodeDeltaInts(cols[0], n)
+	if err != nil {
+		return nil, err
+	}
+	srcs, err := decodeDeltaInts(cols[1], n)
+	if err != nil {
+		return nil, err
+	}
+	dsts, err := decodeDeltaInts(cols[2], n)
+	if err != nil {
+		return nil, err
+	}
+	firsts, err := decodeDeltaInts(cols[3], n)
+	if err != nil {
+		return nil, err
+	}
+	lasts, err := decodeDeltaInts(cols[4], n)
+	if err != nil {
+		return nil, err
+	}
+	hr := &byteReader{buf: cols[5]}
+	rows := make([]nestedRow, n)
+	for i := 0; i < n; i++ {
+		hl, err := hr.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		hb, err := hr.bytes(int(hl))
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = nestedRow{id: ids[i], src: srcs[i], dst: dsts[i], firstStart: firsts[i], lastEnd: lasts[i], history: hb}
+	}
+	return rows, nil
+}
+
+// ReadNestedVertices reads OG vertices with time-range pushdown;
+// history items are clipped to rng.
+func ReadNestedVertices(path string, rng temporal.Interval) ([]core.OGVertex, ScanStats, error) {
+	r, err := openNested(path)
+	if err != nil {
+		return nil, ScanStats{}, err
+	}
+	if r.footer.Kind != "vertices" {
+		return nil, ScanStats{}, fmt.Errorf("storage: %s holds %s, want vertices", path, r.footer.Kind)
+	}
+	rows, stats, err := r.scan(rng)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]core.OGVertex, 0, len(rows))
+	for _, rw := range rows {
+		h, err := decodeHistory(rw.history)
+		if err != nil {
+			return nil, stats, err
+		}
+		h = clipHistory(h, rng)
+		if len(h) == 0 {
+			continue
+		}
+		out = append(out, core.OGVertex{ID: core.VertexID(rw.id), History: h})
+	}
+	return out, stats, nil
+}
+
+// ReadNestedEdges reads OG edges with time-range pushdown.
+func ReadNestedEdges(path string, rng temporal.Interval) ([]core.OGEdge, ScanStats, error) {
+	r, err := openNested(path)
+	if err != nil {
+		return nil, ScanStats{}, err
+	}
+	if r.footer.Kind != "edges" {
+		return nil, ScanStats{}, fmt.Errorf("storage: %s holds %s, want edges", path, r.footer.Kind)
+	}
+	rows, stats, err := r.scan(rng)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]core.OGEdge, 0, len(rows))
+	for _, rw := range rows {
+		h, err := decodeHistory(rw.history)
+		if err != nil {
+			return nil, stats, err
+		}
+		h = clipHistory(h, rng)
+		if len(h) == 0 {
+			continue
+		}
+		out = append(out, core.OGEdge{ID: core.EdgeID(rw.id), Src: core.VertexID(rw.src), Dst: core.VertexID(rw.dst), History: h})
+	}
+	return out, stats, nil
+}
+
+func clipHistory(h []core.HistoryItem, rng temporal.Interval) []core.HistoryItem {
+	if rng.IsEmpty() {
+		return h
+	}
+	out := make([]core.HistoryItem, 0, len(h))
+	for _, it := range h {
+		iv := it.Interval.Intersect(rng)
+		if iv.IsEmpty() {
+			continue
+		}
+		out = append(out, core.HistoryItem{Interval: iv, Props: it.Props})
+	}
+	return out
+}

@@ -1,0 +1,403 @@
+package storage
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/temporal"
+)
+
+// row is the flat on-disk record: vertex rows leave Src/Dst zero and
+// the isEdge flag distinguishes files, not rows.
+type row struct {
+	id       int64
+	src, dst int64
+	start    int64
+	end      int64
+	propb    []byte
+}
+
+// chunkMeta is the footer entry for one chunk.
+type chunkMeta struct {
+	Rows     int      `json:"rows"`
+	Offset   int64    `json:"offset"`
+	Length   int      `json:"length"`
+	CRC      uint32   `json:"crc"`
+	MinStart int64    `json:"minStart"`
+	MaxStart int64    `json:"maxStart"`
+	MinEnd   int64    `json:"minEnd"`
+	MaxEnd   int64    `json:"maxEnd"`
+	MinID    int64    `json:"minId"`
+	MaxID    int64    `json:"maxId"`
+	ColLens  []int    `json:"colLens"` // lengths of the column sections inside the chunk
+	_        struct{} `json:"-"`
+}
+
+// fileFooter is the PGC footer, stored as JSON before the trailer.
+type fileFooter struct {
+	Version   int         `json:"version"`
+	Kind      string      `json:"kind"` // "vertices" | "edges"
+	RowCount  int         `json:"rowCount"`
+	ChunkRows int         `json:"chunkRows"`
+	SortOrder string      `json:"sortOrder"`
+	Chunks    []chunkMeta `json:"chunks"`
+}
+
+// WriteOptions configures PGC writes.
+type WriteOptions struct {
+	// Order selects the on-disk sort order; see the package comment.
+	Order SortOrder
+	// ChunkRows is the rows-per-chunk granularity of zone maps;
+	// <= 0 selects the default (4096).
+	ChunkRows int
+}
+
+func (o WriteOptions) chunkRows() int {
+	if o.ChunkRows > 0 {
+		return o.ChunkRows
+	}
+	return defaultChunkSz
+}
+
+// WriteVertices writes vertex states to a PGC file at path.
+func WriteVertices(path string, states []core.VertexTuple, opts WriteOptions) error {
+	rows := make([]row, len(states))
+	for i, v := range states {
+		rows[i] = row{
+			id:    int64(v.ID),
+			start: int64(v.Interval.Start),
+			end:   int64(v.Interval.End),
+			propb: encodeProps(v.Props),
+		}
+	}
+	return writePGC(path, "vertices", rows, opts)
+}
+
+// WriteEdges writes edge states to a PGC file at path.
+func WriteEdges(path string, states []core.EdgeTuple, opts WriteOptions) error {
+	rows := make([]row, len(states))
+	for i, e := range states {
+		rows[i] = row{
+			id:    int64(e.ID),
+			src:   int64(e.Src),
+			dst:   int64(e.Dst),
+			start: int64(e.Interval.Start),
+			end:   int64(e.Interval.End),
+			propb: encodeProps(e.Props),
+		}
+	}
+	return writePGC(path, "edges", rows, opts)
+}
+
+func sortRows(rows []row, order SortOrder) {
+	switch order {
+	case SortStructural:
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].start != rows[j].start {
+				return rows[i].start < rows[j].start
+			}
+			return rows[i].id < rows[j].id
+		})
+	default:
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].id != rows[j].id {
+				return rows[i].id < rows[j].id
+			}
+			return rows[i].start < rows[j].start
+		})
+	}
+}
+
+func writePGC(path, kind string, rows []row, opts WriteOptions) error {
+	sortRows(rows, opts.Order)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("storage: create %s: %w", path, err)
+	}
+	defer f.Close()
+
+	if _, err := f.WriteString(magic); err != nil {
+		return err
+	}
+	offset := int64(len(magic))
+	footer := fileFooter{
+		Version:   1,
+		Kind:      kind,
+		RowCount:  len(rows),
+		ChunkRows: opts.chunkRows(),
+		SortOrder: opts.Order.String(),
+	}
+	for lo := 0; lo < len(rows); lo += footer.ChunkRows {
+		hi := min(lo+footer.ChunkRows, len(rows))
+		chunk := rows[lo:hi]
+		data, meta := encodeChunk(chunk)
+		meta.Offset = offset
+		if _, err := f.Write(data); err != nil {
+			return err
+		}
+		offset += int64(len(data))
+		footer.Chunks = append(footer.Chunks, meta)
+	}
+	fb, err := json.Marshal(footer)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(fb); err != nil {
+		return err
+	}
+	// Trailer: footer length, footer CRC (the footer carries the chunk
+	// metadata the data CRCs depend on, so it needs its own checksum),
+	// magic.
+	var trailer [16]byte
+	binary.LittleEndian.PutUint64(trailer[:8], uint64(len(fb)))
+	binary.LittleEndian.PutUint32(trailer[8:12], crc32.ChecksumIEEE(fb))
+	copy(trailer[12:], magic)
+	if _, err := f.Write(trailer[:]); err != nil {
+		return err
+	}
+	return nil
+}
+
+// encodeChunk lays out a chunk column-by-column and computes its zone
+// map.
+func encodeChunk(rows []row) ([]byte, chunkMeta) {
+	n := len(rows)
+	ids := make([]int64, n)
+	srcs := make([]int64, n)
+	dsts := make([]int64, n)
+	starts := make([]int64, n)
+	ends := make([]int64, n)
+	pb := make([][]byte, n)
+	meta := chunkMeta{Rows: n}
+	for i, r := range rows {
+		ids[i], srcs[i], dsts[i], starts[i], ends[i], pb[i] = r.id, r.src, r.dst, r.start, r.end, r.propb
+		if i == 0 {
+			meta.MinStart, meta.MaxStart = r.start, r.start
+			meta.MinEnd, meta.MaxEnd = r.end, r.end
+			meta.MinID, meta.MaxID = r.id, r.id
+		} else {
+			meta.MinStart = min(meta.MinStart, r.start)
+			meta.MaxStart = max(meta.MaxStart, r.start)
+			meta.MinEnd = min(meta.MinEnd, r.end)
+			meta.MaxEnd = max(meta.MaxEnd, r.end)
+			meta.MinID = min(meta.MinID, r.id)
+			meta.MaxID = max(meta.MaxID, r.id)
+		}
+	}
+	cols := [][]byte{
+		encodeDeltaInts(ids),
+		encodeDeltaInts(srcs),
+		encodeDeltaInts(dsts),
+		encodeDeltaInts(starts),
+		encodeDeltaInts(ends),
+		encodeDictColumn(pb),
+	}
+	var data []byte
+	for _, c := range cols {
+		meta.ColLens = append(meta.ColLens, len(c))
+		data = append(data, c...)
+	}
+	meta.Length = len(data)
+	meta.CRC = crc32.ChecksumIEEE(data)
+	return data, meta
+}
+
+// ScanStats reports what a predicate-pushdown scan did.
+type ScanStats struct {
+	ChunksRead    int
+	ChunksSkipped int
+	RowsRead      int
+	BytesRead     int64
+}
+
+// reader reads a PGC file with optional time-range pushdown.
+type reader struct {
+	path   string
+	footer fileFooter
+	data   []byte
+}
+
+func openPGC(path string) (*reader, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: read %s: %w", path, err)
+	}
+	if len(data) < len(magic)+16 || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("storage: %s is not a PGC file", path)
+	}
+	trailer := data[len(data)-16:]
+	if string(trailer[12:]) != magic {
+		return nil, fmt.Errorf("storage: %s has a corrupt trailer", path)
+	}
+	flen := binary.LittleEndian.Uint64(trailer[:8])
+	fstart := len(data) - 16 - int(flen)
+	if fstart < len(magic) {
+		return nil, fmt.Errorf("storage: %s footer length %d out of bounds", path, flen)
+	}
+	fb := data[fstart : len(data)-16]
+	if crc32.ChecksumIEEE(fb) != binary.LittleEndian.Uint32(trailer[8:12]) {
+		return nil, fmt.Errorf("storage: %s footer fails CRC check", path)
+	}
+	var footer fileFooter
+	if err := json.Unmarshal(fb, &footer); err != nil {
+		return nil, fmt.Errorf("storage: %s footer: %w", path, err)
+	}
+	return &reader{path: path, footer: footer, data: data}, nil
+}
+
+// scan decodes all chunks whose zone map may overlap rng. A zero rng
+// (empty interval) disables pushdown and reads everything.
+func (r *reader) scan(rng temporal.Interval) ([]row, ScanStats, error) {
+	var stats ScanStats
+	var out []row
+	pushdown := !rng.IsEmpty()
+	for _, cm := range r.footer.Chunks {
+		if pushdown {
+			// Chunk overlaps [rng.Start, rng.End) only if some row's
+			// [start, end) can intersect it: need start < rng.End and
+			// end > rng.Start.
+			if cm.MinStart >= int64(rng.End) || cm.MaxEnd <= int64(rng.Start) {
+				stats.ChunksSkipped++
+				continue
+			}
+		}
+		stats.ChunksRead++
+		stats.BytesRead += int64(cm.Length)
+		rows, err := decodeChunk(r.data, cm)
+		if err != nil {
+			return nil, stats, err
+		}
+		for _, rw := range rows {
+			if pushdown {
+				iv := temporal.Interval{Start: temporal.Time(rw.start), End: temporal.Time(rw.end)}
+				if !iv.Overlaps(rng) {
+					continue
+				}
+			}
+			out = append(out, rw)
+			stats.RowsRead++
+		}
+	}
+	return out, stats, nil
+}
+
+func decodeChunk(data []byte, cm chunkMeta) ([]row, error) {
+	if cm.Offset < 0 || cm.Offset+int64(cm.Length) > int64(len(data)) {
+		return nil, fmt.Errorf("storage: chunk out of bounds")
+	}
+	chunk := data[cm.Offset : cm.Offset+int64(cm.Length)]
+	if crc32.ChecksumIEEE(chunk) != cm.CRC {
+		return nil, fmt.Errorf("storage: chunk at offset %d fails CRC check", cm.Offset)
+	}
+	if len(cm.ColLens) != 6 {
+		return nil, fmt.Errorf("storage: chunk has %d columns, want 6", len(cm.ColLens))
+	}
+	var cols [6][]byte
+	pos := 0
+	for i, l := range cm.ColLens {
+		if pos+l > len(chunk) {
+			return nil, fmt.Errorf("storage: column %d overruns chunk", i)
+		}
+		cols[i] = chunk[pos : pos+l]
+		pos += l
+	}
+	n := cm.Rows
+	ids, err := decodeDeltaInts(cols[0], n)
+	if err != nil {
+		return nil, err
+	}
+	srcs, err := decodeDeltaInts(cols[1], n)
+	if err != nil {
+		return nil, err
+	}
+	dsts, err := decodeDeltaInts(cols[2], n)
+	if err != nil {
+		return nil, err
+	}
+	starts, err := decodeDeltaInts(cols[3], n)
+	if err != nil {
+		return nil, err
+	}
+	ends, err := decodeDeltaInts(cols[4], n)
+	if err != nil {
+		return nil, err
+	}
+	pbs, err := decodeDictColumn(cols[5], n)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]row, n)
+	for i := 0; i < n; i++ {
+		rows[i] = row{id: ids[i], src: srcs[i], dst: dsts[i], start: starts[i], end: ends[i], propb: pbs[i]}
+	}
+	return rows, nil
+}
+
+// ReadVertices reads vertex states from a PGC file, applying time-range
+// pushdown when rng is non-empty. States are clipped to rng.
+func ReadVertices(path string, rng temporal.Interval) ([]core.VertexTuple, ScanStats, error) {
+	r, err := openPGC(path)
+	if err != nil {
+		return nil, ScanStats{}, err
+	}
+	if r.footer.Kind != "vertices" {
+		return nil, ScanStats{}, fmt.Errorf("storage: %s holds %s, want vertices", path, r.footer.Kind)
+	}
+	rows, stats, err := r.scan(rng)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]core.VertexTuple, 0, len(rows))
+	for _, rw := range rows {
+		p, err := decodeProps(rw.propb)
+		if err != nil {
+			return nil, stats, err
+		}
+		iv := clip(rw.start, rw.end, rng)
+		out = append(out, core.VertexTuple{ID: core.VertexID(rw.id), Interval: iv, Props: p})
+	}
+	return out, stats, nil
+}
+
+// ReadEdges reads edge states from a PGC file, applying time-range
+// pushdown when rng is non-empty.
+func ReadEdges(path string, rng temporal.Interval) ([]core.EdgeTuple, ScanStats, error) {
+	r, err := openPGC(path)
+	if err != nil {
+		return nil, ScanStats{}, err
+	}
+	if r.footer.Kind != "edges" {
+		return nil, ScanStats{}, fmt.Errorf("storage: %s holds %s, want edges", path, r.footer.Kind)
+	}
+	rows, stats, err := r.scan(rng)
+	if err != nil {
+		return nil, stats, err
+	}
+	out := make([]core.EdgeTuple, 0, len(rows))
+	for _, rw := range rows {
+		p, err := decodeProps(rw.propb)
+		if err != nil {
+			return nil, stats, err
+		}
+		iv := clip(rw.start, rw.end, rng)
+		out = append(out, core.EdgeTuple{
+			ID:  core.EdgeID(rw.id),
+			Src: core.VertexID(rw.src), Dst: core.VertexID(rw.dst),
+			Interval: iv, Props: p,
+		})
+	}
+	return out, stats, nil
+}
+
+func clip(start, end int64, rng temporal.Interval) temporal.Interval {
+	iv := temporal.Interval{Start: temporal.Time(start), End: temporal.Time(end)}
+	if rng.IsEmpty() {
+		return iv
+	}
+	return iv.Intersect(rng)
+}

@@ -1,0 +1,141 @@
+package temporal
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Quantifier is an existence quantifier {all | most | at least n |
+// exists} applied by wZoom^T to decide whether an entity is retained in
+// a temporal window. Each quantifier translates to a threshold t on the
+// fraction of the window during which the entity existed:
+//
+//	all        t = 1        (covered == window duration)
+//	most       t > 0.5
+//	at least n t > n
+//	exists     t > 0
+type Quantifier struct {
+	kind quantKind
+	n    float64
+}
+
+type quantKind int
+
+// quantExists is the zero value, making the zero Quantifier the
+// paper's existential default.
+const (
+	quantExists quantKind = iota
+	quantAll
+	quantMost
+	quantAtLeast
+)
+
+// All retains entities that exist during every point of the window
+// (universal quantification).
+func All() Quantifier { return Quantifier{kind: quantAll} }
+
+// Most retains entities that exist during more than half of the window.
+func Most() Quantifier { return Quantifier{kind: quantMost} }
+
+// AtLeast retains entities whose coverage fraction strictly exceeds n,
+// with n in [0, 1].
+func AtLeast(n float64) (Quantifier, error) {
+	if n < 0 || n > 1 {
+		return Quantifier{}, fmt.Errorf("temporal: at-least threshold %v out of [0, 1]", n)
+	}
+	return Quantifier{kind: quantAtLeast, n: n}, nil
+}
+
+// MustAtLeast is like AtLeast but panics on an invalid threshold.
+func MustAtLeast(n float64) Quantifier {
+	q, err := AtLeast(n)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Exists retains entities that exist at any point of the window
+// (existential quantification).
+func Exists() Quantifier { return Quantifier{kind: quantExists} }
+
+// Threshold returns the existence threshold t of the quantifier, used
+// both for matching and for comparing restrictiveness.
+func (q Quantifier) Threshold() float64 {
+	switch q.kind {
+	case quantAll:
+		return 1
+	case quantMost:
+		return 0.5
+	case quantAtLeast:
+		return q.n
+	default:
+		return 0
+	}
+}
+
+// Satisfied reports whether an entity covered for `covered` of the
+// `total` points of a window passes the quantifier.
+func (q Quantifier) Satisfied(covered, total Time) bool {
+	if total <= 0 || covered <= 0 {
+		return false
+	}
+	if covered > total {
+		covered = total
+	}
+	switch q.kind {
+	case quantAll:
+		return covered == total
+	case quantMost:
+		return 2*covered > total
+	case quantAtLeast:
+		return float64(covered) > q.n*float64(total)
+	default: // exists
+		return true
+	}
+}
+
+// MoreRestrictiveThan reports whether q retains a subset of what other
+// retains, i.e. has a strictly higher threshold. wZoom^T needs a
+// dangling-edge check exactly when the vertex quantifier is more
+// restrictive than the edge quantifier.
+func (q Quantifier) MoreRestrictiveThan(other Quantifier) bool {
+	return q.Threshold() > other.Threshold()
+}
+
+// String renders the quantifier in the paper's syntax.
+func (q Quantifier) String() string {
+	switch q.kind {
+	case quantAll:
+		return "all"
+	case quantMost:
+		return "most"
+	case quantAtLeast:
+		return fmt.Sprintf("at least %g", q.n)
+	default:
+		return "exists"
+	}
+}
+
+// ParseQuantifier parses "all", "most", "exists" or "at least n" (n a
+// decimal fraction in [0, 1]).
+func ParseQuantifier(s string) (Quantifier, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	switch t {
+	case "all":
+		return All(), nil
+	case "most":
+		return Most(), nil
+	case "exists":
+		return Exists(), nil
+	}
+	if rest, ok := strings.CutPrefix(t, "at least"); ok {
+		n, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return Quantifier{}, fmt.Errorf("temporal: quantifier %q: %v", s, err)
+		}
+		return AtLeast(n)
+	}
+	return Quantifier{}, fmt.Errorf("temporal: unknown quantifier %q", s)
+}

@@ -1,0 +1,150 @@
+package temporal
+
+import "sort"
+
+// The temporal splitter implements the alignment primitive of Dignös et
+// al. ("Temporal Alignment", SIGMOD 2012) that the paper's VE
+// algorithms build on: a set of intervals is decomposed into
+// *elementary* intervals — the finest partition of the covered
+// timeline such that every input interval is a union of elementary
+// intervals. Point-semantics operators can then evaluate their
+// non-temporal variant once per elementary interval instead of once
+// per time point.
+
+// Boundaries returns the sorted, de-duplicated start and end points of
+// all non-empty input intervals.
+func Boundaries(ivs []Interval) []Time {
+	pts := make([]Time, 0, 2*len(ivs))
+	for _, iv := range ivs {
+		if iv.IsEmpty() {
+			continue
+		}
+		pts = append(pts, iv.Start, iv.End)
+	}
+	if len(pts) == 0 {
+		return nil
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+	out := pts[:1]
+	for _, p := range pts[1:] {
+		if p != out[len(out)-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Elementary returns the elementary intervals induced by the input
+// set: consecutive pairs of boundary points. Gaps between disjoint
+// inputs are included; callers that need only covered elementary
+// intervals should intersect with the inputs (see SplitBy).
+func Elementary(ivs []Interval) []Interval {
+	pts := Boundaries(ivs)
+	if len(pts) < 2 {
+		return nil
+	}
+	out := make([]Interval, 0, len(pts)-1)
+	for i := 0; i+1 < len(pts); i++ {
+		out = append(out, Interval{Start: pts[i], End: pts[i+1]})
+	}
+	return out
+}
+
+// SplitBy splits iv at every boundary point that falls strictly inside
+// it, returning the ordered fragments whose union is iv. Points at or
+// outside the bounds of iv are ignored. If iv is empty, SplitBy returns
+// nil. The points slice must be sorted ascending.
+func SplitBy(iv Interval, points []Time) []Interval {
+	if iv.IsEmpty() {
+		return nil
+	}
+	out := make([]Interval, 0, 4)
+	cur := iv.Start
+	i := sort.Search(len(points), func(i int) bool { return points[i] > iv.Start })
+	for ; i < len(points) && points[i] < iv.End; i++ {
+		out = append(out, Interval{Start: cur, End: points[i]})
+		cur = points[i]
+	}
+	out = append(out, Interval{Start: cur, End: iv.End})
+	return out
+}
+
+// Stated pairs a value with its period of validity. It is the unit of
+// temporal relations throughout the system.
+type Stated[T any] struct {
+	Interval Interval
+	Value    T
+}
+
+// Align splits every input state at the union of all boundary points of
+// the input set, so that any two output intervals are either identical
+// or disjoint. This is the group-local "temporal splitter" step used by
+// the VE variants of both zoom operators (Algorithm 2, lines 1-10).
+func Align[T any](states []Stated[T]) []Stated[T] {
+	ivs := make([]Interval, len(states))
+	for i, s := range states {
+		ivs[i] = s.Interval
+	}
+	pts := Boundaries(ivs)
+	out := make([]Stated[T], 0, len(states))
+	for _, s := range states {
+		for _, frag := range SplitBy(s.Interval, pts) {
+			out = append(out, Stated[T]{Interval: frag, Value: s.Value})
+		}
+	}
+	return out
+}
+
+// Coalesce merges value-equivalent adjacent (meeting or overlapping)
+// states into states of maximal length, implementing the partitioning
+// method for temporal coalescing: sort by start time, then fold,
+// merging a state into its predecessor when the intervals are adjacent
+// and the values are equivalent under eq. The input slice is not
+// modified; the result is sorted by (Start, End).
+//
+// The caller is responsible for grouping by entity first: Coalesce
+// treats every input state as belonging to the same entity.
+func Coalesce[T any](states []Stated[T], eq func(a, b T) bool) []Stated[T] {
+	work := make([]Stated[T], 0, len(states))
+	for _, s := range states {
+		if !s.Interval.IsEmpty() {
+			work = append(work, s)
+		}
+	}
+	if len(work) == 0 {
+		return nil
+	}
+	sort.Slice(work, func(i, j int) bool { return work[i].Interval.Before(work[j].Interval) })
+	out := work[:1]
+	for _, s := range work[1:] {
+		last := &out[len(out)-1]
+		if last.Interval.Adjacent(s.Interval) && eq(last.Value, s.Value) {
+			last.Interval = last.Interval.Union(s.Interval)
+		} else {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// IsCoalesced reports whether the states (all assumed to belong to one
+// entity) are coalesced under eq: no two states overlap, and no two
+// value-equivalent states are adjacent.
+func IsCoalesced[T any](states []Stated[T], eq func(a, b T) bool) bool {
+	if len(states) < 2 {
+		return true
+	}
+	sorted := make([]Stated[T], len(states))
+	copy(sorted, states)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Interval.Before(sorted[j].Interval) })
+	for i := 1; i < len(sorted); i++ {
+		prev, cur := sorted[i-1], sorted[i]
+		if prev.Interval.Overlaps(cur.Interval) {
+			return false
+		}
+		if prev.Interval.Adjacent(cur.Interval) && eq(prev.Value, cur.Value) {
+			return false
+		}
+	}
+	return true
+}

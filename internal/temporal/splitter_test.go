@@ -1,0 +1,179 @@
+package temporal
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoundaries(t *testing.T) {
+	in := []Interval{MustInterval(2, 7), MustInterval(1, 7), MustInterval(5, 9), Empty}
+	got := Boundaries(in)
+	want := []Time{1, 2, 5, 7, 9}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Boundaries = %v, want %v", got, want)
+	}
+	if Boundaries(nil) != nil {
+		t.Error("Boundaries(nil) should be nil")
+	}
+}
+
+func TestElementary(t *testing.T) {
+	// The OGC bitset periods of Figure 7: vertices [1,7), [2,9), [1,9)
+	// and edges [2,7), [7,9) induce T = {[1,2), [2,7), [7,9)}.
+	in := []Interval{MustInterval(1, 7), MustInterval(2, 9), MustInterval(1, 9), MustInterval(2, 7), MustInterval(7, 9)}
+	got := Elementary(in)
+	want := []Interval{MustInterval(1, 2), MustInterval(2, 7), MustInterval(7, 9)}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Elementary = %v, want %v", got, want)
+	}
+}
+
+func TestSplitBy(t *testing.T) {
+	iv := MustInterval(2, 9)
+	got := SplitBy(iv, []Time{1, 2, 5, 7, 9, 11})
+	want := []Interval{MustInterval(2, 5), MustInterval(5, 7), MustInterval(7, 9)}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SplitBy = %v, want %v", got, want)
+	}
+	if got := SplitBy(iv, nil); !reflect.DeepEqual(got, []Interval{iv}) {
+		t.Errorf("SplitBy with no points = %v, want [%v]", got, iv)
+	}
+	if SplitBy(Empty, []Time{1}) != nil {
+		t.Error("SplitBy(empty) should be nil")
+	}
+}
+
+func TestAlign(t *testing.T) {
+	states := []Stated[string]{
+		{MustInterval(1, 7), "a"},
+		{MustInterval(2, 9), "b"},
+	}
+	got := Align(states)
+	want := []Stated[string]{
+		{MustInterval(1, 2), "a"},
+		{MustInterval(2, 7), "a"},
+		{MustInterval(2, 7), "b"},
+		{MustInterval(7, 9), "b"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Align = %v, want %v", got, want)
+	}
+}
+
+func TestCoalesceStates(t *testing.T) {
+	eq := func(a, b string) bool { return a == b }
+	in := []Stated[string]{
+		{MustInterval(5, 9), "x"},
+		{MustInterval(1, 3), "x"},
+		{MustInterval(3, 5), "x"},
+		{MustInterval(9, 12), "y"},
+	}
+	got := Coalesce(in, eq)
+	want := []Stated[string]{
+		{MustInterval(1, 9), "x"},
+		{MustInterval(9, 12), "y"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Coalesce = %v, want %v", got, want)
+	}
+	if !IsCoalesced(got, eq) {
+		t.Error("Coalesce output must be coalesced")
+	}
+	if IsCoalesced(in, eq) {
+		t.Error("input was not coalesced")
+	}
+}
+
+func TestCoalesceGapPreserved(t *testing.T) {
+	eq := func(a, b string) bool { return a == b }
+	in := []Stated[string]{
+		{MustInterval(1, 3), "x"},
+		{MustInterval(5, 7), "x"},
+	}
+	got := Coalesce(in, eq)
+	if len(got) != 2 {
+		t.Fatalf("states separated by a gap must not merge: %v", got)
+	}
+}
+
+// TestAlignCoalesceRoundTrip: aligning then coalescing value-equal
+// states must reproduce the coalesced original point set and values.
+func TestAlignCoalesceRoundTrip(t *testing.T) {
+	eq := func(a, b int) bool { return a == b }
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(15)
+		states := make([]Stated[int], n)
+		for i := range states {
+			s := Time(r.Intn(30))
+			states[i] = Stated[int]{
+				Interval: Interval{Start: s, End: s + 1 + Time(r.Intn(8))},
+				Value:    r.Intn(3),
+			}
+		}
+		aligned := Align(states)
+		// Every aligned fragment must be covered by its source value's
+		// original point set, and total per-value coverage preserved.
+		for v := 0; v < 3; v++ {
+			var orig, frag []Interval
+			for _, s := range states {
+				if s.Value == v {
+					orig = append(orig, s.Interval)
+				}
+			}
+			for _, s := range aligned {
+				if s.Value == v {
+					frag = append(frag, s.Interval)
+				}
+			}
+			co, cf := CoalesceIntervals(orig), CoalesceIntervals(frag)
+			if !reflect.DeepEqual(co, cf) {
+				return false
+			}
+		}
+		// Alignment must produce identical-or-disjoint intervals.
+		for i := range aligned {
+			for j := i + 1; j < len(aligned); j++ {
+				a, b := aligned[i].Interval, aligned[j].Interval
+				if a.Overlaps(b) && !a.Equal(b) {
+					return false
+				}
+			}
+		}
+		_ = eq
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoalesceIdempotent(t *testing.T) {
+	eq := func(a, b int) bool { return a == b }
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(12)
+		// A valid TGraph has at most one state per entity per time
+		// point, so generate sequential (possibly meeting, possibly
+		// gapped) states.
+		states := make([]Stated[int], n)
+		cur := Time(0)
+		for i := range states {
+			cur += Time(r.Intn(3)) // 0 = meets previous, >0 = gap
+			end := cur + 1 + Time(r.Intn(5))
+			states[i] = Stated[int]{
+				Interval: Interval{Start: cur, End: end},
+				Value:    r.Intn(2),
+			}
+			cur = end
+		}
+		once := Coalesce(states, eq)
+		twice := Coalesce(once, eq)
+		return reflect.DeepEqual(once, twice) && IsCoalesced(once, eq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,176 @@
+package temporal
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Window associates a window number with its period of validity,
+// mirroring the paper's temporal relation W with schema (d | T).
+type Window struct {
+	Index    int
+	Interval Interval
+}
+
+// WindowSpec is a tumbling (non-overlapping) temporal window
+// specification of the form "n {unit|changes}". Given the lifetime of a
+// TGraph and its change points, a spec materialises the window relation
+// used by wZoom^T.
+type WindowSpec interface {
+	// Windows returns the sequence of consecutive windows covering
+	// lifetime. changePoints lists the sorted times at which the graph
+	// changed (snapshot boundaries), used by change-based windows.
+	Windows(lifetime Interval, changePoints []Time) []Window
+	String() string
+}
+
+// unitWindow implements "n unit": windows of n ticks each, aligned to
+// the start of the graph lifetime.
+type unitWindow struct {
+	n Time
+}
+
+// EveryN returns a window specification producing consecutive windows
+// of n time points each, e.g. EveryN(3) over months yields quarters.
+func EveryN(n Time) (WindowSpec, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("temporal: window size must be positive, got %d", n)
+	}
+	return unitWindow{n: n}, nil
+}
+
+// MustEveryN is like EveryN but panics on invalid size.
+func MustEveryN(n Time) WindowSpec {
+	w, err := EveryN(n)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func (w unitWindow) Windows(lifetime Interval, _ []Time) []Window {
+	if lifetime.IsEmpty() {
+		return nil
+	}
+	out := make([]Window, 0, int(lifetime.Duration()/w.n)+1)
+	idx := 0
+	for s := lifetime.Start; s < lifetime.End; s += w.n {
+		out = append(out, Window{Index: idx, Interval: Interval{Start: s, End: s + w.n}})
+		idx++
+	}
+	return out
+}
+
+func (w unitWindow) String() string { return fmt.Sprintf("%d units", w.n) }
+
+// changeWindow implements "n changes": each window spans n consecutive
+// states of the graph (n elementary intervals between change points).
+type changeWindow struct {
+	n int
+}
+
+// EveryNChanges returns a window specification in which each window
+// covers n consecutive change intervals (snapshots) of the graph.
+func EveryNChanges(n int) (WindowSpec, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("temporal: change-window size must be positive, got %d", n)
+	}
+	return changeWindow{n: n}, nil
+}
+
+// MustEveryNChanges is like EveryNChanges but panics on invalid size.
+func MustEveryNChanges(n int) WindowSpec {
+	w, err := EveryNChanges(n)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func (w changeWindow) Windows(lifetime Interval, changePoints []Time) []Window {
+	if lifetime.IsEmpty() {
+		return nil
+	}
+	// Build the ordered list of boundaries inside the lifetime:
+	// lifetime.Start, interior change points, lifetime.End.
+	bounds := make([]Time, 0, len(changePoints)+2)
+	bounds = append(bounds, lifetime.Start)
+	for _, p := range changePoints {
+		if p > lifetime.Start && p < lifetime.End {
+			bounds = append(bounds, p)
+		}
+	}
+	bounds = append(bounds, lifetime.End)
+
+	var out []Window
+	idx := 0
+	for i := 0; i+1 < len(bounds); i += w.n {
+		end := i + w.n
+		if end > len(bounds)-1 {
+			end = len(bounds) - 1
+		}
+		out = append(out, Window{Index: idx, Interval: Interval{Start: bounds[i], End: bounds[end]}})
+		idx++
+	}
+	return out
+}
+
+func (w changeWindow) String() string { return fmt.Sprintf("%d changes", w.n) }
+
+// ParseWindowSpec parses the paper's textual window specification
+// "n {unit|changes}", e.g. "3 months", "10 min", "2 changes". All time
+// units other than "changes" are treated as ticks of the dataset's
+// temporal resolution; "3 months" therefore means 3 ticks.
+func ParseWindowSpec(s string) (WindowSpec, error) {
+	fields := strings.Fields(strings.TrimSpace(s))
+	if len(fields) != 2 {
+		return nil, fmt.Errorf("temporal: window spec %q: want \"n {unit|changes}\"", s)
+	}
+	n, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("temporal: window spec %q: %v", s, err)
+	}
+	unit := strings.ToLower(fields[1])
+	if unit == "changes" || unit == "change" {
+		return EveryNChanges(int(n))
+	}
+	return EveryN(Time(n))
+}
+
+// WindowOf returns the window containing time point t, using binary
+// search over the sorted window relation. ok is false if t is outside
+// every window.
+func WindowOf(windows []Window, t Time) (Window, bool) {
+	lo, hi := 0, len(windows)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		w := windows[mid]
+		switch {
+		case t < w.Interval.Start:
+			hi = mid
+		case t >= w.Interval.End:
+			lo = mid + 1
+		default:
+			return w, true
+		}
+	}
+	return Window{}, false
+}
+
+// OverlappingWindows returns the consecutive run of windows that
+// overlap iv.
+func OverlappingWindows(windows []Window, iv Interval) []Window {
+	if iv.IsEmpty() {
+		return nil
+	}
+	var out []Window
+	for _, w := range windows {
+		if w.Interval.Overlaps(iv) {
+			out = append(out, w)
+		} else if len(out) > 0 {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package temporal
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestEveryNWindows(t *testing.T) {
+	// Example 2.3: months 1..9 in 3-month windows -> quarters
+	// W1=[1,4), W2=[4,7), W3=[7,10).
+	spec := MustEveryN(3)
+	got := spec.Windows(MustInterval(1, 10), nil)
+	want := []Window{
+		{0, MustInterval(1, 4)},
+		{1, MustInterval(4, 7)},
+		{2, MustInterval(7, 10)},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Windows = %v, want %v", got, want)
+	}
+}
+
+func TestEveryNPartialLastWindow(t *testing.T) {
+	spec := MustEveryN(4)
+	got := spec.Windows(MustInterval(0, 10), nil)
+	if len(got) != 3 {
+		t.Fatalf("want 3 windows, got %v", got)
+	}
+	if got[2].Interval != MustInterval(8, 12) {
+		t.Errorf("last window = %v, want [8, 12)", got[2].Interval)
+	}
+}
+
+func TestEveryNInvalid(t *testing.T) {
+	if _, err := EveryN(0); err == nil {
+		t.Error("EveryN(0): want error")
+	}
+	if _, err := EveryNChanges(-1); err == nil {
+		t.Error("EveryNChanges(-1): want error")
+	}
+}
+
+func TestEveryNChangesWindows(t *testing.T) {
+	spec := MustEveryNChanges(2)
+	// Lifetime [1, 9) with change points at 2, 5, 7:
+	// states [1,2) [2,5) [5,7) [7,9) -> windows [1,5), [5,9).
+	got := spec.Windows(MustInterval(1, 9), []Time{2, 5, 7})
+	want := []Window{
+		{0, MustInterval(1, 5)},
+		{1, MustInterval(5, 9)},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Windows = %v, want %v", got, want)
+	}
+}
+
+func TestEveryNChangesOddTail(t *testing.T) {
+	spec := MustEveryNChanges(2)
+	got := spec.Windows(MustInterval(0, 6), []Time{2, 4})
+	// States [0,2) [2,4) [4,6) -> windows [0,4), [4,6).
+	want := []Window{{0, MustInterval(0, 4)}, {1, MustInterval(4, 6)}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Windows = %v, want %v", got, want)
+	}
+}
+
+func TestWindowsEmptyLifetime(t *testing.T) {
+	if MustEveryN(3).Windows(Empty, nil) != nil {
+		t.Error("windows over empty lifetime should be nil")
+	}
+	if MustEveryNChanges(2).Windows(Empty, nil) != nil {
+		t.Error("change windows over empty lifetime should be nil")
+	}
+}
+
+func TestParseWindowSpec(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want string
+	}{
+		{"3 months", "3 units"},
+		{"10 min", "10 units"},
+		{"2 changes", "2 changes"},
+		{" 1 change ", "1 changes"},
+	} {
+		spec, err := ParseWindowSpec(tc.in)
+		if err != nil {
+			t.Errorf("ParseWindowSpec(%q): %v", tc.in, err)
+			continue
+		}
+		if spec.String() != tc.want {
+			t.Errorf("ParseWindowSpec(%q) = %q, want %q", tc.in, spec, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "months", "x months", "0 months", "1 2 3"} {
+		if _, err := ParseWindowSpec(bad); err == nil {
+			t.Errorf("ParseWindowSpec(%q): want error", bad)
+		}
+	}
+}
+
+func TestWindowOf(t *testing.T) {
+	ws := MustEveryN(3).Windows(MustInterval(1, 10), nil)
+	for _, tc := range []struct {
+		t       Time
+		wantIdx int
+		ok      bool
+	}{{1, 0, true}, {3, 0, true}, {4, 1, true}, {9, 2, true}, {0, 0, false}, {10, 0, false}} {
+		w, ok := WindowOf(ws, tc.t)
+		if ok != tc.ok || (ok && w.Index != tc.wantIdx) {
+			t.Errorf("WindowOf(%d) = %v, %v; want idx %d, %v", tc.t, w, ok, tc.wantIdx, tc.ok)
+		}
+	}
+}
+
+func TestOverlappingWindows(t *testing.T) {
+	ws := MustEveryN(3).Windows(MustInterval(1, 10), nil)
+	got := OverlappingWindows(ws, MustInterval(2, 8))
+	if len(got) != 3 {
+		t.Fatalf("OverlappingWindows([2,8)) = %v, want all 3", got)
+	}
+	got = OverlappingWindows(ws, MustInterval(4, 7))
+	if len(got) != 1 || got[0].Index != 1 {
+		t.Errorf("OverlappingWindows([4,7)) = %v, want just W1", got)
+	}
+	if OverlappingWindows(ws, Empty) != nil {
+		t.Error("OverlappingWindows(empty) should be nil")
+	}
+}
+
+func TestQuantifierThresholds(t *testing.T) {
+	for _, tc := range []struct {
+		q    Quantifier
+		want float64
+	}{{All(), 1}, {Most(), 0.5}, {Exists(), 0}, {MustAtLeast(0.7), 0.7}} {
+		if got := tc.q.Threshold(); got != tc.want {
+			t.Errorf("%v.Threshold() = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQuantifierSatisfied(t *testing.T) {
+	cases := []struct {
+		q              Quantifier
+		covered, total Time
+		want           bool
+	}{
+		{All(), 3, 3, true},
+		{All(), 2, 3, false},
+		{Most(), 2, 3, true},
+		{Most(), 1, 2, false}, // exactly half is not "most"
+		{Exists(), 1, 3, true},
+		{Exists(), 0, 3, false},
+		{MustAtLeast(0.5), 2, 3, true},
+		{MustAtLeast(0.5), 1, 2, false}, // strictly greater than n
+		{All(), 0, 0, false},
+		{All(), 5, 3, true}, // clamped
+	}
+	for _, c := range cases {
+		if got := c.q.Satisfied(c.covered, c.total); got != c.want {
+			t.Errorf("%v.Satisfied(%d, %d) = %v, want %v", c.q, c.covered, c.total, got, c.want)
+		}
+	}
+}
+
+func TestQuantifierRestrictiveness(t *testing.T) {
+	if !All().MoreRestrictiveThan(Exists()) {
+		t.Error("all > exists")
+	}
+	if !All().MoreRestrictiveThan(Most()) {
+		t.Error("all > most")
+	}
+	if Exists().MoreRestrictiveThan(Exists()) {
+		t.Error("exists is not more restrictive than itself")
+	}
+	if !MustAtLeast(0.9).MoreRestrictiveThan(Most()) {
+		t.Error("at least 0.9 > most")
+	}
+}
+
+func TestParseQuantifier(t *testing.T) {
+	for _, tc := range []struct {
+		in, want string
+	}{
+		{"all", "all"}, {"MOST", "most"}, {"exists", "exists"},
+		{"at least 0.25", "at least 0.25"},
+	} {
+		q, err := ParseQuantifier(tc.in)
+		if err != nil {
+			t.Errorf("ParseQuantifier(%q): %v", tc.in, err)
+			continue
+		}
+		if q.String() != tc.want {
+			t.Errorf("ParseQuantifier(%q) = %q, want %q", tc.in, q, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "some", "at least", "at least x", "at least 1.5"} {
+		if _, err := ParseQuantifier(bad); err == nil {
+			t.Errorf("ParseQuantifier(%q): want error", bad)
+		}
+	}
+}
+
+// Property: windows from EveryN tile the lifetime without gaps or
+// overlaps and cover every lifetime point exactly once.
+func TestUnitWindowsTileLifetime(t *testing.T) {
+	for n := Time(1); n <= 7; n++ {
+		life := MustInterval(3, 29)
+		ws := MustEveryN(n).Windows(life, nil)
+		for i := 1; i < len(ws); i++ {
+			if ws[i-1].Interval.End != ws[i].Interval.Start {
+				t.Fatalf("n=%d: windows %v and %v do not meet", n, ws[i-1], ws[i])
+			}
+			if ws[i].Index != ws[i-1].Index+1 {
+				t.Fatalf("n=%d: window indexes not consecutive", n)
+			}
+		}
+		if ws[0].Interval.Start != life.Start {
+			t.Fatalf("n=%d: first window %v does not start at lifetime start", n, ws[0])
+		}
+		if ws[len(ws)-1].Interval.End < life.End {
+			t.Fatalf("n=%d: windows do not cover lifetime end", n)
+		}
+	}
+}
+
+func TestZeroQuantifierIsExists(t *testing.T) {
+	var q Quantifier
+	if q.String() != "exists" || q.Threshold() != 0 {
+		t.Errorf("zero Quantifier = %v (threshold %v), want exists", q, q.Threshold())
+	}
+}

@@ -1,0 +1,84 @@
+package tgraph
+
+import (
+	"repro/internal/core"
+	"repro/internal/props"
+)
+
+// Companion TGA operators (trim, subgraph, map, union, intersection,
+// difference), re-exported from the core and wired into Pipeline. All
+// operate under point semantics and preserve the input's physical
+// representation.
+
+// Trim restricts the graph to the window, clipping every state.
+func Trim(g Graph, window Interval) (Graph, error) { return core.Trim(g, window) }
+
+// Subgraph keeps the vertex and edge states satisfying the predicates
+// (nil keeps everything), clipping edges to the surviving presence of
+// their endpoints.
+func Subgraph(g Graph, vPred func(VertexTuple) bool, ePred func(EdgeTuple) bool) (Graph, error) {
+	return core.Subgraph(g, vPred, ePred)
+}
+
+// MapProps transforms the property sets of vertex and edge states (nil
+// leaves the relation unchanged).
+func MapProps(g Graph, vf func(VertexTuple) Props, ef func(EdgeTuple) Props) (Graph, error) {
+	return core.MapProps(g, vf, ef)
+}
+
+// Union computes the point-wise union of two TGraphs sharing an
+// identifier space; the left graph's properties win on conflicts.
+func Union(a, b Graph) (Graph, error) { return core.Union(a, b) }
+
+// Intersection keeps entities at the points where they exist in both
+// graphs, with the left graph's properties.
+func Intersection(a, b Graph) (Graph, error) { return core.Intersection(a, b) }
+
+// Difference keeps left-graph entities at the points where they do not
+// exist in the right graph, clipping edges that lose endpoints.
+func Difference(a, b Graph) (Graph, error) { return core.Difference(a, b) }
+
+// Trim restricts the pipeline's graph to a window.
+func (p *Pipeline) Trim(window Interval) *Pipeline {
+	return p.apply("trim", func(g Graph) (Graph, error) { return core.Trim(g, window) })
+}
+
+// Subgraph filters the pipeline's graph by state predicates.
+func (p *Pipeline) Subgraph(vPred func(VertexTuple) bool, ePred func(EdgeTuple) bool) *Pipeline {
+	return p.apply("subgraph", func(g Graph) (Graph, error) { return core.Subgraph(g, vPred, ePred) })
+}
+
+// MapProps transforms the pipeline's graph's properties.
+func (p *Pipeline) MapProps(vf func(VertexTuple) props.Props, ef func(EdgeTuple) props.Props) *Pipeline {
+	return p.apply("map", func(g Graph) (Graph, error) { return core.MapProps(g, vf, ef) })
+}
+
+// Union merges another graph into the pipeline's graph (left wins).
+func (p *Pipeline) Union(other Graph) *Pipeline {
+	return p.apply("union", func(g Graph) (Graph, error) { return core.Union(g, other) })
+}
+
+// Intersect keeps the points shared with another graph.
+func (p *Pipeline) Intersect(other Graph) *Pipeline {
+	return p.apply("intersect", func(g Graph) (Graph, error) { return core.Intersection(g, other) })
+}
+
+// Subtract removes the points present in another graph.
+func (p *Pipeline) Subtract(other Graph) *Pipeline {
+	return p.apply("difference", func(g Graph) (Graph, error) { return core.Difference(g, other) })
+}
+
+// MergeParallelEdges collapses parallel edges between the same vertex
+// pair into single weighted edges per time point, with newType as the
+// merged type ("" keeps the original) and agg computing the merged
+// properties (e.g. Count, Sum). The natural finishing step after AZoom.
+func MergeParallelEdges(g Graph, newType string, agg ...AggField) (Graph, error) {
+	return core.MergeParallelEdges(g, newType, props.AggSpec{Fields: agg})
+}
+
+// MergeEdges collapses parallel edges in the pipeline's graph.
+func (p *Pipeline) MergeEdges(newType string, agg ...AggField) *Pipeline {
+	return p.apply("mergeEdges", func(g Graph) (Graph, error) {
+		return core.MergeParallelEdges(g, newType, props.AggSpec{Fields: agg})
+	})
+}

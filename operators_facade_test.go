@@ -1,0 +1,154 @@
+package tgraph_test
+
+import (
+	"testing"
+
+	tgraph "repro"
+)
+
+func TestFacadeTrimSubgraphMap(t *testing.T) {
+	ctx := tgraph.NewContext()
+	g := exampleGraph(ctx)
+
+	trimmed, err := tgraph.Trim(g, tgraph.MustInterval(1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tgraph.MustInterval(1, 5).Covers(trimmed.Lifetime()) {
+		t.Errorf("trim lifetime %v", trimmed.Lifetime())
+	}
+
+	mitOnly, err := tgraph.Subgraph(g, func(v tgraph.VertexTuple) bool {
+		return v.Props.GetString("school") == "MIT"
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mitOnly.NumVertices() != 2 {
+		t.Errorf("MIT subgraph vertices = %d", mitOnly.NumVertices())
+	}
+
+	renamed, err := tgraph.MapProps(g, nil, func(e tgraph.EdgeTuple) tgraph.Props {
+		return tgraph.NewProps("type", "collaborate")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range renamed.EdgeStates() {
+		if e.Props.Type() != "collaborate" {
+			t.Fatal("MapProps not applied")
+		}
+	}
+}
+
+func TestFacadeSetOperators(t *testing.T) {
+	ctx := tgraph.NewContext()
+	a := tgraph.FromStates(ctx, []tgraph.VertexTuple{
+		{ID: 1, Interval: tgraph.MustInterval(0, 6), Props: tgraph.NewProps("type", "p")},
+	}, nil)
+	b := tgraph.FromStates(ctx, []tgraph.VertexTuple{
+		{ID: 1, Interval: tgraph.MustInterval(4, 9), Props: tgraph.NewProps("type", "p")},
+	}, nil)
+
+	u, err := tgraph.Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Coalesce().Lifetime() != tgraph.MustInterval(0, 9) {
+		t.Errorf("union lifetime %v", u.Lifetime())
+	}
+	i, err := tgraph.Intersection(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i.Lifetime() != tgraph.MustInterval(4, 6) {
+		t.Errorf("intersection lifetime %v", i.Lifetime())
+	}
+	d, err := tgraph.Difference(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Lifetime() != tgraph.MustInterval(0, 4) {
+		t.Errorf("difference lifetime %v", d.Lifetime())
+	}
+}
+
+func TestPipelineTGAOperators(t *testing.T) {
+	ctx := tgraph.NewContext()
+	g := exampleGraph(ctx)
+	other := tgraph.FromStates(ctx, []tgraph.VertexTuple{
+		{ID: 3, Interval: tgraph.MustInterval(1, 9), Props: tgraph.NewProps("type", "person")},
+	}, nil)
+
+	p := tgraph.NewPipeline(g).
+		Trim(tgraph.MustInterval(1, 8)).
+		Subgraph(func(v tgraph.VertexTuple) bool { return v.Props.Type() == "person" }, nil).
+		MapProps(func(v tgraph.VertexTuple) tgraph.Props {
+			return v.Props.With("seen", tgraph.Bool(true))
+		}, nil).
+		Subtract(other)
+	out, err := p.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertex 3 (Cat) was subtracted over its full extent.
+	for _, v := range out.VertexStates() {
+		if v.ID == 3 {
+			t.Errorf("Cat should be subtracted: %v", v)
+		}
+		if b, _ := v.Props["seen"].AsBool(); !b {
+			t.Error("map step lost")
+		}
+	}
+	if got := len(p.Steps()); got != 5 { // VE + 4 steps
+		t.Errorf("steps = %v", p.Steps())
+	}
+
+	// Union through the pipeline restores Cat.
+	restored, err := tgraph.NewPipeline(out).Union(other).Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range restored.VertexStates() {
+		if v.ID == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("union did not restore Cat")
+	}
+
+	// Intersect with empty yields empty.
+	empty := tgraph.FromStates(ctx, nil, nil)
+	none, err := tgraph.NewPipeline(g).Intersect(empty).Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none.VertexStates()) != 0 {
+		t.Error("intersection with empty graph must be empty")
+	}
+}
+
+func TestFacadeMergeEdges(t *testing.T) {
+	ctx := tgraph.NewContext()
+	g := exampleGraph(ctx)
+	out, err := tgraph.NewPipeline(g).
+		AZoom(tgraph.GroupByProperty("school", "school", tgraph.Count("students"))).
+		MergeEdges("collaborate", tgraph.Count("pairs")).
+		Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range out.EdgeStates() {
+		if e.Props.Type() != "collaborate" || e.Props.GetInt("pairs") < 1 {
+			t.Errorf("merged edge: %v", e.Props)
+		}
+	}
+	if err := tgraph.Validate(out); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+	if _, err := tgraph.MergeParallelEdges(g, "x", tgraph.Count("n")); err != nil {
+		t.Errorf("direct call: %v", err)
+	}
+}

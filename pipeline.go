@@ -1,0 +1,118 @@
+package tgraph
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Pipeline chains zoom operators and representation switches over a
+// TGraph, the way the paper's Section 5.3 experiments do (e.g. VE-OG:
+// run aZoom^T on VE, switch to OG, run wZoom^T). Coalescing is lazy:
+// intermediate results stay uncoalesced unless an operator requires
+// otherwise, and Result coalesces once at the end.
+type Pipeline struct {
+	g     Graph
+	err   error
+	steps []string
+}
+
+// NewPipeline starts a pipeline over g.
+func NewPipeline(g Graph) *Pipeline {
+	return &Pipeline{g: g, steps: []string{g.Rep().String()}}
+}
+
+// AZoom applies attribute-based zoom.
+func (p *Pipeline) AZoom(spec AZoomSpec) *Pipeline {
+	if p.err != nil {
+		return p
+	}
+	out, err := p.g.AZoom(spec)
+	if err != nil {
+		p.err = fmt.Errorf("tgraph: step %d (aZoom over %s): %w", len(p.steps), p.g.Rep(), err)
+		return p
+	}
+	p.g = out
+	p.steps = append(p.steps, "aZoom")
+	return p
+}
+
+// WZoom applies window-based zoom. The operator coalesces its input
+// internally if needed (wZoom^T computes across snapshots and requires
+// coalesced input for correctness).
+func (p *Pipeline) WZoom(spec WZoomSpec) *Pipeline {
+	if p.err != nil {
+		return p
+	}
+	out, err := p.g.WZoom(spec)
+	if err != nil {
+		p.err = fmt.Errorf("tgraph: step %d (wZoom over %s): %w", len(p.steps), p.g.Rep(), err)
+		return p
+	}
+	p.g = out
+	p.steps = append(p.steps, "wZoom")
+	return p
+}
+
+// Switch converts the intermediate graph to another representation.
+func (p *Pipeline) Switch(rep Representation) *Pipeline {
+	if p.err != nil {
+		return p
+	}
+	out, err := core.Convert(p.g, rep)
+	if err != nil {
+		p.err = fmt.Errorf("tgraph: step %d (switch to %s): %w", len(p.steps), rep, err)
+		return p
+	}
+	p.g = out
+	p.steps = append(p.steps, "->"+rep.String())
+	return p
+}
+
+// Coalesce forces eager coalescing mid-pipeline (normally unnecessary;
+// provided for the lazy-vs-eager coalescing ablation).
+func (p *Pipeline) Coalesce() *Pipeline {
+	if p.err != nil {
+		return p
+	}
+	p.g = p.g.Coalesce()
+	p.steps = append(p.steps, "coalesce")
+	return p
+}
+
+// Steps describes the pipeline so far (e.g. "VE aZoom ->OG wZoom").
+func (p *Pipeline) Steps() []string { return p.steps }
+
+// Result finishes the pipeline: the final graph is temporally coalesced
+// (point semantics require the final result to associate maximal
+// change-free intervals with every entity).
+func (p *Pipeline) Result() (Graph, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	return p.g.Coalesce(), nil
+}
+
+// ResultUncoalesced returns the final graph without the closing
+// coalesce, for callers that chain further operations themselves.
+func (p *Pipeline) ResultUncoalesced() (Graph, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	return p.g, nil
+}
+
+// apply runs one named transformation step, short-circuiting on error.
+func (p *Pipeline) apply(name string, f func(Graph) (Graph, error)) *Pipeline {
+	if p.err != nil {
+		return p
+	}
+	out, err := f(p.g)
+	if err != nil {
+		p.err = fmt.Errorf("tgraph: step %d (%s over %s): %w", len(p.steps), name, p.g.Rep(), err)
+		return p
+	}
+	p.g = out
+	p.steps = append(p.steps, name)
+	return p
+}

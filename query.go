@@ -1,0 +1,153 @@
+package tgraph
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/planner"
+	"repro/internal/props"
+)
+
+// Query is a lazily-built zoom query: operators are recorded, a
+// cost-based plan assigns each one a physical representation
+// (implementing the query-optimization direction the paper names as
+// future work), and Run executes the plan with representation switches
+// inserted where the plan demands them. Contrast with Pipeline, which
+// executes each step immediately on whatever representation the graph
+// is currently in.
+type Query struct {
+	g         Graph
+	ops       []queryOp
+	needAttrs bool
+}
+
+type queryOp struct {
+	kind  planner.OpKind
+	apply func(Graph) (Graph, error)
+}
+
+// NewQuery starts a query over g. By default the final result is
+// assumed to need its attributes (OGC is excluded); call
+// DiscardAttributes to lift that.
+func NewQuery(g Graph) *Query {
+	return &Query{g: g, needAttrs: true}
+}
+
+// DiscardAttributes declares that the query's result is consumed for
+// topology only, allowing the planner to route attribute-free suffixes
+// through OGC.
+func (q *Query) DiscardAttributes() *Query {
+	q.needAttrs = false
+	return q
+}
+
+// AZoom records an attribute-based zoom.
+func (q *Query) AZoom(spec AZoomSpec) *Query {
+	q.ops = append(q.ops, queryOp{kind: planner.OpAZoom, apply: func(g Graph) (Graph, error) {
+		return g.AZoom(spec)
+	}})
+	return q
+}
+
+// WZoom records a window-based zoom.
+func (q *Query) WZoom(spec WZoomSpec) *Query {
+	q.ops = append(q.ops, queryOp{kind: planner.OpWZoom, apply: func(g Graph) (Graph, error) {
+		return g.WZoom(spec)
+	}})
+	return q
+}
+
+// Trim records a temporal slice.
+func (q *Query) Trim(window Interval) *Query {
+	q.ops = append(q.ops, queryOp{kind: planner.OpFilter, apply: func(g Graph) (Graph, error) {
+		return core.Trim(g, window)
+	}})
+	return q
+}
+
+// Subgraph records a selection.
+func (q *Query) Subgraph(vPred func(VertexTuple) bool, ePred func(EdgeTuple) bool) *Query {
+	q.ops = append(q.ops, queryOp{kind: planner.OpFilter, apply: func(g Graph) (Graph, error) {
+		return core.Subgraph(g, vPred, ePred)
+	}})
+	return q
+}
+
+// MapProps records an attribute transformation.
+func (q *Query) MapProps(vf func(VertexTuple) props.Props, ef func(EdgeTuple) props.Props) *Query {
+	q.ops = append(q.ops, queryOp{kind: planner.OpMap, apply: func(g Graph) (Graph, error) {
+		return core.MapProps(g, vf, ef)
+	}})
+	return q
+}
+
+// Union records a point-wise union with another graph.
+func (q *Query) Union(other Graph) *Query {
+	q.ops = append(q.ops, queryOp{kind: planner.OpSetOp, apply: func(g Graph) (Graph, error) {
+		return core.Union(g, other)
+	}})
+	return q
+}
+
+// Intersect records a point-wise intersection with another graph.
+func (q *Query) Intersect(other Graph) *Query {
+	q.ops = append(q.ops, queryOp{kind: planner.OpSetOp, apply: func(g Graph) (Graph, error) {
+		return core.Intersection(g, other)
+	}})
+	return q
+}
+
+// Subtract records a point-wise difference with another graph.
+func (q *Query) Subtract(other Graph) *Query {
+	q.ops = append(q.ops, queryOp{kind: planner.OpSetOp, apply: func(g Graph) (Graph, error) {
+		return core.Difference(g, other)
+	}})
+	return q
+}
+
+// kinds extracts the operator-kind sequence for planning.
+func (q *Query) kinds() []planner.OpKind {
+	out := make([]planner.OpKind, len(q.ops))
+	for i, op := range q.ops {
+		out[i] = op.kind
+	}
+	return out
+}
+
+// Plan runs the cost-based planner without executing, returning the
+// chosen representation per step and the estimated total work.
+func (q *Query) Plan() (planner.Plan, error) {
+	return planner.Choose(q.g.Rep(), planner.StatsOf(q.g), q.kinds(), q.needAttrs)
+}
+
+// Explain renders the plan, e.g. "VE ->OG aZoom ->OG wZoom (cost 67200)".
+func (q *Query) Explain() (string, error) {
+	plan, err := q.Plan()
+	if err != nil {
+		return "", err
+	}
+	return plan.String(), nil
+}
+
+// Run plans the query, executes every operator on its planned
+// representation (inserting conversions), and returns the coalesced
+// result.
+func (q *Query) Run() (Graph, error) {
+	plan, err := q.Plan()
+	if err != nil {
+		return nil, err
+	}
+	g := q.g
+	for i, op := range q.ops {
+		want := plan.Steps[i].Rep
+		if g.Rep() != want {
+			if g, err = core.Convert(g, want); err != nil {
+				return nil, fmt.Errorf("tgraph: query step %d: switch to %s: %w", i, want, err)
+			}
+		}
+		if g, err = op.apply(g); err != nil {
+			return nil, fmt.Errorf("tgraph: query step %d (%s over %s): %w", i, op.kind, want, err)
+		}
+	}
+	return g.Coalesce(), nil
+}

@@ -1,0 +1,142 @@
+package tgraph_test
+
+import (
+	"strings"
+	"testing"
+
+	tgraph "repro"
+)
+
+func TestQueryPlanAndRun(t *testing.T) {
+	ctx := tgraph.NewContext()
+	g := exampleGraph(ctx)
+	q := tgraph.NewQuery(g).
+		AZoom(tgraph.GroupByProperty("school", "school", tgraph.Count("students"))).
+		WZoom(tgraph.WZoomSpec{Window: tgraph.EveryN(3), VQuant: tgraph.Exists(), EQuant: tgraph.Exists()})
+
+	explain, err := q.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(explain, "aZoom") || !strings.Contains(explain, "wZoom") {
+		t.Errorf("Explain = %q", explain)
+	}
+	plan, err := q.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range plan.Steps {
+		if st.Rep == tgraph.RG {
+			t.Errorf("planner chose RG: %v", plan)
+		}
+		if st.Rep == tgraph.OGC {
+			t.Errorf("attributes needed, OGC invalid: %v", plan)
+		}
+	}
+
+	out, err := q.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumVertices() != 2 {
+		t.Errorf("query result vertices = %d, want MIT and CMU", out.NumVertices())
+	}
+	if !out.IsCoalesced() {
+		t.Error("query result must be coalesced")
+	}
+
+	// The planned run must agree with the eager pipeline.
+	want, err := tgraph.NewPipeline(g).
+		AZoom(tgraph.GroupByProperty("school", "school", tgraph.Count("students"))).
+		WZoom(tgraph.WZoomSpec{Window: tgraph.EveryN(3), VQuant: tgraph.Exists(), EQuant: tgraph.Exists()}).
+		Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumVertices() != want.NumVertices() || len(out.VertexStates()) != len(want.VertexStates()) {
+		t.Errorf("planned run diverges from pipeline: %d/%d vs %d/%d states",
+			out.NumVertices(), len(out.VertexStates()), want.NumVertices(), len(want.VertexStates()))
+	}
+}
+
+func TestQueryDiscardAttributesEnablesOGC(t *testing.T) {
+	ctx := tgraph.NewContext()
+	// A large topology-only workload where OGC's wZoom advantage beats
+	// the conversion cost.
+	var vs []tgraph.VertexTuple
+	for i := 0; i < 200; i++ {
+		for s := 0; s < 8; s++ {
+			vs = append(vs, tgraph.VertexTuple{
+				ID:       tgraph.VertexID(i + 1),
+				Interval: tgraph.MustInterval(tgraph.Time(s*4), tgraph.Time(s*4+3)),
+				Props:    tgraph.NewProps("type", "n", "x", s),
+			})
+		}
+	}
+	g := tgraph.FromStates(ctx, vs, nil)
+	q := tgraph.NewQuery(g).
+		WZoom(tgraph.WZoomSpec{Window: tgraph.EveryN(4), VQuant: tgraph.Most(), EQuant: tgraph.Most()}).
+		WZoom(tgraph.WZoomSpec{Window: tgraph.EveryN(8), VQuant: tgraph.Exists(), EQuant: tgraph.Exists()}).
+		DiscardAttributes()
+	plan, err := q.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawOGC := false
+	for _, st := range plan.Steps {
+		if st.Rep == tgraph.OGC {
+			sawOGC = true
+		}
+	}
+	if !sawOGC {
+		t.Errorf("attribute-free wZoom chain should route through OGC: %v", plan)
+	}
+	out, err := q.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumVertices() == 0 {
+		t.Error("query produced nothing")
+	}
+}
+
+func TestQueryEmptyRunsIdentity(t *testing.T) {
+	ctx := tgraph.NewContext()
+	g := exampleGraph(ctx)
+	out, err := tgraph.NewQuery(g).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumVertices() != g.NumVertices() {
+		t.Error("empty query must return the (coalesced) input")
+	}
+}
+
+func TestQueryMixedOperators(t *testing.T) {
+	ctx := tgraph.NewContext()
+	g := exampleGraph(ctx)
+	other := tgraph.FromStates(ctx, []tgraph.VertexTuple{
+		{ID: 9, Interval: tgraph.MustInterval(1, 9), Props: tgraph.NewProps("type", "person")},
+	}, nil)
+	out, err := tgraph.NewQuery(g).
+		Trim(tgraph.MustInterval(1, 8)).
+		Subgraph(func(v tgraph.VertexTuple) bool { return true }, nil).
+		MapProps(func(v tgraph.VertexTuple) tgraph.Props { return v.Props.With("m", tgraph.Int(1)) }, nil).
+		Union(other).
+		Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range out.VertexStates() {
+		if v.ID == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("union operand lost")
+	}
+	if err := tgraph.Validate(out); err != nil {
+		t.Errorf("query output invalid: %v", err)
+	}
+}

@@ -1,0 +1,92 @@
+package tgraph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Rendering helpers: Graphviz DOT for snapshots and a textual timeline
+// for whole evolving graphs — exploratory-analysis conveniences around
+// the zoom workflow (zoom out, then look).
+
+// WriteDOT renders the graph's state at time t as a Graphviz digraph.
+// Vertex labels show the id and properties; edge labels show the type.
+func WriteDOT(w io.Writer, g Graph, t Time) error {
+	snap, ok := SnapshotAt(g, t)
+	if !ok {
+		return fmt.Errorf("tgraph: no snapshot at time %d", t)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph tgraph_at_%d {\n", t)
+	fmt.Fprintf(&b, "  label=\"t=%d, interval %v\";\n", t, snap.Interval)
+
+	var vs []struct {
+		id    VertexID
+		attrs Props
+	}
+	for _, part := range snap.Graph.Vertices().Partitions() {
+		for _, v := range part {
+			vs = append(vs, struct {
+				id    VertexID
+				attrs Props
+			}{v.ID, v.Attr})
+		}
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i].id < vs[j].id })
+	for _, v := range vs {
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", v.id, fmt.Sprintf("%d\n%v", v.id, v.attrs))
+	}
+
+	type edge struct {
+		id       EdgeID
+		src, dst VertexID
+		typ      string
+	}
+	var es []edge
+	for _, part := range snap.Graph.Edges().Partitions() {
+		for _, e := range part {
+			es = append(es, edge{e.ID, e.Src, e.Dst, e.Attr.Type()})
+		}
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].id < es[j].id })
+	for _, e := range es {
+		fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", e.src, e.dst, e.typ)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteTimeline renders every entity's coalesced states as one line per
+// state, sorted by entity then time — the textual analogue of the
+// paper's Figure 1 drawing.
+func WriteTimeline(w io.Writer, g Graph) error {
+	c := g.Coalesce()
+	var b strings.Builder
+	vs := c.VertexStates()
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].ID != vs[j].ID {
+			return vs[i].ID < vs[j].ID
+		}
+		return vs[i].Interval.Before(vs[j].Interval)
+	})
+	b.WriteString("vertices:\n")
+	for _, v := range vs {
+		fmt.Fprintf(&b, "  %-12d T=%-10v {%v}\n", v.ID, v.Interval, v.Props)
+	}
+	es := c.EdgeStates()
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].ID != es[j].ID {
+			return es[i].ID < es[j].ID
+		}
+		return es[i].Interval.Before(es[j].Interval)
+	})
+	b.WriteString("edges:\n")
+	for _, e := range es {
+		fmt.Fprintf(&b, "  %-6d %d -> %-8d T=%-10v {%v}\n", e.ID, e.Src, e.Dst, e.Interval, e.Props)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

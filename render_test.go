@@ -1,0 +1,44 @@
+package tgraph_test
+
+import (
+	"strings"
+	"testing"
+
+	tgraph "repro"
+)
+
+func TestWriteDOT(t *testing.T) {
+	ctx := tgraph.NewContext()
+	g := exampleGraph(ctx)
+	var b strings.Builder
+	if err := tgraph.WriteDOT(&b, g, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"digraph", "n1", "n2", "n3", "n1 -> n2", "co-author", "MIT"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "n2 -> n3") {
+		t.Error("edge e2 does not exist at time 3")
+	}
+	if err := tgraph.WriteDOT(&b, g, 999); err == nil {
+		t.Error("no snapshot at 999: want error")
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	ctx := tgraph.NewContext()
+	g := exampleGraph(ctx)
+	var b strings.Builder
+	if err := tgraph.WriteTimeline(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"vertices:", "edges:", "[1, 7)", "school=CMU", "1 -> 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package tgraph is the public API of this reproduction of "Zooming Out
+// on an Evolving Graph" (EDBT 2020): an evolving property graph
+// (TGraph) library with four physical representations (RG, VE, OG,
+// OGC), temporal attribute-based zoom (aZoom^T), temporal window-based
+// zoom (wZoom^T), operator chaining with representation switching and
+// lazy coalescing, a columnar storage format with predicate pushdown,
+// dataset generators modelling the paper's evaluation datasets, and
+// Pregel-style analytics over snapshots.
+//
+// Quick start:
+//
+//	ctx := tgraph.NewContext()
+//	g := tgraph.FromStates(ctx, vertices, edges)
+//	schools, err := g.AZoom(tgraph.GroupByProperty("school", "school",
+//		tgraph.Count("students")))
+//	quarters, err := schools.WZoom(tgraph.WZoomSpec{
+//		Window: tgraph.EveryN(3),
+//		VQuant: tgraph.All(), EQuant: tgraph.All(),
+//	})
+//	result := quarters.Coalesce()
+package tgraph
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/props"
+	"repro/internal/storage"
+	"repro/internal/temporal"
+)
+
+// Core model types.
+type (
+	// Graph is an evolving property graph in one of the four physical
+	// representations.
+	Graph = core.TGraph
+	// VertexID identifies a vertex.
+	VertexID = core.VertexID
+	// EdgeID identifies an edge.
+	EdgeID = core.EdgeID
+	// VertexTuple is one temporal state of a vertex.
+	VertexTuple = core.VertexTuple
+	// EdgeTuple is one temporal state of an edge.
+	EdgeTuple = core.EdgeTuple
+	// Representation enumerates the physical representations.
+	Representation = core.Representation
+	// AZoomSpec parameterises attribute-based zoom.
+	AZoomSpec = core.AZoomSpec
+	// WZoomSpec parameterises window-based zoom.
+	WZoomSpec = core.WZoomSpec
+	// Interval is a closed-open interval of discrete time points.
+	Interval = temporal.Interval
+	// Time is a discrete time point.
+	Time = temporal.Time
+	// Props is a property set.
+	Props = props.Props
+	// Value is a property value.
+	Value = props.Value
+	// Quantifier is a wZoom existence quantifier.
+	Quantifier = temporal.Quantifier
+	// WindowSpec is a wZoom window specification.
+	WindowSpec = temporal.WindowSpec
+	// Context owns the dataflow worker pool and metrics.
+	Context = dataflow.Context
+	// AggField is one aZoom aggregate output field.
+	AggField = props.AggField
+	// ResolveSpec picks representative attribute values per window.
+	ResolveSpec = props.ResolveSpec
+)
+
+// Representation constants.
+const (
+	VE  = core.RepVE
+	RG  = core.RepRG
+	OG  = core.RepOG
+	OGC = core.RepOGC
+)
+
+// NewContext creates an execution context. Parallelism and partition
+// counts default to the number of CPUs.
+func NewContext(opts ...dataflow.Option) *Context { return dataflow.NewContext(opts...) }
+
+// WithParallelism bounds concurrent partition tasks.
+func WithParallelism(n int) dataflow.Option { return dataflow.WithParallelism(n) }
+
+// WithDefaultPartitions sets the default dataset partition count.
+func WithDefaultPartitions(n int) dataflow.Option { return dataflow.WithDefaultPartitions(n) }
+
+// FromStates builds a TGraph (VE representation) from flat vertex and
+// edge states.
+func FromStates(ctx *Context, vs []VertexTuple, es []EdgeTuple) Graph {
+	return core.NewVE(ctx, vs, es)
+}
+
+// Convert switches a graph to another physical representation.
+func Convert(g Graph, rep Representation) (Graph, error) { return core.Convert(g, rep) }
+
+// Validate checks the TGraph validity conditions of Definition 2.1.
+func Validate(g Graph) error { return core.Validate(g) }
+
+// New* property constructors.
+var (
+	// NewProps builds a property set from alternating key, value pairs.
+	NewProps = props.New
+	// Int, Float, Str and Bool construct property values.
+	Int   = props.Int
+	Float = props.Float
+	Str   = props.StringVal
+	Bool  = props.Bool
+)
+
+// Zoom spec helpers.
+
+// GroupByProperty builds the common aZoom^T spec: group vertices by a
+// property, produce nodes of newType named by the grouping value, and
+// compute the given aggregates.
+func GroupByProperty(key, newType string, agg ...AggField) AZoomSpec {
+	return core.GroupByProperty(key, newType, agg...)
+}
+
+// SkolemByProperty groups vertices by one property's value.
+func SkolemByProperty(key string) core.SkolemFunc { return core.SkolemByProperty(key) }
+
+// Aggregate field constructors for aZoom^T.
+var (
+	Count  = props.Count
+	Sum    = props.Sum
+	MinOf  = props.Min
+	MaxOf  = props.Max
+	Avg    = props.Avg
+	AnyOf  = props.Any
+	Custom = props.Custom
+)
+
+// Existence quantifiers for wZoom^T.
+var (
+	All    = temporal.All
+	Most   = temporal.Most
+	Exists = temporal.Exists
+)
+
+// AtLeast retains entities whose window-coverage fraction exceeds n.
+func AtLeast(n float64) (Quantifier, error) { return temporal.AtLeast(n) }
+
+// Window specification constructors.
+
+// EveryN tumbles windows of n time points.
+func EveryN(n Time) WindowSpec { return temporal.MustEveryN(n) }
+
+// EveryNChanges tumbles windows of n consecutive graph states.
+func EveryNChanges(n int) WindowSpec { return temporal.MustEveryNChanges(n) }
+
+// ParseWindowSpec parses "n {unit|changes}".
+func ParseWindowSpec(s string) (WindowSpec, error) { return temporal.ParseWindowSpec(s) }
+
+// ParseQuantifier parses "all", "most", "exists" or "at least n".
+func ParseQuantifier(s string) (Quantifier, error) { return temporal.ParseQuantifier(s) }
+
+// Attribute resolution policies for wZoom^T.
+var (
+	FirstWins = props.FirstWins
+	LastWins  = props.LastWins
+	AnyWins   = props.AnyWins
+)
+
+// NewInterval returns [start, end).
+func NewInterval(start, end Time) (Interval, error) { return temporal.NewInterval(start, end) }
+
+// MustInterval is NewInterval, panicking on invalid bounds.
+func MustInterval(start, end Time) Interval { return temporal.MustInterval(start, end) }
+
+// Storage: persistent graphs with predicate pushdown.
+
+// SaveOptions configures Save.
+type SaveOptions = storage.SaveOptions
+
+// LoadOptions configures Load.
+type LoadOptions = storage.LoadOptions
+
+// ScanStats reports predicate-pushdown effectiveness.
+type ScanStats = storage.ScanStats
+
+// Save persists a graph directory (flat + nested columnar layouts).
+func Save(dir string, g Graph, opts SaveOptions) error { return storage.SaveGraph(dir, g, opts) }
+
+// Load initialises any representation from a graph directory,
+// optionally pushing a date-range filter down to the chunk zone maps.
+func Load(ctx *Context, dir string, opts LoadOptions) (Graph, ScanStats, error) {
+	return storage.Load(ctx, dir, opts)
+}
+
+// ImportCSV reads vertices.csv (+ optional edges.csv) from dir and
+// builds a VE graph.
+func ImportCSV(ctx *Context, dir string) (Graph, error) {
+	vs, es, err := storage.ImportCSV(dir)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewVE(ctx, vs, es), nil
+}
+
+// ExportCSV writes the graph's states as vertices.csv and edges.csv.
+func ExportCSV(dir string, g Graph) error { return storage.ExportCSV(dir, g) }
