@@ -1,0 +1,31 @@
+# Developer entry points. `make check` is the full gate CI should run:
+# it builds every package, vets, and runs the test suite (including the
+# obs registry/tracer concurrency tests) under the race detector.
+
+GO ?= go
+
+.PHONY: check build vet test test-race bench fmt bench-json
+
+check: build vet test-race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+# Regenerate the checked-in machine-readable benchmark results.
+bench-json:
+	$(GO) run ./cmd/tgraph-bench -exp all -json BENCH_all.json
+
+fmt:
+	gofmt -l -w .

@@ -8,12 +8,15 @@ package tgraph_test
 
 import (
 	"fmt"
+	"sort"
 	"testing"
+	"time"
 
 	tgraph "repro"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/obs"
 	"repro/internal/props"
 	"repro/internal/storage"
 	"repro/internal/temporal"
@@ -325,6 +328,73 @@ func BenchmarkLazyCoalescing(b *testing.B) {
 					res.Coalesce()
 				}
 			})
+		}
+	}
+}
+
+// TestInstrumentationOverhead guards the cost of the observability
+// layer: with tracing enabled, a fig14-sized wZoom run must stay within
+// 5% of the untraced run. A/B runs are interleaved so frequency scaling
+// and scheduler noise hit both sides equally, medians absorb outliers,
+// and the whole comparison retries a few times before failing so one
+// noisy round does not flake CI.
+func TestInstrumentationOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in -short mode")
+	}
+	d := bench.WikiTalkDataset(benchCfg, 24)
+	ctx := tgraph.NewContext(tgraph.WithParallelism(4))
+	ve := core.NewVE(ctx, d.Vertices, d.Edges)
+	g, err := core.Convert(ve.Coalesce(), core.RepOG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := core.WZoomSpec{
+		Window: temporal.MustEveryN(3),
+		VQuant: temporal.Exists(), EQuant: temporal.Exists(),
+		VResolve: props.LastWins, EResolve: props.LastWins,
+	}
+	run := func() {
+		if _, err := g.WZoom(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		obs.SetTracing(false)
+		obs.ResetAll()
+	}()
+	run() // warm up caches and the allocator before timing
+
+	median := func(ds []time.Duration) time.Duration {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ds[len(ds)/2]
+	}
+	const rounds = 7
+	for attempt := 1; ; attempt++ {
+		off := make([]time.Duration, 0, rounds)
+		on := make([]time.Duration, 0, rounds)
+		for i := 0; i < rounds; i++ {
+			obs.SetTracing(false)
+			start := time.Now()
+			run()
+			off = append(off, time.Since(start))
+
+			obs.ResetAll() // keep the span forest from growing across rounds
+			obs.SetTracing(true)
+			start = time.Now()
+			run()
+			on = append(on, time.Since(start))
+		}
+		mOff, mOn := median(off), median(on)
+		overhead := float64(mOn-mOff) / float64(mOff)
+		t.Logf("attempt %d: untraced %v, traced %v, overhead %+.2f%%", attempt, mOff, mOn, overhead*100)
+		if overhead < 0.05 {
+			return
+		}
+		if attempt == 4 {
+			t.Errorf("instrumentation overhead %.2f%% exceeds 5%% (untraced %v, traced %v)",
+				overhead*100, mOff, mOn)
+			return
 		}
 	}
 }

@@ -6,6 +6,12 @@
 //	tgraph-bench -list
 //	tgraph-bench -exp fig10 [-scale 1.0] [-parallelism 8] [-seed 42]
 //	tgraph-bench -exp all
+//	tgraph-bench -exp fig14 -json out.json
+//	tgraph-bench -exp all -json BENCH_all.json
+//
+// With -json, every run also executes instrumented (tracing on, obs
+// registry reset per experiment) and the results are written as a JSON
+// array of {exp, config, rows, metrics, spans} records.
 package main
 
 import (
@@ -24,6 +30,7 @@ func main() {
 		scale       = flag.Float64("scale", 1.0, "dataset size multiplier")
 		parallelism = flag.Int("parallelism", 0, "worker pool size (0 = NumCPU)")
 		seed        = flag.Int64("seed", 42, "generator seed")
+		jsonPath    = flag.String("json", "", "write machine-readable results to this file")
 	)
 	flag.Parse()
 
@@ -51,12 +58,28 @@ func main() {
 		}
 		run = []bench.Experiment{e}
 	}
+	var results []bench.RunResult
 	for _, e := range run {
 		fmt.Printf("# %s\n# %s\n", e.Title, e.Description)
 		start := time.Now()
-		for _, tb := range e.Run(cfg) {
+		var tables []bench.Table
+		if *jsonPath != "" {
+			res := bench.RunInstrumented(e, cfg)
+			results = append(results, res)
+			tables = res.Rows
+		} else {
+			tables = e.Run(cfg)
+		}
+		for _, tb := range tables {
 			fmt.Println(tb.String())
 		}
 		fmt.Printf("# %s completed in %s\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonPath != "" {
+		if err := bench.WriteJSON(*jsonPath, results); err != nil {
+			fmt.Fprintf(os.Stderr, "tgraph-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# wrote %d result(s) to %s\n", len(results), *jsonPath)
 	}
 }

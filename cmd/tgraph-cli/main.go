@@ -7,6 +7,7 @@
 //	tgraph-cli -dir /tmp/wiki -rep ve -azoom name -count members
 //	tgraph-cli -dir /tmp/snb -rep og -wzoom "6 months" -vquant all -equant all
 //	tgraph-cli -dir /tmp/snb -rep ve -azoom firstName -wzoom "3 months" -dump 10
+//	tgraph-cli -dir /tmp/snb -rep og -wzoom "6 months" -trace
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	tgraph "repro"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func fail(format string, args ...any) {
@@ -38,10 +40,14 @@ func main() {
 		equant  = flag.String("equant", "exists", "wZoom^T edge quantifier")
 		dump    = flag.Int("dump", 0, "print up to N vertex and edge states of the result")
 		explain = flag.Bool("explain", false, "print the cost-based plan for the requested zooms instead of executing eagerly")
+		trace   = flag.Bool("trace", false, "record per-stage spans and print the span tree after execution")
 	)
 	flag.Parse()
 	if *dir == "" {
 		fail("-dir is required")
+	}
+	if *trace {
+		obs.SetTracing(true)
 	}
 
 	reps := map[string]tgraph.Representation{"ve": tgraph.VE, "rg": tgraph.RG, "og": tgraph.OG, "ogc": tgraph.OGC}
@@ -125,6 +131,9 @@ func main() {
 		p.Steps(), out.NumVertices(), out.NumEdges(), out.Lifetime())
 	if *dump > 0 {
 		dumpStates(out, *dump)
+	}
+	if *trace {
+		fmt.Print("trace:\n", obs.FormatSpans(obs.Spans()))
 	}
 }
 

@@ -20,11 +20,11 @@ import (
 // Config scales and seeds an experiment run.
 type Config struct {
 	// Scale multiplies dataset sizes; 1.0 is the default laptop scale.
-	Scale float64
+	Scale float64 `json:"scale"`
 	// Parallelism bounds the worker pool; <= 0 selects NumCPU.
-	Parallelism int
+	Parallelism int `json:"parallelism"`
 	// Seed drives all generators.
-	Seed int64
+	Seed int64 `json:"seed"`
 }
 
 func (c Config) scale(n int) int {
@@ -44,10 +44,10 @@ func (c Config) context() *dataflow.Context {
 
 // Table is one result table, formatted like the paper's figures' data.
 type Table struct {
-	Title  string
-	Note   string
-	Header []string
-	Rows   [][]string
+	Title  string     `json:"title"`
+	Note   string     `json:"note,omitempty"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // String renders the table with aligned columns.

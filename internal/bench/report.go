@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// RunResult is the machine-readable record of one experiment run, the
+// unit written by tgraph-bench -json. The schema is stable:
+//
+//	{
+//	  "exp":     "fig14",
+//	  "config":  {"scale": 1, "parallelism": 0, "seed": 42},
+//	  "rows":    [ {"title": ..., "header": [...], "rows": [[...]]} ],
+//	  "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}},
+//	  "spans":   [ {"name": ..., "count": N, "total_ms": T, "children": [...]} ]
+//	}
+//
+// rows carries the same tables the text renderer prints; metrics is the
+// obs registry snapshot taken after the run (dataflow.* and storage.*
+// counters plus span.* histograms); spans is the aggregated span
+// forest, merged by name path so repeated stage invocations collapse
+// into one node with a count and total duration.
+type RunResult struct {
+	Exp     string               `json:"exp"`
+	Config  Config               `json:"config"`
+	Rows    []Table              `json:"rows"`
+	Metrics obs.MetricsSnapshot  `json:"metrics"`
+	Spans   []obs.AggregatedSpan `json:"spans"`
+}
+
+// RunInstrumented executes an experiment with tracing enabled and the
+// obs registry reset beforehand, then packages the tables together with
+// the metrics snapshot and the aggregated span tree. The previous
+// tracing state is restored on return.
+func RunInstrumented(e Experiment, cfg Config) RunResult {
+	wasTracing := obs.TracingEnabled()
+	obs.ResetAll()
+	obs.SetTracing(true)
+	tables := e.Run(cfg)
+	res := RunResult{
+		Exp:     e.ID,
+		Config:  cfg,
+		Rows:    tables,
+		Metrics: obs.Snapshot(),
+		Spans:   obs.Aggregate(obs.Spans()),
+	}
+	obs.SetTracing(wasTracing)
+	return res
+}
+
+// WriteJSON writes results as indented JSON to path.
+func WriteJSON(path string, results []RunResult) error {
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal results: %w", err)
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// fakeExperiment is a deterministic fixture: a tiny dataflow job with a
+// two-level span tree, producing stable counters under parallelism 1.
+func fakeExperiment() Experiment {
+	return Experiment{
+		ID:          "fake",
+		Title:       "fake experiment",
+		Description: "deterministic schema fixture",
+		Run: func(cfg Config) []Table {
+			ctx := cfg.context()
+			sp := obs.StartSpan("fake.run")
+			stage := obs.StartSpan("fake.stage")
+			data := make([]int, 10)
+			for i := range data {
+				data[i] = i
+			}
+			d := dataflow.Parallelize(ctx, data, 2)
+			n := dataflow.GroupByKey(d, func(v int) int { return v % 3 }).Count()
+			stage.End()
+			sp.End()
+			return []Table{{
+				Title:  "fake table",
+				Note:   "fixture",
+				Header: []string{"groups"},
+				Rows:   [][]string{{fmt.Sprint(n)}},
+			}}
+		},
+	}
+}
+
+// normalizeResult zeroes every wall-clock-derived field so the JSON
+// encoding is reproducible; counts and structure remain.
+func normalizeResult(res *RunResult) {
+	for name, h := range res.Metrics.Histograms {
+		h.SumMS, h.MeanMS, h.MinMS, h.MaxMS = 0, 0, 0, 0
+		h.P50MS, h.P95MS, h.P99MS = 0, 0, 0
+		res.Metrics.Histograms[name] = h
+	}
+	var walk func(spans []obs.AggregatedSpan)
+	walk = func(spans []obs.AggregatedSpan) {
+		for i := range spans {
+			spans[i].TotalMS = 0
+			walk(spans[i].Children)
+		}
+	}
+	walk(res.Spans)
+}
+
+// TestReportGoldenSchema locks the BENCH_*.json record schema: run the
+// deterministic fixture instrumented, normalize timings, and compare
+// byte-for-byte with the golden file. Run with -update to regenerate
+// after an intentional schema change (and update README/DESIGN docs).
+func TestReportGoldenSchema(t *testing.T) {
+	res := RunInstrumented(fakeExperiment(), Config{Scale: 1, Parallelism: 1, Seed: 1})
+	normalizeResult(&res)
+	got, err := json.MarshalIndent([]RunResult{res}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "report_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("report JSON drifted from golden schema\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestRunInstrumented checks the envelope invariants that the golden
+// file cannot express: tracing state restoration and per-run resets.
+func TestRunInstrumented(t *testing.T) {
+	obs.SetTracing(false)
+	res := RunInstrumented(fakeExperiment(), Config{Scale: 1, Parallelism: 1, Seed: 1})
+	if obs.TracingEnabled() {
+		t.Error("tracing left enabled after RunInstrumented")
+	}
+	if res.Exp != "fake" {
+		t.Errorf("exp = %q", res.Exp)
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0].Rows) != 1 {
+		t.Errorf("rows = %+v", res.Rows)
+	}
+	if len(res.Spans) != 1 || res.Spans[0].Name != "fake.run" {
+		t.Fatalf("spans = %+v", res.Spans)
+	}
+	if ch := res.Spans[0].Children; len(ch) != 1 || ch[0].Name != "fake.stage" {
+		t.Errorf("children = %+v", res.Spans[0].Children)
+	}
+	if res.Metrics.Counters["dataflow.jobs"] == 0 {
+		t.Errorf("dataflow.jobs missing from metrics: %+v", res.Metrics.Counters)
+	}
+	// A second run must not accumulate the first run's spans/metrics.
+	res2 := RunInstrumented(fakeExperiment(), Config{Scale: 1, Parallelism: 1, Seed: 1})
+	if !reflect.DeepEqual(res.Spans[0].Count, res2.Spans[0].Count) {
+		t.Errorf("span counts accumulated across runs: %d vs %d", res.Spans[0].Count, res2.Spans[0].Count)
+	}
+	if res.Metrics.Counters["dataflow.jobs"] != res2.Metrics.Counters["dataflow.jobs"] {
+		t.Errorf("metrics accumulated across runs: %d vs %d",
+			res.Metrics.Counters["dataflow.jobs"], res2.Metrics.Counters["dataflow.jobs"])
+	}
+}
+
+// TestWriteJSON round-trips a result file through the decoder.
+func TestWriteJSON(t *testing.T) {
+	res := RunInstrumented(fakeExperiment(), Config{Scale: 1, Parallelism: 1, Seed: 1})
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteJSON(path, []RunResult{res}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []RunResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("written file is not valid JSON: %v", err)
+	}
+	if len(back) != 1 || back[0].Exp != "fake" {
+		t.Errorf("round-trip = %+v", back)
+	}
+}

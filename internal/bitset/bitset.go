@@ -1,6 +1,8 @@
 // Package bitset implements the fixed-width bitsets that the OGC
-// (One Graph Columnar) representation uses to encode the presence of a
-// vertex or edge in each elementary interval of a TGraph.
+// (One Graph Columnar) representation of the paper's Section 4 uses to
+// encode the presence of a vertex or edge in each elementary interval
+// of a TGraph. wZoom^T over OGC (Algorithm 6) reduces to the bulk
+// And/Or window folds implemented here.
 package bitset
 
 import (

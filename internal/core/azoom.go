@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/dataflow"
 	"repro/internal/graphx"
+	"repro/internal/obs"
 	"repro/internal/props"
 	"repro/internal/temporal"
 )
@@ -52,7 +53,10 @@ func azoomMapVertices(spec AZoomSpec, id VertexID, iv temporal.Interval, p props
 // group's elementary intervals (the temporal splitter), and reduce
 // identity-equivalent states per elementary interval with f_agg.
 func azoomVerticesDataflow(spec AZoomSpec, mapped *dataflow.Dataset[azVertexState]) *dataflow.Dataset[VertexTuple] {
+	gsp := obs.StartSpan("group-by")
 	groups := dataflow.GroupByKey(mapped, func(s azVertexState) VertexID { return s.NewID })
+	gsp.End()
+	defer obs.StartSpan("align-aggregate").End()
 	return dataflow.FlatMap(groups, func(gr dataflow.Group[VertexID, azVertexState]) []VertexTuple {
 		ivs := make([]temporal.Interval, len(gr.Values))
 		for i, s := range gr.Values {
@@ -91,6 +95,9 @@ func (g *VE) AZoom(spec AZoomSpec) (TGraph, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	defer obs.StartSpan("azoom.VE").End()
+	vsp := obs.StartSpan("vertices")
+	msp := obs.StartSpan("skolem-map")
 	mapped := dataflow.FlatMap(g.v, func(t VertexTuple) []azVertexState {
 		s, ok := azoomMapVertices(spec, t.ID, t.Interval, t.Props)
 		if !ok {
@@ -98,15 +105,20 @@ func (g *VE) AZoom(spec AZoomSpec) (TGraph, error) {
 		}
 		return []azVertexState{s}
 	})
+	msp.End()
 	v := azoomVerticesDataflow(spec, mapped)
+	vsp.End()
 
 	edgeSkolem := spec.edgeSkolem()
+	jsp := obs.StartSpan("edge-join")
 	j1 := dataflow.Join(g.e, g.v,
 		func(e EdgeTuple) VertexID { return e.Src },
 		func(vt VertexTuple) VertexID { return vt.ID })
 	j2 := dataflow.Join(j1, g.v,
 		func(p dataflow.Pair[EdgeTuple, VertexTuple]) VertexID { return p.First.Dst },
 		func(vt VertexTuple) VertexID { return vt.ID })
+	jsp.End()
+	rsp := obs.StartSpan("edge-redirect")
 	e := dataflow.FlatMap(j2, func(p dataflow.Pair[dataflow.Pair[EdgeTuple, VertexTuple], VertexTuple]) []EdgeTuple {
 		et, v1, v2 := p.First.First, p.First.Second, p.Second
 		iv := et.Interval.Intersect(v1.Interval).Intersect(v2.Interval)
@@ -126,6 +138,7 @@ func (g *VE) AZoom(spec AZoomSpec) (TGraph, error) {
 			Props:    et.Props,
 		}}
 	})
+	rsp.End()
 	return veFromDatasets(g.ctx, v, e, false), nil
 }
 
@@ -137,6 +150,9 @@ func (g *OG) AZoom(spec AZoomSpec) (TGraph, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	defer obs.StartSpan("azoom.OG").End()
+	vsp := obs.StartSpan("vertices")
+	msp := obs.StartSpan("skolem-map")
 	mapped := dataflow.FlatMap(g.graph.Vertices(), func(v graphx.Vertex[[]HistoryItem]) []azVertexState {
 		out := make([]azVertexState, 0, len(v.Attr))
 		for _, h := range v.Attr {
@@ -146,11 +162,13 @@ func (g *OG) AZoom(spec AZoomSpec) (TGraph, error) {
 		}
 		return out
 	})
+	msp.End()
 	vtuples := azoomVerticesDataflow(spec, mapped)
 
 	// Rebuild history arrays per new vertex (group is already local to
 	// the flatMap output of the shared pipeline, but identity can span
 	// partitions, so group once more).
+	hsp := obs.StartSpan("rebuild-histories")
 	vgroups := dataflow.GroupByKey(vtuples, func(t VertexTuple) VertexID { return t.ID })
 	newV := dataflow.Map(vgroups, func(gr dataflow.Group[VertexID, VertexTuple]) graphx.Vertex[[]HistoryItem] {
 		states := make([]temporal.Stated[props.Props], len(gr.Values))
@@ -159,8 +177,11 @@ func (g *OG) AZoom(spec AZoomSpec) (TGraph, error) {
 		}
 		return graphx.Vertex[[]HistoryItem]{ID: gr.Key, Attr: historyFromStates(states)}
 	})
+	hsp.End()
+	vsp.End()
 
 	// Edge redirection via the routing table (recompute_history).
+	rsp := obs.StartSpan("edge-redirect")
 	table := make(map[VertexID][]HistoryItem)
 	for _, part := range g.graph.Vertices().Partitions() {
 		for _, v := range part {
@@ -216,6 +237,7 @@ func (g *OG) AZoom(spec AZoomSpec) (TGraph, error) {
 			Attr: historyFromStates(states),
 		}
 	})
+	rsp.End()
 	return ogFromGraph(graphx.FromDatasets(newV, newE, g.graph.Strategy()), false), nil
 }
 
@@ -229,9 +251,11 @@ func (g *RG) AZoom(spec AZoomSpec) (TGraph, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	defer obs.StartSpan("azoom.RG").End()
 	edgeSkolem := spec.edgeSkolem()
 	newSnaps := make([]Snapshot, len(g.snapshots))
 	for i, snap := range g.snapshots {
+		ssp := obs.StartSpan("snapshot")
 		// Vertex update + identity-equivalence reduce within the snapshot.
 		mapped := dataflow.FlatMap(snap.Graph.Vertices(), func(v graphx.Vertex[props.Props]) []dataflow.Pair[VertexID, azVertexAcc] {
 			newID, ok := spec.Skolem(v.ID, v.Attr)
@@ -273,6 +297,7 @@ func (g *RG) AZoom(spec AZoomSpec) (TGraph, error) {
 			Interval: snap.Interval,
 			Graph:    graphx.FromDatasets(newVerts, newEdges, snap.Graph.Strategy()),
 		}
+		ssp.End()
 	}
 	return NewRG(g.ctx, newSnaps), nil
 }

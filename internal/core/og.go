@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dataflow"
 	"repro/internal/graphx"
+	"repro/internal/obs"
 	"repro/internal/props"
 	"repro/internal/temporal"
 )
@@ -162,6 +163,7 @@ func (g *OG) Coalesce() TGraph {
 	if g.coalesced {
 		return g
 	}
+	defer obs.StartSpan("coalesce.OG").End()
 	v := dataflow.Map(g.graph.Vertices(), func(x graphx.Vertex[[]HistoryItem]) graphx.Vertex[[]HistoryItem] {
 		x.Attr = coalesceHistory(x.Attr)
 		return x

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/dataflow"
 	"repro/internal/graphx"
+	"repro/internal/obs"
 	"repro/internal/props"
 	"repro/internal/temporal"
 )
@@ -137,6 +138,7 @@ func (g *RG) IsCoalesced() bool { return g.coalesced }
 // implementation, where operators over RG that need coalescing convert
 // out of the snapshot representation.
 func (g *RG) Coalesce() TGraph {
+	defer obs.StartSpan("coalesce.RG").End()
 	ve := NewVE(g.ctx, g.VertexStates(), g.EdgeStates())
 	return ve.Coalesce()
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/dataflow"
+	"repro/internal/obs"
 	"repro/internal/temporal"
 )
 
@@ -86,6 +87,7 @@ func (g *VE) Coalesce() TGraph {
 	if g.coalesced {
 		return g
 	}
+	defer obs.StartSpan("coalesce.VE").End()
 	v := coalesceVertexDataset(g.v)
 	e := coalesceEdgeDataset(g.e)
 	return &VE{ctx: g.ctx, v: v, e: e, coalesced: true, lifetime: g.lifetime}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/dataflow"
 	"repro/internal/graphx"
+	"repro/internal/obs"
 	"repro/internal/props"
 	"repro/internal/temporal"
 )
@@ -72,8 +73,12 @@ func (g *VE) WZoom(spec WZoomSpec) (TGraph, error) {
 	if !g.coalesced {
 		return g.Coalesce().(*VE).WZoom(spec)
 	}
+	defer obs.StartSpan("wzoom.VE").End()
+	wsp := obs.StartSpan("windows")
 	windows := wzoomWindows(g, spec)
+	wsp.End()
 
+	vsp := obs.StartSpan("vertices")
 	v := wzoomTuplesDataflow(g.ctx, g.v, windows, spec.VQuant, spec.VResolve,
 		func(t VertexTuple) VertexID { return t.ID },
 		func(t VertexTuple) temporal.Interval { return t.Interval },
@@ -81,11 +86,13 @@ func (g *VE) WZoom(spec WZoomSpec) (TGraph, error) {
 		func(id VertexID, iv temporal.Interval, p props.Props) VertexTuple {
 			return VertexTuple{ID: id, Interval: iv, Props: p}
 		})
+	vsp.End()
 
 	type eid struct {
 		ID       EdgeID
 		Src, Dst VertexID
 	}
+	esp := obs.StartSpan("edges")
 	e := wzoomTuplesDataflow(g.ctx, g.e, windows, spec.EQuant, spec.EResolve,
 		func(t EdgeTuple) eid { return eid{t.ID, t.Src, t.Dst} },
 		func(t EdgeTuple) temporal.Interval { return t.Interval },
@@ -93,10 +100,12 @@ func (g *VE) WZoom(spec WZoomSpec) (TGraph, error) {
 		func(id eid, iv temporal.Interval, p props.Props) EdgeTuple {
 			return EdgeTuple{ID: id.ID, Src: id.Src, Dst: id.Dst, Interval: iv, Props: p}
 		})
+	esp.End()
 
 	if spec.VQuant.MoreRestrictiveThan(spec.EQuant) {
 		// Two semijoins: an edge state (always a whole window) survives
 		// only if both endpoints exist in the same window.
+		dsp := obs.StartSpan("dangling-semijoin")
 		e = dataflow.SemiJoin(e, v,
 			func(t EdgeTuple) VertexID { return t.Src },
 			func(t VertexTuple) VertexID { return t.ID },
@@ -105,6 +114,7 @@ func (g *VE) WZoom(spec WZoomSpec) (TGraph, error) {
 			func(t EdgeTuple) VertexID { return t.Dst },
 			func(t VertexTuple) VertexID { return t.ID },
 			func(et EdgeTuple, vt VertexTuple) bool { return vt.Interval.Covers(et.Interval) })
+		dsp.End()
 	}
 	return veFromDatasets(g.ctx, v, e, false), nil
 }
@@ -122,6 +132,7 @@ func wzoomTuplesDataflow[T any, ID comparable](
 	propsOf func(T) props.Props,
 	make_ func(ID, temporal.Interval, props.Props) T,
 ) *dataflow.Dataset[T] {
+	asp := obs.StartSpan("align-clip")
 	aligned := dataflow.FlatMap(d, func(t T) []dataflow.Pair[wzKey[ID], wzState] {
 		iv := ivOf(t)
 		var out []dataflow.Pair[wzKey[ID], wzState]
@@ -137,7 +148,11 @@ func wzoomTuplesDataflow[T any, ID comparable](
 		}
 		return out
 	})
+	asp.End()
+	gsp := obs.StartSpan("group-by")
 	groups := dataflow.GroupByKey(aligned, func(p dataflow.Pair[wzKey[ID], wzState]) wzKey[ID] { return p.First })
+	gsp.End()
+	defer obs.StartSpan("filter-resolve").End()
 	return dataflow.FlatMap(groups, func(gr dataflow.Group[wzKey[ID], dataflow.Pair[wzKey[ID], wzState]]) []T {
 		states := make([]wzState, len(gr.Values))
 		for i, p := range gr.Values {
@@ -164,7 +179,10 @@ func (g *OG) WZoom(spec WZoomSpec) (TGraph, error) {
 	if !g.coalesced {
 		return g.Coalesce().(*OG).WZoom(spec)
 	}
+	defer obs.StartSpan("wzoom.OG").End()
+	wsp := obs.StartSpan("windows")
 	windows := wzoomWindows(g, spec)
+	wsp.End()
 
 	recompute := func(h []HistoryItem, q temporal.Quantifier, r props.ResolveSpec) []HistoryItem {
 		byWin := make(map[int][]wzState)
@@ -192,17 +210,22 @@ func (g *OG) WZoom(spec WZoomSpec) (TGraph, error) {
 		return out
 	}
 
+	vsp := obs.StartSpan("vertices")
 	newV := dataflow.Map(g.graph.Vertices(), func(v graphx.Vertex[[]HistoryItem]) graphx.Vertex[[]HistoryItem] {
 		v.Attr = recompute(v.Attr, spec.VQuant, spec.VResolve)
 		return v
 	}).Filter(func(v graphx.Vertex[[]HistoryItem]) bool { return len(v.Attr) > 0 })
+	vsp.End()
 
+	esp := obs.StartSpan("edges")
 	newE := dataflow.Map(g.graph.Edges(), func(e graphx.Edge[[]HistoryItem]) graphx.Edge[[]HistoryItem] {
 		e.Attr = recompute(e.Attr, spec.EQuant, spec.EResolve)
 		return e
 	}).Filter(func(e graphx.Edge[[]HistoryItem]) bool { return len(e.Attr) > 0 })
+	esp.End()
 
 	if spec.VQuant.MoreRestrictiveThan(spec.EQuant) {
+		dsp := obs.StartSpan("dangling-intersect")
 		table := make(map[VertexID][]temporal.Interval)
 		for _, part := range newV.Partitions() {
 			for _, v := range part {
@@ -231,6 +254,7 @@ func (g *OG) WZoom(spec WZoomSpec) (TGraph, error) {
 			e.Attr = kept
 			return e
 		}).Filter(func(e graphx.Edge[[]HistoryItem]) bool { return len(e.Attr) > 0 })
+		dsp.End()
 	}
 	return ogFromGraph(graphx.FromDatasets(newV, newE, g.graph.Strategy()), false), nil
 }
@@ -242,12 +266,16 @@ func (g *RG) WZoom(spec WZoomSpec) (TGraph, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	defer obs.StartSpan("wzoom.RG").End()
+	wsp := obs.StartSpan("windows")
 	windows := wzoomWindows(g, spec)
+	wsp.End()
 
 	type snapRef struct {
 		iv temporal.Interval
 		g  *graphx.Graph[props.Props, props.Props]
 	}
+	gsp := obs.StartSpan("group-snapshots")
 	byWin := make(map[int][]snapRef)
 	for _, s := range g.snapshots {
 		for _, w := range temporal.OverlappingWindows(windows, s.Interval) {
@@ -259,7 +287,9 @@ func (g *RG) WZoom(spec WZoomSpec) (TGraph, error) {
 		wins = append(wins, w)
 	}
 	sort.Ints(wins)
+	gsp.End()
 
+	defer obs.StartSpan("reduce-windows").End()
 	newSnaps := make([]Snapshot, 0, len(wins))
 	for _, wi := range wins {
 		w := windows[wi]
@@ -338,7 +368,10 @@ func (g *OGC) WZoom(spec WZoomSpec) (TGraph, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	defer obs.StartSpan("wzoom.OGC").End()
+	wsp := obs.StartSpan("windows")
 	windows := wzoomWindows(g, spec)
+	wsp.End()
 	newIvs := make([]temporal.Interval, len(windows))
 	for i, w := range windows {
 		newIvs[i] = w.Interval
@@ -358,15 +391,20 @@ func (g *OGC) WZoom(spec WZoomSpec) (TGraph, error) {
 		return nb
 	}
 
+	vsp := obs.StartSpan("vertices")
 	newV := dataflow.Map(g.graph.Vertices(), func(v graphx.Vertex[OGCEntity]) graphx.Vertex[OGCEntity] {
 		return graphx.Vertex[OGCEntity]{ID: v.ID, Attr: OGCEntity{Type: v.Attr.Type, Bits: rebits(v.Attr.Bits, spec.VQuant)}}
 	}).Filter(func(v graphx.Vertex[OGCEntity]) bool { return v.Attr.Bits.Any() })
+	vsp.End()
 
+	esp := obs.StartSpan("edges")
 	newE := dataflow.Map(g.graph.Edges(), func(e graphx.Edge[OGCEntity]) graphx.Edge[OGCEntity] {
 		return graphx.Edge[OGCEntity]{ID: e.ID, Src: e.Src, Dst: e.Dst, Attr: OGCEntity{Type: e.Attr.Type, Bits: rebits(e.Attr.Bits, spec.EQuant)}}
 	})
+	esp.End()
 
 	if spec.VQuant.MoreRestrictiveThan(spec.EQuant) {
+		dsp := obs.StartSpan("dangling-and")
 		table := make(map[VertexID]*bitset.Bitset)
 		for _, part := range newV.Partitions() {
 			for _, v := range part {
@@ -385,6 +423,7 @@ func (g *OGC) WZoom(spec WZoomSpec) (TGraph, error) {
 			}
 			return graphx.Edge[OGCEntity]{ID: e.ID, Src: e.Src, Dst: e.Dst, Attr: OGCEntity{Type: e.Attr.Type, Bits: b}}
 		})
+		dsp.End()
 	}
 	newE = newE.Filter(func(e graphx.Edge[OGCEntity]) bool { return e.Attr.Bits.Any() })
 

@@ -1,10 +1,12 @@
 // Package dataflow implements an in-process partitioned dataflow engine
-// — the substitute this reproduction uses for Apache Spark's RDDs.
+// — the substitute this reproduction uses for Apache Spark's RDDs, the
+// substrate the paper's Section 4 implementation runs on.
 //
 // A Dataset[T] is a horizontally partitioned collection. Transformations
 // are the parallelizable second-order functions of the paper's
-// algorithms (map, flatMap, filter, groupBy, reduceByKey, join,
-// semijoin, sort, fold), executing user-defined first-order functions on
+// algorithms (Algorithms 1–6: map, flatMap, filter, groupBy,
+// reduceByKey, join, semijoin, sort, fold), executing user-defined
+// first-order functions on
 // each partition in parallel on a worker pool. Wide transformations
 // perform an explicit hash shuffle between partitions; the engine counts
 // tasks and shuffled records so that experiments can report work
@@ -22,18 +24,43 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Context owns the worker pool and execution metrics shared by all
 // datasets derived from it. A Context is safe for concurrent use.
+//
+// Thread-safety contract for metrics: every counter update happens
+// under metricsMu.RLock (the individual counters are atomics, so
+// updates stay concurrent with each other), while Metrics and
+// ResetMetrics take metricsMu.Lock. A snapshot therefore never observes
+// a torn update group (e.g. a job's task count without its shuffle
+// volume), and a reset cannot interleave with one.
 type Context struct {
 	parallelism int
 	defaultPart int
 	seed        maphash.Seed
 
-	tasks    atomic.Int64
-	shuffled atomic.Int64
-	shuffles atomic.Int64
+	metricsMu         sync.RWMutex
+	jobs              atomic.Int64
+	tasks             atomic.Int64
+	shuffled          atomic.Int64
+	shuffles          atomic.Int64
+	shufflePartitions atomic.Int64
+	busy              atomic.Int64
+	busyMax           atomic.Int64
+
+	// Cached handles into the process-wide obs registry, which
+	// aggregates engine work across all contexts (the per-experiment
+	// view that internal/bench exports).
+	obsJobs     *obs.Counter
+	obsTasks    *obs.Counter
+	obsShuffled *obs.Counter
+	obsShuffles *obs.Counter
+	obsParts    *obs.Counter
+	obsBusy     *obs.Gauge
+	obsBusyMax  *obs.Gauge
 }
 
 // Option configures a Context.
@@ -66,6 +93,14 @@ func NewContext(opts ...Option) *Context {
 		parallelism: runtime.NumCPU(),
 		defaultPart: runtime.NumCPU(),
 		seed:        maphash.MakeSeed(),
+
+		obsJobs:     obs.Default().Counter("dataflow.jobs"),
+		obsTasks:    obs.Default().Counter("dataflow.tasks"),
+		obsShuffled: obs.Default().Counter("dataflow.shuffled_records"),
+		obsShuffles: obs.Default().Counter("dataflow.shuffles"),
+		obsParts:    obs.Default().Counter("dataflow.shuffle_partitions"),
+		obsBusy:     obs.Default().Gauge("dataflow.workers_busy"),
+		obsBusyMax:  obs.Default().Gauge("dataflow.workers_busy_max"),
 	}
 	for _, o := range opts {
 		o(c)
@@ -81,6 +116,9 @@ func (c *Context) DefaultPartitions() int { return c.defaultPart }
 
 // Metrics is a snapshot of the engine's execution counters.
 type Metrics struct {
+	// Jobs is the number of parallel jobs (runTasks invocations)
+	// executed.
+	Jobs int64
 	// Tasks is the number of partition tasks executed.
 	Tasks int64
 	// ShuffledRecords is the number of records moved across partitions
@@ -88,26 +126,86 @@ type Metrics struct {
 	ShuffledRecords int64
 	// Shuffles is the number of wide transformations executed.
 	Shuffles int64
+	// ShufflePartitions is the total number of destination partitions
+	// across all shuffles.
+	ShufflePartitions int64
+	// MaxWorkersBusy is the high-water mark of concurrently executing
+	// tasks (worker-pool occupancy).
+	MaxWorkersBusy int64
 }
 
-// Metrics returns a snapshot of the context's counters.
+// Metrics returns a consistent snapshot of the context's counters: it
+// excludes concurrent updaters for the duration of the read (see the
+// Context thread-safety contract), so the returned values always
+// belong to a set of fully recorded update groups.
 func (c *Context) Metrics() Metrics {
+	c.metricsMu.Lock()
+	defer c.metricsMu.Unlock()
 	return Metrics{
-		Tasks:           c.tasks.Load(),
-		ShuffledRecords: c.shuffled.Load(),
-		Shuffles:        c.shuffles.Load(),
+		Jobs:              c.jobs.Load(),
+		Tasks:             c.tasks.Load(),
+		ShuffledRecords:   c.shuffled.Load(),
+		Shuffles:          c.shuffles.Load(),
+		ShufflePartitions: c.shufflePartitions.Load(),
+		MaxWorkersBusy:    c.busyMax.Load(),
 	}
 }
 
-// ResetMetrics zeroes the context's counters.
+// ResetMetrics zeroes the context's counters. Like Metrics it takes
+// the writer side of the metrics lock, so a reset never interleaves
+// with a counter update group: after ResetMetrics returns, a
+// subsequent Metrics call reflects only jobs recorded after the reset.
 func (c *Context) ResetMetrics() {
+	c.metricsMu.Lock()
+	defer c.metricsMu.Unlock()
+	c.jobs.Store(0)
 	c.tasks.Store(0)
 	c.shuffled.Store(0)
 	c.shuffles.Store(0)
+	c.shufflePartitions.Store(0)
+	c.busyMax.Store(c.busy.Load())
 }
 
 func (m Metrics) String() string {
-	return fmt.Sprintf("tasks=%d shuffles=%d shuffledRecords=%d", m.Tasks, m.Shuffles, m.ShuffledRecords)
+	return fmt.Sprintf("jobs=%d tasks=%d shuffles=%d shuffledRecords=%d shufflePartitions=%d maxWorkersBusy=%d",
+		m.Jobs, m.Tasks, m.Shuffles, m.ShuffledRecords, m.ShufflePartitions, m.MaxWorkersBusy)
+}
+
+// countShuffle records one wide transformation that moved records
+// records into partitions destination partitions.
+func (c *Context) countShuffle(records int64, partitions int) {
+	c.metricsMu.RLock()
+	c.shuffles.Add(1)
+	c.shuffled.Add(records)
+	c.shufflePartitions.Add(int64(partitions))
+	c.metricsMu.RUnlock()
+	c.obsShuffles.Add(1)
+	c.obsShuffled.Add(records)
+	c.obsParts.Add(int64(partitions))
+}
+
+// taskStarted/taskDone bracket one executing task, maintaining the
+// worker-occupancy gauge and its high-water mark.
+func (c *Context) taskStarted() {
+	cur := c.busy.Add(1)
+	raiseMax(&c.busyMax, cur)
+	c.obsBusy.Add(1)
+	c.obsBusyMax.Max(cur)
+}
+
+// raiseMax lifts v to n if n exceeds it (atomic high-water mark).
+func raiseMax(v *atomic.Int64, n int64) {
+	for {
+		cur := v.Load()
+		if n <= cur || v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+func (c *Context) taskDone() {
+	c.busy.Add(-1)
+	c.obsBusy.Add(-1)
 }
 
 // runTasks executes fn(i) for i in [0, n) on the worker pool and blocks
@@ -116,10 +214,19 @@ func (c *Context) runTasks(n int, fn func(i int)) {
 	if n == 0 {
 		return
 	}
+	c.metricsMu.RLock()
+	c.jobs.Add(1)
 	c.tasks.Add(int64(n))
+	c.metricsMu.RUnlock()
+	c.obsJobs.Add(1)
+	c.obsTasks.Add(int64(n))
 	if n == 1 || c.parallelism == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			c.taskStarted()
+			func() {
+				defer c.taskDone()
+				fn(i)
+			}()
 		}
 		return
 	}
@@ -131,6 +238,7 @@ func (c *Context) runTasks(n int, fn func(i int)) {
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int) {
+			c.taskStarted()
 			defer func() {
 				if r := recover(); r != nil {
 					mu.Lock()
@@ -139,6 +247,7 @@ func (c *Context) runTasks(n int, fn func(i int)) {
 					}
 					mu.Unlock()
 				}
+				c.taskDone()
 				<-sem
 				wg.Done()
 			}()

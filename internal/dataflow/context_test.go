@@ -1,0 +1,80 @@
+package dataflow
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMetricsSnapshotRace hammers Metrics and ResetMetrics while jobs
+// run, exercising the snapshot contract under the race detector: a
+// snapshot or reset excludes in-flight counter update groups, and
+// counters never go negative.
+func TestMetricsSnapshotRace(t *testing.T) {
+	ctx := NewContext(WithParallelism(4), WithDefaultPartitions(4))
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			data := make([]int, 256)
+			for i := range data {
+				data[i] = (i * 7) % 31
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d := Parallelize(ctx, data, 4)
+				GroupByKey(d, func(v int) int { return v % 5 }).Count()
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		m := ctx.Metrics()
+		if m.Tasks < 0 || m.ShuffledRecords < 0 || m.Shuffles < 0 || m.MaxWorkersBusy < 0 {
+			t.Errorf("snapshot went negative: %+v", m)
+			break
+		}
+		if i%20 == 0 {
+			ctx.ResetMetrics()
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestMetricsCounters(t *testing.T) {
+	ctx := NewContext(WithParallelism(2), WithDefaultPartitions(2))
+	data := make([]int, 100)
+	for i := range data {
+		data[i] = i
+	}
+	d := Parallelize(ctx, data, 4)
+	GroupByKey(d, func(v int) int { return v % 3 }).Count()
+	m := ctx.Metrics()
+	if m.Jobs == 0 || m.Tasks == 0 {
+		t.Errorf("jobs/tasks not counted: %+v", m)
+	}
+	if m.Shuffles != 1 {
+		t.Errorf("shuffles = %d, want 1", m.Shuffles)
+	}
+	if m.ShuffledRecords != 100 {
+		t.Errorf("shuffled records = %d, want 100", m.ShuffledRecords)
+	}
+	if m.ShufflePartitions != 4 {
+		t.Errorf("shuffle partitions = %d, want 4", m.ShufflePartitions)
+	}
+	if m.MaxWorkersBusy < 1 || m.MaxWorkersBusy > 2 {
+		t.Errorf("max workers busy = %d, want within [1,2]", m.MaxWorkersBusy)
+	}
+	ctx.ResetMetrics()
+	if got := ctx.Metrics(); got.Tasks != 0 || got.Shuffles != 0 || got.ShuffledRecords != 0 {
+		t.Errorf("metrics after reset = %+v", got)
+	}
+	if s := m.String(); s == "" {
+		t.Error("Metrics.String empty")
+	}
+}

@@ -104,8 +104,7 @@ func (d *Dataset[T]) Repartition(numPartitions int) *Dataset[T] {
 		numPartitions = d.ctx.defaultPart
 	}
 	all := d.Collect()
-	d.ctx.shuffles.Add(1)
-	d.ctx.shuffled.Add(int64(len(all)))
+	d.ctx.countShuffle(int64(len(all)), numPartitions)
 	return Parallelize(d.ctx, all, numPartitions)
 }
 
@@ -125,8 +124,7 @@ func (d *Dataset[T]) Coalesced() *Dataset[T] {
 func (d *Dataset[T]) SortBy(less func(a, b T) bool) *Dataset[T] {
 	all := d.Collect()
 	sort.SliceStable(all, func(i, j int) bool { return less(all[i], all[j]) })
-	d.ctx.shuffles.Add(1)
-	d.ctx.shuffled.Add(int64(len(all)))
+	d.ctx.countShuffle(int64(len(all)), len(d.parts))
 	return Parallelize(d.ctx, all, len(d.parts))
 }
 

@@ -52,8 +52,7 @@ func shuffleByKey[K comparable, V any](d *Dataset[V], key func(V) K, numOut int)
 	for _, p := range out {
 		moved += int64(len(p))
 	}
-	d.ctx.shuffles.Add(1)
-	d.ctx.shuffled.Add(moved)
+	d.ctx.countShuffle(moved, numOut)
 	return out
 }
 

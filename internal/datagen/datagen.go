@@ -1,5 +1,6 @@
 // Package datagen generates synthetic evolving graphs that model the
-// statistical character of the paper's three evaluation datasets:
+// statistical character of the three evaluation datasets of the paper's
+// Section 5 (Table 2):
 //
 //	WikiTalk — very sparse messaging events: growth-only vertices with
 //	           static attributes (name, editCount), short-lived edges,

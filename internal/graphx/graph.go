@@ -1,6 +1,8 @@
 // Package graphx implements a static property-graph layer on top of the
 // dataflow engine — the substitute this reproduction uses for Apache
-// Spark's GraphX library. Like GraphX it offers vertex-cut edge
+// Spark's GraphX library, on which the paper's Section 4 implementation
+// builds its graph-shaped representations. Like GraphX it offers
+// vertex-cut edge
 // partitioning strategies, a materialised triplet view built by
 // vertex-mirroring, aggregateMessages, and Pregel iteration. The RG, OG
 // and OGC representations of a TGraph are built on this layer; VE

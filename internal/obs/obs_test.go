@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Add(3)
+	c.Add(4)
+	if c.Value() != 7 {
+		t.Errorf("counter = %d, want 7", c.Value())
+	}
+	if r.Counter("c") != c {
+		t.Error("Counter must return the same instance for the same name")
+	}
+	g := r.Gauge("g")
+	g.Set(5)
+	if got := g.Add(-2); got != 3 {
+		t.Errorf("gauge Add returned %d, want 3", got)
+	}
+	g.Max(10)
+	g.Max(4)
+	if g.Value() != 10 {
+		t.Errorf("gauge after Max = %d, want 10", g.Value())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.MinMS != 1 || s.MaxMS != 100 {
+		t.Errorf("min/max = %v/%v, want 1/100", s.MinMS, s.MaxMS)
+	}
+	if s.P50MS != 50 {
+		t.Errorf("p50 = %v, want 50", s.P50MS)
+	}
+	if s.P95MS != 95 {
+		t.Errorf("p95 = %v, want 95", s.P95MS)
+	}
+	if s.P99MS != 99 {
+		t.Errorf("p99 = %v, want 99", s.P99MS)
+	}
+	if s.MeanMS != 50.5 {
+		t.Errorf("mean = %v, want 50.5", s.MeanMS)
+	}
+	if s.SumMS != 5050 {
+		t.Errorf("sum = %v, want 5050", s.SumMS)
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(7 * time.Millisecond)
+	s := h.snapshot()
+	if s.P50MS != 7 || s.P99MS != 7 || s.MinMS != 7 || s.MaxMS != 7 {
+		t.Errorf("single-sample snapshot = %+v, want all 7", s)
+	}
+}
+
+func TestHistogramWindowOverflow(t *testing.T) {
+	var h Histogram
+	// Overflow the retention window: count/sum must still cover all
+	// observations, quantiles only the most recent window.
+	for i := 0; i < histogramWindow+500; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.snapshot()
+	if s.Count != int64(histogramWindow+500) {
+		t.Errorf("count = %d, want %d", s.Count, histogramWindow+500)
+	}
+	if s.P50MS != 1 {
+		t.Errorf("p50 = %v, want 1", s.P50MS)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("tasks").Add(1)
+				r.Gauge("busy").Add(1)
+				r.Gauge("busy").Add(-1)
+				r.Gauge("high").Max(int64(i))
+				r.Histogram("lat").Observe(time.Duration(i))
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	// Concurrent resets must also be safe.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			r.Reset()
+		}
+	}()
+	wg.Wait()
+	r.Reset()
+	if got := r.Counter("tasks").Value(); got != 0 {
+		t.Errorf("counter after reset = %d, want 0", got)
+	}
+	r.Counter("tasks").Add(2)
+	if got := r.Counter("tasks").Value(); got != 2 {
+		t.Errorf("cached handle detached after reset: %d, want 2", got)
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer(nil)
+	if s := tr.StartSpan("ignored"); s != nil {
+		t.Fatal("disabled tracer must return nil spans")
+	}
+	var nilSpan *Span
+	nilSpan.End() // must not panic
+
+	tr.SetEnabled(true)
+	root := tr.StartSpan("root")
+	a := tr.StartSpan("a")
+	aa := tr.StartSpan("aa")
+	aa.End()
+	a.End()
+	b := tr.StartSpan("b")
+	b.End()
+	root.End()
+	second := tr.StartSpan("second-root")
+	second.End()
+
+	snap := tr.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("roots = %d, want 2", len(snap))
+	}
+	if snap[0].Name != "root" || snap[1].Name != "second-root" {
+		t.Fatalf("root names = %q, %q", snap[0].Name, snap[1].Name)
+	}
+	r := snap[0]
+	if len(r.Children) != 2 || r.Children[0].Name != "a" || r.Children[1].Name != "b" {
+		t.Fatalf("root children = %+v", r.Children)
+	}
+	if len(r.Children[0].Children) != 1 || r.Children[0].Children[0].Name != "aa" {
+		t.Fatalf("nested child = %+v", r.Children[0].Children)
+	}
+	if r.DurMS <= 0 {
+		t.Error("root span has no duration")
+	}
+
+	tr.Reset()
+	if len(tr.Snapshot()) != 0 {
+		t.Error("Reset did not clear spans")
+	}
+}
+
+func TestSpanEndWithOpenChildren(t *testing.T) {
+	tr := NewTracer(nil)
+	tr.SetEnabled(true)
+	root := tr.StartSpan("root")
+	tr.StartSpan("leaked") // never ended
+	root.End()
+	// A new root must not become a child of the leaked span.
+	next := tr.StartSpan("next")
+	next.End()
+	snap := tr.Snapshot()
+	if len(snap) != 2 || snap[1].Name != "next" {
+		t.Fatalf("snapshot = %+v, want [root next] as roots", snap)
+	}
+}
+
+func TestSpanHistogramRecording(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r)
+	tr.SetEnabled(true)
+	sp := tr.StartSpan("stage")
+	sp.End()
+	sp.End() // idempotent: must not double-record
+	if n := r.Histogram("span.stage").Count(); n != 1 {
+		t.Errorf("span histogram count = %d, want 1", n)
+	}
+}
+
+func TestSpanJSONRoundTrip(t *testing.T) {
+	in := []SpanSnapshot{{
+		Name:  "wzoom.VE",
+		DurMS: 12.5,
+		Children: []SpanSnapshot{
+			{Name: "windows", DurMS: 1.25},
+			{Name: "vertices", DurMS: 8, Children: []SpanSnapshot{{Name: "align", DurMS: 3}}},
+		},
+	}}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []SpanSnapshot
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dataflow.tasks").Add(42)
+	r.Gauge("dataflow.workers_busy_max").Max(8)
+	r.Histogram("storage.decode").Observe(3 * time.Millisecond)
+	in := r.Snapshot()
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out MetricsSnapshot
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+	// Untouched instruments are omitted.
+	r2 := NewRegistry()
+	r2.Counter("never")
+	if s := r2.Snapshot(); s.Counters != nil {
+		t.Errorf("zero counter must be omitted, got %+v", s.Counters)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	spans := []SpanSnapshot{
+		{Name: "run", DurMS: 10, Children: []SpanSnapshot{{Name: "a", DurMS: 4}, {Name: "b", DurMS: 5}}},
+		{Name: "run", DurMS: 20, Children: []SpanSnapshot{{Name: "b", DurMS: 12}}},
+	}
+	agg := Aggregate(spans)
+	if len(agg) != 1 {
+		t.Fatalf("aggregated roots = %d, want 1", len(agg))
+	}
+	run := agg[0]
+	if run.Count != 2 || run.TotalMS != 30 {
+		t.Errorf("run = %+v, want count 2 total 30", run)
+	}
+	if len(run.Children) != 2 {
+		t.Fatalf("children = %+v", run.Children)
+	}
+	if run.Children[0].Name != "a" || run.Children[0].Count != 1 || run.Children[0].TotalMS != 4 {
+		t.Errorf("child a = %+v", run.Children[0])
+	}
+	if run.Children[1].Name != "b" || run.Children[1].Count != 2 || run.Children[1].TotalMS != 17 {
+		t.Errorf("child b = %+v", run.Children[1])
+	}
+}
+
+func TestFormatSpans(t *testing.T) {
+	out := FormatSpans([]SpanSnapshot{{Name: "root", DurMS: 1, Children: []SpanSnapshot{{Name: "leaf", DurMS: 0.5}}}})
+	want := "root 1.00ms\n  leaf 0.50ms\n"
+	if out != want {
+		t.Errorf("FormatSpans = %q, want %q", out, want)
+	}
+}
+
+func TestDefaultHelpers(t *testing.T) {
+	ResetAll()
+	SetTracing(true)
+	defer SetTracing(false)
+	sp := StartSpan("x")
+	Default().Counter("k").Add(1)
+	sp.End()
+	if !TracingEnabled() {
+		t.Error("TracingEnabled = false after SetTracing(true)")
+	}
+	if len(Spans()) != 1 {
+		t.Errorf("default tracer spans = %d, want 1", len(Spans()))
+	}
+	if Snapshot().Counters["k"] != 1 {
+		t.Error("default registry lost counter")
+	}
+	ResetAll()
+	if len(Spans()) != 0 || Snapshot().Counters != nil {
+		t.Error("ResetAll left state behind")
+	}
+}

@@ -1,0 +1,304 @@
+// Package obs is the observability layer of the reproduction: a
+// dependency-free metrics registry (counters, gauges, duration
+// histograms with p50/p95/p99) and hierarchical span tracing, with JSON
+// snapshot export. It exists because the paper's entire evaluation
+// (Section 5, Figs 10–17) rests on measured runtimes and shuffle work:
+// internal/dataflow reports engine work here, internal/storage reports
+// scan and decode costs, internal/core opens one span per zoom stage,
+// and internal/bench exports everything as the BENCH_*.json trajectory.
+//
+// The package is imported by the lowest layers of the stack, so it
+// imports nothing but the standard library, and the disabled paths are
+// designed to be nearly free: counters and gauges are single atomic
+// operations, and StartSpan on a disabled tracer is one atomic load
+// returning a nil (no-op) span.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) reset() { c.v.Store(0) }
+
+// Gauge is an instantaneous value that can move in both directions
+// (e.g. worker-pool occupancy). The zero value is ready to use; all
+// methods are safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by delta and returns the new value.
+func (g *Gauge) Add(delta int64) int64 { return g.v.Add(delta) }
+
+// Max raises the gauge to n if n exceeds the current value (a
+// high-water mark).
+func (g *Gauge) Max(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) reset() { g.v.Store(0) }
+
+// histogramWindow bounds the number of raw samples a histogram retains
+// for quantile estimation. Count, sum, min and max always cover every
+// observation; beyond the window the oldest samples are overwritten, so
+// quantiles describe the most recent observations.
+const histogramWindow = 4096
+
+// Histogram records durations and reports count, sum, min, max and
+// p50/p95/p99 quantiles. The zero value is ready to use; all methods
+// are safe for concurrent use.
+type Histogram struct {
+	mu       sync.Mutex
+	count    int64
+	sum      time.Duration
+	min, max time.Duration
+	samples  []time.Duration
+	next     int
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if h.count == 0 || d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+	if len(h.samples) < histogramWindow {
+		h.samples = append(h.samples, d)
+	} else {
+		h.samples[h.next] = d
+		h.next = (h.next + 1) % histogramWindow
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+func (h *Histogram) reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count, h.sum, h.min, h.max, h.next = 0, 0, 0, 0, 0
+	h.samples = h.samples[:0]
+}
+
+// HistogramSnapshot is the JSON form of a histogram. Durations are
+// reported in milliseconds, matching the tables of Section 5.
+type HistogramSnapshot struct {
+	Count  int64   `json:"count"`
+	SumMS  float64 `json:"sum_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	MinMS  float64 `json:"min_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Count: h.count,
+		SumMS: durMS(h.sum),
+		MinMS: durMS(h.min),
+		MaxMS: durMS(h.max),
+	}
+	if h.count > 0 {
+		s.MeanMS = durMS(h.sum / time.Duration(h.count))
+	}
+	if len(h.samples) > 0 {
+		sorted := make([]time.Duration, len(h.samples))
+		copy(sorted, h.samples)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		s.P50MS = durMS(quantile(sorted, 0.50))
+		s.P95MS = durMS(quantile(sorted, 0.95))
+		s.P99MS = durMS(quantile(sorted, 0.99))
+	}
+	return s
+}
+
+// quantile returns the q-quantile of sorted using the nearest-rank
+// method (the value at rank ceil(q*n)).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted)) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Registry holds named metrics. Instruments are created on first use
+// and retained forever: callers may cache the returned pointers, and
+// Reset zeroes instruments in place so cached handles stay live. All
+// methods are safe for concurrent use.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it if
+// needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it if
+// needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	h = &Histogram{}
+	r.histograms[name] = h
+	return h
+}
+
+// Reset zeroes every instrument in place. Cached instrument pointers
+// remain valid and keep reporting to the registry.
+func (r *Registry) Reset() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.counters {
+		c.reset()
+	}
+	for _, g := range r.gauges {
+		g.reset()
+	}
+	for _, h := range r.histograms {
+		h.reset()
+	}
+}
+
+// MetricsSnapshot is a point-in-time JSON-marshalable copy of a
+// registry. Instruments that were never touched (zero count) are
+// omitted so that snapshots only describe work that actually happened.
+type MetricsSnapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current values.
+func (r *Registry) Snapshot() MetricsSnapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := MetricsSnapshot{}
+	for name, c := range r.counters {
+		if v := c.Value(); v != 0 {
+			if s.Counters == nil {
+				s.Counters = make(map[string]int64)
+			}
+			s.Counters[name] = v
+		}
+	}
+	for name, g := range r.gauges {
+		if v := g.Value(); v != 0 {
+			if s.Gauges == nil {
+				s.Gauges = make(map[string]int64)
+			}
+			s.Gauges[name] = v
+		}
+	}
+	for name, h := range r.histograms {
+		if hs := h.snapshot(); hs.Count != 0 {
+			if s.Histograms == nil {
+				s.Histograms = make(map[string]HistogramSnapshot)
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}

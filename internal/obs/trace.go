@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer records a forest of named, nested spans. Tracing is off by
+// default; a disabled tracer's StartSpan is one atomic load and returns
+// a nil span whose End is a no-op, so instrumented code pays nothing in
+// production paths.
+//
+// Spans nest by call order: StartSpan parents the new span under the
+// most recently started span that has not ended. The tracer therefore
+// assumes spans are opened and closed by a single logical thread of
+// control — the zoom operators' stage structure is sequential, with
+// parallelism confined inside dataflow operations, which report to the
+// metrics registry instead. Concurrent use is memory-safe (a mutex
+// guards the tree) but may interleave parentage arbitrarily.
+type Tracer struct {
+	enabled atomic.Bool
+	reg     *Registry // span-duration histograms; may be nil
+
+	mu    sync.Mutex
+	roots []*Span
+	stack []*Span
+}
+
+// NewTracer returns a disabled tracer. If reg is non-nil, every ended
+// span also records its duration to the histogram "span.<name>".
+func NewTracer(reg *Registry) *Tracer {
+	return &Tracer{reg: reg}
+}
+
+// SetEnabled turns tracing on or off. Disabling does not clear
+// previously recorded spans.
+func (t *Tracer) SetEnabled(on bool) { t.enabled.Store(on) }
+
+// Enabled reports whether tracing is on.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// Span is one timed, named region. A nil *Span is valid and inert, so
+// callers never need to check whether tracing is enabled.
+type Span struct {
+	tracer   *Tracer
+	name     string
+	start    time.Time
+	dur      time.Duration
+	children []*Span
+}
+
+// StartSpan opens a span named name as a child of the innermost open
+// span (or as a root). Returns nil when the tracer is disabled.
+func (t *Tracer) StartSpan(name string) *Span {
+	if !t.enabled.Load() {
+		return nil
+	}
+	s := &Span{tracer: t, name: name, start: time.Now()}
+	t.mu.Lock()
+	if n := len(t.stack); n > 0 {
+		parent := t.stack[n-1]
+		parent.children = append(parent.children, s)
+	} else {
+		t.roots = append(t.roots, s)
+	}
+	t.stack = append(t.stack, s)
+	t.mu.Unlock()
+	return s
+}
+
+// End closes the span, fixing its duration and popping it (and any
+// still-open descendants) off the tracer's open-span stack. Safe on a
+// nil span and idempotent.
+func (s *Span) End() {
+	if s == nil || s.dur != 0 {
+		return
+	}
+	s.dur = time.Since(s.start)
+	if s.dur == 0 {
+		s.dur = 1 // preserve idempotence on sub-resolution spans
+	}
+	t := s.tracer
+	t.mu.Lock()
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i] == s {
+			t.stack = t.stack[:i]
+			break
+		}
+	}
+	t.mu.Unlock()
+	if t.reg != nil {
+		t.reg.Histogram("span." + s.name).Observe(s.dur)
+	}
+}
+
+// Reset discards all recorded spans, including open ones.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.roots, t.stack = nil, nil
+	t.mu.Unlock()
+}
+
+// SpanSnapshot is the JSON form of one span and its subtree.
+type SpanSnapshot struct {
+	Name     string         `json:"name"`
+	DurMS    float64        `json:"dur_ms"`
+	Children []SpanSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot copies the recorded span forest. Spans still open report
+// the time elapsed so far.
+func (t *Tracer) Snapshot() []SpanSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return snapshotSpans(t.roots)
+}
+
+func snapshotSpans(spans []*Span) []SpanSnapshot {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]SpanSnapshot, len(spans))
+	for i, s := range spans {
+		d := s.dur
+		if d == 0 {
+			d = time.Since(s.start)
+		}
+		out[i] = SpanSnapshot{Name: s.name, DurMS: durMS(d), Children: snapshotSpans(s.children)}
+	}
+	return out
+}
+
+// AggregatedSpan is a span forest merged by name path: all spans that
+// share a name under the same parent path collapse into one node with
+// their total duration and count. This is the stable, compact form
+// exported to BENCH_*.json — per-stage totals survive while the
+// per-invocation forest (hundreds of repetitions of the same pipeline)
+// does not bloat the trajectory.
+type AggregatedSpan struct {
+	Name     string           `json:"name"`
+	Count    int64            `json:"count"`
+	TotalMS  float64          `json:"total_ms"`
+	Children []AggregatedSpan `json:"children,omitempty"`
+}
+
+// Aggregate merges a span forest by name path. Sibling order is
+// name-sorted for stable output.
+func Aggregate(spans []SpanSnapshot) []AggregatedSpan {
+	if len(spans) == 0 {
+		return nil
+	}
+	byName := make(map[string]*AggregatedSpan)
+	childrenByName := make(map[string][]SpanSnapshot)
+	names := make([]string, 0, len(spans))
+	for _, s := range spans {
+		a, ok := byName[s.Name]
+		if !ok {
+			a = &AggregatedSpan{Name: s.Name}
+			byName[s.Name] = a
+			names = append(names, s.Name)
+		}
+		a.Count++
+		a.TotalMS += s.DurMS
+		childrenByName[s.Name] = append(childrenByName[s.Name], s.Children...)
+	}
+	sort.Strings(names)
+	out := make([]AggregatedSpan, 0, len(names))
+	for _, n := range names {
+		a := byName[n]
+		a.Children = Aggregate(childrenByName[n])
+		out = append(out, *a)
+	}
+	return out
+}
+
+// FormatSpans renders a span forest as an indented tree, one span per
+// line, for terminal display (tgraph-cli -trace).
+func FormatSpans(spans []SpanSnapshot) string {
+	var b strings.Builder
+	var walk func(spans []SpanSnapshot, depth int)
+	walk = func(spans []SpanSnapshot, depth int) {
+		for _, s := range spans {
+			fmt.Fprintf(&b, "%s%s %.2fms\n", strings.Repeat("  ", depth), s.Name, s.DurMS)
+			walk(s.Children, depth+1)
+		}
+	}
+	walk(spans, 0)
+	return b.String()
+}
+
+// Package-level default registry and tracer: the instances the stack
+// (dataflow, storage, core) reports to. Commands and the bench harness
+// reset, enable and snapshot these.
+var (
+	defaultRegistry = NewRegistry()
+	defaultTracer   = NewTracer(defaultRegistry)
+)
+
+// Default returns the process-wide default registry.
+func Default() *Registry { return defaultRegistry }
+
+// DefaultTracer returns the process-wide default tracer.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+// StartSpan opens a span on the default tracer.
+func StartSpan(name string) *Span { return defaultTracer.StartSpan(name) }
+
+// SetTracing enables or disables the default tracer.
+func SetTracing(on bool) { defaultTracer.SetEnabled(on) }
+
+// TracingEnabled reports whether the default tracer is on.
+func TracingEnabled() bool { return defaultTracer.Enabled() }
+
+// Snapshot copies the default registry's metrics.
+func Snapshot() MetricsSnapshot { return defaultRegistry.Snapshot() }
+
+// Spans copies the default tracer's span forest.
+func Spans() []SpanSnapshot { return defaultTracer.Snapshot() }
+
+// ResetAll zeroes the default registry and clears the default tracer.
+func ResetAll() {
+	defaultRegistry.Reset()
+	defaultTracer.Reset()
+}

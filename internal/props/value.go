@@ -1,7 +1,8 @@
 // Package props implements property values and property maps for
-// TGraph entities, together with the commutative/associative
-// aggregation functions used by aZoom^T and the first/last/any resolve
-// functions used by wZoom^T.
+// TGraph entities (the attribute component of the paper's Section 2
+// TGraph model), together with the commutative/associative aggregation
+// functions used by aZoom^T (Section 3.1) and the first/last/any
+// resolve functions used by wZoom^T (Section 3.2).
 package props
 
 import (

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/temporal"
@@ -256,11 +257,16 @@ func (r *nestedReader) scan(rng temporal.Interval) ([]nestedRow, ScanStats, erro
 	for _, cm := range r.footer.Chunks {
 		if pushdown && (cm.MinFirstStart >= int64(rng.End) || cm.MaxLastEnd <= int64(rng.Start)) {
 			stats.ChunksSkipped++
+			obsZoneMapSkips.Add(1)
 			continue
 		}
 		stats.ChunksRead++
 		stats.BytesRead += int64(cm.Length)
+		obsChunksRead.Add(1)
+		obsBytesRead.Add(int64(cm.Length))
+		decodeStart := time.Now()
 		rows, err := decodeNestedChunk(r.data, cm)
+		obsDecode.Observe(time.Since(decodeStart))
 		if err != nil {
 			return nil, stats, err
 		}
@@ -272,6 +278,7 @@ func (r *nestedReader) scan(rng temporal.Interval) ([]nestedRow, ScanStats, erro
 			stats.RowsRead++
 		}
 	}
+	obsRowsRead.Add(int64(stats.RowsRead))
 	return out, stats, nil
 }
 

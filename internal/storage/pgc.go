@@ -7,9 +7,22 @@ import (
 	"hash/crc32"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/temporal"
+)
+
+// Scan metrics, aggregated process-wide in the obs registry alongside
+// the per-call ScanStats return values: chunk reads, zone-map skips,
+// rows and bytes read, and per-chunk decode time.
+var (
+	obsChunksRead   = obs.Default().Counter("storage.chunks_read")
+	obsZoneMapSkips = obs.Default().Counter("storage.zone_map_skips")
+	obsRowsRead     = obs.Default().Counter("storage.rows_read")
+	obsBytesRead    = obs.Default().Counter("storage.bytes_read")
+	obsDecode       = obs.Default().Histogram("storage.decode")
 )
 
 // row is the flat on-disk record: vertex rows leave Src/Dst zero and
@@ -263,12 +276,17 @@ func (r *reader) scan(rng temporal.Interval) ([]row, ScanStats, error) {
 			// end > rng.Start.
 			if cm.MinStart >= int64(rng.End) || cm.MaxEnd <= int64(rng.Start) {
 				stats.ChunksSkipped++
+				obsZoneMapSkips.Add(1)
 				continue
 			}
 		}
 		stats.ChunksRead++
 		stats.BytesRead += int64(cm.Length)
+		obsChunksRead.Add(1)
+		obsBytesRead.Add(int64(cm.Length))
+		decodeStart := time.Now()
 		rows, err := decodeChunk(r.data, cm)
+		obsDecode.Observe(time.Since(decodeStart))
 		if err != nil {
 			return nil, stats, err
 		}
@@ -283,6 +301,7 @@ func (r *reader) scan(rng temporal.Interval) ([]row, ScanStats, error) {
 			stats.RowsRead++
 		}
 	}
+	obsRowsRead.Add(int64(stats.RowsRead))
 	return out, stats, nil
 }
 

@@ -3,10 +3,11 @@
 // alignment (splitting), coalescing kernels, tumbling window
 // specifications and existence quantifiers.
 //
-// Following the paper (and SQL:2011), an interval [start, end) is a
-// purely syntactic device denoting the discrete, contiguous set of time
-// points {start, start+1, ..., end-1}; all operator semantics are
-// point-based.
+// Following the paper's Section 2 model (and SQL:2011), an interval
+// [start, end) is a purely syntactic device denoting the discrete,
+// contiguous set of time points {start, start+1, ..., end-1}; all
+// operator semantics are point-based. The window specifications and
+// quantifiers are the ones wZoom^T (Section 3.2) is parameterised by.
 package temporal
 
 import (
