@@ -1,12 +1,13 @@
 # Developer entry points. `make check` is the full gate CI should run:
-# it builds every package, vets, and runs the test suite (including the
-# obs registry/tracer concurrency tests) under the race detector.
+# it builds every package, vets, runs the test suite (including the
+# obs registry/tracer concurrency tests) under the race detector, and
+# repeats the fault-injection chaos suite.
 
 GO ?= go
 
-.PHONY: check build vet test test-race bench fmt bench-json
+.PHONY: check build vet test test-race bench fmt bench-json chaos
 
-check: build vet test-race
+check: build vet test-race chaos
 
 build:
 	$(GO) build ./...
@@ -19,6 +20,13 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# Fault-injection chaos suite: the TestChaos* tests drive the engine,
+# zoom operators and storage under seeded injected failures (fixed
+# seeds 11 and 23 inside the tests), twice each, under the race
+# detector.
+chaos:
+	$(GO) test -race -count=2 -run Chaos ./...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

@@ -31,6 +31,7 @@ func main() {
 		parallelism = flag.Int("parallelism", 0, "worker pool size (0 = NumCPU)")
 		seed        = flag.Int64("seed", 42, "generator seed")
 		jsonPath    = flag.String("json", "", "write machine-readable results to this file")
+		timeout     = flag.Duration("timeout", 0, "per-experiment deadline for dataflow work, e.g. 2m (0 = none)")
 	)
 	flag.Parse()
 
@@ -46,7 +47,7 @@ func main() {
 		return
 	}
 
-	cfg := bench.Config{Scale: *scale, Parallelism: *parallelism, Seed: *seed}
+	cfg := bench.Config{Scale: *scale, Parallelism: *parallelism, Seed: *seed, TimeoutMS: timeout.Milliseconds()}
 	var run []bench.Experiment
 	if *exp == "all" {
 		run = bench.Experiments()
@@ -62,13 +63,10 @@ func main() {
 	for _, e := range run {
 		fmt.Printf("# %s\n# %s\n", e.Title, e.Description)
 		start := time.Now()
-		var tables []bench.Table
-		if *jsonPath != "" {
-			res := bench.RunInstrumented(e, cfg)
-			results = append(results, res)
-			tables = res.Rows
-		} else {
-			tables = e.Run(cfg)
+		tables, err := runExperiment(e, cfg, *jsonPath != "", &results)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tgraph-bench: experiment %s failed: %v\n", e.ID, err)
+			os.Exit(1)
 		}
 		for _, tb := range tables {
 			fmt.Println(tb.String())
@@ -82,4 +80,25 @@ func main() {
 		}
 		fmt.Printf("# wrote %d result(s) to %s\n", len(results), *jsonPath)
 	}
+}
+
+// runExperiment executes one experiment, converting the panic(err) an
+// experiment body raises on a failed or deadline-exceeded zoom into a
+// clean error instead of a crash.
+func runExperiment(e bench.Experiment, cfg bench.Config, instrumented bool, results *[]bench.RunResult) (tables []bench.Table, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if rerr, ok := r.(error); ok {
+				err = rerr
+				return
+			}
+			panic(r)
+		}
+	}()
+	if instrumented {
+		res := bench.RunInstrumented(e, cfg)
+		*results = append(*results, res)
+		return res.Rows, nil
+	}
+	return e.Run(cfg), nil
 }

@@ -8,6 +8,8 @@
 //	tgraph-cli -dir /tmp/snb -rep og -wzoom "6 months" -vquant all -equant all
 //	tgraph-cli -dir /tmp/snb -rep ve -azoom firstName -wzoom "3 months" -dump 10
 //	tgraph-cli -dir /tmp/snb -rep og -wzoom "6 months" -trace
+//	tgraph-cli -dir /tmp/snb -rep og -wzoom "6 months" -timeout 30s
+//	tgraph-cli -dir /tmp/damaged -rep ve -permissive -info
 package main
 
 import (
@@ -38,9 +40,11 @@ func main() {
 		wzoom   = flag.String("wzoom", "", "wZoom^T window spec, e.g. \"3 months\" or \"2 changes\"")
 		vquant  = flag.String("vquant", "exists", "wZoom^T vertex quantifier")
 		equant  = flag.String("equant", "exists", "wZoom^T edge quantifier")
-		dump    = flag.Int("dump", 0, "print up to N vertex and edge states of the result")
-		explain = flag.Bool("explain", false, "print the cost-based plan for the requested zooms instead of executing eagerly")
-		trace   = flag.Bool("trace", false, "record per-stage spans and print the span tree after execution")
+		dump       = flag.Int("dump", 0, "print up to N vertex and edge states of the result")
+		explain    = flag.Bool("explain", false, "print the cost-based plan for the requested zooms instead of executing eagerly")
+		trace      = flag.Bool("trace", false, "record per-stage spans and print the span tree after execution")
+		timeout    = flag.Duration("timeout", 0, "deadline for all dataflow work, e.g. 30s (0 = none)")
+		permissive = flag.Bool("permissive", false, "skip corrupt chunks while loading instead of aborting")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -56,17 +60,26 @@ func main() {
 		fail("unknown representation %q", *rep)
 	}
 
-	ctx := tgraph.NewContext()
+	var copts []tgraph.Option
+	if *timeout > 0 {
+		copts = append(copts, tgraph.WithTimeout(*timeout))
+	}
+	ctx := tgraph.NewContext(copts...)
+	defer ctx.Close()
 	var rng tgraph.Interval
 	if *to > *from {
 		rng = tgraph.MustInterval(tgraph.Time(*from), tgraph.Time(*to))
 	}
-	g, stats, err := tgraph.Load(ctx, *dir, tgraph.LoadOptions{Rep: r, Range: rng})
+	g, stats, err := tgraph.Load(ctx, *dir, tgraph.LoadOptions{Rep: r, Range: rng, Permissive: *permissive})
 	if err != nil {
 		fail("load: %v", err)
 	}
 	fmt.Printf("loaded %s: %d vertices, %d edges, lifetime %v (chunks read %d, skipped %d)\n",
 		g.Rep(), g.NumVertices(), g.NumEdges(), g.Lifetime(), stats.ChunksRead, stats.ChunksSkipped)
+	if stats.ChunksCorrupt > 0 || stats.RowsCorrupt > 0 {
+		fmt.Fprintf(os.Stderr, "tgraph-cli: warning: permissive load skipped %d corrupt chunk(s) and dropped %d corrupt row(s); results are partial\n",
+			stats.ChunksCorrupt, stats.RowsCorrupt)
+	}
 
 	if *info {
 		printInfo(g)

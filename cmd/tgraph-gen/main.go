@@ -32,6 +32,7 @@ func main() {
 		pairs     = flag.Int("pairs", 900, "ngrams: new co-occurrence pairs per snapshot")
 		seed      = flag.Int64("seed", 42, "generator seed")
 		order     = flag.String("order", "temporal", "flat-file sort order: temporal | structural")
+		timeout   = flag.Duration("timeout", 0, "deadline for all dataflow work, e.g. 30s (0 = none)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -63,7 +64,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	ctx := dataflow.NewContext()
+	var copts []dataflow.Option
+	if *timeout > 0 {
+		copts = append(copts, dataflow.WithTimeout(*timeout))
+	}
+	ctx := dataflow.NewContext(copts...)
+	defer ctx.Close()
 	g := core.NewVE(ctx, d.Vertices, d.Edges)
 	if err := core.Validate(g); err != nil {
 		fmt.Fprintf(os.Stderr, "tgraph-gen: generated graph invalid: %v\n", err)

@@ -22,6 +22,7 @@ func main() {
 		out      = flag.String("out", "", "output PGC graph directory")
 		order    = flag.String("order", "temporal", "flat-file sort order: temporal | structural")
 		validate = flag.Bool("validate", true, "check TGraph validity before writing")
+		timeout  = flag.Duration("timeout", 0, "deadline for all dataflow work, e.g. 30s (0 = none)")
 	)
 	flag.Parse()
 	if *in == "" || *out == "" {
@@ -39,7 +40,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	ctx := tgraph.NewContext()
+	var copts []tgraph.Option
+	if *timeout > 0 {
+		copts = append(copts, tgraph.WithTimeout(*timeout))
+	}
+	ctx := tgraph.NewContext(copts...)
+	defer ctx.Close()
 	g, err := tgraph.ImportCSV(ctx, *in)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tgraph-import: %v\n", err)

@@ -25,6 +25,10 @@ type Config struct {
 	Parallelism int `json:"parallelism"`
 	// Seed drives all generators.
 	Seed int64 `json:"seed"`
+	// TimeoutMS bounds each experiment's dataflow work with a deadline
+	// (milliseconds); 0 means no deadline. Jobs past the deadline fail
+	// with context.DeadlineExceeded.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 func (c Config) scale(n int) int {
@@ -38,6 +42,9 @@ func (c Config) context() *dataflow.Context {
 	var opts []dataflow.Option
 	if c.Parallelism > 0 {
 		opts = append(opts, dataflow.WithParallelism(c.Parallelism))
+	}
+	if c.TimeoutMS > 0 {
+		opts = append(opts, dataflow.WithTimeout(time.Duration(c.TimeoutMS)*time.Millisecond))
 	}
 	return dataflow.NewContext(opts...)
 }

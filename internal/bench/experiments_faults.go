@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/faults"
+	"repro/internal/storage"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "faults",
+		Title: "Extension: fault-tolerant execution under injected failures",
+		Description: "Deterministic fault-injection scenarios: transient failures absorbed by retry, " +
+			"hard failures surfaced as typed errors naming partitions, cancelled contexts skipping work, " +
+			"and Permissive loads degrading gracefully past corrupt chunks.",
+		Run: runFaults,
+	})
+}
+
+// runFaults exercises the failure paths with seeded, count-based
+// injection (never timing-based), so the outcome column is exactly
+// reproducible. Scenarios run serially (parallelism 1) to keep the
+// injector's hit ordering deterministic.
+func runFaults(cfg Config) []Table {
+	t := Table{
+		Title:  "fault injection: outcome per scenario",
+		Note:   "seeded injector, serial execution; counters also appear under metrics in -json output",
+		Header: []string{"scenario", "outcome", "detail"},
+	}
+	t.Rows = append(t.Rows,
+		faultsRetryRow(cfg),
+		faultsHardFailureRow(cfg),
+		faultsCancelRow(cfg),
+		faultsPermissiveRow(cfg),
+	)
+	return []Table{t}
+}
+
+// faultsRetryRow injects a transient failure every 5th task attempt; a
+// 3-attempt retry policy absorbs all of them (serially, the retry is
+// the next hit and can never land on another multiple of 5).
+func faultsRetryRow(cfg Config) []string {
+	inj := faults.New(cfg.Seed, faults.Rule{Site: "dataflow.", Kind: faults.Transient, Every: 5})
+	ctx := dataflow.NewContext(
+		dataflow.WithParallelism(1),
+		dataflow.WithFaultHook(inj.Hook()),
+		dataflow.WithRetry(dataflow.RetryPolicy{MaxAttempts: 3, BaseBackoff: 100 * time.Microsecond}),
+	)
+	data := make([]int, cfg.scale(64))
+	rows := 0
+	err := ctx.Run(func() error {
+		d := dataflow.Parallelize(ctx, data, cfg.scale(32))
+		rows = dataflow.Map(d, func(v int) int { return v + 1 }).Count()
+		return nil
+	})
+	if err != nil {
+		return []string{"transient+retry", "FAILED", err.Error()}
+	}
+	m := ctx.Metrics()
+	return []string{"transient+retry", "completed",
+		fmt.Sprintf("rows=%d injected=%d retries=%d", rows, inj.InjectedTotal(), m.TaskRetries)}
+}
+
+// faultsHardFailureRow injects a non-retryable panic and reports the
+// typed error the engine returns in its place.
+func faultsHardFailureRow(cfg Config) []string {
+	inj := faults.New(cfg.Seed, faults.Rule{Site: "dataflow.map", Kind: faults.Panic, Every: 7})
+	ctx := dataflow.NewContext(dataflow.WithParallelism(1), dataflow.WithFaultHook(inj.Hook()))
+	err := ctx.Run(func() error {
+		d := dataflow.Parallelize(ctx, make([]int, 16), 16)
+		dataflow.Map(d, func(v int) int { return v })
+		return nil
+	})
+	var je *dataflow.JobError
+	if !errors.As(err, &je) {
+		return []string{"hard failure", "UNEXPECTED", fmt.Sprintf("err=%v", err)}
+	}
+	return []string{"hard failure", "typed error",
+		fmt.Sprintf("stage=%s failed_partitions=%v failures=%d", je.Stage, je.FailedPartitions(), ctx.Metrics().TaskFailures)}
+}
+
+// faultsCancelRow runs a job under an already-cancelled context: no
+// task executes, every partition is reported skipped. The job is
+// invoked directly (not via ctx.Run, which short-circuits before
+// launching tasks) so the per-task cancellation accounting shows up.
+func faultsCancelRow(cfg Config) []string {
+	std, cancel := context.WithCancel(context.Background())
+	cancel()
+	ctx := dataflow.NewContext(dataflow.WithParallelism(1), dataflow.WithContext(std))
+	var je *dataflow.JobError
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if je = dataflow.AsJobError(r); je == nil {
+					panic(r)
+				}
+			}
+		}()
+		d := dataflow.Parallelize(ctx, make([]int, 8), 8)
+		dataflow.Map(d, func(v int) int { return v })
+	}()
+	if je == nil || !errors.Is(je, context.Canceled) {
+		return []string{"pre-cancelled", "UNEXPECTED", fmt.Sprintf("err=%v", je)}
+	}
+	return []string{"pre-cancelled", "skipped",
+		fmt.Sprintf("tasks_skipped=%d tasks_cancelled=%d", je.TasksSkipped, ctx.Metrics().TasksCancelled)}
+}
+
+// faultsPermissiveRow saves a graph, corrupts chunks during the read
+// via the injector's chunk hook, and loads permissively: the load
+// succeeds with the surviving rows and accounts for skipped chunks.
+func faultsPermissiveRow(cfg Config) []string {
+	dir, err := os.MkdirTemp("", "tgraph-faults-")
+	if err != nil {
+		return []string{"permissive load", "UNEXPECTED", err.Error()}
+	}
+	defer os.RemoveAll(dir)
+
+	ctx := dataflow.NewContext(dataflow.WithParallelism(1))
+	d := SNBDataset(Config{Scale: 0.2, Seed: cfg.Seed}, 8)
+	g := buildRep(ctx, d, core.RepVE)
+	if err := storage.SaveGraph(dir, g, storage.SaveOptions{ChunkRows: 64}); err != nil {
+		return []string{"permissive load", "UNEXPECTED", err.Error()}
+	}
+	inj := faults.New(cfg.Seed, faults.Rule{Site: "storage.pgc.chunk", Kind: faults.Corrupt, Every: 9})
+	loaded, stats, err := storage.Load(ctx, dir, storage.LoadOptions{
+		Permissive: true,
+		ChunkHook:  inj.ChunkHook(),
+	})
+	if err != nil {
+		return []string{"permissive load", "FAILED", err.Error()}
+	}
+	return []string{"permissive load", "partial data",
+		fmt.Sprintf("vertices=%d edges=%d chunks_corrupt=%d rows_read=%d",
+			loaded.NumVertices(), loaded.NumEdges(), stats.ChunksCorrupt, stats.RowsRead)}
+}

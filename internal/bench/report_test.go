@@ -1,22 +1,33 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/obs"
+	"repro/internal/props"
+	"repro/internal/storage"
+	"repro/internal/temporal"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
 // fakeExperiment is a deterministic fixture: a tiny dataflow job with a
 // two-level span tree, producing stable counters under parallelism 1.
+// It also drives each fault-tolerance counter exactly once so the
+// golden file locks the retry/failure/cancel/corruption metric names:
+// dataflow.task_retries, dataflow.task_failures,
+// dataflow.tasks_cancelled and storage.corrupt_chunks_skipped.
 func fakeExperiment() Experiment {
 	return Experiment{
 		ID:          "fake",
@@ -34,14 +45,111 @@ func fakeExperiment() Experiment {
 			n := dataflow.GroupByKey(d, func(v int) int { return v % 3 }).Count()
 			stage.End()
 			sp.End()
-			return []Table{{
-				Title:  "fake table",
-				Note:   "fixture",
-				Header: []string{"groups"},
-				Rows:   [][]string{{fmt.Sprint(n)}},
-			}}
+			retries, failures, cancelled := fakeFaultCounters()
+			skipped := fakeCorruptChunk()
+			return []Table{
+				{
+					Title:  "fake table",
+					Note:   "fixture",
+					Header: []string{"groups"},
+					Rows:   [][]string{{fmt.Sprint(n)}},
+				},
+				{
+					Title:  "fake faults",
+					Note:   "fault-tolerance counter fixture",
+					Header: []string{"retries", "failures", "cancelled", "chunks_skipped"},
+					Rows: [][]string{{
+						fmt.Sprint(retries), fmt.Sprint(failures),
+						fmt.Sprint(cancelled), fmt.Sprint(skipped),
+					}},
+				},
+			}
 		},
 	}
+}
+
+// fakeFaultCounters drives the dataflow fault-path counters with exact
+// values: one retried transient, one hard failure, two cancelled tasks.
+func fakeFaultCounters() (retries, failures, cancelled int64) {
+	rctx := dataflow.NewContext(
+		dataflow.WithParallelism(1),
+		dataflow.WithRetry(dataflow.RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Microsecond}),
+	)
+	attempt := 0
+	_ = rctx.Run(func() error {
+		d := dataflow.Parallelize(rctx, []int{0}, 1)
+		dataflow.Map(d, func(v int) int {
+			if attempt++; attempt == 1 {
+				panic(dataflow.Transient(errors.New("fixture transient")))
+			}
+			return v
+		})
+		return nil
+	})
+
+	fctx := dataflow.NewContext(dataflow.WithParallelism(1))
+	_ = fctx.Run(func() error {
+		d := dataflow.Parallelize(fctx, []int{0}, 1)
+		dataflow.Map(d, func(v int) int { panic("fixture failure") })
+		return nil
+	})
+
+	// Run short-circuits before launching tasks when the context is
+	// already cancelled; invoke the job directly so the per-task
+	// cancellation counter fires for each skipped partition.
+	std, cancel := context.WithCancel(context.Background())
+	cancel()
+	cctx := dataflow.NewContext(dataflow.WithParallelism(1), dataflow.WithContext(std))
+	func() {
+		defer func() {
+			if r := recover(); dataflow.AsJobError(r) == nil {
+				panic(r)
+			}
+		}()
+		d := dataflow.Parallelize(cctx, []int{0, 1}, 2)
+		dataflow.Map(d, func(v int) int { return v })
+	}()
+
+	return rctx.Metrics().TaskRetries, fctx.Metrics().TaskFailures, cctx.Metrics().TasksCancelled
+}
+
+// fakeCorruptChunk writes a two-chunk PGC file, corrupts the second
+// chunk on read, and performs a Permissive scan: exactly one chunk is
+// skipped and counted.
+func fakeCorruptChunk() int {
+	dir, err := os.MkdirTemp("", "bench-fixture-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "v.pgc")
+	vs := make([]core.VertexTuple, 4)
+	for i := range vs {
+		vs[i] = core.VertexTuple{
+			ID:       core.VertexID(i),
+			Interval: temporal.MustInterval(0, 2),
+			Props:    props.New("type", "node"),
+		}
+	}
+	if err := storage.WriteVertices(path, vs, storage.WriteOptions{ChunkRows: 2}); err != nil {
+		panic(err)
+	}
+	chunks := 0
+	_, stats, err := storage.ReadVerticesOpts(path, storage.ReadOptions{
+		Permissive: true,
+		ChunkHook: func(site string, chunk []byte) []byte {
+			if chunks++; chunks == 2 {
+				bad := append([]byte(nil), chunk...)
+				bad[len(bad)/2] ^= 0xFF
+				return bad
+			}
+			return chunk
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return stats.ChunksCorrupt
 }
 
 // normalizeResult zeroes every wall-clock-derived field so the JSON
@@ -104,8 +212,16 @@ func TestRunInstrumented(t *testing.T) {
 	if res.Exp != "fake" {
 		t.Errorf("exp = %q", res.Exp)
 	}
-	if len(res.Rows) != 1 || len(res.Rows[0].Rows) != 1 {
+	if len(res.Rows) != 2 || len(res.Rows[0].Rows) != 1 {
 		t.Errorf("rows = %+v", res.Rows)
+	}
+	for _, name := range []string{
+		"dataflow.task_retries", "dataflow.task_failures",
+		"dataflow.tasks_cancelled", "storage.corrupt_chunks_skipped",
+	} {
+		if res.Metrics.Counters[name] == 0 {
+			t.Errorf("fixture did not drive counter %s: %+v", name, res.Metrics.Counters)
+		}
 	}
 	if len(res.Spans) != 1 || res.Spans[0].Name != "fake.run" {
 		t.Fatalf("spans = %+v", res.Spans)

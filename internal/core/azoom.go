@@ -95,6 +95,10 @@ func (g *VE) AZoom(spec AZoomSpec) (TGraph, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	return runGuarded(g.ctx, func() (TGraph, error) { return g.azoom(spec) })
+}
+
+func (g *VE) azoom(spec AZoomSpec) (TGraph, error) {
 	defer obs.StartSpan("azoom.VE").End()
 	vsp := obs.StartSpan("vertices")
 	msp := obs.StartSpan("skolem-map")
@@ -108,6 +112,9 @@ func (g *VE) AZoom(spec AZoomSpec) (TGraph, error) {
 	msp.End()
 	v := azoomVerticesDataflow(spec, mapped)
 	vsp.End()
+	if err := checkpoint(g.ctx, "azoom.VE:edges"); err != nil {
+		return nil, err
+	}
 
 	edgeSkolem := spec.edgeSkolem()
 	jsp := obs.StartSpan("edge-join")
@@ -150,6 +157,10 @@ func (g *OG) AZoom(spec AZoomSpec) (TGraph, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	return runGuarded(g.Context(), func() (TGraph, error) { return g.azoom(spec) })
+}
+
+func (g *OG) azoom(spec AZoomSpec) (TGraph, error) {
 	defer obs.StartSpan("azoom.OG").End()
 	vsp := obs.StartSpan("vertices")
 	msp := obs.StartSpan("skolem-map")
@@ -179,6 +190,9 @@ func (g *OG) AZoom(spec AZoomSpec) (TGraph, error) {
 	})
 	hsp.End()
 	vsp.End()
+	if err := checkpoint(g.Context(), "azoom.OG:edges"); err != nil {
+		return nil, err
+	}
 
 	// Edge redirection via the routing table (recompute_history).
 	rsp := obs.StartSpan("edge-redirect")
@@ -251,10 +265,19 @@ func (g *RG) AZoom(spec AZoomSpec) (TGraph, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	return runGuarded(g.ctx, func() (TGraph, error) { return g.azoom(spec) })
+}
+
+func (g *RG) azoom(spec AZoomSpec) (TGraph, error) {
 	defer obs.StartSpan("azoom.RG").End()
 	edgeSkolem := spec.edgeSkolem()
 	newSnaps := make([]Snapshot, len(g.snapshots))
 	for i, snap := range g.snapshots {
+		// One snapshot is the natural cancellation granule of RG: all
+		// work inside it is one independent non-temporal node creation.
+		if err := checkpoint(g.ctx, "azoom.RG:snapshot"); err != nil {
+			return nil, err
+		}
 		ssp := obs.StartSpan("snapshot")
 		// Vertex update + identity-equivalence reduce within the snapshot.
 		mapped := dataflow.FlatMap(snap.Graph.Vertices(), func(v graphx.Vertex[props.Props]) []dataflow.Pair[VertexID, azVertexAcc] {

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/props"
+	"repro/internal/temporal"
+)
+
+// expireCtx returns a dataflow context whose bound deadline has already
+// passed, plus the graph-building context it was derived from.
+func expiredStd(t *testing.T) context.Context {
+	t.Helper()
+	std, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	t.Cleanup(cancel)
+	<-std.Done()
+	return std
+}
+
+func testWSpec() WZoomSpec {
+	return WZoomSpec{
+		Window:   temporal.MustEveryN(2),
+		VQuant:   temporal.All(),
+		EQuant:   temporal.Exists(),
+		VResolve: props.LastWins,
+		EResolve: props.LastWins,
+	}
+}
+
+func testASpec() AZoomSpec {
+	return GroupByProperty("grp", "cluster", props.Count("n"), props.Sum("wsum", "w"))
+}
+
+// The acceptance criterion of the fault-tolerance layer: a wZoom over
+// OG under an expired 1ms deadline returns context.DeadlineExceeded
+// instead of running to completion. The graph is built under a live
+// context and the deadline attached afterwards with Bind, mirroring how
+// the cmd binaries apply -timeout.
+func TestWZoomOGDeadlineExceeded(t *testing.T) {
+	ctx := testCtx()
+	g := ToOG(randomValidGraph(rand.New(rand.NewSource(7)), ctx)).Coalesce().(*OG)
+
+	ctx.Bind(expiredStd(t))
+	defer ctx.Bind(nil)
+	out, err := g.WZoom(testWSpec())
+	if err == nil {
+		t.Fatal("wZoom completed despite an expired deadline")
+	}
+	if out != nil {
+		t.Error("wZoom returned a graph alongside its error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("errors.Is(err, context.DeadlineExceeded) = false; err = %v", err)
+	}
+	var je *dataflow.JobError
+	if !errors.As(err, &je) {
+		t.Errorf("err = %T, want a *dataflow.JobError", err)
+	}
+}
+
+// Every representation's zoom entry points must turn cancellation into
+// an ordinary error — no panics escape, no partial graphs return.
+func TestZoomsCancelCleanlyAcrossRepresentations(t *testing.T) {
+	ctx := testCtx()
+	ve := randomValidGraph(rand.New(rand.NewSource(11)), ctx).Coalesce().(*VE)
+	graphs := map[string]TGraph{
+		"VE":  ve,
+		"OG":  ToOG(ve),
+		"RG":  ToRG(ve),
+		"OGC": ToOGC(ve),
+	}
+	ctx.Bind(expiredStd(t))
+	defer ctx.Bind(nil)
+	for name, g := range graphs {
+		out, err := g.WZoom(testWSpec())
+		if err == nil || out != nil {
+			t.Errorf("%s wZoom under cancelled context: out=%v err=%v", name, out, err)
+		} else if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%s wZoom error = %v, want DeadlineExceeded", name, err)
+		}
+		if name == "OGC" {
+			continue // aZoom unsupported on OGC
+		}
+		out, err = g.AZoom(testASpec())
+		if err == nil || out != nil {
+			t.Errorf("%s aZoom under cancelled context: out=%v err=%v", name, out, err)
+		} else if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%s aZoom error = %v, want DeadlineExceeded", name, err)
+		}
+	}
+}
+
+// A task panic inside a zoom pipeline must surface as a typed JobError
+// from the entry point, not a panic at the call site.
+func TestZoomSurfacesTaskFailureAsError(t *testing.T) {
+	ctx := testCtx()
+	g := randomValidGraph(rand.New(rand.NewSource(3)), ctx).Coalesce().(*VE)
+	boom := errors.New("skolem boom")
+	spec := AZoomSpec{
+		Skolem: func(id VertexID, p props.Props) (VertexID, bool) { panic(boom) },
+		Agg:    props.AggSpec{Fields: []props.AggField{props.Count("n")}},
+	}
+	out, err := g.AZoom(spec)
+	if err == nil || out != nil {
+		t.Fatalf("aZoom with panicking Skolem: out=%v err=%v", out, err)
+	}
+	var je *dataflow.JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("err = %T (%v), want *dataflow.JobError", err, err)
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("JobError does not unwrap to the task's panic value: %v", err)
+	}
+	if len(je.FailedPartitions()) == 0 {
+		t.Error("JobError names no failed partitions")
+	}
+}
+
+// Convert runs under the same guard.
+func TestConvertUnderCancelledContext(t *testing.T) {
+	ctx := testCtx()
+	g := randomValidGraph(rand.New(rand.NewSource(5)), ctx)
+	ctx.Bind(expiredStd(t))
+	defer ctx.Bind(nil)
+	out, err := Convert(g, RepRG)
+	if err == nil || out != nil {
+		t.Fatalf("Convert under cancelled context: out=%v err=%v", out, err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Convert error = %v, want DeadlineExceeded", err)
+	}
+}

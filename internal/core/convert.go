@@ -84,18 +84,23 @@ func ToOGC(g TGraph) *OGC {
 	return NewOGC(g.Context(), g.VertexStates(), g.EdgeStates())
 }
 
-// Convert switches g to the requested representation.
+// Convert switches g to the requested representation. Conversions run
+// dataflow jobs (graph construction partitions the states), so they
+// execute under the same guard as the zoom operators: engine failures
+// and cancellation return as errors.
 func Convert(g TGraph, rep Representation) (TGraph, error) {
-	switch rep {
-	case RepVE:
-		return ToVE(g), nil
-	case RepRG:
-		return ToRG(g), nil
-	case RepOG:
-		return ToOG(g), nil
-	case RepOGC:
-		return ToOGC(g), nil
-	default:
-		return nil, fmt.Errorf("core: unknown representation %d", int(rep))
-	}
+	return runGuarded(g.Context(), func() (TGraph, error) {
+		switch rep {
+		case RepVE:
+			return ToVE(g), nil
+		case RepRG:
+			return ToRG(g), nil
+		case RepOG:
+			return ToOG(g), nil
+		case RepOGC:
+			return ToOGC(g), nil
+		default:
+			return nil, fmt.Errorf("core: unknown representation %d", int(rep))
+		}
+	})
 }

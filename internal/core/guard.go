@@ -1,0 +1,42 @@
+package core
+
+import (
+	"repro/internal/dataflow"
+)
+
+// Failure boundary of the zoom operators. The dataflow engine reports
+// task failures and cancellation by panicking with a
+// *dataflow.JobError (its transformations are value-returning and
+// cannot carry an error); the zoom entry points are where that panic is
+// converted back into the ordinary error their signatures already
+// declare, so callers never need recover. Between pipeline stages each
+// driver additionally polls the bound context via checkpoint, bounding
+// how far past a deadline a zoom can run to one stage.
+
+// runGuarded executes a zoom (or conversion) body as one guarded job
+// group on c: engine job failures and cancellation surface as the
+// returned error. Unrelated panics propagate unchanged.
+func runGuarded(c *dataflow.Context, fn func() (TGraph, error)) (TGraph, error) {
+	var out TGraph
+	err := c.Run(func() error {
+		g, err := fn()
+		if err != nil {
+			return err
+		}
+		out = g
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// checkpoint reports cancellation of the bound context between pipeline
+// stages as a *dataflow.JobError naming the stage about to be skipped.
+func checkpoint(c *dataflow.Context, stage string) error {
+	if err := c.Err(); err != nil {
+		return &dataflow.JobError{Stage: stage, Cancel: err}
+	}
+	return nil
+}

@@ -71,12 +71,23 @@ func (g *VE) WZoom(spec WZoomSpec) (TGraph, error) {
 		return nil, err
 	}
 	if !g.coalesced {
-		return g.Coalesce().(*VE).WZoom(spec)
+		// Coalescing runs dataflow jobs too, so it happens inside the
+		// recursive call's guard.
+		return runGuarded(g.ctx, func() (TGraph, error) {
+			return g.Coalesce().(*VE).WZoom(spec)
+		})
 	}
+	return runGuarded(g.ctx, func() (TGraph, error) { return g.wzoom(spec) })
+}
+
+func (g *VE) wzoom(spec WZoomSpec) (TGraph, error) {
 	defer obs.StartSpan("wzoom.VE").End()
 	wsp := obs.StartSpan("windows")
 	windows := wzoomWindows(g, spec)
 	wsp.End()
+	if err := checkpoint(g.ctx, "wzoom.VE:vertices"); err != nil {
+		return nil, err
+	}
 
 	vsp := obs.StartSpan("vertices")
 	v := wzoomTuplesDataflow(g.ctx, g.v, windows, spec.VQuant, spec.VResolve,
@@ -92,6 +103,9 @@ func (g *VE) WZoom(spec WZoomSpec) (TGraph, error) {
 		ID       EdgeID
 		Src, Dst VertexID
 	}
+	if err := checkpoint(g.ctx, "wzoom.VE:edges"); err != nil {
+		return nil, err
+	}
 	esp := obs.StartSpan("edges")
 	e := wzoomTuplesDataflow(g.ctx, g.e, windows, spec.EQuant, spec.EResolve,
 		func(t EdgeTuple) eid { return eid{t.ID, t.Src, t.Dst} },
@@ -103,6 +117,9 @@ func (g *VE) WZoom(spec WZoomSpec) (TGraph, error) {
 	esp.End()
 
 	if spec.VQuant.MoreRestrictiveThan(spec.EQuant) {
+		if err := checkpoint(g.ctx, "wzoom.VE:dangling"); err != nil {
+			return nil, err
+		}
 		// Two semijoins: an edge state (always a whole window) survives
 		// only if both endpoints exist in the same window.
 		dsp := obs.StartSpan("dangling-semijoin")
@@ -177,8 +194,14 @@ func (g *OG) WZoom(spec WZoomSpec) (TGraph, error) {
 		return nil, err
 	}
 	if !g.coalesced {
-		return g.Coalesce().(*OG).WZoom(spec)
+		return runGuarded(g.Context(), func() (TGraph, error) {
+			return g.Coalesce().(*OG).WZoom(spec)
+		})
 	}
+	return runGuarded(g.Context(), func() (TGraph, error) { return g.wzoom(spec) })
+}
+
+func (g *OG) wzoom(spec WZoomSpec) (TGraph, error) {
 	defer obs.StartSpan("wzoom.OG").End()
 	wsp := obs.StartSpan("windows")
 	windows := wzoomWindows(g, spec)
@@ -210,6 +233,9 @@ func (g *OG) WZoom(spec WZoomSpec) (TGraph, error) {
 		return out
 	}
 
+	if err := checkpoint(g.Context(), "wzoom.OG:vertices"); err != nil {
+		return nil, err
+	}
 	vsp := obs.StartSpan("vertices")
 	newV := dataflow.Map(g.graph.Vertices(), func(v graphx.Vertex[[]HistoryItem]) graphx.Vertex[[]HistoryItem] {
 		v.Attr = recompute(v.Attr, spec.VQuant, spec.VResolve)
@@ -217,6 +243,9 @@ func (g *OG) WZoom(spec WZoomSpec) (TGraph, error) {
 	}).Filter(func(v graphx.Vertex[[]HistoryItem]) bool { return len(v.Attr) > 0 })
 	vsp.End()
 
+	if err := checkpoint(g.Context(), "wzoom.OG:edges"); err != nil {
+		return nil, err
+	}
 	esp := obs.StartSpan("edges")
 	newE := dataflow.Map(g.graph.Edges(), func(e graphx.Edge[[]HistoryItem]) graphx.Edge[[]HistoryItem] {
 		e.Attr = recompute(e.Attr, spec.EQuant, spec.EResolve)
@@ -225,6 +254,9 @@ func (g *OG) WZoom(spec WZoomSpec) (TGraph, error) {
 	esp.End()
 
 	if spec.VQuant.MoreRestrictiveThan(spec.EQuant) {
+		if err := checkpoint(g.Context(), "wzoom.OG:dangling"); err != nil {
+			return nil, err
+		}
 		dsp := obs.StartSpan("dangling-intersect")
 		table := make(map[VertexID][]temporal.Interval)
 		for _, part := range newV.Partitions() {
@@ -266,6 +298,10 @@ func (g *RG) WZoom(spec WZoomSpec) (TGraph, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	return runGuarded(g.ctx, func() (TGraph, error) { return g.wzoom(spec) })
+}
+
+func (g *RG) wzoom(spec WZoomSpec) (TGraph, error) {
 	defer obs.StartSpan("wzoom.RG").End()
 	wsp := obs.StartSpan("windows")
 	windows := wzoomWindows(g, spec)
@@ -292,6 +328,10 @@ func (g *RG) WZoom(spec WZoomSpec) (TGraph, error) {
 	defer obs.StartSpan("reduce-windows").End()
 	newSnaps := make([]Snapshot, 0, len(wins))
 	for _, wi := range wins {
+		// One window (one output snapshot) per cancellation check.
+		if err := checkpoint(g.ctx, "wzoom.RG:window"); err != nil {
+			return nil, err
+		}
 		w := windows[wi]
 		vStates := make(map[VertexID][]wzState)
 		type ekey struct {
@@ -368,6 +408,10 @@ func (g *OGC) WZoom(spec WZoomSpec) (TGraph, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	return runGuarded(g.Context(), func() (TGraph, error) { return g.wzoom(spec) })
+}
+
+func (g *OGC) wzoom(spec WZoomSpec) (TGraph, error) {
 	defer obs.StartSpan("wzoom.OGC").End()
 	wsp := obs.StartSpan("windows")
 	windows := wzoomWindows(g, spec)
@@ -391,12 +435,18 @@ func (g *OGC) WZoom(spec WZoomSpec) (TGraph, error) {
 		return nb
 	}
 
+	if err := checkpoint(g.Context(), "wzoom.OGC:vertices"); err != nil {
+		return nil, err
+	}
 	vsp := obs.StartSpan("vertices")
 	newV := dataflow.Map(g.graph.Vertices(), func(v graphx.Vertex[OGCEntity]) graphx.Vertex[OGCEntity] {
 		return graphx.Vertex[OGCEntity]{ID: v.ID, Attr: OGCEntity{Type: v.Attr.Type, Bits: rebits(v.Attr.Bits, spec.VQuant)}}
 	}).Filter(func(v graphx.Vertex[OGCEntity]) bool { return v.Attr.Bits.Any() })
 	vsp.End()
 
+	if err := checkpoint(g.Context(), "wzoom.OGC:edges"); err != nil {
+		return nil, err
+	}
 	esp := obs.StartSpan("edges")
 	newE := dataflow.Map(g.graph.Edges(), func(e graphx.Edge[OGCEntity]) graphx.Edge[OGCEntity] {
 		return graphx.Edge[OGCEntity]{ID: e.ID, Src: e.Src, Dst: e.Dst, Attr: OGCEntity{Type: e.Attr.Type, Bits: rebits(e.Attr.Bits, spec.EQuant)}}

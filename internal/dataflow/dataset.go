@@ -79,7 +79,7 @@ func (d *Dataset[T]) Collect() []T {
 // Filter returns the records satisfying pred, preserving partitioning.
 func (d *Dataset[T]) Filter(pred func(T) bool) *Dataset[T] {
 	out := make([][]T, len(d.parts))
-	d.ctx.runTasks(len(d.parts), func(i int) {
+	d.ctx.runTasks("filter", len(d.parts), func(i int) {
 		var kept []T
 		for _, rec := range d.parts[i] {
 			if pred(rec) {
@@ -94,7 +94,7 @@ func (d *Dataset[T]) Filter(pred func(T) bool) *Dataset[T] {
 // ForEachPartition runs fn over every partition in parallel. fn must
 // not mutate the records.
 func (d *Dataset[T]) ForEachPartition(fn func(part int, recs []T)) {
-	d.ctx.runTasks(len(d.parts), func(i int) { fn(i, d.parts[i]) })
+	d.ctx.runTasks("foreach", len(d.parts), func(i int) { fn(i, d.parts[i]) })
 }
 
 // Repartition redistributes the records evenly over numPartitions
@@ -131,7 +131,7 @@ func (d *Dataset[T]) SortBy(less func(a, b T) bool) *Dataset[T] {
 // Map applies f to every record. It is a narrow transformation.
 func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
 	out := make([][]U, len(d.parts))
-	d.ctx.runTasks(len(d.parts), func(i int) {
+	d.ctx.runTasks("map", len(d.parts), func(i int) {
 		p := make([]U, len(d.parts[i]))
 		for j, rec := range d.parts[i] {
 			p[j] = f(rec)
@@ -145,7 +145,7 @@ func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
 // each partition. It is a narrow transformation.
 func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {
 	out := make([][]U, len(d.parts))
-	d.ctx.runTasks(len(d.parts), func(i int) {
+	d.ctx.runTasks("flatmap", len(d.parts), func(i int) {
 		var p []U
 		for _, rec := range d.parts[i] {
 			p = append(p, f(rec)...)
@@ -159,7 +159,7 @@ func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {
 // partition-local state (e.g. local combiners).
 func MapPartitions[T, U any](d *Dataset[T], f func(part int, recs []T) []U) *Dataset[U] {
 	out := make([][]U, len(d.parts))
-	d.ctx.runTasks(len(d.parts), func(i int) {
+	d.ctx.runTasks("mappartitions", len(d.parts), func(i int) {
 		out[i] = f(i, d.parts[i])
 	})
 	return &Dataset[U]{ctx: d.ctx, parts: out}

@@ -32,7 +32,7 @@ func shuffleByKey[K comparable, V any](d *Dataset[V], key func(V) K, numOut int)
 	// buckets[src][dst] holds the records of source partition src bound
 	// for destination dst.
 	buckets := make([][][]V, len(d.parts))
-	d.ctx.runTasks(len(d.parts), func(i int) {
+	d.ctx.runTasks("shuffle-route", len(d.parts), func(i int) {
 		local := make([][]V, numOut)
 		for _, rec := range d.parts[i] {
 			dst := int(hashKey(d.ctx.seed, key(rec)) % uint64(numOut))
@@ -42,7 +42,7 @@ func shuffleByKey[K comparable, V any](d *Dataset[V], key func(V) K, numOut int)
 	})
 	out := make([][]V, numOut)
 	var moved int64
-	d.ctx.runTasks(numOut, func(dst int) {
+	d.ctx.runTasks("shuffle-gather", numOut, func(dst int) {
 		var p []V
 		for src := range buckets {
 			p = append(p, buckets[src][dst]...)
@@ -62,7 +62,7 @@ func shuffleByKey[K comparable, V any](d *Dataset[V], key func(V) K, numOut int)
 func GroupByKey[K comparable, V any](d *Dataset[V], key func(V) K) *Dataset[Group[K, V]] {
 	shuffled := shuffleByKey(d, key, len(d.parts))
 	out := make([][]Group[K, V], len(shuffled))
-	d.ctx.runTasks(len(shuffled), func(i int) {
+	d.ctx.runTasks("groupbykey", len(shuffled), func(i int) {
 		idx := make(map[K]int)
 		var groups []Group[K, V]
 		for _, rec := range shuffled[i] {
@@ -102,7 +102,7 @@ func ReduceByKey[K comparable, V any](d *Dataset[V], key func(V) K, reduce func(
 	})
 	shuffled := shuffleByKey(combined, func(p Pair[K, V]) K { return p.First }, len(d.parts))
 	out := make([][]V, len(shuffled))
-	d.ctx.runTasks(len(shuffled), func(i int) {
+	d.ctx.runTasks("reducebykey", len(shuffled), func(i int) {
 		idx := make(map[K]int)
 		var acc []V
 		for _, p := range shuffled[i] {
@@ -167,7 +167,7 @@ func Join[K comparable, L, R any](l *Dataset[L], r *Dataset[R], lKey func(L) K, 
 	ls := shuffleByKey(l, lKey, n)
 	rs := shuffleByKey(r, rKey, n)
 	out := make([][]Pair[L, R], n)
-	l.ctx.runTasks(n, func(i int) {
+	l.ctx.runTasks("join", n, func(i int) {
 		byKey := make(map[K][]R)
 		for _, rr := range rs[i] {
 			k := rKey(rr)
@@ -193,7 +193,7 @@ func SemiJoin[K comparable, L, R any](l *Dataset[L], r *Dataset[R], lKey func(L)
 	ls := shuffleByKey(l, lKey, n)
 	rs := shuffleByKey(r, rKey, n)
 	out := make([][]L, n)
-	l.ctx.runTasks(n, func(i int) {
+	l.ctx.runTasks("semijoin", n, func(i int) {
 		byKey := make(map[K][]R)
 		for _, rr := range rs[i] {
 			k := rKey(rr)
@@ -228,7 +228,7 @@ func CoGroup[K comparable, L, R any](l *Dataset[L], r *Dataset[R], lKey func(L) 
 	ls := shuffleByKey(l, lKey, n)
 	rs := shuffleByKey(r, rKey, n)
 	out := make([][]Pair[Group[K, L], Group[K, R]], n)
-	l.ctx.runTasks(n, func(i int) {
+	l.ctx.runTasks("cogroup", n, func(i int) {
 		type slot struct {
 			ls []L
 			rs []R

@@ -1,0 +1,137 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/dataflow"
+)
+
+// Decisions must be a pure function of (seed, rule, hit): replaying the
+// same hit sequence reproduces the same injections.
+func TestInjectorDeterministic(t *testing.T) {
+	sites := []string{"dataflow.map", "dataflow.shuffle-route", "storage.pgc.chunk"}
+	run := func(seed int64) map[string]int64 {
+		in := New(seed,
+			Rule{Site: "dataflow.", Kind: Delay, Prob: 0.3},
+			Rule{Site: "storage.", Kind: Corrupt, Every: 2},
+		)
+		hook := in.Hook()
+		chunk := in.ChunkHook()
+		for i := 0; i < 100; i++ {
+			hook(sites[i%2], i)
+			chunk(sites[2], []byte{1, 2, 3, 4})
+		}
+		return in.Injected()
+	}
+	a, b := run(7), run(7)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("same seed diverged: %v vs %v", a, b)
+	}
+	if len(a) == 0 {
+		t.Error("no injections with Prob 0.3 over 100 hits")
+	}
+	if a["storage.pgc.chunk"] != 50 {
+		t.Errorf("Every=2 over 100 hits injected %d, want 50", a["storage.pgc.chunk"])
+	}
+}
+
+func TestRuleSitePrefixMatching(t *testing.T) {
+	in := New(1, Rule{Site: "dataflow.shuffle", Kind: Delay, Every: 1})
+	hook := in.Hook()
+	hook("dataflow.shuffle-route", 0)
+	hook("dataflow.shuffle-gather", 1)
+	hook("dataflow.map", 2)
+	hook("storage.pgc.chunk", 3)
+	got := in.Injected()
+	if got["dataflow.shuffle-route"] != 1 || got["dataflow.shuffle-gather"] != 1 {
+		t.Errorf("shuffle sites not matched: %v", got)
+	}
+	if len(got) != 2 {
+		t.Errorf("non-shuffle sites matched: %v", got)
+	}
+}
+
+func TestPanicRuleCarriesTypedError(t *testing.T) {
+	in := New(1, Rule{Kind: Panic, Every: 2})
+	hook := in.Hook()
+	hook("dataflow.map", 0) // hit 1: no fire
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Every=2 rule did not fire on hit 2")
+		}
+		fe, ok := r.(*Error)
+		if !ok {
+			t.Fatalf("panicked with %T, want *Error", r)
+		}
+		if fe.Site != "dataflow.map" || fe.Hit != 2 {
+			t.Errorf("error = %+v, want site dataflow.map hit 2", fe)
+		}
+	}()
+	hook("dataflow.map", 1)
+}
+
+func TestTransientRuleIsRetryable(t *testing.T) {
+	in := New(1, Rule{Kind: Transient, Every: 1})
+	hook := in.Hook()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("transient rule did not fire")
+		}
+		err, ok := r.(error)
+		if !ok || !dataflow.IsTransient(err) {
+			t.Fatalf("panicked with %v, want a transient error", r)
+		}
+		var fe *Error
+		if !errors.As(err, &fe) {
+			t.Errorf("transient does not unwrap to *Error: %v", err)
+		}
+	}()
+	hook("dataflow.map", 0)
+}
+
+func TestDelayRuleSleeps(t *testing.T) {
+	in := New(1, Rule{Kind: Delay, Every: 1, Delay: 5 * time.Millisecond})
+	start := time.Now()
+	in.Hook()("dataflow.map", 0)
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Errorf("hook returned after %v, want >= 5ms", d)
+	}
+}
+
+// The chunk hook must corrupt a copy — the storage layer hands it the
+// mmap-backed original.
+func TestChunkHookCopiesBeforeCorrupting(t *testing.T) {
+	in := New(9, Rule{Kind: Corrupt, Every: 1})
+	orig := []byte{10, 20, 30, 40, 50}
+	saved := append([]byte(nil), orig...)
+	out := in.ChunkHook()("storage.pgc.chunk", orig)
+	if !bytes.Equal(orig, saved) {
+		t.Error("chunk hook mutated its input")
+	}
+	if bytes.Equal(out, saved) {
+		t.Error("chunk hook did not corrupt the returned copy")
+	}
+	diff := 0
+	for i := range out {
+		if out[i] != saved[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("%d bytes differ, want exactly 1", diff)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Panic: "panic", Transient: "transient", Delay: "delay", Corrupt: "corrupt", Kind(42): "Kind(42)"} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

@@ -168,3 +168,167 @@ func TestLoadCoalescedFlag(t *testing.T) {
 		}
 	}
 }
+
+// corruptChunkAt flips one byte inside the data region of chunk k and
+// rewrites the file, returning the number of rows stored in that chunk.
+func corruptFlatChunk(t *testing.T, path string, k int) int {
+	t.Helper()
+	r, err := openPGC(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k >= len(r.footer.Chunks) {
+		t.Fatalf("file has %d chunks, wanted to corrupt %d", len(r.footer.Chunks), k)
+	}
+	cm := r.footer.Chunks[k]
+	data := append([]byte(nil), r.data...)
+	data[cm.Offset+int64(cm.Length)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return cm.Rows
+}
+
+func corruptNestedChunk(t *testing.T, path string, k int) int {
+	t.Helper()
+	r, err := openNested(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k >= len(r.footer.Chunks) {
+		t.Fatalf("file has %d chunks, wanted to corrupt %d", len(r.footer.Chunks), k)
+	}
+	cm := r.footer.Chunks[k]
+	data := append([]byte(nil), r.data...)
+	data[cm.Offset+int64(cm.Length)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return cm.Rows
+}
+
+// Permissive mode on the flat reader: the corrupted chunk is skipped
+// and counted once; every row from the intact chunks round-trips.
+func TestPermissiveFlatSkipsCorruptChunk(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v.pgc")
+	in := sampleVertices(200)
+	if err := WriteVertices(path, in, WriteOptions{ChunkRows: 32}); err != nil {
+		t.Fatal(err)
+	}
+	lost := corruptFlatChunk(t, path, 1)
+
+	if _, _, err := ReadVertices(path, temporal.Empty); err == nil {
+		t.Fatal("strict read of a corrupt chunk: want error")
+	}
+
+	before := obsCorruptChunks.Value()
+	out, stats, err := ReadVerticesOpts(path, ReadOptions{Permissive: true})
+	if err != nil {
+		t.Fatalf("permissive read: %v", err)
+	}
+	if stats.ChunksCorrupt != 1 {
+		t.Errorf("ChunksCorrupt = %d, want 1", stats.ChunksCorrupt)
+	}
+	if got := obsCorruptChunks.Value() - before; got != 1 {
+		t.Errorf("storage.corrupt_chunks_skipped delta = %d, want 1", got)
+	}
+	if len(out) != len(in)-lost {
+		t.Fatalf("rows = %d, want %d (200 minus the %d-row corrupt chunk)", len(out), len(in)-lost, lost)
+	}
+	// Surviving rows must round-trip exactly.
+	want := make(map[core.VertexID]core.VertexTuple, len(in))
+	for _, v := range in {
+		want[v.ID] = v
+	}
+	for _, v := range out {
+		w, ok := want[v.ID]
+		if !ok {
+			t.Fatalf("permissive read invented vertex %d", v.ID)
+		}
+		if v.Interval != w.Interval || !v.Props.Equal(w.Props) {
+			t.Fatalf("vertex %d did not round-trip: got %+v want %+v", v.ID, v, w)
+		}
+	}
+}
+
+// The satellite case: Permissive mode on the nested (.pgn) reader —
+// the corrupted chunk is skipped, the skip counter increments exactly
+// once, and entities from the good chunks round-trip.
+func TestPermissiveNestedSkipsCorruptChunk(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v.pgn")
+	var in []core.OGVertex
+	for i := 0; i < 100; i++ {
+		in = append(in, core.OGVertex{ID: core.VertexID(i), History: []core.HistoryItem{
+			{Interval: temporal.MustInterval(temporal.Time(i), temporal.Time(i+3)), Props: props.New("type", "n", "i", i)},
+		}})
+	}
+	if err := WriteNestedVertices(path, in, WriteOptions{ChunkRows: 16}); err != nil {
+		t.Fatal(err)
+	}
+	lost := corruptNestedChunk(t, path, 2)
+
+	if _, _, err := ReadNestedVertices(path, temporal.Empty); err == nil {
+		t.Fatal("strict nested read of a corrupt chunk: want error")
+	}
+
+	before := obsCorruptChunks.Value()
+	out, stats, err := ReadNestedVerticesOpts(path, ReadOptions{Permissive: true})
+	if err != nil {
+		t.Fatalf("permissive nested read: %v", err)
+	}
+	if stats.ChunksCorrupt != 1 {
+		t.Errorf("ChunksCorrupt = %d, want 1", stats.ChunksCorrupt)
+	}
+	if got := obsCorruptChunks.Value() - before; got != 1 {
+		t.Errorf("storage.corrupt_chunks_skipped delta = %d, want 1", got)
+	}
+	if len(out) != len(in)-lost {
+		t.Fatalf("entities = %d, want %d (100 minus the %d-row corrupt chunk)", len(out), len(in)-lost, lost)
+	}
+	want := make(map[core.VertexID]core.OGVertex, len(in))
+	for _, v := range in {
+		want[v.ID] = v
+	}
+	for _, v := range out {
+		w, ok := want[v.ID]
+		if !ok {
+			t.Fatalf("permissive read invented entity %d", v.ID)
+		}
+		if len(v.History) != len(w.History) {
+			t.Fatalf("entity %d history length %d, want %d", v.ID, len(v.History), len(w.History))
+		}
+		for i := range v.History {
+			if v.History[i].Interval != w.History[i].Interval || !v.History[i].Props.Equal(w.History[i].Props) {
+				t.Fatalf("entity %d history[%d] did not round-trip", v.ID, i)
+			}
+		}
+	}
+}
+
+// Load passes Permissive through to both files of a layout and
+// aggregates the corrupt-chunk counts into one ScanStats.
+func TestPermissiveLoad(t *testing.T) {
+	ctx := testCtx()
+	dir := t.TempDir()
+	g := core.NewVE(ctx, sampleVertices(200), nil)
+	if err := SaveGraph(dir, g, SaveOptions{ChunkRows: 32}); err != nil {
+		t.Fatal(err)
+	}
+	corruptFlatChunk(t, filepath.Join(dir, FlatVerticesFile), 0)
+
+	if _, _, err := Load(ctx, dir, LoadOptions{Rep: core.RepVE}); err == nil {
+		t.Fatal("strict load of corrupt dir: want error")
+	}
+	loaded, stats, err := Load(ctx, dir, LoadOptions{Rep: core.RepVE, Permissive: true})
+	if err != nil {
+		t.Fatalf("permissive load: %v", err)
+	}
+	if stats.ChunksCorrupt != 1 {
+		t.Errorf("ChunksCorrupt = %d, want 1", stats.ChunksCorrupt)
+	}
+	if n := len(loaded.VertexStates()); n == 0 || n >= 200 {
+		t.Errorf("partial load returned %d vertices, want 0 < n < 200", n)
+	}
+}

@@ -81,6 +81,18 @@ type LoadOptions struct {
 	// Coalesced asserts that the on-disk data is coalesced, marking the
 	// loaded graph accordingly.
 	Coalesced bool
+	// Permissive degrades gracefully on data corruption: corrupt chunks
+	// (and rows whose properties fail to decode) are skipped and counted
+	// in the returned ScanStats instead of aborting the load. Callers
+	// should surface stats.ChunksCorrupt/RowsCorrupt as a warning.
+	Permissive bool
+	// ChunkHook is the storage fault-injection point, passed through to
+	// the chunk readers (see ReadOptions.ChunkHook).
+	ChunkHook func(site string, chunk []byte) []byte
+}
+
+func (o LoadOptions) readOptions() ReadOptions {
+	return ReadOptions{Range: o.Range, Permissive: o.Permissive, ChunkHook: o.ChunkHook}
 }
 
 // Load is the GraphLoader utility: it initialises any representation
@@ -90,11 +102,11 @@ type LoadOptions struct {
 func Load(ctx *dataflow.Context, dir string, opts LoadOptions) (core.TGraph, ScanStats, error) {
 	switch opts.Rep {
 	case core.RepVE, core.RepRG:
-		vs, s1, err := ReadVertices(filepath.Join(dir, FlatVerticesFile), opts.Range)
+		vs, s1, err := ReadVerticesOpts(filepath.Join(dir, FlatVerticesFile), opts.readOptions())
 		if err != nil {
 			return nil, s1, err
 		}
-		es, s2, err := ReadEdges(filepath.Join(dir, FlatEdgesFile), opts.Range)
+		es, s2, err := ReadEdgesOpts(filepath.Join(dir, FlatEdgesFile), opts.readOptions())
 		stats := addStats(s1, s2)
 		if err != nil {
 			return nil, stats, err
@@ -108,11 +120,11 @@ func Load(ctx *dataflow.Context, dir string, opts LoadOptions) (core.TGraph, Sca
 		}
 		return ve, stats, nil
 	case core.RepOG, core.RepOGC:
-		vs, s1, err := ReadNestedVertices(filepath.Join(dir, NestedVerticesFile), opts.Range)
+		vs, s1, err := ReadNestedVerticesOpts(filepath.Join(dir, NestedVerticesFile), opts.readOptions())
 		if err != nil {
 			return nil, s1, err
 		}
-		es, s2, err := ReadNestedEdges(filepath.Join(dir, NestedEdgesFile), opts.Range)
+		es, s2, err := ReadNestedEdgesOpts(filepath.Join(dir, NestedEdgesFile), opts.readOptions())
 		stats := addStats(s1, s2)
 		if err != nil {
 			return nil, stats, err
@@ -136,5 +148,7 @@ func addStats(a, b ScanStats) ScanStats {
 		ChunksSkipped: a.ChunksSkipped + b.ChunksSkipped,
 		RowsRead:      a.RowsRead + b.RowsRead,
 		BytesRead:     a.BytesRead + b.BytesRead,
+		ChunksCorrupt: a.ChunksCorrupt + b.ChunksCorrupt,
+		RowsCorrupt:   a.RowsCorrupt + b.RowsCorrupt,
 	}
 }

@@ -250,9 +250,10 @@ func openNested(path string) (*nestedReader, error) {
 	return &nestedReader{footer: footer, data: data}, nil
 }
 
-func (r *nestedReader) scan(rng temporal.Interval) ([]nestedRow, ScanStats, error) {
+func (r *nestedReader) scan(opts ReadOptions) ([]nestedRow, ScanStats, error) {
 	var stats ScanStats
 	var out []nestedRow
+	rng := opts.Range
 	pushdown := !rng.IsEmpty()
 	for _, cm := range r.footer.Chunks {
 		if pushdown && (cm.MinFirstStart >= int64(rng.End) || cm.MaxLastEnd <= int64(rng.Start)) {
@@ -264,10 +265,19 @@ func (r *nestedReader) scan(rng temporal.Interval) ([]nestedRow, ScanStats, erro
 		stats.BytesRead += int64(cm.Length)
 		obsChunksRead.Add(1)
 		obsBytesRead.Add(int64(cm.Length))
-		decodeStart := time.Now()
-		rows, err := decodeNestedChunk(r.data, cm)
-		obsDecode.Observe(time.Since(decodeStart))
+		chunk, err := chunkBytes(r.data, cm.Offset, cm.Length, "storage.pgn.chunk", opts.ChunkHook)
+		var rows []nestedRow
+		if err == nil {
+			decodeStart := time.Now()
+			rows, err = decodeNestedChunk(chunk, cm)
+			obsDecode.Observe(time.Since(decodeStart))
+		}
 		if err != nil {
+			if opts.Permissive {
+				stats.ChunksCorrupt++
+				obsCorruptChunks.Add(1)
+				continue
+			}
 			return nil, stats, err
 		}
 		for _, rw := range rows {
@@ -282,11 +292,10 @@ func (r *nestedReader) scan(rng temporal.Interval) ([]nestedRow, ScanStats, erro
 	return out, stats, nil
 }
 
-func decodeNestedChunk(data []byte, cm nestedChunkMeta) ([]nestedRow, error) {
-	if cm.Offset < 0 || cm.Offset+int64(cm.Length) > int64(len(data)) {
-		return nil, fmt.Errorf("storage: nested chunk out of bounds")
+func decodeNestedChunk(chunk []byte, cm nestedChunkMeta) ([]nestedRow, error) {
+	if len(chunk) != cm.Length {
+		return nil, fmt.Errorf("storage: nested chunk has %d bytes, want %d", len(chunk), cm.Length)
 	}
-	chunk := data[cm.Offset : cm.Offset+int64(cm.Length)]
 	if crc32.ChecksumIEEE(chunk) != cm.CRC {
 		return nil, fmt.Errorf("storage: nested chunk at offset %d fails CRC check", cm.Offset)
 	}
@@ -342,6 +351,12 @@ func decodeNestedChunk(data []byte, cm nestedChunkMeta) ([]nestedRow, error) {
 // ReadNestedVertices reads OG vertices with time-range pushdown;
 // history items are clipped to rng.
 func ReadNestedVertices(path string, rng temporal.Interval) ([]core.OGVertex, ScanStats, error) {
+	return ReadNestedVerticesOpts(path, ReadOptions{Range: rng})
+}
+
+// ReadNestedVerticesOpts is ReadNestedVertices with full read options
+// (Permissive mode, fault-injection hook).
+func ReadNestedVerticesOpts(path string, opts ReadOptions) ([]core.OGVertex, ScanStats, error) {
 	r, err := openNested(path)
 	if err != nil {
 		return nil, ScanStats{}, err
@@ -349,7 +364,7 @@ func ReadNestedVertices(path string, rng temporal.Interval) ([]core.OGVertex, Sc
 	if r.footer.Kind != "vertices" {
 		return nil, ScanStats{}, fmt.Errorf("storage: %s holds %s, want vertices", path, r.footer.Kind)
 	}
-	rows, stats, err := r.scan(rng)
+	rows, stats, err := r.scan(opts)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -357,9 +372,14 @@ func ReadNestedVertices(path string, rng temporal.Interval) ([]core.OGVertex, Sc
 	for _, rw := range rows {
 		h, err := decodeHistory(rw.history)
 		if err != nil {
+			if opts.Permissive {
+				stats.RowsCorrupt++
+				obsCorruptRows.Add(1)
+				continue
+			}
 			return nil, stats, err
 		}
-		h = clipHistory(h, rng)
+		h = clipHistory(h, opts.Range)
 		if len(h) == 0 {
 			continue
 		}
@@ -370,6 +390,11 @@ func ReadNestedVertices(path string, rng temporal.Interval) ([]core.OGVertex, Sc
 
 // ReadNestedEdges reads OG edges with time-range pushdown.
 func ReadNestedEdges(path string, rng temporal.Interval) ([]core.OGEdge, ScanStats, error) {
+	return ReadNestedEdgesOpts(path, ReadOptions{Range: rng})
+}
+
+// ReadNestedEdgesOpts is ReadNestedEdges with full read options.
+func ReadNestedEdgesOpts(path string, opts ReadOptions) ([]core.OGEdge, ScanStats, error) {
 	r, err := openNested(path)
 	if err != nil {
 		return nil, ScanStats{}, err
@@ -377,7 +402,7 @@ func ReadNestedEdges(path string, rng temporal.Interval) ([]core.OGEdge, ScanSta
 	if r.footer.Kind != "edges" {
 		return nil, ScanStats{}, fmt.Errorf("storage: %s holds %s, want edges", path, r.footer.Kind)
 	}
-	rows, stats, err := r.scan(rng)
+	rows, stats, err := r.scan(opts)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -385,9 +410,14 @@ func ReadNestedEdges(path string, rng temporal.Interval) ([]core.OGEdge, ScanSta
 	for _, rw := range rows {
 		h, err := decodeHistory(rw.history)
 		if err != nil {
+			if opts.Permissive {
+				stats.RowsCorrupt++
+				obsCorruptRows.Add(1)
+				continue
+			}
 			return nil, stats, err
 		}
-		h = clipHistory(h, rng)
+		h = clipHistory(h, opts.Range)
 		if len(h) == 0 {
 			continue
 		}

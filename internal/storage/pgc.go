@@ -23,7 +23,34 @@ var (
 	obsRowsRead     = obs.Default().Counter("storage.rows_read")
 	obsBytesRead    = obs.Default().Counter("storage.bytes_read")
 	obsDecode       = obs.Default().Histogram("storage.decode")
+
+	// Graceful-degradation metrics: chunks/rows dropped by Permissive
+	// reads instead of aborting the load.
+	obsCorruptChunks = obs.Default().Counter("storage.corrupt_chunks_skipped")
+	obsCorruptRows   = obs.Default().Counter("storage.corrupt_rows_dropped")
 )
+
+// ReadOptions configures PGC reads (flat and nested).
+type ReadOptions struct {
+	// Range restricts reading to states overlapping the interval
+	// (clipped), applied via zone-map pushdown. Empty reads everything.
+	Range temporal.Interval
+	// Permissive degrades gracefully on data corruption: a chunk that
+	// fails its bounds, CRC or decode check is skipped (counted in
+	// ScanStats.ChunksCorrupt and the storage.corrupt_chunks_skipped
+	// counter) and the remaining chunks are returned as partial data.
+	// Footer corruption stays fatal either way — without the footer
+	// there is no chunk index to salvage. Without Permissive any
+	// corruption aborts the read.
+	Permissive bool
+	// ChunkHook, when non-nil, intercepts every chunk's raw bytes
+	// before integrity checks — the storage-side fault-injection point
+	// (internal/faults). Sites: "storage.pgc.chunk",
+	// "storage.pgn.chunk". The hook must return the chunk to decode
+	// (possibly a corrupted copy); it must not mutate its input, which
+	// aliases the reader's file buffer.
+	ChunkHook func(site string, chunk []byte) []byte
+}
 
 // row is the flat on-disk record: vertex rows leave Src/Dst zero and
 // the isEdge flag distinguishes files, not rows.
@@ -226,6 +253,12 @@ type ScanStats struct {
 	ChunksSkipped int
 	RowsRead      int
 	BytesRead     int64
+	// ChunksCorrupt counts chunks dropped by a Permissive read (always
+	// 0 on strict reads, which abort instead).
+	ChunksCorrupt int
+	// RowsCorrupt counts rows dropped by a Permissive read because
+	// their property blob failed to decode.
+	RowsCorrupt int
 }
 
 // reader reads a PGC file with optional time-range pushdown.
@@ -263,11 +296,27 @@ func openPGC(path string) (*reader, error) {
 	return &reader{path: path, footer: footer, data: data}, nil
 }
 
-// scan decodes all chunks whose zone map may overlap rng. A zero rng
-// (empty interval) disables pushdown and reads everything.
-func (r *reader) scan(rng temporal.Interval) ([]row, ScanStats, error) {
+// chunkBytes bounds-checks one chunk's extent and returns its raw
+// bytes, routed through the fault-injection hook when installed.
+func chunkBytes(data []byte, offset int64, length int, site string, hook func(string, []byte) []byte) ([]byte, error) {
+	if offset < 0 || offset+int64(length) > int64(len(data)) {
+		return nil, fmt.Errorf("storage: chunk out of bounds")
+	}
+	chunk := data[offset : offset+int64(length)]
+	if hook != nil {
+		chunk = hook(site, chunk)
+	}
+	return chunk, nil
+}
+
+// scan decodes all chunks whose zone map may overlap opts.Range. A zero
+// range (empty interval) disables pushdown and reads everything. In
+// Permissive mode corrupt chunks are skipped and counted instead of
+// aborting the scan.
+func (r *reader) scan(opts ReadOptions) ([]row, ScanStats, error) {
 	var stats ScanStats
 	var out []row
+	rng := opts.Range
 	pushdown := !rng.IsEmpty()
 	for _, cm := range r.footer.Chunks {
 		if pushdown {
@@ -284,10 +333,19 @@ func (r *reader) scan(rng temporal.Interval) ([]row, ScanStats, error) {
 		stats.BytesRead += int64(cm.Length)
 		obsChunksRead.Add(1)
 		obsBytesRead.Add(int64(cm.Length))
-		decodeStart := time.Now()
-		rows, err := decodeChunk(r.data, cm)
-		obsDecode.Observe(time.Since(decodeStart))
+		chunk, err := chunkBytes(r.data, cm.Offset, cm.Length, "storage.pgc.chunk", opts.ChunkHook)
+		var rows []row
+		if err == nil {
+			decodeStart := time.Now()
+			rows, err = decodeChunk(chunk, cm)
+			obsDecode.Observe(time.Since(decodeStart))
+		}
 		if err != nil {
+			if opts.Permissive {
+				stats.ChunksCorrupt++
+				obsCorruptChunks.Add(1)
+				continue
+			}
 			return nil, stats, err
 		}
 		for _, rw := range rows {
@@ -305,11 +363,10 @@ func (r *reader) scan(rng temporal.Interval) ([]row, ScanStats, error) {
 	return out, stats, nil
 }
 
-func decodeChunk(data []byte, cm chunkMeta) ([]row, error) {
-	if cm.Offset < 0 || cm.Offset+int64(cm.Length) > int64(len(data)) {
-		return nil, fmt.Errorf("storage: chunk out of bounds")
+func decodeChunk(chunk []byte, cm chunkMeta) ([]row, error) {
+	if len(chunk) != cm.Length {
+		return nil, fmt.Errorf("storage: chunk has %d bytes, want %d", len(chunk), cm.Length)
 	}
-	chunk := data[cm.Offset : cm.Offset+int64(cm.Length)]
 	if crc32.ChecksumIEEE(chunk) != cm.CRC {
 		return nil, fmt.Errorf("storage: chunk at offset %d fails CRC check", cm.Offset)
 	}
@@ -360,6 +417,12 @@ func decodeChunk(data []byte, cm chunkMeta) ([]row, error) {
 // ReadVertices reads vertex states from a PGC file, applying time-range
 // pushdown when rng is non-empty. States are clipped to rng.
 func ReadVertices(path string, rng temporal.Interval) ([]core.VertexTuple, ScanStats, error) {
+	return ReadVerticesOpts(path, ReadOptions{Range: rng})
+}
+
+// ReadVerticesOpts is ReadVertices with full read options (Permissive
+// mode, fault-injection hook).
+func ReadVerticesOpts(path string, opts ReadOptions) ([]core.VertexTuple, ScanStats, error) {
 	r, err := openPGC(path)
 	if err != nil {
 		return nil, ScanStats{}, err
@@ -367,7 +430,7 @@ func ReadVertices(path string, rng temporal.Interval) ([]core.VertexTuple, ScanS
 	if r.footer.Kind != "vertices" {
 		return nil, ScanStats{}, fmt.Errorf("storage: %s holds %s, want vertices", path, r.footer.Kind)
 	}
-	rows, stats, err := r.scan(rng)
+	rows, stats, err := r.scan(opts)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -375,9 +438,14 @@ func ReadVertices(path string, rng temporal.Interval) ([]core.VertexTuple, ScanS
 	for _, rw := range rows {
 		p, err := decodeProps(rw.propb)
 		if err != nil {
+			if opts.Permissive {
+				stats.RowsCorrupt++
+				obsCorruptRows.Add(1)
+				continue
+			}
 			return nil, stats, err
 		}
-		iv := clip(rw.start, rw.end, rng)
+		iv := clip(rw.start, rw.end, opts.Range)
 		out = append(out, core.VertexTuple{ID: core.VertexID(rw.id), Interval: iv, Props: p})
 	}
 	return out, stats, nil
@@ -386,6 +454,11 @@ func ReadVertices(path string, rng temporal.Interval) ([]core.VertexTuple, ScanS
 // ReadEdges reads edge states from a PGC file, applying time-range
 // pushdown when rng is non-empty.
 func ReadEdges(path string, rng temporal.Interval) ([]core.EdgeTuple, ScanStats, error) {
+	return ReadEdgesOpts(path, ReadOptions{Range: rng})
+}
+
+// ReadEdgesOpts is ReadEdges with full read options.
+func ReadEdgesOpts(path string, opts ReadOptions) ([]core.EdgeTuple, ScanStats, error) {
 	r, err := openPGC(path)
 	if err != nil {
 		return nil, ScanStats{}, err
@@ -393,7 +466,7 @@ func ReadEdges(path string, rng temporal.Interval) ([]core.EdgeTuple, ScanStats,
 	if r.footer.Kind != "edges" {
 		return nil, ScanStats{}, fmt.Errorf("storage: %s holds %s, want edges", path, r.footer.Kind)
 	}
-	rows, stats, err := r.scan(rng)
+	rows, stats, err := r.scan(opts)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -401,9 +474,14 @@ func ReadEdges(path string, rng temporal.Interval) ([]core.EdgeTuple, ScanStats,
 	for _, rw := range rows {
 		p, err := decodeProps(rw.propb)
 		if err != nil {
+			if opts.Permissive {
+				stats.RowsCorrupt++
+				obsCorruptRows.Add(1)
+				continue
+			}
 			return nil, stats, err
 		}
-		iv := clip(rw.start, rw.end, rng)
+		iv := clip(rw.start, rw.end, opts.Range)
 		out = append(out, core.EdgeTuple{
 			ID:  core.EdgeID(rw.id),
 			Src: core.VertexID(rw.src), Dst: core.VertexID(rw.dst),

@@ -21,6 +21,9 @@
 package tgraph
 
 import (
+	"context"
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/props"
@@ -61,6 +64,8 @@ type (
 	WindowSpec = temporal.WindowSpec
 	// Context owns the dataflow worker pool and metrics.
 	Context = dataflow.Context
+	// Option configures a Context.
+	Option = dataflow.Option
 	// AggField is one aZoom aggregate output field.
 	AggField = props.AggField
 	// ResolveSpec picks representative attribute values per window.
@@ -84,6 +89,39 @@ func WithParallelism(n int) dataflow.Option { return dataflow.WithParallelism(n)
 
 // WithDefaultPartitions sets the default dataset partition count.
 func WithDefaultPartitions(n int) dataflow.Option { return dataflow.WithDefaultPartitions(n) }
+
+// Fault tolerance: cancellation, typed errors, and retry.
+
+// JobError is the typed error a failed or cancelled dataflow job
+// surfaces from zoom, conversion and pipeline entry points. It names
+// the stage and every failed partition, and unwraps to the task causes
+// and any cancellation error (errors.Is(err, context.DeadlineExceeded)
+// works through it).
+type JobError = dataflow.JobError
+
+// TaskError is one partition's failure inside a JobError.
+type TaskError = dataflow.TaskError
+
+// RetryPolicy re-executes failed transient tasks with jittered
+// exponential backoff.
+type RetryPolicy = dataflow.RetryPolicy
+
+// WithContext binds a standard context for cancellation; jobs check it
+// between tasks. Context.Bind rebinds it later.
+func WithContext(ctx context.Context) dataflow.Option { return dataflow.WithContext(ctx) }
+
+// WithTimeout bounds all work on the context with a deadline. Call
+// Context.Close to release the deadline's resources.
+func WithTimeout(d time.Duration) dataflow.Option { return dataflow.WithTimeout(d) }
+
+// WithRetry re-executes tasks failing with transient errors.
+func WithRetry(p RetryPolicy) dataflow.Option { return dataflow.WithRetry(p) }
+
+// Transient marks an error as retryable under WithRetry.
+func Transient(err error) error { return dataflow.Transient(err) }
+
+// IsTransient reports whether any error in err's tree is transient.
+func IsTransient(err error) bool { return dataflow.IsTransient(err) }
 
 // FromStates builds a TGraph (VE representation) from flat vertex and
 // edge states.
