@@ -1,13 +1,13 @@
 # Developer entry points. `make check` is the full gate CI should run:
 # it builds every package, vets, runs the test suite (including the
 # obs registry/tracer concurrency tests) under the race detector, and
-# repeats the fault-injection chaos suite.
+# repeats the fault-injection chaos and crash-consistency suites.
 
 GO ?= go
 
-.PHONY: check build vet test test-race bench fmt bench-json chaos
+.PHONY: check build vet test test-race bench fmt bench-json chaos crash
 
-check: build vet test-race chaos
+check: build vet test-race chaos crash
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,14 @@ test-race:
 # detector.
 chaos:
 	$(GO) test -race -count=2 -run Chaos ./...
+
+# Crash-consistency suite: the TestCrash* tests crash SaveGraph at
+# every atomic-write site (seeded faults.Crash rules) and truncate
+# every committed file at every chunk boundary, asserting each
+# directory loads as old data, a typed error, or a permissive partial —
+# never a panic — under the race detector.
+crash:
+	$(GO) test -race -count=1 -run Crash ./...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

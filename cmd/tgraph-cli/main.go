@@ -10,6 +10,8 @@
 //	tgraph-cli -dir /tmp/snb -rep og -wzoom "6 months" -trace
 //	tgraph-cli -dir /tmp/snb -rep og -wzoom "6 months" -timeout 30s
 //	tgraph-cli -dir /tmp/damaged -rep ve -permissive -info
+//	tgraph-cli -dir /tmp/damaged -verify
+//	tgraph-cli -dir /tmp/damaged -repair
 package main
 
 import (
@@ -30,25 +32,53 @@ func fail(format string, args ...any) {
 
 func main() {
 	var (
-		dir     = flag.String("dir", "", "graph directory (required)")
-		rep     = flag.String("rep", "ve", "representation: ve | rg | og | ogc")
-		from    = flag.Int64("from", 0, "load range start (0 and 0 = everything)")
-		to      = flag.Int64("to", 0, "load range end")
-		info    = flag.Bool("info", false, "print graph statistics and exit")
-		azoom   = flag.String("azoom", "", "aZoom^T: group vertices by this property")
-		count   = flag.String("count", "", "aZoom^T: add a count aggregate under this label")
-		wzoom   = flag.String("wzoom", "", "wZoom^T window spec, e.g. \"3 months\" or \"2 changes\"")
-		vquant  = flag.String("vquant", "exists", "wZoom^T vertex quantifier")
-		equant  = flag.String("equant", "exists", "wZoom^T edge quantifier")
+		dir        = flag.String("dir", "", "graph directory (required)")
+		rep        = flag.String("rep", "ve", "representation: ve | rg | og | ogc")
+		from       = flag.Int64("from", 0, "load range start (0 and 0 = everything)")
+		to         = flag.Int64("to", 0, "load range end")
+		info       = flag.Bool("info", false, "print graph statistics and exit")
+		azoom      = flag.String("azoom", "", "aZoom^T: group vertices by this property")
+		count      = flag.String("count", "", "aZoom^T: add a count aggregate under this label")
+		wzoom      = flag.String("wzoom", "", "wZoom^T window spec, e.g. \"3 months\" or \"2 changes\"")
+		vquant     = flag.String("vquant", "exists", "wZoom^T vertex quantifier")
+		equant     = flag.String("equant", "exists", "wZoom^T edge quantifier")
 		dump       = flag.Int("dump", 0, "print up to N vertex and edge states of the result")
 		explain    = flag.Bool("explain", false, "print the cost-based plan for the requested zooms instead of executing eagerly")
 		trace      = flag.Bool("trace", false, "record per-stage spans and print the span tree after execution")
 		timeout    = flag.Duration("timeout", 0, "deadline for all dataflow work, e.g. 30s (0 = none)")
 		permissive = flag.Bool("permissive", false, "skip corrupt chunks while loading instead of aborting")
+		verify     = flag.Bool("verify", false, "check MANIFEST, file CRCs and every chunk CRC, print a damage report, and exit (status 1 if damaged)")
+		repair     = flag.Bool("repair", false, "remove stale .tmp files and uncommitted orphans left by aborted saves, then exit")
 	)
 	flag.Parse()
 	if *dir == "" {
 		fail("-dir is required")
+	}
+	if *repair {
+		removed, err := tgraph.RepairDir(*dir)
+		if err != nil {
+			fail("repair: %v", err)
+		}
+		if len(removed) == 0 {
+			fmt.Println("nothing to repair")
+		}
+		for _, name := range removed {
+			fmt.Printf("removed %s\n", name)
+		}
+		if !*verify {
+			return
+		}
+	}
+	if *verify {
+		rep, err := tgraph.VerifyDir(*dir)
+		if err != nil {
+			fail("verify: %v", err)
+		}
+		fmt.Print(rep)
+		if !rep.Clean {
+			os.Exit(1)
+		}
+		return
 	}
 	if *trace {
 		obs.SetTracing(true)

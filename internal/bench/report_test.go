@@ -27,7 +27,9 @@ var updateGolden = flag.Bool("update", false, "rewrite golden files")
 // It also drives each fault-tolerance counter exactly once so the
 // golden file locks the retry/failure/cancel/corruption metric names:
 // dataflow.task_retries, dataflow.task_failures,
-// dataflow.tasks_cancelled and storage.corrupt_chunks_skipped.
+// dataflow.tasks_cancelled and storage.corrupt_chunks_skipped — plus
+// the crash-consistency counters storage.fsyncs,
+// storage.manifest_mismatches and storage.recovered_saves.
 func fakeExperiment() Experiment {
 	return Experiment{
 		ID:          "fake",
@@ -47,6 +49,7 @@ func fakeExperiment() Experiment {
 			sp.End()
 			retries, failures, cancelled := fakeFaultCounters()
 			skipped := fakeCorruptChunk()
+			mismatches, recovered := fakeCrashRecovery()
 			return []Table{
 				{
 					Title:  "fake table",
@@ -62,6 +65,12 @@ func fakeExperiment() Experiment {
 						fmt.Sprint(retries), fmt.Sprint(failures),
 						fmt.Sprint(cancelled), fmt.Sprint(skipped),
 					}},
+				},
+				{
+					Title:  "fake crash recovery",
+					Note:   "crash-consistency counter fixture",
+					Header: []string{"manifest_mismatches", "recovered_saves"},
+					Rows:   [][]string{{fmt.Sprint(mismatches), fmt.Sprint(recovered)}},
 				},
 			}
 		},
@@ -152,6 +161,50 @@ func fakeCorruptChunk() int {
 	return stats.ChunksCorrupt
 }
 
+// fakeCrashRecovery saves a tiny graph directory, tears its MANIFEST
+// (simulating a crash mid-commit), and loads it twice: the strict load
+// fails with a typed error, the Permissive one recovers the data. This
+// drives storage.fsyncs, storage.manifest_mismatches and
+// storage.recovered_saves with exact values.
+func fakeCrashRecovery() (mismatches, recovered int64) {
+	dir, err := os.MkdirTemp("", "bench-crash-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	ctx := dataflow.NewContext(dataflow.WithParallelism(1))
+	vs := make([]core.VertexTuple, 4)
+	for i := range vs {
+		vs[i] = core.VertexTuple{
+			ID:       core.VertexID(i),
+			Interval: temporal.MustInterval(0, 2),
+			Props:    props.New("type", "node"),
+		}
+	}
+	g := core.NewVE(ctx, vs, nil)
+	if err := storage.SaveGraph(dir, g, storage.SaveOptions{SkipNested: true}); err != nil {
+		panic(err)
+	}
+	mpath := filepath.Join(dir, storage.ManifestFile)
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile(mpath, data[:len(data)/2], 0o644); err != nil {
+		panic(err)
+	}
+	mism0 := obs.Default().Counter("storage.manifest_mismatches").Value()
+	rec0 := obs.Default().Counter("storage.recovered_saves").Value()
+	if _, _, err := storage.Load(ctx, dir, storage.LoadOptions{Rep: core.RepVE}); !errors.Is(err, storage.ErrIncompleteSave) {
+		panic(fmt.Sprintf("fixture: strict load of torn manifest: %v", err))
+	}
+	if _, _, err := storage.Load(ctx, dir, storage.LoadOptions{Rep: core.RepVE, Permissive: true}); err != nil {
+		panic(fmt.Sprintf("fixture: permissive recovery: %v", err))
+	}
+	return obs.Default().Counter("storage.manifest_mismatches").Value() - mism0,
+		obs.Default().Counter("storage.recovered_saves").Value() - rec0
+}
+
 // normalizeResult zeroes every wall-clock-derived field so the JSON
 // encoding is reproducible; counts and structure remain.
 func normalizeResult(res *RunResult) {
@@ -212,12 +265,14 @@ func TestRunInstrumented(t *testing.T) {
 	if res.Exp != "fake" {
 		t.Errorf("exp = %q", res.Exp)
 	}
-	if len(res.Rows) != 2 || len(res.Rows[0].Rows) != 1 {
+	if len(res.Rows) != 3 || len(res.Rows[0].Rows) != 1 {
 		t.Errorf("rows = %+v", res.Rows)
 	}
 	for _, name := range []string{
 		"dataflow.task_retries", "dataflow.task_failures",
 		"dataflow.tasks_cancelled", "storage.corrupt_chunks_skipped",
+		"storage.fsyncs", "storage.manifest_mismatches",
+		"storage.recovered_saves",
 	} {
 		if res.Metrics.Counters[name] == 0 {
 			t.Errorf("fixture did not drive counter %s: %+v", name, res.Metrics.Counters)

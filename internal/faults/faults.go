@@ -1,14 +1,16 @@
 // Package faults is a deterministic, seeded fault-injection harness for
-// the execution stack. It plugs into the two injection points the stack
-// exposes — dataflow.WithFaultHook (called at the start of every task
-// attempt) and storage.ReadOptions.ChunkHook (called with every chunk's
-// raw bytes before integrity checks) — and injects panics, transient
-// errors, delays, or byte corruption according to declarative rules.
+// the execution stack. It plugs into the three injection points the
+// stack exposes — dataflow.WithFaultHook (called at the start of every
+// task attempt), storage.ReadOptions.ChunkHook (called with every
+// chunk's raw bytes before integrity checks) and storage WriteOptions /
+// SaveOptions FaultHook (called at every crash point of the atomic
+// write path) — and injects panics, transient errors, delays, byte
+// corruption, or simulated crashes according to declarative rules.
 //
 // Determinism: every decision is a pure function of (seed, site, hit
 // index). Running the same workload twice with the same seed injects
 // the same faults at the same sites, which is what lets the chaos tests
-// (make chaos) run under -race -count=2 with fixed seeds and still
+// (make chaos, make crash) run under -race with fixed seeds and still
 // assert exact outcomes.
 //
 // Known sites:
@@ -17,10 +19,12 @@
 //	dataflow.mappartitions, dataflow.shuffle-route,
 //	dataflow.shuffle-gather, dataflow.groupbykey, dataflow.reducebykey,
 //	dataflow.join, dataflow.semijoin, dataflow.cogroup (task attempts);
-//	storage.pgc.chunk, storage.pgn.chunk (chunk reads).
+//	storage.pgc.chunk, storage.pgn.chunk (chunk reads);
+//	storage.write.create, storage.write.short, storage.write.sync,
+//	storage.write.rename (atomic-write crash points).
 //
 // Rules match sites by prefix, so Site: "dataflow." targets every
-// engine stage.
+// engine stage and Site: "storage.write." every write crash point.
 package faults
 
 import (
@@ -45,6 +49,11 @@ const (
 	// Corrupt flips one byte of the chunk in a storage ChunkHook
 	// (ignored at dataflow sites, which carry no payload).
 	Corrupt
+	// Crash aborts a storage write at a storage.write.* site,
+	// simulating a process crash at that instant: the write path skips
+	// all cleanup, leaving staged temp files and torn writes on disk
+	// exactly as a real crash would (only WriteHook honours it).
+	Crash
 )
 
 func (k Kind) String() string {
@@ -57,6 +66,8 @@ func (k Kind) String() string {
 		return "delay"
 	case Corrupt:
 		return "corrupt"
+	case Crash:
+		return "crash"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -201,6 +212,28 @@ func (in *Injector) ChunkHook() func(site string, chunk []byte) []byte {
 			return bad
 		}
 		return chunk
+	}
+}
+
+// WriteHook returns the storage write-path crash hook (the FaultHook
+// field of storage WriteOptions / SaveOptions). Crash rules abort the
+// write at the matched storage.write.* site with an *Error, which the
+// write path treats as a process crash (staged temp files are left on
+// disk, cleanup is skipped); other kinds are ignored here.
+func (in *Injector) WriteHook() func(site string) error {
+	return func(site string) error {
+		for ri, r := range in.rules {
+			if r.Kind != Crash {
+				continue
+			}
+			if r.Site != "" && !hasPrefix(site, r.Site) {
+				continue
+			}
+			if hit, ok := in.fire(ri, site); ok {
+				return &Error{Site: site, Hit: hit}
+			}
+		}
+		return nil
 	}
 }
 

@@ -135,3 +135,95 @@ func TestKindString(t *testing.T) {
 		}
 	}
 }
+
+// The write hook fires Crash rules on the Every cadence with a typed
+// *Error and counts the injections; non-Crash rules are invisible to it.
+func TestWriteHookCrashCadence(t *testing.T) {
+	in := New(7, Rule{Site: "storage.write.", Kind: Crash, Every: 3})
+	hook := in.WriteHook()
+	for hit := 1; hit <= 9; hit++ {
+		err := hook("storage.write.rename")
+		if hit%3 == 0 {
+			var fe *Error
+			if !errors.As(err, &fe) {
+				t.Fatalf("hit %d: err = %v, want *Error", hit, err)
+			}
+			if fe.Site != "storage.write.rename" || fe.Hit != int64(hit) {
+				t.Errorf("hit %d: fired with %+v", hit, fe)
+			}
+		} else if err != nil {
+			t.Errorf("hit %d: unexpected crash %v", hit, err)
+		}
+	}
+	if got := in.Injected()["storage.write.rename"]; got != 3 {
+		t.Errorf("injected count = %d, want 3", got)
+	}
+}
+
+// Crash rules respect the site prefix filter, and the other hooks
+// ignore Crash rules entirely.
+func TestWriteHookSiteFilterAndKindIsolation(t *testing.T) {
+	in := New(7, Rule{Site: "storage.write.sync", Kind: Crash, Every: 1})
+	hook := in.WriteHook()
+	if err := hook("storage.write.create"); err != nil {
+		t.Errorf("non-matching site crashed: %v", err)
+	}
+	if err := hook("storage.write.sync"); err == nil {
+		t.Error("matching site did not crash")
+	}
+
+	// A Crash rule must not leak into the dataflow or chunk hooks.
+	in2 := New(7, Rule{Kind: Crash, Every: 1})
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("dataflow hook panicked on a Crash rule: %v", r)
+			}
+		}()
+		in2.Hook()("dataflow.map", 0)
+	}()
+	chunk := []byte{1, 2, 3}
+	if out := in2.ChunkHook()("storage.pgc.chunk", chunk); !bytes.Equal(out, chunk) {
+		t.Error("chunk hook honoured a Crash rule")
+	}
+	if n := in2.InjectedTotal(); n != 0 {
+		t.Errorf("Crash rule injected %d faults outside the write hook", n)
+	}
+
+	// And the write hook ignores every other kind.
+	in3 := New(7, Rule{Kind: Panic, Every: 1}, Rule{Kind: Corrupt, Every: 1}, Rule{Kind: Transient, Every: 1})
+	if err := in3.WriteHook()("storage.write.rename"); err != nil {
+		t.Errorf("write hook honoured a non-Crash rule: %v", err)
+	}
+}
+
+// Crash has a String and the crash kind is deterministic across
+// injector instances with the same seed and rules.
+func TestWriteHookDeterministic(t *testing.T) {
+	if got := Crash.String(); got != "crash" {
+		t.Errorf("Crash.String() = %q", got)
+	}
+	run := func() []int {
+		in := New(99, Rule{Site: "storage.write.", Kind: Crash, Prob: 0.5})
+		hook := in.WriteHook()
+		var fired []int
+		for i := 0; i < 20; i++ {
+			if hook("storage.write.short") != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 20 {
+		t.Fatalf("prob rule fired %d/20 times; seed choice gives no signal", len(a))
+	}
+	for i := range a {
+		if i >= len(b) || a[i] != b[i] {
+			t.Fatalf("same seed fired at %v then %v", a, b)
+		}
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed fired %d then %d times", len(a), len(b))
+	}
+}

@@ -1,0 +1,160 @@
+package storage
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/temporal"
+)
+
+// hookAt returns a WriteHook that injects errInjected the nth time the
+// given site is hit.
+var errInjected = errors.New("injected crash")
+
+func hookAt(site string, n int) WriteHook {
+	hits := 0
+	return func(s string) error {
+		if s != site {
+			return nil
+		}
+		if hits++; hits == n {
+			return errInjected
+		}
+		return nil
+	}
+}
+
+func TestAtomicWriteSuccess(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.bin")
+	payload := []byte("hello atomic world")
+	before := obsFsyncs.Value()
+	sum, err := atomicWriteFile(path, nil, func(w io.Writer) error {
+		_, err := w.Write(payload)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.size != int64(len(payload)) {
+		t.Errorf("sum.size = %d, want %d", sum.size, len(payload))
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != string(payload) {
+		t.Fatalf("final file = %q, %v", data, err)
+	}
+	if _, err := os.Stat(path + tmpSuffix); !os.IsNotExist(err) {
+		t.Errorf("temp file left after successful write: %v", err)
+	}
+	// One file fsync plus one directory fsync.
+	if got := obsFsyncs.Value() - before; got != 2 {
+		t.Errorf("storage.fsyncs delta = %d, want 2", got)
+	}
+}
+
+// TestAtomicWriteCrashSites walks every crash point: the final file
+// must never hold a torn payload, and the on-disk state must match
+// what a real crash at that instant would leave.
+func TestAtomicWriteCrashSites(t *testing.T) {
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	cases := []struct {
+		site    string
+		wantTmp bool // a temp file is left behind
+		tornTmp bool // ... and it is truncated (short write)
+	}{
+		{"storage.write.create", false, false},
+		{"storage.write.short", true, true},
+		{"storage.write.sync", true, false},
+		{"storage.write.rename", true, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.site, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "f.bin")
+			// Commit an old version first: the crash must leave it intact.
+			if _, err := atomicWriteFile(path, nil, func(w io.Writer) error {
+				_, err := io.WriteString(w, "old version")
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+			_, err := atomicWriteFile(path, hookAt(tc.site, 1), func(w io.Writer) error {
+				_, err := w.Write(payload)
+				return err
+			})
+			if !errors.Is(err, errInjected) {
+				t.Fatalf("err = %v, want injected crash", err)
+			}
+			if !isCrash(err) {
+				t.Errorf("injected error not marked as crash")
+			}
+			old, rerr := os.ReadFile(path)
+			if rerr != nil || string(old) != "old version" {
+				t.Errorf("final file after crash = %q, %v; want old version intact", old, rerr)
+			}
+			info, serr := os.Stat(path + tmpSuffix)
+			switch {
+			case tc.wantTmp && serr != nil:
+				t.Errorf("crash at %s left no temp file: %v", tc.site, serr)
+			case !tc.wantTmp && serr == nil:
+				t.Errorf("crash at %s unexpectedly left a temp file", tc.site)
+			case tc.tornTmp && info.Size() >= int64(len(payload)):
+				t.Errorf("short-write crash left %d bytes, want a torn (smaller) file", info.Size())
+			case tc.wantTmp && !tc.tornTmp && info.Size() != int64(len(payload)):
+				t.Errorf("crash at %s left %d bytes in temp, want the full %d", tc.site, info.Size(), len(payload))
+			}
+		})
+	}
+}
+
+// A real error from the payload writer must clean the temp file up —
+// aborted writes don't leak litter.
+func TestAtomicWriteRealErrorCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.bin")
+	boom := errors.New("boom")
+	_, err := atomicWriteFile(path, nil, func(w io.Writer) error {
+		io.WriteString(w, "partial")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if isCrash(err) {
+		t.Error("real error wrongly marked as crash")
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Errorf("aborted write left litter: %v", entries)
+	}
+}
+
+// The PGC and PGN writers route through the atomic path: interrupting
+// them must leave the previous file intact and readable.
+func TestWritersAreAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v.pgc")
+	in := sampleVertices(100)
+	if err := WriteVertices(path, in, WriteOptions{ChunkRows: 16}); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteVertices(path, sampleVertices(500), WriteOptions{
+		ChunkRows: 16,
+		FaultHook: hookAt("storage.write.rename", 1),
+	})
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want injected crash", err)
+	}
+	out, _, rerr := ReadVertices(path, temporal.Empty)
+	if rerr != nil {
+		t.Fatalf("old file unreadable after interrupted rewrite: %v", rerr)
+	}
+	if len(out) != len(in) {
+		t.Errorf("old file has %d rows after interrupted rewrite, want %d", len(out), len(in))
+	}
+}

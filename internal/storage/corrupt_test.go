@@ -332,3 +332,118 @@ func TestPermissiveLoad(t *testing.T) {
 		t.Errorf("partial load returned %d vertices, want 0 < n < 200", n)
 	}
 }
+
+// The satellite case: corruption at the EDGES of a nested file — the
+// very first and very last chunk — exercises the boundary arithmetic of
+// the skip path (chunk 0 anchors the delta decoding, the tail chunk is
+// short). Both are skipped and everything between survives.
+func TestPermissiveNestedCorruptFirstAndLastChunk(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v.pgn")
+	var in []core.OGVertex
+	for i := 0; i < 100; i++ {
+		in = append(in, core.OGVertex{ID: core.VertexID(i), History: []core.HistoryItem{
+			{Interval: temporal.MustInterval(temporal.Time(i), temporal.Time(i+3)), Props: props.New("type", "n", "i", i)},
+		}})
+	}
+	// ChunkRows 16 over 100 entities: chunks 0..5 hold 16, chunk 6 the
+	// final 4.
+	if err := WriteNestedVertices(path, in, WriteOptions{ChunkRows: 16}); err != nil {
+		t.Fatal(err)
+	}
+	lostFirst := corruptNestedChunk(t, path, 0)
+	lostLast := corruptNestedChunk(t, path, 6)
+	if lostFirst != 16 || lostLast != 4 {
+		t.Fatalf("chunk layout changed: first holds %d, last holds %d", lostFirst, lostLast)
+	}
+
+	out, stats, err := ReadNestedVerticesOpts(path, ReadOptions{Permissive: true})
+	if err != nil {
+		t.Fatalf("permissive read with torn first and last chunk: %v", err)
+	}
+	if stats.ChunksCorrupt != 2 {
+		t.Errorf("ChunksCorrupt = %d, want 2", stats.ChunksCorrupt)
+	}
+	if len(out) != len(in)-lostFirst-lostLast {
+		t.Fatalf("entities = %d, want %d", len(out), len(in)-lostFirst-lostLast)
+	}
+	want := make(map[core.VertexID]core.OGVertex, len(in))
+	for _, v := range in {
+		want[v.ID] = v
+	}
+	for _, v := range out {
+		if int(v.ID) < lostFirst || int(v.ID) >= len(in)-lostLast {
+			t.Fatalf("entity %d belongs to a corrupt chunk but was returned", v.ID)
+		}
+		w := want[v.ID]
+		if len(v.History) != len(w.History) || v.History[0].Interval != w.History[0].Interval || !v.History[0].Props.Equal(w.History[0].Props) {
+			t.Fatalf("entity %d did not round-trip", v.ID)
+		}
+	}
+}
+
+// The satellite case: a time-range Load over a partially corrupt file —
+// zone-map pushdown and corrupt-chunk skipping interact. Corruption in
+// a chunk OUTSIDE the range is never even CRC-checked (the zone map
+// skips it first), so only the in-range damage is counted.
+func TestPermissiveLoadRangeOverCorruptFile(t *testing.T) {
+	ctx := testCtx()
+	dir := t.TempDir()
+	// Monotone starts give the zone maps disjoint ranges: chunk k covers
+	// starts [32k, 32k+31].
+	vs := make([]core.VertexTuple, 300)
+	for i := range vs {
+		vs[i] = core.VertexTuple{
+			ID:       core.VertexID(i),
+			Interval: temporal.MustInterval(temporal.Time(i), temporal.Time(i+2)),
+			Props:    props.New("type", "n"),
+		}
+	}
+	g := core.NewVE(ctx, vs, nil)
+	if err := SaveGraph(dir, g, SaveOptions{ChunkRows: 32}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, FlatVerticesFile)
+	// Chunk 4 (ids 128..159) lies inside the query range; chunk 0 does
+	// not. Both flips keep the file size, so the manifest check passes
+	// and the chunk CRCs are the only tripwire.
+	corruptFlatChunk(t, path, 4)
+	corruptFlatChunk(t, path, 0)
+	rng := temporal.MustInterval(100, 164)
+
+	if _, _, err := Load(ctx, dir, LoadOptions{Rep: core.RepVE, Range: rng}); err == nil {
+		t.Fatal("strict range load over an in-range corrupt chunk: want error")
+	}
+
+	loaded, stats, err := Load(ctx, dir, LoadOptions{Rep: core.RepVE, Range: rng, Permissive: true})
+	if err != nil {
+		t.Fatalf("permissive range load: %v", err)
+	}
+	// 10 chunks total: 3..5 overlap the range, so 7 are zone-map
+	// skipped — including corrupt chunk 0, which therefore is NOT
+	// counted corrupt.
+	if stats.ChunksSkipped != 7 {
+		t.Errorf("ChunksSkipped = %d, want 7", stats.ChunksSkipped)
+	}
+	if stats.ChunksCorrupt != 1 {
+		t.Errorf("ChunksCorrupt = %d, want 1 (out-of-range corruption must stay invisible)", stats.ChunksCorrupt)
+	}
+	// Survivors: rows overlapping [100,164) from intact chunks 3 and 5 —
+	// ids 99..127 and 160..163; chunk 4's ids 128..159 are lost.
+	got := map[int]bool{}
+	for _, v := range loaded.VertexStates() {
+		got[int(v.ID)] = true
+	}
+	for i := 99; i <= 163; i++ {
+		inCorrupt := i >= 128 && i <= 159
+		if inCorrupt && got[i] {
+			t.Errorf("id %d from the corrupt chunk was returned", i)
+		}
+		if !inCorrupt && !got[i] {
+			t.Errorf("id %d overlaps the range but is missing", i)
+		}
+	}
+	if len(got) != 163-99+1-(159-128+1) {
+		t.Errorf("rows = %d, want 33", len(got))
+	}
+}

@@ -260,23 +260,20 @@ func ImportCSV(dir string) ([]core.VertexTuple, []core.EdgeTuple, error) {
 }
 
 // ExportCSV writes a graph's states as vertices.csv and edges.csv in
-// dir.
+// dir. Each file is written atomically (temp file, fsync, rename) and
+// flush/close errors are returned, so a crash mid-export never leaves a
+// torn CSV under the final name.
 func ExportCSV(dir string, g core.TGraph) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}
-	vf, err := os.Create(dir + "/vertices.csv")
-	if err != nil {
-		return fmt.Errorf("storage: %w", err)
-	}
-	defer vf.Close()
-	if err := WriteVerticesCSV(vf, g.VertexStates()); err != nil {
+	if _, err := atomicWriteFile(dir+"/vertices.csv", nil, func(w io.Writer) error {
+		return WriteVerticesCSV(w, g.VertexStates())
+	}); err != nil {
 		return err
 	}
-	ef, err := os.Create(dir + "/edges.csv")
-	if err != nil {
-		return fmt.Errorf("storage: %w", err)
-	}
-	defer ef.Close()
-	return WriteEdgesCSV(ef, g.EdgeStates())
+	_, err := atomicWriteFile(dir+"/edges.csv", nil, func(w io.Writer) error {
+		return WriteEdgesCSV(w, g.EdgeStates())
+	})
+	return err
 }

@@ -13,7 +13,8 @@ import (
 // File names inside a graph directory. The flat layout serves VE and
 // RG; the nested layout serves OG and OGC (the paper found converting
 // nested files at load time significantly faster than re-grouping flat
-// ones).
+// ones). The MANIFEST commit record (manifest.go) makes the directory
+// crash-consistent as a whole.
 const (
 	FlatVerticesFile   = "vertices.pgc"
 	FlatEdgesFile      = "edges.pgc"
@@ -32,42 +33,83 @@ type SaveOptions struct {
 	ChunkRows int
 	// SkipNested omits the nested files.
 	SkipNested bool
+	// FaultHook is the write-path crash-injection point (see WriteHook);
+	// nil in production.
+	FaultHook WriteHook
 }
 
-// SaveGraph persists a TGraph into dir: flat vertex/edge PGC files plus
-// (by default) pre-grouped nested files for OG/OGC loading.
-func SaveGraph(dir string, g core.TGraph, opts SaveOptions) error {
+// SaveGraph persists a TGraph into dir transactionally: every file is
+// staged as a fsynced temp file, renamed into place only once all of
+// them are written, and the save commits by atomically writing the
+// MANIFEST last. A crash at any byte leaves either the previous
+// committed directory (crash while staging) or a detectably
+// inconsistent one (crash inside the commit window), never silently
+// torn data. A failed save cleans up its staged temp files.
+func SaveGraph(dir string, g core.TGraph, opts SaveOptions) (err error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("storage: mkdir %s: %w", dir, err)
 	}
-	w := WriteOptions{Order: opts.FlatOrder, ChunkRows: opts.ChunkRows}
-	if err := WriteVertices(filepath.Join(dir, FlatVerticesFile), g.VertexStates(), w); err != nil {
-		return err
-	}
-	if err := WriteEdges(filepath.Join(dir, FlatEdgesFile), g.EdgeStates(), w); err != nil {
-		return err
-	}
-	if opts.SkipNested {
-		return nil
-	}
-	og := core.ToOG(g)
-	var ogvs []core.OGVertex
-	for _, part := range og.Vertices().Partitions() {
-		for _, v := range part {
-			ogvs = append(ogvs, core.OGVertex{ID: v.ID, History: v.Attr})
+	var staged []stagedFile
+	var entries []ManifestEntry
+	// Real errors unwind the staged temp files so aborted saves leave no
+	// litter; injected crashes skip cleanup by design.
+	defer func() {
+		if err != nil && !isCrash(err) {
+			for _, sf := range staged {
+				sf.discard()
+			}
 		}
-	}
-	var oges []core.OGEdge
-	for _, part := range og.Edges().Partitions() {
-		for _, e := range part {
-			oges = append(oges, core.OGEdge{ID: e.ID, Src: e.Src, Dst: e.Dst, History: e.Attr})
-		}
-	}
-	nw := WriteOptions{ChunkRows: opts.ChunkRows}
-	if err := WriteNestedVertices(filepath.Join(dir, NestedVerticesFile), ogvs, nw); err != nil {
+	}()
+
+	w := WriteOptions{Order: opts.FlatOrder, ChunkRows: opts.ChunkRows, FaultHook: opts.FaultHook}
+	sf, ent, err := stagePGC(filepath.Join(dir, FlatVerticesFile), "vertices", vertexRows(g.VertexStates()), w)
+	if err != nil {
 		return err
 	}
-	return WriteNestedEdges(filepath.Join(dir, NestedEdgesFile), oges, nw)
+	staged, entries = append(staged, sf), append(entries, ent)
+	sf, ent, err = stagePGC(filepath.Join(dir, FlatEdgesFile), "edges", edgeRows(g.EdgeStates()), w)
+	if err != nil {
+		return err
+	}
+	staged, entries = append(staged, sf), append(entries, ent)
+
+	if !opts.SkipNested {
+		og := core.ToOG(g)
+		var ogvs []core.OGVertex
+		for _, part := range og.Vertices().Partitions() {
+			for _, v := range part {
+				ogvs = append(ogvs, core.OGVertex{ID: v.ID, History: v.Attr})
+			}
+		}
+		var oges []core.OGEdge
+		for _, part := range og.Edges().Partitions() {
+			for _, e := range part {
+				oges = append(oges, core.OGEdge{ID: e.ID, Src: e.Src, Dst: e.Dst, History: e.Attr})
+			}
+		}
+		nw := WriteOptions{ChunkRows: opts.ChunkRows, FaultHook: opts.FaultHook}
+		nsf, nent, err := stageNested(filepath.Join(dir, NestedVerticesFile), "vertices", nestedVertexRows(ogvs), nw)
+		if err != nil {
+			return err
+		}
+		staged, entries = append(staged, nsf), append(entries, nent)
+		nsf, nent, err = stageNested(filepath.Join(dir, NestedEdgesFile), "edges", nestedEdgeRows(oges), nw)
+		if err != nil {
+			return err
+		}
+		staged, entries = append(staged, nsf), append(entries, nent)
+	}
+
+	// Commit: rename every staged file into place, then write the
+	// manifest last — its atomic appearance is the commit point.
+	for len(staged) > 0 {
+		if err := staged[0].commit(opts.FaultHook); err != nil {
+			staged = staged[1:] // already consumed (renamed or removed)
+			return err
+		}
+		staged = staged[1:]
+	}
+	return writeManifest(dir, entries, opts.FaultHook)
 }
 
 // LoadOptions configures the GraphLoader.
@@ -83,8 +125,11 @@ type LoadOptions struct {
 	Coalesced bool
 	// Permissive degrades gracefully on data corruption: corrupt chunks
 	// (and rows whose properties fail to decode) are skipped and counted
-	// in the returned ScanStats instead of aborting the load. Callers
-	// should surface stats.ChunksCorrupt/RowsCorrupt as a warning.
+	// in the returned ScanStats instead of aborting the load, and
+	// directories whose MANIFEST is missing, torn or mismatched are read
+	// best-effort (legacy manifest-less directories load this way).
+	// Callers should surface stats.ChunksCorrupt/RowsCorrupt as a
+	// warning.
 	Permissive bool
 	// ChunkHook is the storage fault-injection point, passed through to
 	// the chunk readers (see ReadOptions.ChunkHook).
@@ -95,22 +140,100 @@ func (o LoadOptions) readOptions() ReadOptions {
 	return ReadOptions{Range: o.Range, Permissive: o.Permissive, ChunkHook: o.ChunkHook}
 }
 
+// repFiles returns the directory files a representation loads from.
+func repFiles(rep core.Representation) ([]string, error) {
+	switch rep {
+	case core.RepVE, core.RepRG:
+		return []string{FlatVerticesFile, FlatEdgesFile}, nil
+	case core.RepOG, core.RepOGC:
+		return []string{NestedVerticesFile, NestedEdgesFile}, nil
+	default:
+		return nil, fmt.Errorf("storage: cannot load representation %v", rep)
+	}
+}
+
+// checkManifest validates dir's commit record against the files the
+// load will read. It returns degraded=true when a Permissive load
+// should proceed despite a torn or mismatched manifest (counted in
+// storage.manifest_mismatches and, on success, storage.recovered_saves).
+// A missing manifest is ErrIncompleteSave under strict loads and a
+// silent legacy fallback under Permissive ones.
+func checkManifest(dir string, need []string, permissive bool) (degraded bool, err error) {
+	man, manErr := ReadManifest(dir)
+	if manErr != nil {
+		obsManifestMismatches.Add(1)
+		if !permissive {
+			return false, manErr
+		}
+		return true, nil
+	}
+	if man == nil {
+		if !permissive {
+			return false, fmt.Errorf("storage: %s has no %s (crashed save or pre-manifest layout; Permissive mode loads it best-effort): %w",
+				dir, ManifestFile, ErrIncompleteSave)
+		}
+		return false, nil
+	}
+	for _, name := range need {
+		ent := man.Entry(name)
+		if ent == nil {
+			err = fmt.Errorf("storage: %s/%s not committed by the manifest: %w", dir, name, ErrManifestMismatch)
+		} else {
+			err = checkEntry(dir, *ent)
+		}
+		if err != nil {
+			obsManifestMismatches.Add(1)
+			if !permissive {
+				return false, err
+			}
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
 // Load is the GraphLoader utility: it initialises any representation
 // from a graph directory, pushing the date-range filter down to the
 // chunk zone maps. VE and RG load from the flat files (temporal vs
-// structural sort order); OG and OGC load from the nested files.
+// structural sort order); OG and OGC load from the nested files. The
+// directory's MANIFEST is checked first: strict loads refuse
+// incomplete or mismatched saves with typed errors, Permissive loads
+// fall back to best-effort reads.
 func Load(ctx *dataflow.Context, dir string, opts LoadOptions) (core.TGraph, ScanStats, error) {
+	need, err := repFiles(opts.Rep)
+	if err != nil {
+		return nil, ScanStats{}, err
+	}
+	degraded, err := checkManifest(dir, need, opts.Permissive)
+	if err != nil {
+		return nil, ScanStats{}, err
+	}
+	// A degraded (Permissive) load proceeding past a bad manifest tags
+	// any fatal read error with ErrManifestMismatch: the damage was
+	// already diagnosed, the read failure is its consequence.
+	fail := func(stats ScanStats, err error) (core.TGraph, ScanStats, error) {
+		if degraded {
+			err = fmt.Errorf("%w: %v", ErrManifestMismatch, err)
+		}
+		return nil, stats, err
+	}
+	recovered := func() {
+		if degraded {
+			obsRecoveredSaves.Add(1)
+		}
+	}
 	switch opts.Rep {
 	case core.RepVE, core.RepRG:
 		vs, s1, err := ReadVerticesOpts(filepath.Join(dir, FlatVerticesFile), opts.readOptions())
 		if err != nil {
-			return nil, s1, err
+			return fail(s1, err)
 		}
 		es, s2, err := ReadEdgesOpts(filepath.Join(dir, FlatEdgesFile), opts.readOptions())
 		stats := addStats(s1, s2)
 		if err != nil {
-			return nil, stats, err
+			return fail(stats, err)
 		}
+		recovered()
 		ve := core.NewVE(ctx, vs, es)
 		if opts.Rep == core.RepRG {
 			return core.ToRG(ve), stats, nil
@@ -119,16 +242,17 @@ func Load(ctx *dataflow.Context, dir string, opts LoadOptions) (core.TGraph, Sca
 			return ve.Coalesce(), stats, nil
 		}
 		return ve, stats, nil
-	case core.RepOG, core.RepOGC:
+	default: // RepOG, RepOGC (repFiles already rejected the rest)
 		vs, s1, err := ReadNestedVerticesOpts(filepath.Join(dir, NestedVerticesFile), opts.readOptions())
 		if err != nil {
-			return nil, s1, err
+			return fail(s1, err)
 		}
 		es, s2, err := ReadNestedEdgesOpts(filepath.Join(dir, NestedEdgesFile), opts.readOptions())
 		stats := addStats(s1, s2)
 		if err != nil {
-			return nil, stats, err
+			return fail(stats, err)
 		}
+		recovered()
 		og := core.NewOG(ctx, vs, es)
 		if opts.Rep == core.RepOGC {
 			return core.ToOGC(og), stats, nil
@@ -137,8 +261,6 @@ func Load(ctx *dataflow.Context, dir string, opts LoadOptions) (core.TGraph, Sca
 			return og.Coalesce(), stats, nil
 		}
 		return og, stats, nil
-	default:
-		return nil, ScanStats{}, fmt.Errorf("storage: cannot load representation %v", opts.Rep)
 	}
 }
 

@@ -1,0 +1,356 @@
+package storage
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The MANIFEST file is the commit record of a graph directory.
+// SaveGraph stages every data file as a fsynced temp file, renames them
+// all into place, and writes the manifest last — atomically — so the
+// manifest's existence and consistency is the transaction boundary: a
+// directory whose manifest is missing or torn is an incomplete save,
+// and one whose manifest disagrees with the files on disk was caught
+// mid-commit (or damaged afterwards). Load distinguishes the two with
+// ErrIncompleteSave and ErrManifestMismatch; VerifyDir and RepairDir
+// are the offline recovery tools.
+
+// ManifestFile is the commit-record file name inside a graph directory.
+const ManifestFile = "MANIFEST"
+
+// FormatEpoch is the manifest format generation this build writes. A
+// manifest with a later epoch was produced by a newer layout and is
+// refused rather than misread.
+const FormatEpoch = 1
+
+// Typed errors distinguishing the two ways a directory can fail its
+// crash-consistency check. Both are wrapped with detail; test with
+// errors.Is.
+var (
+	// ErrIncompleteSave marks a directory without a valid manifest: the
+	// save that produced it never reached its commit point (or the
+	// directory predates the manifest format). Permissive loads fall
+	// back to reading such directories best-effort.
+	ErrIncompleteSave = errors.New("storage: incomplete save (missing or torn MANIFEST)")
+	// ErrManifestMismatch marks a directory whose valid manifest
+	// disagrees with the files on disk: a save crashed between renaming
+	// data files and committing the manifest, or the files were damaged
+	// after commit.
+	ErrManifestMismatch = errors.New("storage: manifest mismatch")
+)
+
+// ManifestEntry describes one committed file.
+type ManifestEntry struct {
+	// Name is the file name relative to the directory.
+	Name string `json:"name"`
+	// Size is the exact byte size of the committed file.
+	Size int64 `json:"size"`
+	// CRC is the CRC32 (IEEE) of the whole file.
+	CRC uint32 `json:"crc"`
+	// Rows is the number of rows (flat) or entities (nested) stored.
+	Rows int `json:"rows"`
+	// SortOrder records the on-disk order of flat files ("temporal" |
+	// "structural"); nested files leave it empty.
+	SortOrder string `json:"sortOrder,omitempty"`
+}
+
+// Manifest is the parsed MANIFEST file.
+type Manifest struct {
+	// Epoch is the format generation that wrote the directory.
+	Epoch int `json:"epoch"`
+	// Entries lists every committed file.
+	Entries []ManifestEntry `json:"files"`
+	// CRC is the CRC32 of the JSON encoding of Entries, making a torn
+	// manifest detectable independently of the JSON parser.
+	CRC uint32 `json:"crc"`
+}
+
+// Entry returns the manifest entry for name, or nil.
+func (m *Manifest) Entry(name string) *ManifestEntry {
+	for i := range m.Entries {
+		if m.Entries[i].Name == name {
+			return &m.Entries[i]
+		}
+	}
+	return nil
+}
+
+func entriesCRC(entries []ManifestEntry) (uint32, error) {
+	b, err := json.Marshal(entries)
+	if err != nil {
+		return 0, err
+	}
+	return crc32.ChecksumIEEE(b), nil
+}
+
+// writeManifest atomically writes the MANIFEST commit record.
+func writeManifest(dir string, entries []ManifestEntry, hook WriteHook) error {
+	m := Manifest{Epoch: FormatEpoch, Entries: entries}
+	crc, err := entriesCRC(entries)
+	if err != nil {
+		return fmt.Errorf("storage: encode manifest: %w", err)
+	}
+	m.CRC = crc
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("storage: encode manifest: %w", err)
+	}
+	data = append(data, '\n')
+	_, err = atomicWriteFile(filepath.Join(dir, ManifestFile), hook, func(w io.Writer) error {
+		_, werr := w.Write(data)
+		return werr
+	})
+	return err
+}
+
+// ReadManifest reads and validates dir's MANIFEST. A missing manifest
+// returns (nil, nil) — the caller decides between legacy fallback and
+// ErrIncompleteSave; a torn or unparseable one returns an error wrapping
+// ErrIncompleteSave; an unsupported epoch wraps ErrManifestMismatch.
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("storage: %s/%s is torn (%v): %w", dir, ManifestFile, err, ErrIncompleteSave)
+	}
+	crc, err := entriesCRC(m.Entries)
+	if err != nil || crc != m.CRC {
+		return nil, fmt.Errorf("storage: %s/%s fails its CRC check: %w", dir, ManifestFile, ErrIncompleteSave)
+	}
+	if m.Epoch > FormatEpoch {
+		return nil, fmt.Errorf("storage: %s/%s has format epoch %d, this build reads up to %d: %w",
+			dir, ManifestFile, m.Epoch, FormatEpoch, ErrManifestMismatch)
+	}
+	return &m, nil
+}
+
+// checkEntry verifies that the file behind a manifest entry exists with
+// the recorded size (the cheap check Load performs; VerifyDir also
+// recomputes the CRC).
+func checkEntry(dir string, ent ManifestEntry) error {
+	info, err := os.Stat(filepath.Join(dir, ent.Name))
+	if err != nil {
+		return fmt.Errorf("storage: %s/%s listed in manifest but unreadable (%v): %w", dir, ent.Name, err, ErrManifestMismatch)
+	}
+	if info.Size() != ent.Size {
+		return fmt.Errorf("storage: %s/%s is %d bytes, manifest committed %d: %w", dir, ent.Name, info.Size(), ent.Size, ErrManifestMismatch)
+	}
+	return nil
+}
+
+// FileReport is one file's line in a VerifyReport.
+type FileReport struct {
+	// Name is the file name relative to the directory.
+	Name string
+	// Status is "ok", "missing", "size-mismatch", "crc-mismatch",
+	// "unreadable", "corrupt-chunks", or "orphan" (present on disk but
+	// not committed by the manifest).
+	Status string
+	// Detail elaborates on non-ok statuses.
+	Detail string
+	// Chunks is the number of chunks checked; BadChunks indexes the
+	// ones failing their CRC.
+	Chunks    int
+	BadChunks []int
+}
+
+// VerifyReport is the damage report produced by VerifyDir.
+type VerifyReport struct {
+	Dir string
+	// ManifestStatus is "ok", "missing" (legacy or incomplete save), or
+	// "torn".
+	ManifestStatus string
+	Files          []FileReport
+	// TmpFiles lists stale *.tmp litter from aborted saves.
+	TmpFiles []string
+	// Clean reports whether the directory passed every check.
+	Clean bool
+}
+
+// String renders the damage report for the CLI.
+func (r VerifyReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: manifest %s\n", r.Dir, r.ManifestStatus)
+	for _, f := range r.Files {
+		fmt.Fprintf(&b, "  %-14s %s", f.Name, f.Status)
+		if f.Chunks > 0 {
+			fmt.Fprintf(&b, " (%d/%d chunks ok)", f.Chunks-len(f.BadChunks), f.Chunks)
+		}
+		if f.Detail != "" {
+			fmt.Fprintf(&b, ": %s", f.Detail)
+		}
+		b.WriteByte('\n')
+	}
+	for _, t := range r.TmpFiles {
+		fmt.Fprintf(&b, "  %-14s stale temp file from an aborted save\n", t)
+	}
+	if r.Clean {
+		b.WriteString("  clean\n")
+	} else {
+		b.WriteString("  DAMAGED (use -repair to remove aborted-save litter)\n")
+	}
+	return b.String()
+}
+
+// layoutFiles are the file names SaveGraph may commit; used to spot
+// orphans of aborted saves.
+var layoutFiles = []string{FlatVerticesFile, FlatEdgesFile, NestedVerticesFile, NestedEdgesFile}
+
+// chunkCRCs verifies every chunk CRC of a PGC or PGN file, returning
+// the chunk count and the indexes of chunks failing their checksum.
+func chunkCRCs(path string) (chunks int, bad []int, err error) {
+	if strings.HasSuffix(path, ".pgn") {
+		r, err := openNested(path)
+		if err != nil {
+			return 0, nil, err
+		}
+		for i, cm := range r.footer.Chunks {
+			data, cerr := chunkBytes(r.data, cm.Offset, cm.Length, "storage.pgn.chunk", nil)
+			if cerr != nil || crc32.ChecksumIEEE(data) != cm.CRC {
+				bad = append(bad, i)
+			}
+		}
+		return len(r.footer.Chunks), bad, nil
+	}
+	r, err := openPGC(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	for i, cm := range r.footer.Chunks {
+		data, cerr := chunkBytes(r.data, cm.Offset, cm.Length, "storage.pgc.chunk", nil)
+		if cerr != nil || crc32.ChecksumIEEE(data) != cm.CRC {
+			bad = append(bad, i)
+		}
+	}
+	return len(r.footer.Chunks), bad, nil
+}
+
+// VerifyDir checks a graph directory end to end: manifest validity,
+// every committed file's size and whole-file CRC, every chunk CRC
+// inside the columnar files, plus stale temp files and orphans from
+// aborted saves. Damage lands in the report; the error return is
+// reserved for not being able to inspect the directory at all.
+func VerifyDir(dir string) (VerifyReport, error) {
+	rep := VerifyReport{Dir: dir, Clean: true}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return rep, fmt.Errorf("storage: verify %s: %w", dir, err)
+	}
+	onDisk := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		onDisk[e.Name()] = true
+		if strings.HasSuffix(e.Name(), tmpSuffix) {
+			rep.TmpFiles = append(rep.TmpFiles, e.Name())
+			rep.Clean = false
+		}
+	}
+	sort.Strings(rep.TmpFiles)
+
+	man, manErr := ReadManifest(dir)
+	switch {
+	case manErr != nil:
+		rep.ManifestStatus = "torn"
+		rep.Clean = false
+	case man == nil:
+		rep.ManifestStatus = "missing"
+		rep.Clean = false
+	default:
+		rep.ManifestStatus = "ok"
+	}
+
+	if man != nil {
+		for _, ent := range man.Entries {
+			fr := FileReport{Name: ent.Name, Status: "ok"}
+			path := filepath.Join(dir, ent.Name)
+			data, err := os.ReadFile(path)
+			switch {
+			case os.IsNotExist(err):
+				fr.Status = "missing"
+			case err != nil:
+				fr.Status, fr.Detail = "unreadable", err.Error()
+			case int64(len(data)) != ent.Size:
+				fr.Status = "size-mismatch"
+				fr.Detail = fmt.Sprintf("%d bytes on disk, %d committed", len(data), ent.Size)
+			case crc32.ChecksumIEEE(data) != ent.CRC:
+				fr.Status = "crc-mismatch"
+			}
+			if fr.Status == "ok" {
+				chunks, bad, err := chunkCRCs(path)
+				fr.Chunks, fr.BadChunks = chunks, bad
+				if err != nil {
+					fr.Status, fr.Detail = "unreadable", err.Error()
+				} else if len(bad) > 0 {
+					fr.Status = "corrupt-chunks"
+				}
+			}
+			if fr.Status != "ok" {
+				rep.Clean = false
+			}
+			rep.Files = append(rep.Files, fr)
+		}
+		for _, name := range layoutFiles {
+			if onDisk[name] && man.Entry(name) == nil {
+				rep.Files = append(rep.Files, FileReport{Name: name, Status: "orphan",
+					Detail: "present on disk but not committed by the manifest"})
+				rep.Clean = false
+			}
+		}
+	}
+	return rep, nil
+}
+
+// RepairDir removes the litter an aborted save leaves behind: stale
+// *.tmp files always, plus — when a valid manifest exists — layout
+// files on disk that the manifest never committed (orphans). It never
+// touches committed data. The removed names are returned.
+func RepairDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: repair %s: %w", dir, err)
+	}
+	var removed []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), tmpSuffix) {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return removed, fmt.Errorf("storage: repair %s: %w", dir, err)
+			}
+			removed = append(removed, e.Name())
+		}
+	}
+	man, manErr := ReadManifest(dir)
+	if manErr == nil && man != nil {
+		for _, name := range layoutFiles {
+			if man.Entry(name) != nil {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+				continue
+			}
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return removed, fmt.Errorf("storage: repair %s: %w", dir, err)
+			}
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	if len(removed) > 0 {
+		obsRecoveredSaves.Add(1)
+		if err := syncDir(dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}

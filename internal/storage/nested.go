@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -112,27 +114,50 @@ func historySpan(h []core.HistoryItem) (first, last int64) {
 	return first, last
 }
 
-// WriteNestedVertices writes OG vertices in the nested layout.
+// WriteNestedVertices writes OG vertices in the nested layout,
+// atomically.
 func WriteNestedVertices(path string, vs []core.OGVertex, opts WriteOptions) error {
+	_, err := writeNested(path, "vertices", nestedVertexRows(vs), opts)
+	return err
+}
+
+// WriteNestedEdges writes OG edges in the nested layout, atomically.
+func WriteNestedEdges(path string, es []core.OGEdge, opts WriteOptions) error {
+	_, err := writeNested(path, "edges", nestedEdgeRows(es), opts)
+	return err
+}
+
+func nestedVertexRows(vs []core.OGVertex) []nestedRow {
 	rows := make([]nestedRow, len(vs))
 	for i, v := range vs {
 		first, last := historySpan(v.History)
 		rows[i] = nestedRow{id: int64(v.ID), firstStart: first, lastEnd: last, history: encodeHistory(v.History)}
 	}
-	return writeNested(path, "vertices", rows, opts)
+	return rows
 }
 
-// WriteNestedEdges writes OG edges in the nested layout.
-func WriteNestedEdges(path string, es []core.OGEdge, opts WriteOptions) error {
+func nestedEdgeRows(es []core.OGEdge) []nestedRow {
 	rows := make([]nestedRow, len(es))
 	for i, e := range es {
 		first, last := historySpan(e.History)
 		rows[i] = nestedRow{id: int64(e.ID), src: int64(e.Src), dst: int64(e.Dst), firstStart: first, lastEnd: last, history: encodeHistory(e.History)}
 	}
-	return writeNested(path, "edges", rows, opts)
+	return rows
 }
 
-func writeNested(path, kind string, rows []nestedRow, opts WriteOptions) error {
+// writeNested atomically writes one PGN file and returns its manifest
+// entry.
+func writeNested(path, kind string, rows []nestedRow, opts WriteOptions) (ManifestEntry, error) {
+	sf, ent, err := stageNested(path, kind, rows, opts)
+	if err != nil {
+		return ent, err
+	}
+	return ent, sf.commit(opts.FaultHook)
+}
+
+// stageNested writes one PGN file to its temp name, fsyncs it, and
+// returns the staged file plus its manifest entry.
+func stageNested(path, kind string, rows []nestedRow, opts WriteOptions) (stagedFile, ManifestEntry, error) {
 	// Sort on the pushdown columns (firstStart, then id).
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].firstStart != rows[j].firstStart {
@@ -140,12 +165,17 @@ func writeNested(path, kind string, rows []nestedRow, opts WriteOptions) error {
 		}
 		return rows[i].id < rows[j].id
 	})
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("storage: create %s: %w", path, err)
-	}
-	defer f.Close()
-	if _, err := f.WriteString(nestedMagic); err != nil {
+	sf, sum, err := writeStaged(path, opts.FaultHook, func(w io.Writer) error {
+		return encodeNested(w, kind, rows, opts)
+	})
+	ent := ManifestEntry{Name: filepath.Base(path), Size: sum.size, CRC: sum.crc, Rows: len(rows)}
+	return sf, ent, err
+}
+
+// encodeNested streams the PGN layout to w. Rows must already be
+// sorted.
+func encodeNested(w io.Writer, kind string, rows []nestedRow, opts WriteOptions) error {
+	if _, err := io.WriteString(w, nestedMagic); err != nil {
 		return err
 	}
 	offset := int64(len(nestedMagic))
@@ -154,7 +184,7 @@ func writeNested(path, kind string, rows []nestedRow, opts WriteOptions) error {
 		hi := min(lo+footer.ChunkRows, len(rows))
 		data, meta := encodeNestedChunk(rows[lo:hi])
 		meta.Offset = offset
-		if _, err := f.Write(data); err != nil {
+		if _, err := w.Write(data); err != nil {
 			return err
 		}
 		offset += int64(len(data))
@@ -164,14 +194,14 @@ func writeNested(path, kind string, rows []nestedRow, opts WriteOptions) error {
 	if err != nil {
 		return err
 	}
-	if _, err := f.Write(fb); err != nil {
+	if _, err := w.Write(fb); err != nil {
 		return err
 	}
 	var trailer [16]byte
 	binary.LittleEndian.PutUint64(trailer[:8], uint64(len(fb)))
 	binary.LittleEndian.PutUint32(trailer[8:12], crc32.ChecksumIEEE(fb))
 	copy(trailer[12:], nestedMagic)
-	_, err = f.Write(trailer[:])
+	_, err = w.Write(trailer[:])
 	return err
 }
 

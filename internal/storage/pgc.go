@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -95,6 +97,9 @@ type WriteOptions struct {
 	// ChunkRows is the rows-per-chunk granularity of zone maps;
 	// <= 0 selects the default (4096).
 	ChunkRows int
+	// FaultHook is the write-path crash-injection point (see WriteHook);
+	// nil in production.
+	FaultHook WriteHook
 }
 
 func (o WriteOptions) chunkRows() int {
@@ -104,8 +109,21 @@ func (o WriteOptions) chunkRows() int {
 	return defaultChunkSz
 }
 
-// WriteVertices writes vertex states to a PGC file at path.
+// WriteVertices writes vertex states to a PGC file at path, atomically:
+// the file either keeps its previous content or holds the complete new
+// data.
 func WriteVertices(path string, states []core.VertexTuple, opts WriteOptions) error {
+	_, err := writePGC(path, "vertices", vertexRows(states), opts)
+	return err
+}
+
+// WriteEdges writes edge states to a PGC file at path, atomically.
+func WriteEdges(path string, states []core.EdgeTuple, opts WriteOptions) error {
+	_, err := writePGC(path, "edges", edgeRows(states), opts)
+	return err
+}
+
+func vertexRows(states []core.VertexTuple) []row {
 	rows := make([]row, len(states))
 	for i, v := range states {
 		rows[i] = row{
@@ -115,11 +133,10 @@ func WriteVertices(path string, states []core.VertexTuple, opts WriteOptions) er
 			propb: encodeProps(v.Props),
 		}
 	}
-	return writePGC(path, "vertices", rows, opts)
+	return rows
 }
 
-// WriteEdges writes edge states to a PGC file at path.
-func WriteEdges(path string, states []core.EdgeTuple, opts WriteOptions) error {
+func edgeRows(states []core.EdgeTuple) []row {
 	rows := make([]row, len(states))
 	for i, e := range states {
 		rows[i] = row{
@@ -131,7 +148,7 @@ func WriteEdges(path string, states []core.EdgeTuple, opts WriteOptions) error {
 			propb: encodeProps(e.Props),
 		}
 	}
-	return writePGC(path, "edges", rows, opts)
+	return rows
 }
 
 func sortRows(rows []row, order SortOrder) {
@@ -153,15 +170,37 @@ func sortRows(rows []row, order SortOrder) {
 	}
 }
 
-func writePGC(path, kind string, rows []row, opts WriteOptions) error {
-	sortRows(rows, opts.Order)
-	f, err := os.Create(path)
+// writePGC atomically writes one PGC file and returns its manifest
+// entry (stage + commit in one step, for standalone writers).
+func writePGC(path, kind string, rows []row, opts WriteOptions) (ManifestEntry, error) {
+	sf, ent, err := stagePGC(path, kind, rows, opts)
 	if err != nil {
-		return fmt.Errorf("storage: create %s: %w", path, err)
+		return ent, err
 	}
-	defer f.Close()
+	return ent, sf.commit(opts.FaultHook)
+}
 
-	if _, err := f.WriteString(magic); err != nil {
+// stagePGC writes one PGC file to its temp name, fsyncs it, and returns
+// the staged file plus the manifest entry it will commit as.
+func stagePGC(path, kind string, rows []row, opts WriteOptions) (stagedFile, ManifestEntry, error) {
+	sortRows(rows, opts.Order)
+	sf, sum, err := writeStaged(path, opts.FaultHook, func(w io.Writer) error {
+		return encodePGC(w, kind, rows, opts)
+	})
+	ent := ManifestEntry{
+		Name:      filepath.Base(path),
+		Size:      sum.size,
+		CRC:       sum.crc,
+		Rows:      len(rows),
+		SortOrder: opts.Order.String(),
+	}
+	return sf, ent, err
+}
+
+// encodePGC streams the PGC layout — magic, chunks, JSON footer,
+// trailer — to w. Rows must already be sorted.
+func encodePGC(w io.Writer, kind string, rows []row, opts WriteOptions) error {
+	if _, err := io.WriteString(w, magic); err != nil {
 		return err
 	}
 	offset := int64(len(magic))
@@ -177,7 +216,7 @@ func writePGC(path, kind string, rows []row, opts WriteOptions) error {
 		chunk := rows[lo:hi]
 		data, meta := encodeChunk(chunk)
 		meta.Offset = offset
-		if _, err := f.Write(data); err != nil {
+		if _, err := w.Write(data); err != nil {
 			return err
 		}
 		offset += int64(len(data))
@@ -187,7 +226,7 @@ func writePGC(path, kind string, rows []row, opts WriteOptions) error {
 	if err != nil {
 		return err
 	}
-	if _, err := f.Write(fb); err != nil {
+	if _, err := w.Write(fb); err != nil {
 		return err
 	}
 	// Trailer: footer length, footer CRC (the footer carries the chunk
@@ -197,10 +236,8 @@ func writePGC(path, kind string, rows []row, opts WriteOptions) error {
 	binary.LittleEndian.PutUint64(trailer[:8], uint64(len(fb)))
 	binary.LittleEndian.PutUint32(trailer[8:12], crc32.ChecksumIEEE(fb))
 	copy(trailer[12:], magic)
-	if _, err := f.Write(trailer[:]); err != nil {
-		return err
-	}
-	return nil
+	_, err = w.Write(trailer[:])
+	return err
 }
 
 // encodeChunk lays out a chunk column-by-column and computes its zone

@@ -238,3 +238,31 @@ func ImportCSV(ctx *Context, dir string) (Graph, error) {
 
 // ExportCSV writes the graph's states as vertices.csv and edges.csv.
 func ExportCSV(dir string, g Graph) error { return storage.ExportCSV(dir, g) }
+
+// Crash consistency: every save commits by atomically writing a
+// MANIFEST last, so Load can tell a complete save from an interrupted
+// one. See DESIGN.md "Durability & crash consistency".
+
+// Typed errors a Load returns for a directory that fails its
+// crash-consistency check; test with errors.Is.
+var (
+	// ErrIncompleteSave: the directory has no valid MANIFEST (crashed
+	// save, or a legacy pre-manifest directory — Permissive loads fall
+	// back to reading those best-effort).
+	ErrIncompleteSave = storage.ErrIncompleteSave
+	// ErrManifestMismatch: the MANIFEST disagrees with the files on
+	// disk (a save crashed mid-commit, or the data was damaged later).
+	ErrManifestMismatch = storage.ErrManifestMismatch
+)
+
+// VerifyReport is the damage report produced by VerifyDir.
+type VerifyReport = storage.VerifyReport
+
+// VerifyDir checks a graph directory end to end: manifest validity,
+// per-file sizes and CRCs, every chunk CRC, and aborted-save litter.
+func VerifyDir(dir string) (VerifyReport, error) { return storage.VerifyDir(dir) }
+
+// RepairDir removes the litter an aborted save leaves behind (stale
+// *.tmp files and uncommitted orphans); it never touches committed
+// data.
+func RepairDir(dir string) ([]string, error) { return storage.RepairDir(dir) }
