@@ -5,15 +5,20 @@
 
 GO ?= go
 
-.PHONY: check build vet test test-race bench fmt bench-json chaos crash
+.PHONY: check build vet lint test test-race bench fmt bench-json chaos crash
 
-check: build vet test-race chaos crash
+check: build vet lint test-race chaos crash
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Repository-specific static checks: forbids raw map[string]props.Value
+# construction outside internal/props (see internal/lint).
+lint:
+	$(GO) run ./cmd/tgraph-lint .
 
 test:
 	$(GO) test ./...

@@ -332,6 +332,52 @@ func BenchmarkLazyCoalescing(b *testing.B) {
 	}
 }
 
+// allocReps are the representations the allocation benchmarks cover:
+// the two the paper recommends for zoom workloads.
+var allocReps = []core.Representation{core.RepVE, core.RepOG}
+
+// BenchmarkAZoomAlloc measures allocations per aZoom^T over VE and OG.
+// The interned property runtime is judged by these numbers (see
+// ISSUE 4 / DESIGN.md "Property runtime").
+func BenchmarkAZoomAlloc(b *testing.B) {
+	d := bench.WikiTalkDataset(benchCfg, 24)
+	spec := core.GroupByProperty("name", "user-group", props.Count("members"))
+	for _, rep := range allocReps {
+		b.Run(fmt.Sprintf("WikiTalk/%s", rep), func(b *testing.B) {
+			g := buildRep(b, d, rep)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.AZoom(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWZoomAlloc measures allocations per wZoom^T over VE and OG.
+func BenchmarkWZoomAlloc(b *testing.B) {
+	d := bench.WikiTalkDataset(benchCfg, 24)
+	spec := core.WZoomSpec{
+		Window: temporal.MustEveryN(3),
+		VQuant: temporal.Exists(), EQuant: temporal.Exists(),
+		VResolve: props.LastWins, EResolve: props.LastWins,
+	}
+	for _, rep := range allocReps {
+		b.Run(fmt.Sprintf("WikiTalk/%s", rep), func(b *testing.B) {
+			g := buildRep(b, d, rep)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.WZoom(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // TestInstrumentationOverhead guards the cost of the observability
 // layer: with tracing enabled, a fig14-sized wZoom run must stay within
 // 5% of the untraced run. A/B runs are interleaved so frequency scaling

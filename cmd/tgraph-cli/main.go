@@ -4,6 +4,7 @@
 // Usage:
 //
 //	tgraph-cli -dir /tmp/wiki -rep og -info
+//	tgraph-cli -dir /tmp/wiki -rep ve -stats
 //	tgraph-cli -dir /tmp/wiki -rep ve -azoom name -count members
 //	tgraph-cli -dir /tmp/snb -rep og -wzoom "6 months" -vquant all -equant all
 //	tgraph-cli -dir /tmp/snb -rep ve -azoom firstName -wzoom "3 months" -dump 10
@@ -37,6 +38,7 @@ func main() {
 		from       = flag.Int64("from", 0, "load range start (0 and 0 = everything)")
 		to         = flag.Int64("to", 0, "load range end")
 		info       = flag.Bool("info", false, "print graph statistics and exit")
+		keyStats   = flag.Bool("stats", false, "print the property key-dictionary summary (distinct keys, per-key cardinality and value types) and exit")
 		azoom      = flag.String("azoom", "", "aZoom^T: group vertices by this property")
 		count      = flag.String("count", "", "aZoom^T: add a count aggregate under this label")
 		wzoom      = flag.String("wzoom", "", "wZoom^T window spec, e.g. \"3 months\" or \"2 changes\"")
@@ -113,6 +115,11 @@ func main() {
 
 	if *info {
 		printInfo(g)
+		return
+	}
+
+	if *keyStats {
+		printKeyStats(g)
 		return
 	}
 
@@ -198,6 +205,57 @@ func printInfo(g tgraph.Graph) {
 	}
 	if rg, ok := g.(*core.RG); ok {
 		fmt.Printf("  snapshots: %d\n", rg.NumSnapshots())
+	}
+}
+
+// printKeyStats renders the per-graph key-dictionary summary: every
+// property label the graph's states carry, with how many states use
+// it, the distinct-value cardinality, and the value kinds observed.
+func printKeyStats(g tgraph.Graph) {
+	type keyStat struct {
+		states int
+		values map[string]struct{}
+		kinds  map[tgraph.Kind]struct{}
+	}
+	byKey := map[tgraph.Key]*keyStat{}
+	collect := func(p tgraph.Props) {
+		p.Range(func(k tgraph.Key, v tgraph.Value) bool {
+			st := byKey[k]
+			if st == nil {
+				st = &keyStat{values: map[string]struct{}{}, kinds: map[tgraph.Kind]struct{}{}}
+				byKey[k] = st
+			}
+			st.states++
+			kind, payload := v.Encode()
+			st.values[fmt.Sprintf("%d\x00%s", kind, payload)] = struct{}{}
+			st.kinds[v.Kind()] = struct{}{}
+			return true
+		})
+	}
+	for _, v := range g.VertexStates() {
+		collect(v.Props)
+	}
+	for _, e := range g.EdgeStates() {
+		collect(e.Props)
+	}
+	labels := make([]string, 0, len(byKey))
+	stats := make(map[string]*keyStat, len(byKey))
+	for k, st := range byKey {
+		labels = append(labels, k.Name())
+		stats[k.Name()] = st
+	}
+	sort.Strings(labels)
+	fmt.Printf("key dictionary: %d distinct keys in graph, %d labels interned process-wide\n",
+		len(labels), tgraph.DictSize())
+	for _, label := range labels {
+		st := stats[label]
+		kinds := make([]string, 0, len(st.kinds))
+		for k := range st.kinds {
+			kinds = append(kinds, k.String())
+		}
+		sort.Strings(kinds)
+		fmt.Printf("  %-16s %8d states  %8d distinct values  kinds %v\n",
+			label, st.states, len(st.values), kinds)
 	}
 }
 

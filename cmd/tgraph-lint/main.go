@@ -1,0 +1,38 @@
+// Command tgraph-lint runs the repository's custom static checks (see
+// internal/lint): it fails when any package outside internal/props
+// constructs a raw map[string]props.Value, the pattern the interned
+// Props runtime replaced. Usage:
+//
+//	tgraph-lint [dir]
+//
+// dir defaults to the current directory. Violations are printed one
+// per line in file:line:col format and the exit status is 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	flag.Parse()
+	root := "."
+	if flag.NArg() > 0 {
+		root = flag.Arg(0)
+	}
+	diags, err := lint.CheckDir(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tgraph-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "tgraph-lint: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/props"
+	"repro/internal/temporal"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "allocs",
+		Title: "Allocation profile: zoom allocs/op and bytes/op",
+		Description: "Heap allocations per aZoom^T and wZoom^T invocation over VE and OG " +
+			"(WikiTalk workload). Tracks the interned property runtime; also exported " +
+			"as bench.alloc.* gauges in the metrics block.",
+		Run: runAllocs,
+	})
+}
+
+// measureAllocs runs op once to warm caches, then reports the mean heap
+// allocation count and byte volume per invocation over a few iterations.
+// Parallel dataflow workers make the numbers slightly noisy; the mean of
+// three runs is stable enough for regression tracking.
+func measureAllocs(op func()) (allocsPerOp, bytesPerOp int64) {
+	op()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	const iters = 3
+	for i := 0; i < iters; i++ {
+		op()
+	}
+	runtime.ReadMemStats(&after)
+	return int64(after.Mallocs-before.Mallocs) / iters,
+		int64(after.TotalAlloc-before.TotalAlloc) / iters
+}
+
+func runAllocs(cfg Config) []Table {
+	d := WikiTalkDataset(cfg, 24)
+	azSpec := core.GroupByProperty("name", "user-group", props.Count("members"))
+	wzSpec := core.WZoomSpec{
+		Window: temporal.MustEveryN(3),
+		VQuant: temporal.Exists(), EQuant: temporal.Exists(),
+		VResolve: props.LastWins, EResolve: props.LastWins,
+	}
+	t := Table{
+		Title:  "Zoom allocation profile: WikiTalk",
+		Note:   "mean of 3 runs after warm-up; exported as bench.alloc.<op>_<rep> gauges",
+		Header: []string{"op", "rep", "allocs/op", "bytes/op"},
+	}
+	for _, rep := range []core.Representation{core.RepVE, core.RepOG} {
+		ctx := cfg.context()
+		g := buildRep(ctx, d, rep)
+		for _, op := range []struct {
+			name string
+			run  func()
+		}{
+			{"azoom", func() {
+				if _, err := g.AZoom(azSpec); err != nil {
+					panic(err)
+				}
+			}},
+			{"wzoom", func() {
+				if _, err := g.WZoom(wzSpec); err != nil {
+					panic(err)
+				}
+			}},
+		} {
+			allocs, bytes := measureAllocs(op.run)
+			t.Rows = append(t.Rows, []string{
+				op.name, rep.String(), fmt.Sprint(allocs), fmt.Sprint(bytes),
+			})
+			prefix := fmt.Sprintf("bench.alloc.%s_%s", op.name, rep)
+			obs.Default().Gauge(prefix + ".allocs_per_op").Set(allocs)
+			obs.Default().Gauge(prefix + ".bytes_per_op").Set(bytes)
+		}
+	}
+	return []Table{t}
+}

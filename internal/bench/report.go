@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"repro/internal/obs"
+	"repro/internal/props"
 )
 
 // RunResult is the machine-readable record of one experiment run, the
@@ -39,6 +40,9 @@ type RunResult struct {
 func RunInstrumented(e Experiment, cfg Config) RunResult {
 	wasTracing := obs.TracingEnabled()
 	obs.ResetAll()
+	// ResetAll clears gauges; the key-dictionary size is process state,
+	// not per-run state, so republish it for this run's snapshot.
+	props.PublishDictMetrics()
 	obs.SetTracing(true)
 	tables := e.Run(cfg)
 	res := RunResult{

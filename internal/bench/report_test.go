@@ -213,6 +213,11 @@ func normalizeResult(res *RunResult) {
 		h.P50MS, h.P95MS, h.P99MS = 0, 0, 0
 		res.Metrics.Histograms[name] = h
 	}
+	// The key-dictionary size is process-global: it depends on which
+	// tests ran (and interned labels) before this one, so pin it.
+	if _, ok := res.Metrics.Gauges["props.dict_size"]; ok {
+		res.Metrics.Gauges["props.dict_size"] = 0
+	}
 	var walk func(spans []obs.AggregatedSpan)
 	walk = func(spans []obs.AggregatedSpan) {
 		for i := range spans {

@@ -53,6 +53,7 @@ func azoomMapVertices(spec AZoomSpec, id VertexID, iv temporal.Interval, p props
 // group's elementary intervals (the temporal splitter), and reduce
 // identity-equivalent states per elementary interval with f_agg.
 func azoomVerticesDataflow(spec AZoomSpec, mapped *dataflow.Dataset[azVertexState]) *dataflow.Dataset[VertexTuple] {
+	agg := spec.Agg.Bind() // intern the agg labels once, outside the hot loop
 	gsp := obs.StartSpan("group-by")
 	groups := dataflow.GroupByKey(mapped, func(s azVertexState) VertexID { return s.NewID })
 	gsp.End()
@@ -63,25 +64,36 @@ func azoomVerticesDataflow(spec AZoomSpec, mapped *dataflow.Dataset[azVertexStat
 			ivs[i] = s.Interval
 		}
 		bounds := temporal.Boundaries(ivs)
-		acc := make(map[temporal.Interval]*azVertexAcc)
-		var order []temporal.Interval
+		// NewProps derives the new vertex's identifying properties from
+		// its Skolem identity, so one call covers the whole group.
+		base := spec.newProps(gr.Key, gr.Values[0].Orig)
+		type frag struct {
+			iv  temporal.Interval
+			agg props.AggState
+		}
+		idx := make(map[temporal.Interval]int)
+		var frags []frag
 		for _, s := range gr.Values {
-			for _, frag := range temporal.SplitBy(s.Interval, bounds) {
-				a, ok := acc[frag]
+			for _, fr := range temporal.SplitBy(s.Interval, bounds) {
+				i, ok := idx[fr]
 				if !ok {
-					a = &azVertexAcc{Base: spec.newProps(gr.Key, s.Orig), Agg: spec.Agg.Init(s.Orig)}
-					acc[frag] = a
-					order = append(order, frag)
+					idx[fr] = len(frags)
+					frags = append(frags, frag{iv: fr, agg: agg.Init(s.Orig)})
 					continue
 				}
-				a.Agg = spec.Agg.Merge(a.Agg, spec.Agg.Init(s.Orig))
+				agg.Accumulate(frags[i].agg, s.Orig)
 			}
 		}
-		temporal.SortIntervals(order)
-		out := make([]VertexTuple, 0, len(order))
-		for _, frag := range order {
-			a := acc[frag]
-			out = append(out, VertexTuple{ID: gr.Key, Interval: frag, Props: spec.Agg.Result(a.Base, a.Agg)})
+		// Insertion sort; fragment counts per group are small and
+		// sort.Slice allocates.
+		for i := 1; i < len(frags); i++ {
+			for j := i; j > 0 && frags[j].iv.Before(frags[j-1].iv); j-- {
+				frags[j], frags[j-1] = frags[j-1], frags[j]
+			}
+		}
+		out := make([]VertexTuple, 0, len(frags))
+		for _, f := range frags {
+			out = append(out, VertexTuple{ID: gr.Key, Interval: f.iv, Props: agg.Result(base, f.agg)})
 		}
 		return out
 	})
@@ -102,12 +114,8 @@ func (g *VE) azoom(spec AZoomSpec) (TGraph, error) {
 	defer obs.StartSpan("azoom.VE").End()
 	vsp := obs.StartSpan("vertices")
 	msp := obs.StartSpan("skolem-map")
-	mapped := dataflow.FlatMap(g.v, func(t VertexTuple) []azVertexState {
-		s, ok := azoomMapVertices(spec, t.ID, t.Interval, t.Props)
-		if !ok {
-			return nil
-		}
-		return []azVertexState{s}
+	mapped := dataflow.FilterMap(g.v, func(t VertexTuple) (azVertexState, bool) {
+		return azoomMapVertices(spec, t.ID, t.Interval, t.Props)
 	})
 	msp.End()
 	v := azoomVerticesDataflow(spec, mapped)
@@ -126,24 +134,24 @@ func (g *VE) azoom(spec AZoomSpec) (TGraph, error) {
 		func(vt VertexTuple) VertexID { return vt.ID })
 	jsp.End()
 	rsp := obs.StartSpan("edge-redirect")
-	e := dataflow.FlatMap(j2, func(p dataflow.Pair[dataflow.Pair[EdgeTuple, VertexTuple], VertexTuple]) []EdgeTuple {
+	e := dataflow.FilterMap(j2, func(p dataflow.Pair[dataflow.Pair[EdgeTuple, VertexTuple], VertexTuple]) (EdgeTuple, bool) {
 		et, v1, v2 := p.First.First, p.First.Second, p.Second
 		iv := et.Interval.Intersect(v1.Interval).Intersect(v2.Interval)
 		if iv.IsEmpty() {
-			return nil
+			return EdgeTuple{}, false
 		}
 		s1, ok1 := spec.Skolem(v1.ID, v1.Props)
 		s2, ok2 := spec.Skolem(v2.ID, v2.Props)
 		if !ok1 || !ok2 {
-			return nil
+			return EdgeTuple{}, false
 		}
-		return []EdgeTuple{{
+		return EdgeTuple{
 			ID:       edgeSkolem(et.ID, s1, s2),
 			Src:      s1,
 			Dst:      s2,
 			Interval: iv,
 			Props:    et.Props,
-		}}
+		}, true
 	})
 	rsp.End()
 	return veFromDatasets(g.ctx, v, e, false), nil
@@ -182,11 +190,11 @@ func (g *OG) azoom(spec AZoomSpec) (TGraph, error) {
 	hsp := obs.StartSpan("rebuild-histories")
 	vgroups := dataflow.GroupByKey(vtuples, func(t VertexTuple) VertexID { return t.ID })
 	newV := dataflow.Map(vgroups, func(gr dataflow.Group[VertexID, VertexTuple]) graphx.Vertex[[]HistoryItem] {
-		states := make([]temporal.Stated[props.Props], len(gr.Values))
+		h := make([]HistoryItem, len(gr.Values))
 		for i, t := range gr.Values {
-			states[i] = temporal.Stated[props.Props]{Interval: t.Interval, Value: t.Props}
+			h[i] = HistoryItem{Interval: t.Interval, Props: t.Props}
 		}
-		return graphx.Vertex[[]HistoryItem]{ID: gr.Key, Attr: historyFromStates(states)}
+		return graphx.Vertex[[]HistoryItem]{ID: gr.Key, Attr: sortHistory(h)}
 	})
 	hsp.End()
 	vsp.End()
@@ -208,7 +216,7 @@ func (g *OG) azoom(spec AZoomSpec) (TGraph, error) {
 		src, dst VertexID
 	}
 	redirected := dataflow.FlatMap(g.graph.Edges(), func(e graphx.Edge[[]HistoryItem]) []dataflow.Pair[newEdgeKey, HistoryItem] {
-		var out []dataflow.Pair[newEdgeKey, HistoryItem]
+		out := make([]dataflow.Pair[newEdgeKey, HistoryItem], 0, len(e.Attr))
 		for _, eh := range e.Attr {
 			for _, sh := range table[e.Src] {
 				is := eh.Interval.Intersect(sh.Interval)
@@ -240,15 +248,15 @@ func (g *OG) azoom(spec AZoomSpec) (TGraph, error) {
 	})
 	egroups := dataflow.GroupByKey(redirected, func(p dataflow.Pair[newEdgeKey, HistoryItem]) newEdgeKey { return p.First })
 	newE := dataflow.Map(egroups, func(gr dataflow.Group[newEdgeKey, dataflow.Pair[newEdgeKey, HistoryItem]]) graphx.Edge[[]HistoryItem] {
-		states := make([]temporal.Stated[props.Props], len(gr.Values))
+		h := make([]HistoryItem, len(gr.Values))
 		for i, p := range gr.Values {
-			states[i] = temporal.Stated[props.Props]{Interval: p.Second.Interval, Value: p.Second.Props}
+			h[i] = p.Second
 		}
 		return graphx.Edge[[]HistoryItem]{
 			ID:   gr.Key.id,
 			Src:  gr.Key.src,
 			Dst:  gr.Key.dst,
-			Attr: historyFromStates(states),
+			Attr: sortHistory(h),
 		}
 	})
 	rsp.End()
@@ -270,6 +278,7 @@ func (g *RG) AZoom(spec AZoomSpec) (TGraph, error) {
 
 func (g *RG) azoom(spec AZoomSpec) (TGraph, error) {
 	defer obs.StartSpan("azoom.RG").End()
+	agg := spec.Agg.Bind()
 	edgeSkolem := spec.edgeSkolem()
 	newSnaps := make([]Snapshot, len(g.snapshots))
 	for i, snap := range g.snapshots {
@@ -287,7 +296,7 @@ func (g *RG) azoom(spec AZoomSpec) (TGraph, error) {
 			}
 			return []dataflow.Pair[VertexID, azVertexAcc]{{
 				First:  newID,
-				Second: azVertexAcc{Base: spec.newProps(newID, v.Attr), Agg: spec.Agg.Init(v.Attr)},
+				Second: azVertexAcc{Base: spec.newProps(newID, v.Attr), Agg: agg.Init(v.Attr)},
 			}}
 		})
 		reduced := dataflow.ReduceByKey(mapped,
@@ -295,11 +304,11 @@ func (g *RG) azoom(spec AZoomSpec) (TGraph, error) {
 			func(a, b dataflow.Pair[VertexID, azVertexAcc]) dataflow.Pair[VertexID, azVertexAcc] {
 				return dataflow.Pair[VertexID, azVertexAcc]{
 					First:  a.First,
-					Second: azVertexAcc{Base: a.Second.Base, Agg: spec.Agg.Merge(a.Second.Agg, b.Second.Agg)},
+					Second: azVertexAcc{Base: a.Second.Base, Agg: agg.Merge(a.Second.Agg, b.Second.Agg)},
 				}
 			})
 		newVerts := dataflow.Map(reduced, func(p dataflow.Pair[VertexID, azVertexAcc]) graphx.Vertex[props.Props] {
-			return graphx.Vertex[props.Props]{ID: p.First, Attr: spec.Agg.Result(p.Second.Base, p.Second.Agg)}
+			return graphx.Vertex[props.Props]{ID: p.First, Attr: agg.Result(p.Second.Base, p.Second.Agg)}
 		})
 
 		// Edge redirection via the snapshot triplet view.

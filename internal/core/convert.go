@@ -2,8 +2,6 @@ package core
 
 import (
 	"fmt"
-
-	"repro/internal/temporal"
 )
 
 // Conversions between physical representations. The paper's API
@@ -31,35 +29,35 @@ func ToOG(g TGraph) *OG {
 	vstates := g.VertexStates()
 	estates := g.EdgeStates()
 
-	vhist := make(map[VertexID][]temporal.Stated[propsT])
+	vhist := make(map[VertexID][]HistoryItem)
 	var vorder []VertexID
 	for _, v := range vstates {
 		if _, ok := vhist[v.ID]; !ok {
 			vorder = append(vorder, v.ID)
 		}
-		vhist[v.ID] = append(vhist[v.ID], temporal.Stated[propsT]{Interval: v.Interval, Value: v.Props})
+		vhist[v.ID] = append(vhist[v.ID], HistoryItem{Interval: v.Interval, Props: v.Props})
 	}
 	type ekey struct {
 		id       EdgeID
 		src, dst VertexID
 	}
-	ehist := make(map[ekey][]temporal.Stated[propsT])
+	ehist := make(map[ekey][]HistoryItem)
 	var eorder []ekey
 	for _, e := range estates {
 		k := ekey{id: e.ID, src: e.Src, dst: e.Dst}
 		if _, ok := ehist[k]; !ok {
 			eorder = append(eorder, k)
 		}
-		ehist[k] = append(ehist[k], temporal.Stated[propsT]{Interval: e.Interval, Value: e.Props})
+		ehist[k] = append(ehist[k], HistoryItem{Interval: e.Interval, Props: e.Props})
 	}
 
 	vs := make([]OGVertex, 0, len(vorder))
 	for _, id := range vorder {
-		vs = append(vs, OGVertex{ID: id, History: historyFromStates(vhist[id])})
+		vs = append(vs, OGVertex{ID: id, History: sortHistory(vhist[id])})
 	}
 	es := make([]OGEdge, 0, len(eorder))
 	for _, k := range eorder {
-		es = append(es, OGEdge{ID: k.id, Src: k.src, Dst: k.dst, History: historyFromStates(ehist[k])})
+		es = append(es, OGEdge{ID: k.id, Src: k.src, Dst: k.dst, History: sortHistory(ehist[k])})
 	}
 	og := NewOG(g.Context(), vs, es)
 	og.coalesced = g.IsCoalesced()

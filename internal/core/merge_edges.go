@@ -63,11 +63,11 @@ func MergeParallelEdges(g TGraph, newType string, agg props.AggSpec) (TGraph, er
 			for _, frag := range temporal.SplitBy(e.Interval, bounds) {
 				c, ok := cells[frag]
 				if !ok {
-					base := props.Props{props.TypeKey: props.StringVal(e.Props.Type())}
+					t := e.Props.Type()
 					if newType != "" {
-						base[props.TypeKey] = props.StringVal(newType)
+						t = newType
 					}
-					c = &cell{agg: agg.Init(e.Props), base: base}
+					c = &cell{agg: agg.Init(e.Props), base: props.New(props.TypeKey, t)}
 					cells[frag] = c
 					order = append(order, frag)
 					continue

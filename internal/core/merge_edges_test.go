@@ -53,8 +53,9 @@ func TestMergeParallelEdges(t *testing.T) {
 		if !e.Interval.Equal(c.iv) || e.Props.GetInt("pairs") != c.pairs {
 			t.Errorf("fwd[%d] = %s, want %v pairs=%d", i, edgeStateString(e), c.iv, c.pairs)
 		}
-		if w, _ := e.Props["weight"].AsFloat(); w != c.weight {
-			t.Errorf("fwd[%d] weight = %v, want %v", i, e.Props["weight"], c.weight)
+		wv, _ := e.Props.Get("weight")
+		if w, _ := wv.AsFloat(); w != c.weight {
+			t.Errorf("fwd[%d] weight = %v, want %v", i, wv, c.weight)
 		}
 		if e.Props.Type() != "collaborate" {
 			t.Errorf("fwd[%d] type = %q", i, e.Props.Type())

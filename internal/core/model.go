@@ -155,7 +155,10 @@ type AZoomSpec struct {
 	Skolem SkolemFunc
 	// NewProps derives the identifying properties of new vertices.
 	// Optional; defaults to an empty property set plus whatever Agg
-	// computes. The reserved type property should be set here.
+	// computes. The reserved type property should be set here. The
+	// result must be a function of the new (Skolem) identity alone: the
+	// zoom invokes it once per output vertex with an arbitrary
+	// contributing input state.
 	NewProps NewPropsFunc
 	// Agg is f_agg, resolving groups of identity-equivalent vertices
 	// within a snapshot and computing aggregate properties.
@@ -184,7 +187,7 @@ func (s AZoomSpec) edgeSkolem() EdgeSkolemFunc {
 
 func (s AZoomSpec) newProps(id VertexID, p props.Props) props.Props {
 	if s.NewProps == nil {
-		return nil
+		return props.Props{}
 	}
 	return s.NewProps(id, p)
 }

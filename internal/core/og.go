@@ -189,12 +189,14 @@ func coalesceHistory(h []HistoryItem) []HistoryItem {
 	return out
 }
 
-// historyFromTuples groups flat states into per-entity history arrays.
-func historyFromStates(states []temporal.Stated[props.Props]) []HistoryItem {
-	sort.Slice(states, func(i, j int) bool { return states[i].Interval.Before(states[j].Interval) })
-	out := make([]HistoryItem, len(states))
-	for i, s := range states {
-		out[i] = HistoryItem{Interval: s.Interval, Props: s.Value}
+// sortHistory orders a history array by interval, in place, and
+// returns it. Insertion sort: per-entity histories are short, and
+// sort.Slice would allocate once per entity in the zoom hot loops.
+func sortHistory(h []HistoryItem) []HistoryItem {
+	for i := 1; i < len(h); i++ {
+		for j := i; j > 0 && h[j].Interval.Before(h[j-1].Interval); j-- {
+			h[j], h[j-1] = h[j-1], h[j]
+		}
 	}
-	return out
+	return h
 }

@@ -145,9 +145,9 @@ func (g *OGC) EdgeStates() []EdgeTuple {
 
 func typeProps(t string) props.Props {
 	if t == "" {
-		return nil
+		return props.Props{}
 	}
-	return props.Props{props.TypeKey: props.StringVal(t)}
+	return props.New(props.TypeKey, t)
 }
 
 // bitsToIntervals converts a presence bitset to coalesced intervals.

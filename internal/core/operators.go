@@ -221,8 +221,9 @@ func combineStates(left, right map[any][]temporal.Stated[sideState], kind setOpK
 		aligned := temporal.Align(all)
 		// Per elementary interval, gather which sides are present.
 		type cell struct {
-			l, r  bool
-			props props.Props // left's props preferred
+			l, r     bool
+			props    props.Props // left's props preferred
+			hasProps bool
 		}
 		cells := make(map[temporal.Interval]*cell)
 		var order []temporal.Interval
@@ -235,11 +236,11 @@ func combineStates(left, right map[any][]temporal.Stated[sideState], kind setOpK
 			}
 			if s.Value.left {
 				c.l = true
-				c.props = s.Value.props
+				c.props, c.hasProps = s.Value.props, true
 			} else {
 				c.r = true
-				if c.props == nil {
-					c.props = s.Value.props
+				if !c.hasProps {
+					c.props, c.hasProps = s.Value.props, true
 				}
 			}
 		}

@@ -78,7 +78,8 @@ func TestSubgraphClipsEdgesPointwise(t *testing.T) {
 	}
 	g := NewVE(ctx, vs, es)
 	out, err := Subgraph(g, func(v VertexTuple) bool {
-		ok, _ := v.Props["ok"].AsBool()
+		okv, _ := v.Props.Get("ok")
+		ok, _ := okv.AsBool()
 		return ok
 	}, nil)
 	if err != nil {
@@ -117,7 +118,7 @@ func TestMapProps(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, v := range out.VertexStates() {
-		if b, _ := v.Props["flag"].AsBool(); !b {
+		if fv, _ := v.Props.Get("flag"); !mustBoolValue(fv) {
 			t.Fatal("vertex transformation not applied")
 		}
 	}
@@ -128,7 +129,7 @@ func TestMapProps(t *testing.T) {
 	}
 	// Original untouched (operators are immutable).
 	for _, v := range g.VertexStates() {
-		if _, ok := v.Props["flag"]; ok {
+		if _, ok := v.Props.Get("flag"); ok {
 			t.Fatal("MapProps mutated its input")
 		}
 	}
@@ -328,4 +329,9 @@ func TestTrimThenZoomComposes(t *testing.T) {
 	if len(mit) != 1 || !mit[0].Interval.Equal(temporal.MustInterval(1, 7)) || mit[0].Props.GetInt("students") != 2 {
 		t.Errorf("MIT after trim+zoom = %v", fmtV(mit))
 	}
+}
+
+func mustBoolValue(v props.Value) bool {
+	b, _ := v.AsBool()
+	return b
 }

@@ -37,14 +37,20 @@ type wzState struct {
 
 // wzReduce groups clipped states per (entity, window), applies the
 // quantifier against the window duration, and resolves attributes.
-// Returns ok=false when the quantifier rejects the group.
-func wzReduce(states []wzState, window temporal.Window, q temporal.Quantifier, r props.ResolveSpec) (props.Props, bool) {
+// Returns ok=false when the quantifier rejects the group. The resolve
+// spec arrives pre-bound so the hot loop does no label interning.
+func wzReduce(states []wzState, window temporal.Window, q temporal.Quantifier, r props.BoundResolve) (props.Props, bool) {
 	var covered temporal.Time
 	for _, s := range states {
 		covered += s.Covered
 	}
 	if !q.Satisfied(covered, window.Interval.Duration()) {
-		return nil, false
+		return props.Props{}, false
+	}
+	if len(states) == 1 {
+		// Single-state window: resolution is the identity, and Props is
+		// immutable, so the state's property set is returned as-is.
+		return states[0].Props, true
 	}
 	sort.SliceStable(states, func(i, j int) bool { return states[i].Start < states[j].Start })
 	ps := make([]props.Props, len(states))
@@ -149,6 +155,7 @@ func wzoomTuplesDataflow[T any, ID comparable](
 	propsOf func(T) props.Props,
 	make_ func(ID, temporal.Interval, props.Props) T,
 ) *dataflow.Dataset[T] {
+	br := r.Bind()
 	asp := obs.StartSpan("align-clip")
 	aligned := dataflow.FlatMap(d, func(t T) []dataflow.Pair[wzKey[ID], wzState] {
 		iv := ivOf(t)
@@ -176,7 +183,7 @@ func wzoomTuplesDataflow[T any, ID comparable](
 			states[i] = p.Second
 		}
 		w := windows[gr.Key.Win]
-		p, ok := wzReduce(states, w, q, r)
+		p, ok := wzReduce(states, w, q, br)
 		if !ok {
 			return nil
 		}
@@ -206,8 +213,9 @@ func (g *OG) wzoom(spec WZoomSpec) (TGraph, error) {
 	wsp := obs.StartSpan("windows")
 	windows := wzoomWindows(g, spec)
 	wsp.End()
+	vres, eres := spec.VResolve.Bind(), spec.EResolve.Bind()
 
-	recompute := func(h []HistoryItem, q temporal.Quantifier, r props.ResolveSpec) []HistoryItem {
+	recompute := func(h []HistoryItem, q temporal.Quantifier, r props.BoundResolve) []HistoryItem {
 		byWin := make(map[int][]wzState)
 		for _, it := range h {
 			for _, w := range temporal.OverlappingWindows(windows, it.Interval) {
@@ -238,7 +246,7 @@ func (g *OG) wzoom(spec WZoomSpec) (TGraph, error) {
 	}
 	vsp := obs.StartSpan("vertices")
 	newV := dataflow.Map(g.graph.Vertices(), func(v graphx.Vertex[[]HistoryItem]) graphx.Vertex[[]HistoryItem] {
-		v.Attr = recompute(v.Attr, spec.VQuant, spec.VResolve)
+		v.Attr = recompute(v.Attr, spec.VQuant, vres)
 		return v
 	}).Filter(func(v graphx.Vertex[[]HistoryItem]) bool { return len(v.Attr) > 0 })
 	vsp.End()
@@ -248,7 +256,7 @@ func (g *OG) wzoom(spec WZoomSpec) (TGraph, error) {
 	}
 	esp := obs.StartSpan("edges")
 	newE := dataflow.Map(g.graph.Edges(), func(e graphx.Edge[[]HistoryItem]) graphx.Edge[[]HistoryItem] {
-		e.Attr = recompute(e.Attr, spec.EQuant, spec.EResolve)
+		e.Attr = recompute(e.Attr, spec.EQuant, eres)
 		return e
 	}).Filter(func(e graphx.Edge[[]HistoryItem]) bool { return len(e.Attr) > 0 })
 	esp.End()
@@ -306,6 +314,7 @@ func (g *RG) wzoom(spec WZoomSpec) (TGraph, error) {
 	wsp := obs.StartSpan("windows")
 	windows := wzoomWindows(g, spec)
 	wsp.End()
+	vres, eres := spec.VResolve.Bind(), spec.EResolve.Bind()
 
 	type snapRef struct {
 		iv temporal.Interval
@@ -361,7 +370,7 @@ func (g *RG) wzoom(spec WZoomSpec) (TGraph, error) {
 		}
 		sort.Slice(vids, func(i, j int) bool { return vids[i] < vids[j] })
 		for _, id := range vids {
-			if p, ok := wzReduce(vStates[id], w, spec.VQuant, spec.VResolve); ok {
+			if p, ok := wzReduce(vStates[id], w, spec.VQuant, vres); ok {
 				keptV[id] = struct{}{}
 				svs = append(svs, graphx.Vertex[props.Props]{ID: id, Attr: p})
 			}
@@ -374,7 +383,7 @@ func (g *RG) wzoom(spec WZoomSpec) (TGraph, error) {
 		sort.Slice(eks, func(i, j int) bool { return eks[i].id < eks[j].id })
 		dangling := spec.VQuant.MoreRestrictiveThan(spec.EQuant)
 		for _, k := range eks {
-			p, ok := wzReduce(eStates[k], w, spec.EQuant, spec.EResolve)
+			p, ok := wzReduce(eStates[k], w, spec.EQuant, eres)
 			if !ok {
 				continue
 			}

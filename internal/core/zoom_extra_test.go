@@ -28,17 +28,17 @@ func TestAZoomAggregates(t *testing.T) {
 		}
 		// [0,5): only vertex 1. [5,10): both.
 		first, second := states[0], states[1]
-		if f, _ := first.Props["total"].AsFloat(); f != 10 {
-			t.Errorf("%v: total[0,5) = %v", tg.Rep(), first.Props["total"])
+		if f := floatProp(first.Props, "total"); f != 10 {
+			t.Errorf("%v: total[0,5) = %v", tg.Rep(), f)
 		}
-		if f, _ := second.Props["total"].AsFloat(); f != 40 {
-			t.Errorf("%v: total[5,10) = %v", tg.Rep(), second.Props["total"])
+		if f := floatProp(second.Props, "total"); f != 40 {
+			t.Errorf("%v: total[5,10) = %v", tg.Rep(), f)
 		}
-		if f, _ := second.Props["mean"].AsFloat(); f != 20 {
-			t.Errorf("%v: mean[5,10) = %v", tg.Rep(), second.Props["mean"])
+		if f := floatProp(second.Props, "mean"); f != 20 {
+			t.Errorf("%v: mean[5,10) = %v", tg.Rep(), f)
 		}
 		if second.Props.GetInt("best") != 30 {
-			t.Errorf("%v: best[5,10) = %v", tg.Rep(), second.Props["best"])
+			t.Errorf("%v: best[5,10) = %v", tg.Rep(), second.Props.GetInt("best"))
 		}
 	}
 }
@@ -297,4 +297,10 @@ func TestEmptyGraphOperations(t *testing.T) {
 			t.Errorf("%v: non-empty", rep)
 		}
 	}
+}
+
+func floatProp(p props.Props, k string) float64 {
+	v, _ := p.Get(k)
+	f, _ := v.AsFloat()
+	return f
 }

@@ -141,6 +141,23 @@ func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
 	return &Dataset[U]{ctx: d.ctx, parts: out}
 }
 
+// FilterMap applies f to every record, keeping the results with ok
+// true. It is a narrow transformation, equivalent to a FlatMap emitting
+// zero or one record but without the per-record slice allocation.
+func FilterMap[T, U any](d *Dataset[T], f func(T) (U, bool)) *Dataset[U] {
+	out := make([][]U, len(d.parts))
+	d.ctx.runTasks("filtermap", len(d.parts), func(i int) {
+		p := make([]U, 0, len(d.parts[i]))
+		for _, rec := range d.parts[i] {
+			if u, ok := f(rec); ok {
+				p = append(p, u)
+			}
+		}
+		out[i] = p
+	})
+	return &Dataset[U]{ctx: d.ctx, parts: out}
+}
+
 // FlatMap applies f to every record and concatenates the results within
 // each partition. It is a narrow transformation.
 func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {

@@ -1,0 +1,155 @@
+// Package lint implements the repository's custom static checks,
+// enforcing the property-runtime encapsulation introduced with the
+// interned Props type: property sets must be built through the props
+// package API (props.New, Builder, With...), never as raw
+// map[string]props.Value values. Outside internal/props a raw property
+// map bypasses key interning and the immutability guarantee, so any
+// construction of one — composite literal or make — is a violation.
+// The checker is purely syntactic (go/parser + go/ast, no type
+// checking), which keeps it dependency-free and fast; it recognises
+// the value type through any import alias of the props package or the
+// tgraph facade.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Import paths whose Value type makes a map[string]Value a raw
+// property map, mapped to the package name an unaliased import binds
+// (the facade's package name, tgraph, differs from its path).
+var valueProviders = map[string]string{
+	"repro/internal/props": "props",  // props.Value
+	"repro":                "tgraph", // tgraph.Value (alias of props.Value)
+}
+
+// exemptDirs are directory prefixes (relative to the repo root, slash
+// separated) the rule does not apply to: the props package owns the
+// representation, and ToMap/FromMap legitimately traffic in raw maps
+// there.
+var exemptDirs = []string{"internal/props"}
+
+// Diagnostic is one rule violation.
+type Diagnostic struct {
+	Pos     token.Position
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s", d.Pos, d.Message)
+}
+
+// CheckDir walks root and checks every non-exempt .go file, returning
+// the violations sorted in walk order. The error return is reserved
+// for I/O and parse failures.
+func CheckDir(root string) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			return rerr
+		}
+		rel = filepath.ToSlash(rel)
+		if d.IsDir() {
+			if d.Name() == ".git" || d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			for _, ex := range exemptDirs {
+				if rel == ex {
+					return filepath.SkipDir
+				}
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		src, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		fds, perr := CheckSource(fset, path, src)
+		if perr != nil {
+			return perr
+		}
+		diags = append(diags, fds...)
+		return nil
+	})
+	return diags, err
+}
+
+// CheckSource checks one file's source text (the unit CheckDir applies
+// per file, exposed for tests).
+func CheckSource(fset *token.FileSet, filename string, src []byte) ([]Diagnostic, error) {
+	f, err := parser.ParseFile(fset, filename, src, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	// Local names under which a property-value provider is imported:
+	// "props" for the usual import, plus any alias.
+	aliases := map[string]bool{}
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		pkgName, ok := valueProviders[path]
+		if !ok {
+			continue
+		}
+		if imp.Name != nil {
+			aliases[imp.Name.Name] = true
+		} else {
+			aliases[pkgName] = true
+		}
+	}
+	if len(aliases) == 0 {
+		return nil, nil
+	}
+	var diags []Diagnostic
+	report := func(n ast.Node, msg string) {
+		diags = append(diags, Diagnostic{Pos: fset.Position(n.Pos()), Message: msg})
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if isRawPropMap(n.Type, aliases) {
+				report(n, "raw property-map literal; build property sets with props.New or props.Builder")
+			}
+		case *ast.CallExpr:
+			fn, ok := n.Fun.(*ast.Ident)
+			if ok && fn.Name == "make" && len(n.Args) > 0 && isRawPropMap(n.Args[0], aliases) {
+				report(n, "raw property-map make; build property sets with props.New or props.Builder")
+			}
+		}
+		return true
+	})
+	return diags, nil
+}
+
+// isRawPropMap reports whether expr is the type map[string]P.Value for
+// an imported property-value provider P.
+func isRawPropMap(expr ast.Expr, aliases map[string]bool) bool {
+	m, ok := expr.(*ast.MapType)
+	if !ok {
+		return false
+	}
+	k, ok := m.Key.(*ast.Ident)
+	if !ok || k.Name != "string" {
+		return false
+	}
+	sel, ok := m.Value.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Value" {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && aliases[pkg.Name]
+}

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func check(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	diags, err := CheckSource(token.NewFileSet(), "src.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func TestFlagsRawMapLiteral(t *testing.T) {
+	src := `package x
+import "repro/internal/props"
+var m = map[string]props.Value{"type": props.StringVal("node")}
+`
+	if got := check(t, src); len(got) != 1 {
+		t.Fatalf("diagnostics = %v, want 1", got)
+	}
+}
+
+func TestFlagsRawMapMake(t *testing.T) {
+	src := `package x
+import "repro/internal/props"
+func f() { _ = make(map[string]props.Value, 4) }
+`
+	if got := check(t, src); len(got) != 1 {
+		t.Fatalf("diagnostics = %v, want 1", got)
+	}
+}
+
+func TestFlagsAliasedImport(t *testing.T) {
+	src := `package x
+import pp "repro/internal/props"
+var m = map[string]pp.Value{}
+`
+	if got := check(t, src); len(got) != 1 {
+		t.Fatalf("diagnostics = %v, want 1", got)
+	}
+}
+
+func TestFlagsFacadeValue(t *testing.T) {
+	src := `package x
+import "repro"
+func f() { _ = make(map[string]tgraph.Value) }
+`
+	if got := check(t, src); len(got) != 1 {
+		t.Fatalf("diagnostics = %v, want 1", got)
+	}
+}
+
+func TestAllowsAPIUsage(t *testing.T) {
+	src := `package x
+import "repro/internal/props"
+var p = props.New("type", "node")
+func f() props.Props {
+	var b props.Builder
+	b.Set("k", props.Int(1))
+	return b.Build()
+}
+var other = map[string]int{"a": 1}
+var unrelated = map[string]props.Kind{}
+`
+	if got := check(t, src); len(got) != 0 {
+		t.Fatalf("diagnostics = %v, want none", got)
+	}
+}
+
+func TestIgnoresFilesWithoutPropsImport(t *testing.T) {
+	src := `package x
+type Value struct{}
+var m = map[string]Value{}
+`
+	if got := check(t, src); len(got) != 0 {
+		t.Fatalf("diagnostics = %v, want none", got)
+	}
+}
+
+func TestCheckDirSkipsExemptAndFlagsRest(t *testing.T) {
+	root := t.TempDir()
+	bad := `package a
+import "repro/internal/props"
+var m = map[string]props.Value{}
+`
+	exempt := `package props
+import "repro/internal/props"
+var m = map[string]props.Value{}
+`
+	write := func(rel, src string) {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("internal/core/a.go", bad)
+	write("internal/props/p.go", exempt)
+	diags, err := CheckDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %v, want exactly the internal/core violation", diags)
+	}
+	if filepath.ToSlash(diags[0].Pos.Filename) != filepath.ToSlash(filepath.Join(root, "internal/core/a.go")) {
+		t.Fatalf("flagged %s, want internal/core/a.go", diags[0].Pos.Filename)
+	}
+}
+
+// TestRepositoryIsClean runs the checker over the repository itself:
+// the rule the lint enforces must hold in the codebase that ships it.
+func TestRepositoryIsClean(t *testing.T) {
+	diags, err := CheckDir("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

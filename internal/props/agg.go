@@ -130,21 +130,60 @@ type accum struct {
 // AggState is the opaque accumulator for a group.
 type AggState []accum
 
-// Init maps one entity's property set to a fresh accumulator state.
-func (s AggSpec) Init(p Props) AggState {
-	st := make(AggState, len(s.Fields))
+// Bind interns the spec's input and output labels once, returning a
+// BoundAgg the zoom hot loops use so that per-entity aggregation is
+// pure integer-keyed work.
+func (s AggSpec) Bind() BoundAgg {
+	b := BoundAgg{
+		fields: s.Fields,
+		in:     make([]Key, len(s.Fields)),
+		out:    make([]Key, len(s.Fields)),
+	}
 	for i, f := range s.Fields {
+		if f.Kind != AggCount {
+			b.in[i] = KeyOf(f.In)
+		}
+		b.out[i] = KeyOf(f.Out)
+	}
+	return b
+}
+
+// Init maps one entity's property set to a fresh accumulator state.
+// Convenience form of BoundAgg.Init; hot loops should Bind once.
+func (s AggSpec) Init(p Props) AggState { return s.Bind().Init(p) }
+
+// Merge combines two accumulator states; see BoundAgg.Merge.
+func (s AggSpec) Merge(a, b AggState) AggState { return s.Bind().Merge(a, b) }
+
+// Result materialises the output property set; see BoundAgg.Result.
+func (s AggSpec) Result(base Props, st AggState) Props { return s.Bind().Result(base, st) }
+
+// BoundAgg is an AggSpec whose input and output labels have been
+// interned. It is cheap to copy and safe for concurrent use.
+type BoundAgg struct {
+	fields []AggField
+	in     []Key
+	out    []Key
+}
+
+// Len reports the number of aggregate fields.
+func (b BoundAgg) Len() int { return len(b.fields) }
+
+// Init maps one entity's property set to a fresh accumulator state.
+func (b BoundAgg) Init(p Props) AggState {
+	st := make(AggState, len(b.fields))
+	for i, f := range b.fields {
 		switch f.Kind {
 		case AggCount:
 			st[i] = accum{count: 1, has: true}
 		case AggSum, AggAvg:
-			if v, ok := p[f.In]; ok {
+			if v, ok := p.GetK(b.in[i]); ok {
 				if fl, ok := v.AsFloat(); ok {
 					st[i] = accum{count: 1, sum: fl, has: true}
 				}
 			}
 		default: // min, max, any, custom
-			if v, ok := p[f.In]; ok {
+			if v, ok := p.GetK(b.in[i]); ok {
 				st[i] = accum{count: 1, val: v, has: true}
 			}
 		}
@@ -152,66 +191,104 @@ func (s AggSpec) Init(p Props) AggState {
 	return st
 }
 
-// Merge combines two accumulator states. It is commutative and
-// associative for all built-in kinds, and for AggCustom whenever the
-// user combine function is.
-func (s AggSpec) Merge(a, b AggState) AggState {
-	out := make(AggState, len(s.Fields))
-	for i, f := range s.Fields {
-		x, y := a[i], b[i]
-		if !x.has {
-			out[i] = y
-			continue
-		}
-		if !y.has {
-			out[i] = x
-			continue
-		}
-		m := accum{count: x.count + y.count, sum: x.sum + y.sum, has: true}
-		switch f.Kind {
-		case AggMin, AggAny:
-			if y.val.Less(x.val) {
-				m.val = y.val
-			} else {
-				m.val = x.val
-			}
-		case AggMax:
-			if x.val.Less(y.val) {
-				m.val = y.val
-			} else {
-				m.val = x.val
-			}
-		case AggCustom:
-			m.val = f.Combine(x.val, y.val)
-		}
-		out[i] = m
-	}
+// Merge combines two accumulator states into a fresh one. It is
+// commutative and associative for all built-in kinds, and for AggCustom
+// whenever the user combine function is.
+func (b BoundAgg) Merge(x, y AggState) AggState {
+	out := make(AggState, len(b.fields))
+	copy(out, x)
+	b.MergeInto(out, y)
 	return out
+}
+
+// MergeInto folds src into dst in place, saving the accumulator
+// allocation Merge pays. dst must be exclusively owned by the caller.
+func (b BoundAgg) MergeInto(dst, src AggState) {
+	for i, f := range b.fields {
+		dst[i] = mergeAccum(f, dst[i], src[i])
+	}
+}
+
+// Accumulate folds one entity's property set directly into dst —
+// equivalent to MergeInto(dst, Init(p)) without allocating the
+// intermediate accumulator. dst must be exclusively owned by the caller.
+func (b BoundAgg) Accumulate(dst AggState, p Props) {
+	for i, f := range b.fields {
+		var y accum
+		switch f.Kind {
+		case AggCount:
+			y = accum{count: 1, has: true}
+		case AggSum, AggAvg:
+			if v, ok := p.GetK(b.in[i]); ok {
+				if fl, ok := v.AsFloat(); ok {
+					y = accum{count: 1, sum: fl, has: true}
+				}
+			}
+		default: // min, max, any, custom
+			if v, ok := p.GetK(b.in[i]); ok {
+				y = accum{count: 1, val: v, has: true}
+			}
+		}
+		dst[i] = mergeAccum(f, dst[i], y)
+	}
+}
+
+// mergeAccum combines two per-field accumulators.
+func mergeAccum(f AggField, x, y accum) accum {
+	if !x.has {
+		return y
+	}
+	if !y.has {
+		return x
+	}
+	m := accum{count: x.count + y.count, sum: x.sum + y.sum, has: true}
+	switch f.Kind {
+	case AggMin, AggAny:
+		if y.val.Less(x.val) {
+			m.val = y.val
+		} else {
+			m.val = x.val
+		}
+	case AggMax:
+		if x.val.Less(y.val) {
+			m.val = y.val
+		} else {
+			m.val = x.val
+		}
+	case AggCustom:
+		m.val = f.Combine(x.val, y.val)
+	}
+	return m
 }
 
 // Result materialises the output property set: base (typically the
 // Skolem-derived identifying properties of the new node) extended with
 // the computed aggregate fields.
-func (s AggSpec) Result(base Props, st AggState) Props {
-	out := base.Clone()
-	if out == nil {
-		out = make(Props, len(s.Fields))
+func (b BoundAgg) Result(base Props, st AggState) Props {
+	if len(b.fields) == 0 {
+		return base
 	}
-	for i, f := range s.Fields {
+	var out Builder
+	out.Grow(base.Len() + len(b.fields))
+	base.Range(func(k Key, v Value) bool {
+		out.SetK(k, v)
+		return true
+	})
+	for i, f := range b.fields {
 		a := st[i]
 		if !a.has {
 			continue
 		}
 		switch f.Kind {
 		case AggCount:
-			out[f.Out] = Int(a.count)
+			out.SetK(b.out[i], Int(a.count))
 		case AggSum:
-			out[f.Out] = Float(a.sum)
+			out.SetK(b.out[i], Float(a.sum))
 		case AggAvg:
-			out[f.Out] = Float(a.sum / float64(a.count))
+			out.SetK(b.out[i], Float(a.sum/float64(a.count)))
 		default:
-			out[f.Out] = a.val
+			out.SetK(b.out[i], a.val)
 		}
 	}
-	return out
+	return out.Build()
 }

@@ -51,35 +51,35 @@ func TestAggSumMinMaxAvgAny(t *testing.T) {
 			st = spec.Merge(st, s)
 		}
 	}
-	out := spec.Result(nil, st)
-	if f, _ := out["total"].AsFloat(); f != 18 {
-		t.Errorf("sum = %v, want 18", out["total"])
+	out := spec.Result(Props{}, st)
+	if f, _ := mustGet(out, "total").AsFloat(); f != 18 {
+		t.Errorf("sum = %v, want 18", mustGet(out, "total"))
 	}
 	if out.GetInt("lo") != 1 || out.GetInt("hi") != 9 {
-		t.Errorf("min/max = %v/%v", out["lo"], out["hi"])
+		t.Errorf("min/max = %v/%v", mustGet(out, "lo"), mustGet(out, "hi"))
 	}
-	if f, _ := out["mean"].AsFloat(); f != 4.5 {
-		t.Errorf("avg = %v, want 4.5", out["mean"])
+	if f, _ := mustGet(out, "mean").AsFloat(); f != 4.5 {
+		t.Errorf("avg = %v, want 4.5", mustGet(out, "mean"))
 	}
 	if out.GetInt("pick") != 1 {
-		t.Errorf("any should be deterministic smallest, got %v", out["pick"])
+		t.Errorf("any should be deterministic smallest, got %v", mustGet(out, "pick"))
 	}
 }
 
 func TestAggMissingInputs(t *testing.T) {
 	spec := AggSpec{Fields: []AggField{Sum("s", "x"), Count("n")}}
 	st := spec.Merge(spec.Init(New("y", 1)), spec.Init(New("x", 4)))
-	out := spec.Result(nil, st)
-	if f, _ := out["s"].AsFloat(); f != 4 {
-		t.Errorf("sum over partial inputs = %v, want 4", out["s"])
+	out := spec.Result(Props{}, st)
+	if f, _ := mustGet(out, "s").AsFloat(); f != 4 {
+		t.Errorf("sum over partial inputs = %v, want 4", mustGet(out, "s"))
 	}
 	if out.GetInt("n") != 2 {
 		t.Errorf("count = %d, want 2", out.GetInt("n"))
 	}
 	// All-missing: no output key at all.
 	st2 := spec.Init(New("y", 1))
-	out2 := spec.Result(nil, st2)
-	if _, ok := out2["s"]; ok {
+	out2 := spec.Result(Props{}, st2)
+	if _, ok := out2.Get("s"); ok {
 		t.Error("sum with no inputs must be absent")
 	}
 }
@@ -93,9 +93,9 @@ func TestAggCustom(t *testing.T) {
 	}
 	spec := AggSpec{Fields: []AggField{Custom("best", "name", concatMax)}}
 	st := spec.Merge(spec.Init(New("name", "ann")), spec.Init(New("name", "cat")))
-	out := spec.Result(nil, st)
+	out := spec.Result(Props{}, st)
 	if out.GetString("best") != "cat" {
-		t.Errorf("custom = %v", out["best"])
+		t.Errorf("custom = %v", mustGet(out, "best"))
 	}
 }
 
@@ -115,9 +115,9 @@ func TestAggMergeCommutativeAssociative(t *testing.T) {
 			return spec.Init(New("x", int64(r.Intn(100))))
 		}
 		a, b, c := gen(), gen(), gen()
-		ab := spec.Result(nil, spec.Merge(spec.Merge(a, b), c))
-		ba := spec.Result(nil, spec.Merge(spec.Merge(b, a), c))
-		bc := spec.Result(nil, spec.Merge(a, spec.Merge(b, c)))
+		ab := spec.Result(Props{}, spec.Merge(spec.Merge(a, b), c))
+		ba := spec.Result(Props{}, spec.Merge(spec.Merge(b, a), c))
+		bc := spec.Result(Props{}, spec.Merge(a, spec.Merge(b, c)))
 		return aggEqual(ab, ba) && aggEqual(ab, bc)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
@@ -126,27 +126,36 @@ func TestAggMergeCommutativeAssociative(t *testing.T) {
 }
 
 func aggEqual(a, b Props) bool {
-	if len(a) != len(b) {
+	if a.Len() != b.Len() {
 		return false
 	}
-	for k, v := range a {
-		w, ok := b[k]
+	eq := true
+	a.Range(func(k Key, v Value) bool {
+		w, ok := b.GetK(k)
 		if !ok {
+			eq = false
 			return false
 		}
 		fa, oka := v.AsFloat()
 		fb, okb := w.AsFloat()
 		if oka && okb {
 			if math.Abs(fa-fb) > 1e-9 {
-				return false
+				eq = false
 			}
-			continue
+			return eq
 		}
 		if !v.Equal(w) {
-			return false
+			eq = false
 		}
-	}
-	return true
+		return eq
+	})
+	return eq
+}
+
+// mustGet is a test helper: the value for k, or the zero Value.
+func mustGet(p Props, k string) Value {
+	v, _ := p.Get(k)
+	return v
 }
 
 func TestAggKindString(t *testing.T) {

@@ -1,0 +1,144 @@
+package props
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// The key dictionary is a process-wide symbol table mapping property
+// labels to small dense integers. Interning a label once makes every
+// later comparison, lookup and sort an integer operation, and lets the
+// storage layer write key indexes instead of repeated strings.
+//
+// The table is sharded: lookups take one shard RLock on the string hash
+// (reverse lookups are lock-free via an atomic snapshot of the name
+// slice), and only the slow path of a first-time intern serialises on
+// the grow mutex. Keys are never freed — the set of distinct property
+// labels in a workload is tiny (tens, not millions), which is the whole
+// premise of dictionary encoding.
+
+// Key is an interned property label. The zero Key is the reserved
+// TypeKey; keys are only comparable within the process that interned
+// them (persisted data stores label strings, not Keys).
+type Key uint32
+
+const dictShards = 16
+
+type dictShard struct {
+	mu sync.RWMutex
+	m  map[string]Key
+}
+
+var dict = func() *struct {
+	shards [dictShards]dictShard
+	names  atomic.Pointer[[]string] // Key -> label; copy-on-append snapshot
+	grow   sync.Mutex
+} {
+	d := &struct {
+		shards [dictShards]dictShard
+		names  atomic.Pointer[[]string]
+		grow   sync.Mutex
+	}{}
+	for i := range d.shards {
+		d.shards[i].m = make(map[string]Key)
+	}
+	names := []string{}
+	d.names.Store(&names)
+	return d
+}()
+
+// obsDictSize mirrors the dictionary size as the props.dict_size gauge.
+// obs.ResetAll clears gauges, so PublishDictMetrics re-publishes it for
+// snapshot consumers.
+var obsDictSize = obs.Default().Gauge("props.dict_size")
+
+// TypeK is the interned TypeKey, pre-interned so it is Key(0) in every
+// process.
+var TypeK = KeyOf(TypeKey)
+
+func shardOf(name string) *dictShard {
+	// FNV-1a over the label; labels are short, so this inlines well.
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return &dict.shards[h&(dictShards-1)]
+}
+
+// KeyOf interns a label and returns its Key.
+func KeyOf(name string) Key {
+	s := shardOf(name)
+	s.mu.RLock()
+	k, ok := s.m[name]
+	s.mu.RUnlock()
+	if ok {
+		return k
+	}
+	return internSlow(s, name)
+}
+
+func internSlow(s *dictShard, name string) Key {
+	dict.grow.Lock()
+	defer dict.grow.Unlock()
+	s.mu.RLock()
+	k, ok := s.m[name]
+	s.mu.RUnlock()
+	if ok {
+		return k
+	}
+	old := *dict.names.Load()
+	k = Key(len(old))
+	names := make([]string, len(old)+1)
+	copy(names, old)
+	names[len(old)] = name
+	dict.names.Store(&names)
+	s.mu.Lock()
+	s.m[name] = k
+	s.mu.Unlock()
+	obsDictSize.Set(int64(len(names)))
+	return k
+}
+
+// LookupKey returns the Key for a label without interning it. A miss
+// means no property set in the process has ever carried the label, so
+// Get on a never-interned label is a cheap guaranteed miss.
+func LookupKey(name string) (Key, bool) {
+	s := shardOf(name)
+	s.mu.RLock()
+	k, ok := s.m[name]
+	s.mu.RUnlock()
+	return k, ok
+}
+
+// Name returns the label the Key was interned from. It panics on a Key
+// that was never handed out (an out-of-range integer cast to Key).
+func (k Key) Name() string {
+	names := *dict.names.Load()
+	return names[k]
+}
+
+// String renders the Key as its label.
+func (k Key) String() string { return k.Name() }
+
+// DictSize reports the number of interned labels.
+func DictSize() int { return len(*dict.names.Load()) }
+
+// DictNames returns the interned labels sorted lexically (the intern
+// order is scheduling-dependent and not meaningful).
+func DictNames() []string {
+	names := *dict.names.Load()
+	out := make([]string, len(names))
+	copy(out, names)
+	sort.Strings(out)
+	return out
+}
+
+// PublishDictMetrics re-publishes the props.dict_size gauge, for
+// snapshot consumers that reset the obs registry before a run.
+func PublishDictMetrics() {
+	obsDictSize.Set(int64(DictSize()))
+}

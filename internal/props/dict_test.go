@@ -1,0 +1,243 @@
+package props
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestDictInterning(t *testing.T) {
+	if TypeK != KeyOf(TypeKey) {
+		t.Error("TypeK must be the interned TypeKey")
+	}
+	if TypeK.Name() != TypeKey {
+		t.Errorf("TypeK.Name() = %q", TypeK.Name())
+	}
+	a := KeyOf("dict-test-key-a")
+	if b := KeyOf("dict-test-key-a"); b != a {
+		t.Errorf("re-interning changed the key: %d vs %d", a, b)
+	}
+	if k, ok := LookupKey("dict-test-key-a"); !ok || k != a {
+		t.Errorf("LookupKey = %d, %v", k, ok)
+	}
+	if _, ok := LookupKey("dict-test-key-never-interned"); ok {
+		t.Error("LookupKey must not intern")
+	}
+	before := DictSize()
+	if _, ok := LookupKey("dict-test-key-never-interned-2"); ok || DictSize() != before {
+		t.Error("LookupKey grew the dictionary")
+	}
+	names := DictNames()
+	if !sort.StringsAreSorted(names) {
+		t.Error("DictNames must be sorted")
+	}
+	found := false
+	for _, n := range names {
+		if n == "dict-test-key-a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("interned key missing from DictNames")
+	}
+}
+
+// TestDictConcurrentInterning hammers the sharded symbol table from
+// many goroutines (run under -race by `make check`): every goroutine
+// must observe one stable Key per label, and reverse lookups must never
+// tear.
+func TestDictConcurrentInterning(t *testing.T) {
+	const goroutines = 16
+	const labels = 64
+	keys := make([][]Key, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			keys[g] = make([]Key, labels)
+			for i := 0; i < labels; i++ {
+				name := fmt.Sprintf("race-key-%d", i)
+				k := KeyOf(name)
+				keys[g][i] = k
+				if got := k.Name(); got != name {
+					t.Errorf("Key(%d).Name() = %q, want %q", k, got, name)
+				}
+				if lk, ok := LookupKey(name); !ok || lk != k {
+					t.Errorf("LookupKey(%q) = %d, %v; want %d", name, lk, ok, k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := 0; i < labels; i++ {
+			if keys[g][i] != keys[0][i] {
+				t.Fatalf("goroutine %d interned %q as %d, goroutine 0 as %d",
+					g, fmt.Sprintf("race-key-%d", i), keys[g][i], keys[0][i])
+			}
+		}
+	}
+}
+
+// quickProps generates a small random property set and its plain-map
+// shadow from the same seed.
+func quickProps(r *rand.Rand) (Props, map[string]Value) {
+	m := map[string]Value{}
+	for i := 0; i < r.Intn(5); i++ {
+		k := fmt.Sprintf("qk%d", r.Intn(6))
+		switch r.Intn(4) {
+		case 0:
+			m[k] = Int(int64(r.Intn(100)))
+		case 1:
+			m[k] = StringVal(fmt.Sprintf("s%d", r.Intn(3)))
+		case 2:
+			m[k] = Bool(r.Intn(2) == 0)
+		default:
+			m[k] = Float(float64(r.Intn(10)) / 2)
+		}
+	}
+	return FromMap(m), m
+}
+
+// Property: interned Props round-trip through plain maps unchanged.
+func TestQuickPropsMapRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, m := quickProps(r)
+		back := p.ToMap()
+		if len(back) != len(m) {
+			return false
+		}
+		for k, v := range m {
+			w, ok := back[k]
+			if !ok || !v.Equal(w) {
+				return false
+			}
+		}
+		return FromMap(back).Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Equal, Get, Len, Keys and String agree with the old
+// map[string]Value semantics.
+func TestQuickPropsMapSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, m := quickProps(r)
+		q, n := quickProps(r)
+		mapEq := len(m) == len(n)
+		if mapEq {
+			for k, v := range m {
+				if w, ok := n[k]; !ok || !v.Equal(w) {
+					mapEq = false
+					break
+				}
+			}
+		}
+		if p.Equal(q) != mapEq {
+			return false
+		}
+		if p.Len() != len(m) {
+			return false
+		}
+		for k, v := range m {
+			if got, ok := p.Get(k); !ok || !got.Equal(v) {
+				return false
+			}
+		}
+		// Keys must be the map's keys in lexical order.
+		want := make([]string, 0, len(m))
+		for k := range m {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		got := p.Keys()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Range visits fields in strictly ascending Key order and
+// With/Without preserve the sort invariant.
+func TestQuickPropsSortInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, _ := quickProps(r)
+		p = p.With(fmt.Sprintf("qk%d", r.Intn(8)), Int(1))
+		p = p.Without(fmt.Sprintf("qk%d", r.Intn(8)))
+		last := Key(0)
+		first := true
+		ok := true
+		p.Range(func(k Key, _ Value) bool {
+			if !first && k <= last {
+				ok = false
+				return false
+			}
+			first, last = false, k
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropsNewExtendedLiterals(t *testing.T) {
+	p := New("f32", float32(1.5), "u", uint(7), "u64", uint64(9))
+	if f, _ := mustGet(p, "f32").AsFloat(); f != 1.5 {
+		t.Errorf("float32 literal = %v", mustGet(p, "f32"))
+	}
+	if p.GetInt("u") != 7 || p.GetInt("u64") != 9 {
+		t.Errorf("uint literals = %v", p)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("uint64 overflow: want panic")
+		}
+		if s, ok := r.(string); !ok || !contains(s, "overflow-key") {
+			t.Errorf("panic %v must name the offending key", r)
+		}
+	}()
+	New("overflow-key", uint64(1<<63))
+}
+
+func TestPropsNewPanicNamesKey(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("bad value type: want panic")
+		}
+		if s, ok := r.(string); !ok || !contains(s, "bad-key") {
+			t.Errorf("panic %v must name the offending key", r)
+		}
+	}()
+	New("bad-key", struct{}{})
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

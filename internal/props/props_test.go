@@ -86,19 +86,19 @@ func TestPropsNewCloneEqual(t *testing.T) {
 	if !p.Equal(q) {
 		t.Error("clone not equal")
 	}
-	q["school"] = StringVal("CMU")
+	q = q.With("school", StringVal("CMU"))
 	if p.Equal(q) {
-		t.Error("mutating clone must not affect original")
+		t.Error("derived set must not compare equal to original")
 	}
 	if p.GetString("school") != "MIT" {
-		t.Error("original mutated through clone")
+		t.Error("original mutated through With on clone")
 	}
-	var nilProps Props
-	if nilProps.Clone() != nil {
-		t.Error("Clone of nil should be nil")
+	var zero Props
+	if zero.Clone().Len() != 0 {
+		t.Error("Clone of zero Props should be empty")
 	}
-	if !nilProps.Equal(Props{}) {
-		t.Error("nil and empty props should be equal")
+	if !zero.Equal(Props{}) {
+		t.Error("zero and empty props should be equal")
 	}
 }
 
@@ -122,8 +122,14 @@ func TestPropsNewPanics(t *testing.T) {
 func TestPropsWith(t *testing.T) {
 	p := New("a", 1)
 	q := p.With("b", Int(2))
-	if len(p) != 1 || len(q) != 2 {
+	if p.Len() != 1 || q.Len() != 2 {
 		t.Errorf("With should not mutate: p=%v q=%v", p, q)
+	}
+	if r := q.Without("b"); !r.Equal(p) {
+		t.Errorf("Without(b) = %v, want %v", r, p)
+	}
+	if r := p.Without("never-seen-key-xyz"); !r.Equal(p) {
+		t.Error("Without of absent key must be identity")
 	}
 	var nilP Props
 	if r := nilP.With("x", Int(1)); r.GetInt("x") != 1 {
@@ -151,8 +157,8 @@ func TestPropsFingerprintAndString(t *testing.T) {
 
 func TestFingerprintCollisionResistance(t *testing.T) {
 	// Keys/values containing the separator bytes must not collide.
-	a := Props{"k": StringVal("x\x01y")}
-	b := Props{"k": StringVal("x"), "y": Nil()}
+	a := New("k", StringVal("x\x01y"))
+	b := New("k", StringVal("x"), "y", nil)
 	if a.Fingerprint() == b.Fingerprint() {
 		t.Error("fingerprint collision on separator bytes")
 	}
@@ -162,19 +168,19 @@ func TestPropsEqualFingerprintAgreement(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		gen := func() Props {
-			p := make(Props)
+			var b Builder
 			for i := 0; i < r.Intn(4); i++ {
 				k := string(rune('a' + r.Intn(3)))
 				switch r.Intn(3) {
 				case 0:
-					p[k] = Int(int64(r.Intn(3)))
+					b.Set(k, Int(int64(r.Intn(3))))
 				case 1:
-					p[k] = StringVal(string(rune('x' + r.Intn(2))))
+					b.Set(k, StringVal(string(rune('x'+r.Intn(2)))))
 				default:
-					p[k] = Bool(r.Intn(2) == 0)
+					b.Set(k, Bool(r.Intn(2) == 0))
 				}
 			}
-			return p
+			return b.Build()
 		}
 		a, b := gen(), gen()
 		return a.Equal(b) == (a.Fingerprint() == b.Fingerprint())
@@ -240,7 +246,7 @@ func TestPropsNewValueAndNilForms(t *testing.T) {
 	if p.GetInt("v") != 7 || p.GetInt("i64") != 9 {
 		t.Errorf("typed constructors: %v", p)
 	}
-	if !p["n"].IsNil() {
+	if !mustGet(p, "n").IsNil() {
 		t.Error("nil literal should produce Nil value")
 	}
 }

@@ -75,30 +75,62 @@ func (s ResolveSpec) For(k string) Resolver {
 	return s.Default
 }
 
+// Bind interns the per-key labels once, returning a BoundResolve the
+// wZoom hot loop uses.
+func (s ResolveSpec) Bind() BoundResolve {
+	b := BoundResolve{def: s.Default}
+	if len(s.PerKey) > 0 {
+		b.perKey = make(map[Key]Resolver, len(s.PerKey))
+		for k, r := range s.PerKey {
+			b.perKey[KeyOf(k)] = r
+		}
+	}
+	return b
+}
+
+// Apply resolves a sequence of property-set states into a single
+// representative property set; see BoundResolve.Apply. Hot loops should
+// Bind once instead.
+func (s ResolveSpec) Apply(states []Props) Props { return s.Bind().Apply(states) }
+
+// BoundResolve is a ResolveSpec whose per-key labels have been
+// interned. It is cheap to copy and safe for concurrent use.
+type BoundResolve struct {
+	def    Resolver
+	perKey map[Key]Resolver
+}
+
+// For returns the resolver for interned attribute k.
+func (b BoundResolve) For(k Key) Resolver {
+	if r, ok := b.perKey[k]; ok {
+		return r
+	}
+	return b.def
+}
+
 // Apply resolves a sequence of property-set states into a single
 // representative property set. The states must be ordered by start
 // time ascending (the natural order of an entity's states within a
 // window). The output contains every attribute defined by at least one
-// state.
-func (s ResolveSpec) Apply(states []Props) Props {
-	if len(states) == 0 {
-		return nil
+// state. A single-state window resolves to that state without copying
+// (Props is immutable).
+func (b BoundResolve) Apply(states []Props) Props {
+	switch len(states) {
+	case 0:
+		return Props{}
+	case 1:
+		return states[0]
 	}
-	if len(states) == 1 {
-		return states[0].Clone()
-	}
-	out := make(Props)
-	for _, st := range states {
-		for k, v := range st {
-			switch s.For(k) {
-			case ResolveLast:
-				out[k] = v // later states overwrite
-			default: // first, any
-				if _, ok := out[k]; !ok {
-					out[k] = v
-				}
+	var out Builder
+	out.Grow(states[0].Len())
+	for si, st := range states {
+		for _, f := range st.f {
+			if si == 0 || b.For(f.k) == ResolveLast {
+				out.SetK(f.k, f.v) // later states overwrite
+			} else { // first, any: earliest defining state wins
+				out.setIfAbsentK(f.k, f.v)
 			}
 		}
 	}
-	return out
+	return out.Build()
 }

@@ -31,7 +31,7 @@ func TestResolveApplyFirstLast(t *testing.T) {
 		New("type", "person", "school", "CMU"),
 	}
 	first := ResolveSpec{Default: ResolveFirst}.Apply(states)
-	if _, ok := first["school"]; !ok {
+	if _, ok := first.Get("school"); !ok {
 		t.Error("first: attribute defined only later must still appear (earliest defining state wins)")
 	}
 	last := ResolveSpec{Default: ResolveLast}.Apply(states)
@@ -70,17 +70,17 @@ func TestResolvePerKey(t *testing.T) {
 }
 
 func TestResolveApplyEdgeCases(t *testing.T) {
-	if (ResolveSpec{}).Apply(nil) != nil {
-		t.Error("resolving no states should yield nil")
+	if (ResolveSpec{}).Apply(nil).Len() != 0 {
+		t.Error("resolving no states should yield the empty set")
 	}
 	p := New("a", 1)
 	out := LastWins.Apply([]Props{p})
 	if !out.Equal(p) {
 		t.Error("single state should round-trip")
 	}
-	out["b"] = Int(2)
-	if _, ok := p["b"]; ok {
-		t.Error("single-state resolve must clone, not alias")
+	out = out.With("b", Int(2))
+	if _, ok := p.Get("b"); ok {
+		t.Error("deriving from the resolved set must not affect the input")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -77,25 +78,23 @@ func WriteEdgesCSV(w io.Writer, states []core.EdgeTuple) error {
 func collectLabels(n int, at func(int) props.Props) []string {
 	seen := map[string]struct{}{}
 	for i := 0; i < n; i++ {
-		for k := range at(i) {
-			seen[k] = struct{}{}
-		}
+		at(i).Range(func(k props.Key, _ props.Value) bool {
+			seen[k.Name()] = struct{}{}
+			return true
+		})
 	}
 	labels := make([]string, 0, len(seen))
 	for k := range seen {
 		labels = append(labels, k)
 	}
-	// props.Keys ordering for a stable header.
-	p := make(props.Props, len(labels))
-	for _, k := range labels {
-		p[k] = props.Nil()
-	}
-	return p.Keys()
+	// Name-sorted, matching props.Keys ordering, for a stable header.
+	sort.Strings(labels)
+	return labels
 }
 
 func appendPropCells(row []string, p props.Props, labels []string) []string {
 	for _, k := range labels {
-		if v, ok := p[k]; ok {
+		if v, ok := p.Get(k); ok {
 			row = append(row, v.String())
 		} else {
 			row = append(row, "")
@@ -206,17 +205,14 @@ func parseIntervalCells(start, end string) (temporal.Interval, error) {
 // parsePropCells decodes property cells: int, then float, then bool,
 // then string; empty cells are skipped.
 func parsePropCells(cells []string, labels []string) props.Props {
-	p := make(props.Props, len(labels))
+	var b props.Builder
 	for i, cell := range cells {
 		if i >= len(labels) || cell == "" {
 			continue
 		}
-		p[labels[i]] = parseValue(cell)
+		b.Set(labels[i], parseValue(cell))
 	}
-	if len(p) == 0 {
-		return nil
-	}
-	return p
+	return b.Build()
 }
 
 func parseValue(s string) props.Value {

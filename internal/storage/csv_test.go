@@ -62,16 +62,18 @@ func TestCSVValueTyping(t *testing.T) {
 	}
 	p := out[0].Props
 	if p.GetInt("n") != 42 {
-		t.Errorf("int: %v", p["n"])
+		t.Errorf("int: %v", p.GetInt("n"))
 	}
-	if f, ok := p["f"].AsFloat(); !ok || f != 2.5 {
-		t.Errorf("float: %v", p["f"])
+	fv, _ := p.Get("f")
+	if f, ok := fv.AsFloat(); !ok || f != 2.5 {
+		t.Errorf("float: %v", fv)
 	}
-	if b, ok := p["b"].AsBool(); !ok || !b {
-		t.Errorf("bool: %v", p["b"])
+	bv, _ := p.Get("b")
+	if b, ok := bv.AsBool(); !ok || !b {
+		t.Errorf("bool: %v", bv)
 	}
 	if p.GetString("s") != "hello" {
-		t.Errorf("string: %v", p["s"])
+		t.Errorf("string: %v", p.GetString("s"))
 	}
 }
 
@@ -102,7 +104,7 @@ func TestCSVEmptyCellsSkipProps(t *testing.T) {
 		t.Fatal(err)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	if _, ok := out[0].Props["school"]; ok {
+	if _, ok := out[0].Props.Get("school"); ok {
 		t.Error("empty cell must not define the property")
 	}
 	if out[1].Props.GetString("school") != "MIT" {

@@ -129,61 +129,189 @@ func decodeDeltaInts(data []byte, n int) ([]int64, error) {
 	return out, nil
 }
 
-// encodeProps serialises a property set deterministically: count, then
-// per key (len, key, kind, len, payload) with keys sorted.
-func encodeProps(p props.Props) []byte {
-	keys := p.Keys()
-	buf := putUvarint(nil, uint64(len(keys)))
-	for _, k := range keys {
-		kind, payload := p[k].Encode()
-		buf = putUvarint(buf, uint64(len(k)))
-		buf = append(buf, k...)
-		buf = putUvarint(buf, uint64(kind))
-		buf = putUvarint(buf, uint64(len(payload)))
-		buf = append(buf, payload...)
+// chunkKeyDict is the per-chunk key dictionary built while encoding a
+// chunk: the sorted distinct property labels of the chunk's rows, plus
+// the interned-Key -> dictionary-index mapping used to encode blobs.
+type chunkKeyDict struct {
+	names []string
+	idx   map[props.Key]int
+}
+
+// buildKeyDict collects the distinct property labels of a batch of
+// property sets into a name-sorted dictionary, so encoded chunks are
+// byte-identical regardless of the process's intern order.
+func buildKeyDict(sets func(func(props.Props))) chunkKeyDict {
+	byKey := map[props.Key]string{}
+	sets(func(p props.Props) {
+		p.Range(func(k props.Key, _ props.Value) bool {
+			if _, ok := byKey[k]; !ok {
+				byKey[k] = k.Name()
+			}
+			return true
+		})
+	})
+	d := chunkKeyDict{names: make([]string, 0, len(byKey)), idx: make(map[props.Key]int, len(byKey))}
+	for _, name := range byKey {
+		d.names = append(d.names, name)
+	}
+	sort.Strings(d.names)
+	for k, name := range byKey {
+		d.idx[k] = sort.SearchStrings(d.names, name)
+	}
+	return d
+}
+
+// encodeKeyTable serialises the dictionary as a chunk column: count,
+// then per label (len, bytes).
+func encodeKeyTable(d chunkKeyDict) []byte {
+	buf := putUvarint(nil, uint64(len(d.names)))
+	for _, name := range d.names {
+		buf = putUvarint(buf, uint64(len(name)))
+		buf = append(buf, name...)
 	}
 	return buf
 }
 
-// decodeProps reverses encodeProps.
-func decodeProps(data []byte) (props.Props, error) {
+// decodeKeyTable reverses encodeKeyTable, interning every label once
+// per chunk so row decoding is pure index work.
+func decodeKeyTable(data []byte) ([]props.Key, error) {
 	r := &byteReader{buf: data}
 	n, err := r.uvarint()
 	if err != nil {
 		return nil, err
 	}
-	if n == 0 {
-		return nil, nil
-	}
-	p := make(props.Props, n)
-	for i := uint64(0); i < n; i++ {
-		klen, err := r.uvarint()
+	keys := make([]props.Key, n)
+	for i := range keys {
+		l, err := r.uvarint()
 		if err != nil {
 			return nil, err
 		}
-		kb, err := r.bytes(int(klen))
+		b, err := r.bytes(int(l))
 		if err != nil {
 			return nil, err
+		}
+		keys[i] = props.KeyOf(string(b))
+	}
+	return keys, nil
+}
+
+// encodeProps serialises a property set against a chunk key dictionary:
+// count, then per field (key dictionary index, kind, len, payload) in
+// index order. With the dictionary name-sorted, the encoding is
+// deterministic across processes.
+func encodeProps(p props.Props, d chunkKeyDict) []byte {
+	buf := putUvarint(nil, uint64(p.Len()))
+	if p.Len() == 0 {
+		return buf
+	}
+	type encField struct {
+		idx     int
+		kind    props.Kind
+		payload string
+	}
+	fields := make([]encField, 0, p.Len())
+	p.Range(func(k props.Key, v props.Value) bool {
+		kind, payload := v.Encode()
+		fields = append(fields, encField{idx: d.idx[k], kind: kind, payload: payload})
+		return true
+	})
+	sort.Slice(fields, func(i, j int) bool { return fields[i].idx < fields[j].idx })
+	for _, f := range fields {
+		buf = putUvarint(buf, uint64(f.idx))
+		buf = putUvarint(buf, uint64(f.kind))
+		buf = putUvarint(buf, uint64(len(f.payload)))
+		buf = append(buf, f.payload...)
+	}
+	return buf
+}
+
+// decodeProps decodes a property blob. keys is the chunk's decoded key
+// table (epoch-2 layout); a nil table selects the legacy epoch-1
+// decoding with labels inlined per field.
+func decodeProps(data []byte, keys []props.Key) (props.Props, error) {
+	if keys == nil {
+		return decodePropsLegacy(data)
+	}
+	r := &byteReader{buf: data}
+	n, err := r.uvarint()
+	if err != nil {
+		return props.Props{}, err
+	}
+	if n == 0 {
+		return props.Props{}, nil
+	}
+	var b props.Builder
+	b.Grow(int(n))
+	for i := uint64(0); i < n; i++ {
+		idx, err := r.uvarint()
+		if err != nil {
+			return props.Props{}, err
+		}
+		if idx >= uint64(len(keys)) {
+			return props.Props{}, fmt.Errorf("storage: property key index %d out of range %d", idx, len(keys))
 		}
 		kind, err := r.uvarint()
 		if err != nil {
-			return nil, err
+			return props.Props{}, err
 		}
 		plen, err := r.uvarint()
 		if err != nil {
-			return nil, err
+			return props.Props{}, err
 		}
 		pb, err := r.bytes(int(plen))
 		if err != nil {
-			return nil, err
+			return props.Props{}, err
 		}
 		v, err := props.Decode(props.Kind(kind), string(pb))
 		if err != nil {
-			return nil, err
+			return props.Props{}, err
 		}
-		p[string(kb)] = v
+		b.SetK(keys[idx], v)
 	}
-	return p, nil
+	return b.Build(), nil
+}
+
+// decodePropsLegacy decodes the epoch-1 blob layout: count, then per
+// key (len, key, kind, len, payload).
+func decodePropsLegacy(data []byte) (props.Props, error) {
+	r := &byteReader{buf: data}
+	n, err := r.uvarint()
+	if err != nil {
+		return props.Props{}, err
+	}
+	if n == 0 {
+		return props.Props{}, nil
+	}
+	var p props.Builder
+	p.Grow(int(n))
+	for i := uint64(0); i < n; i++ {
+		klen, err := r.uvarint()
+		if err != nil {
+			return props.Props{}, err
+		}
+		kb, err := r.bytes(int(klen))
+		if err != nil {
+			return props.Props{}, err
+		}
+		kind, err := r.uvarint()
+		if err != nil {
+			return props.Props{}, err
+		}
+		plen, err := r.uvarint()
+		if err != nil {
+			return props.Props{}, err
+		}
+		pb, err := r.bytes(int(plen))
+		if err != nil {
+			return props.Props{}, err
+		}
+		v, err := props.Decode(props.Kind(kind), string(pb))
+		if err != nil {
+			return props.Props{}, err
+		}
+		p.Set(string(kb), v)
+	}
+	return p.Build(), nil
 }
 
 // dictEncode dictionary-encodes byte strings: returns the dictionary

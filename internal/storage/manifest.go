@@ -27,8 +27,17 @@ const ManifestFile = "MANIFEST"
 
 // FormatEpoch is the manifest format generation this build writes. A
 // manifest with a later epoch was produced by a newer layout and is
-// refused rather than misread.
-const FormatEpoch = 1
+// refused rather than misread. Earlier epochs load normally.
+//
+// Epoch history:
+//
+//	1 — initial manifest format; chunks carry 6 columns with property
+//	    keys inlined as strings in every blob.
+//	2 — chunks carry a 7th column: the per-chunk key dictionary;
+//	    property blobs reference keys by dictionary index. Epoch-1
+//	    directories (and manifest-less legacy ones) still decode via
+//	    the inline-key path, selected per chunk by column count.
+const FormatEpoch = 2
 
 // Typed errors distinguishing the two ways a directory can fail its
 // crash-consistency check. Both are wrapped with detail; test with

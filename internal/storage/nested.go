@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/props"
 	"repro/internal/temporal"
 )
 
@@ -23,13 +24,18 @@ import (
 // last end of its history as separate columns, and the file is sorted
 // on these so the time-range pushdown still works.
 
-// nestedRow is the on-disk record of one entity.
+// nestedRow is the on-disk record of one entity. The write path carries
+// the decoded history (hist) so the chunk encoder can build the chunk's
+// key dictionary; the read path carries the encoded history blob plus
+// the chunk's decoded key table (nil keys = legacy inline-key blobs).
 type nestedRow struct {
 	id         int64
 	src, dst   int64
 	firstStart int64
 	lastEnd    int64
+	hist       []core.HistoryItem
 	history    []byte
+	keys       []props.Key
 }
 
 type nestedChunkMeta struct {
@@ -53,20 +59,23 @@ type nestedFooter struct {
 }
 
 // encodeHistory serialises a history array: count, then per item
-// (start, end, propsLen, props).
-func encodeHistory(h []core.HistoryItem) []byte {
+// (start, end, propsLen, props). Property blobs reference the chunk key
+// dictionary d.
+func encodeHistory(h []core.HistoryItem, d chunkKeyDict) []byte {
 	buf := putUvarint(nil, uint64(len(h)))
 	for _, it := range h {
 		buf = putVarint(buf, int64(it.Interval.Start))
 		buf = putVarint(buf, int64(it.Interval.End))
-		pb := encodeProps(it.Props)
+		pb := encodeProps(it.Props, d)
 		buf = putUvarint(buf, uint64(len(pb)))
 		buf = append(buf, pb...)
 	}
 	return buf
 }
 
-func decodeHistory(data []byte) ([]core.HistoryItem, error) {
+// decodeHistory reverses encodeHistory. keys is the chunk's decoded key
+// table; nil selects the legacy inline-key blob decoding.
+func decodeHistory(data []byte, keys []props.Key) ([]core.HistoryItem, error) {
 	r := &byteReader{buf: data}
 	n, err := r.uvarint()
 	if err != nil {
@@ -90,7 +99,7 @@ func decodeHistory(data []byte) ([]core.HistoryItem, error) {
 		if err != nil {
 			return nil, err
 		}
-		p, err := decodeProps(pb)
+		p, err := decodeProps(pb, keys)
 		if err != nil {
 			return nil, err
 		}
@@ -131,7 +140,7 @@ func nestedVertexRows(vs []core.OGVertex) []nestedRow {
 	rows := make([]nestedRow, len(vs))
 	for i, v := range vs {
 		first, last := historySpan(v.History)
-		rows[i] = nestedRow{id: int64(v.ID), firstStart: first, lastEnd: last, history: encodeHistory(v.History)}
+		rows[i] = nestedRow{id: int64(v.ID), firstStart: first, lastEnd: last, hist: v.History}
 	}
 	return rows
 }
@@ -140,7 +149,7 @@ func nestedEdgeRows(es []core.OGEdge) []nestedRow {
 	rows := make([]nestedRow, len(es))
 	for i, e := range es {
 		first, last := historySpan(e.History)
-		rows[i] = nestedRow{id: int64(e.ID), src: int64(e.Src), dst: int64(e.Dst), firstStart: first, lastEnd: last, history: encodeHistory(e.History)}
+		rows[i] = nestedRow{id: int64(e.ID), src: int64(e.Src), dst: int64(e.Dst), firstStart: first, lastEnd: last, hist: e.History}
 	}
 	return rows
 }
@@ -179,7 +188,7 @@ func encodeNested(w io.Writer, kind string, rows []nestedRow, opts WriteOptions)
 		return err
 	}
 	offset := int64(len(nestedMagic))
-	footer := nestedFooter{Version: 1, Kind: kind, RowCount: len(rows), ChunkRows: opts.chunkRows()}
+	footer := nestedFooter{Version: 2, Kind: kind, RowCount: len(rows), ChunkRows: opts.chunkRows()}
 	for lo := 0; lo < len(rows); lo += footer.ChunkRows {
 		hi := min(lo+footer.ChunkRows, len(rows))
 		data, meta := encodeNestedChunk(rows[lo:hi])
@@ -207,6 +216,13 @@ func encodeNested(w io.Writer, kind string, rows []nestedRow, opts WriteOptions)
 
 func encodeNestedChunk(rows []nestedRow) ([]byte, nestedChunkMeta) {
 	n := len(rows)
+	dict := buildKeyDict(func(yield func(props.Props)) {
+		for _, r := range rows {
+			for _, it := range r.hist {
+				yield(it.Props)
+			}
+		}
+	})
 	ids := make([]int64, n)
 	srcs := make([]int64, n)
 	dsts := make([]int64, n)
@@ -215,7 +231,8 @@ func encodeNestedChunk(rows []nestedRow) ([]byte, nestedChunkMeta) {
 	hists := make([][]byte, n)
 	meta := nestedChunkMeta{Rows: n}
 	for i, r := range rows {
-		ids[i], srcs[i], dsts[i], firsts[i], lasts[i], hists[i] = r.id, r.src, r.dst, r.firstStart, r.lastEnd, r.history
+		ids[i], srcs[i], dsts[i], firsts[i], lasts[i] = r.id, r.src, r.dst, r.firstStart, r.lastEnd
+		hists[i] = encodeHistory(r.hist, dict)
 		if i == 0 {
 			meta.MinFirstStart, meta.MaxFirstStart = r.firstStart, r.firstStart
 			meta.MinLastEnd, meta.MaxLastEnd = r.lastEnd, r.lastEnd
@@ -236,6 +253,7 @@ func encodeNestedChunk(rows []nestedRow) ([]byte, nestedChunkMeta) {
 	cols := [][]byte{
 		encodeDeltaInts(ids), encodeDeltaInts(srcs), encodeDeltaInts(dsts),
 		encodeDeltaInts(firsts), encodeDeltaInts(lasts), hcol,
+		encodeKeyTable(dict),
 	}
 	var data []byte
 	for _, c := range cols {
@@ -329,10 +347,12 @@ func decodeNestedChunk(chunk []byte, cm nestedChunkMeta) ([]nestedRow, error) {
 	if crc32.ChecksumIEEE(chunk) != cm.CRC {
 		return nil, fmt.Errorf("storage: nested chunk at offset %d fails CRC check", cm.Offset)
 	}
-	if len(cm.ColLens) != 6 {
-		return nil, fmt.Errorf("storage: nested chunk has %d columns, want 6", len(cm.ColLens))
+	// 6 columns: epoch-1 layout with labels inlined in history blobs.
+	// 7 columns: epoch-2 layout with a key-dictionary column.
+	if len(cm.ColLens) != 6 && len(cm.ColLens) != 7 {
+		return nil, fmt.Errorf("storage: nested chunk has %d columns, want 6 or 7", len(cm.ColLens))
 	}
-	var cols [6][]byte
+	cols := make([][]byte, len(cm.ColLens))
 	pos := 0
 	for i, l := range cm.ColLens {
 		if pos+l > len(chunk) {
@@ -340,6 +360,16 @@ func decodeNestedChunk(chunk []byte, cm nestedChunkMeta) ([]nestedRow, error) {
 		}
 		cols[i] = chunk[pos : pos+l]
 		pos += l
+	}
+	var keys []props.Key
+	if len(cm.ColLens) == 7 {
+		var err error
+		if keys, err = decodeKeyTable(cols[6]); err != nil {
+			return nil, err
+		}
+		if keys == nil {
+			keys = []props.Key{} // non-nil: selects the epoch-2 blob decoding
+		}
 	}
 	n := cm.Rows
 	ids, err := decodeDeltaInts(cols[0], n)
@@ -373,7 +403,7 @@ func decodeNestedChunk(chunk []byte, cm nestedChunkMeta) ([]nestedRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows[i] = nestedRow{id: ids[i], src: srcs[i], dst: dsts[i], firstStart: firsts[i], lastEnd: lasts[i], history: hb}
+		rows[i] = nestedRow{id: ids[i], src: srcs[i], dst: dsts[i], firstStart: firsts[i], lastEnd: lasts[i], history: hb, keys: keys}
 	}
 	return rows, nil
 }
@@ -400,7 +430,7 @@ func ReadNestedVerticesOpts(path string, opts ReadOptions) ([]core.OGVertex, Sca
 	}
 	out := make([]core.OGVertex, 0, len(rows))
 	for _, rw := range rows {
-		h, err := decodeHistory(rw.history)
+		h, err := decodeHistory(rw.history, rw.keys)
 		if err != nil {
 			if opts.Permissive {
 				stats.RowsCorrupt++
@@ -438,7 +468,7 @@ func ReadNestedEdgesOpts(path string, opts ReadOptions) ([]core.OGEdge, ScanStat
 	}
 	out := make([]core.OGEdge, 0, len(rows))
 	for _, rw := range rows {
-		h, err := decodeHistory(rw.history)
+		h, err := decodeHistory(rw.history, rw.keys)
 		if err != nil {
 			if opts.Permissive {
 				stats.RowsCorrupt++

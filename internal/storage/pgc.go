@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/props"
 	"repro/internal/temporal"
 )
 
@@ -55,13 +56,18 @@ type ReadOptions struct {
 }
 
 // row is the flat on-disk record: vertex rows leave Src/Dst zero and
-// the isEdge flag distinguishes files, not rows.
+// the isEdge flag distinguishes files, not rows. The write path carries
+// the property set itself (p); the read path carries the encoded blob
+// plus the chunk's decoded key table (nil keys = legacy inline-key
+// blobs).
 type row struct {
 	id       int64
 	src, dst int64
 	start    int64
 	end      int64
+	p        props.Props
 	propb    []byte
+	keys     []props.Key
 }
 
 // chunkMeta is the footer entry for one chunk.
@@ -130,7 +136,7 @@ func vertexRows(states []core.VertexTuple) []row {
 			id:    int64(v.ID),
 			start: int64(v.Interval.Start),
 			end:   int64(v.Interval.End),
-			propb: encodeProps(v.Props),
+			p:     v.Props,
 		}
 	}
 	return rows
@@ -145,7 +151,7 @@ func edgeRows(states []core.EdgeTuple) []row {
 			dst:   int64(e.Dst),
 			start: int64(e.Interval.Start),
 			end:   int64(e.Interval.End),
-			propb: encodeProps(e.Props),
+			p:     e.Props,
 		}
 	}
 	return rows
@@ -205,7 +211,7 @@ func encodePGC(w io.Writer, kind string, rows []row, opts WriteOptions) error {
 	}
 	offset := int64(len(magic))
 	footer := fileFooter{
-		Version:   1,
+		Version:   2,
 		Kind:      kind,
 		RowCount:  len(rows),
 		ChunkRows: opts.chunkRows(),
@@ -241,9 +247,16 @@ func encodePGC(w io.Writer, kind string, rows []row, opts WriteOptions) error {
 }
 
 // encodeChunk lays out a chunk column-by-column and computes its zone
-// map.
+// map. Property blobs reference the chunk's key dictionary, appended as
+// the seventh column (legacy 6-column chunks inline the labels; the
+// reader discriminates by column count).
 func encodeChunk(rows []row) ([]byte, chunkMeta) {
 	n := len(rows)
+	dict := buildKeyDict(func(yield func(props.Props)) {
+		for _, r := range rows {
+			yield(r.p)
+		}
+	})
 	ids := make([]int64, n)
 	srcs := make([]int64, n)
 	dsts := make([]int64, n)
@@ -252,7 +265,8 @@ func encodeChunk(rows []row) ([]byte, chunkMeta) {
 	pb := make([][]byte, n)
 	meta := chunkMeta{Rows: n}
 	for i, r := range rows {
-		ids[i], srcs[i], dsts[i], starts[i], ends[i], pb[i] = r.id, r.src, r.dst, r.start, r.end, r.propb
+		ids[i], srcs[i], dsts[i], starts[i], ends[i] = r.id, r.src, r.dst, r.start, r.end
+		pb[i] = encodeProps(r.p, dict)
 		if i == 0 {
 			meta.MinStart, meta.MaxStart = r.start, r.start
 			meta.MinEnd, meta.MaxEnd = r.end, r.end
@@ -273,6 +287,7 @@ func encodeChunk(rows []row) ([]byte, chunkMeta) {
 		encodeDeltaInts(starts),
 		encodeDeltaInts(ends),
 		encodeDictColumn(pb),
+		encodeKeyTable(dict),
 	}
 	var data []byte
 	for _, c := range cols {
@@ -407,10 +422,12 @@ func decodeChunk(chunk []byte, cm chunkMeta) ([]row, error) {
 	if crc32.ChecksumIEEE(chunk) != cm.CRC {
 		return nil, fmt.Errorf("storage: chunk at offset %d fails CRC check", cm.Offset)
 	}
-	if len(cm.ColLens) != 6 {
-		return nil, fmt.Errorf("storage: chunk has %d columns, want 6", len(cm.ColLens))
+	// 6 columns: epoch-1 layout with labels inlined in the blobs.
+	// 7 columns: epoch-2 layout with a key-dictionary column.
+	if len(cm.ColLens) != 6 && len(cm.ColLens) != 7 {
+		return nil, fmt.Errorf("storage: chunk has %d columns, want 6 or 7", len(cm.ColLens))
 	}
-	var cols [6][]byte
+	cols := make([][]byte, len(cm.ColLens))
 	pos := 0
 	for i, l := range cm.ColLens {
 		if pos+l > len(chunk) {
@@ -418,6 +435,16 @@ func decodeChunk(chunk []byte, cm chunkMeta) ([]row, error) {
 		}
 		cols[i] = chunk[pos : pos+l]
 		pos += l
+	}
+	var keys []props.Key
+	if len(cm.ColLens) == 7 {
+		var err error
+		if keys, err = decodeKeyTable(cols[6]); err != nil {
+			return nil, err
+		}
+		if keys == nil {
+			keys = []props.Key{} // non-nil: selects the epoch-2 blob decoding
+		}
 	}
 	n := cm.Rows
 	ids, err := decodeDeltaInts(cols[0], n)
@@ -446,7 +473,7 @@ func decodeChunk(chunk []byte, cm chunkMeta) ([]row, error) {
 	}
 	rows := make([]row, n)
 	for i := 0; i < n; i++ {
-		rows[i] = row{id: ids[i], src: srcs[i], dst: dsts[i], start: starts[i], end: ends[i], propb: pbs[i]}
+		rows[i] = row{id: ids[i], src: srcs[i], dst: dsts[i], start: starts[i], end: ends[i], propb: pbs[i], keys: keys}
 	}
 	return rows, nil
 }
@@ -473,7 +500,7 @@ func ReadVerticesOpts(path string, opts ReadOptions) ([]core.VertexTuple, ScanSt
 	}
 	out := make([]core.VertexTuple, 0, len(rows))
 	for _, rw := range rows {
-		p, err := decodeProps(rw.propb)
+		p, err := decodeProps(rw.propb, rw.keys)
 		if err != nil {
 			if opts.Permissive {
 				stats.RowsCorrupt++
@@ -509,7 +536,7 @@ func ReadEdgesOpts(path string, opts ReadOptions) ([]core.EdgeTuple, ScanStats, 
 	}
 	out := make([]core.EdgeTuple, 0, len(rows))
 	for _, rw := range rows {
-		p, err := decodeProps(rw.propb)
+		p, err := decodeProps(rw.propb, rw.keys)
 		if err != nil {
 			if opts.Permissive {
 				stats.RowsCorrupt++

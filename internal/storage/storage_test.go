@@ -334,26 +334,32 @@ func TestLoadWithRangeClipsStates(t *testing.T) {
 func TestPropsCodecRoundTrip(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		p := make(props.Props)
+		var b props.Builder
 		for i := 0; i < r.Intn(6); i++ {
 			k := string(rune('a' + r.Intn(10)))
 			switch r.Intn(4) {
 			case 0:
-				p[k] = props.Int(r.Int63() - r.Int63())
+				b.Set(k, props.Int(r.Int63()-r.Int63()))
 			case 1:
-				p[k] = props.StringVal(randString(r))
+				b.Set(k, props.StringVal(randString(r)))
 			case 2:
-				p[k] = props.Float(r.NormFloat64())
+				b.Set(k, props.Float(r.NormFloat64()))
 			default:
-				p[k] = props.Bool(r.Intn(2) == 0)
+				b.Set(k, props.Bool(r.Intn(2) == 0))
 			}
 		}
-		got, err := decodeProps(encodeProps(p))
+		p := b.Build()
+		dict := buildKeyDict(func(yield func(props.Props)) { yield(p) })
+		keys, err := decodeKeyTable(encodeKeyTable(dict))
 		if err != nil {
 			return false
 		}
-		if len(p) == 0 {
-			return len(got) == 0
+		if keys == nil {
+			keys = []props.Key{}
+		}
+		got, err := decodeProps(encodeProps(p, dict), keys)
+		if err != nil {
+			return false
 		}
 		return got.Equal(p)
 	}

@@ -1,6 +1,9 @@
 package temporal
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // The temporal splitter implements the alignment primitive of Dignös et
 // al. ("Temporal Alignment", SIGMOD 2012) that the paper's VE
@@ -24,7 +27,7 @@ func Boundaries(ivs []Interval) []Time {
 	if len(pts) == 0 {
 		return nil
 	}
-	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+	slices.Sort(pts) // specialised sort: no per-call reflection allocs
 	out := pts[:1]
 	for _, p := range pts[1:] {
 		if p != out[len(out)-1] {

@@ -96,7 +96,7 @@ func TestPipelineTGAOperators(t *testing.T) {
 		if v.ID == 3 {
 			t.Errorf("Cat should be subtracted: %v", v)
 		}
-		if b, _ := v.Props["seen"].AsBool(); !b {
+		if v, _ := v.Props.Get("seen"); !mustBool(v) {
 			t.Error("map step lost")
 		}
 	}
@@ -151,4 +151,9 @@ func TestFacadeMergeEdges(t *testing.T) {
 	if _, err := tgraph.MergeParallelEdges(g, "x", tgraph.Count("n")); err != nil {
 		t.Errorf("direct call: %v", err)
 	}
+}
+
+func mustBool(v tgraph.Value) bool {
+	b, _ := v.AsBool()
+	return b
 }

@@ -58,6 +58,10 @@ type (
 	Props = props.Props
 	// Value is a property value.
 	Value = props.Value
+	// Key is an interned property label (see KeyOf).
+	Key = props.Key
+	// Kind enumerates the dynamic types a property value can take.
+	Kind = props.Kind
 	// Quantifier is a wZoom existence quantifier.
 	Quantifier = temporal.Quantifier
 	// WindowSpec is a wZoom window specification.
@@ -145,6 +149,22 @@ var (
 	Str   = props.StringVal
 	Bool  = props.Bool
 )
+
+// Property key dictionary: the process-wide interning table behind
+// Props (see internal/props).
+
+// KeyOf interns a property label and returns its Key.
+func KeyOf(name string) Key { return props.KeyOf(name) }
+
+// LookupKey returns the Key for a label without interning it; a miss
+// means the label has never appeared in any property set.
+func LookupKey(name string) (Key, bool) { return props.LookupKey(name) }
+
+// DictSize reports the number of property labels interned process-wide.
+func DictSize() int { return props.DictSize() }
+
+// DictNames returns the interned property labels sorted lexically.
+func DictNames() []string { return props.DictNames() }
 
 // Zoom spec helpers.
 
