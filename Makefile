@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test test-race bench fmt bench-json chaos crash
+.PHONY: check build vet lint test test-race bench fmt bench-json chaos crash smoke-serve
 
-check: build vet lint test-race chaos crash
+check: build vet lint test-race chaos crash smoke-serve
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,13 @@ chaos:
 # never a panic — under the race detector.
 crash:
 	$(GO) test -race -count=1 -run Crash ./...
+
+# Query-service smoke: N concurrent identical requests execute one
+# zoom (singleflight, asserted via obs counters), hits are
+# byte-identical to the cold run, and distinct queries cache
+# independently.
+smoke-serve:
+	$(GO) test -race -count=1 -run 'TestConcurrentIdenticalRequestsDedup|TestWZoomSmokeAndByteIdenticalHit|TestDistinctQueriesCached' ./internal/serve
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

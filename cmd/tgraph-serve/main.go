@@ -1,0 +1,102 @@
+// Command tgraph-serve exposes saved TGraph directories as a
+// concurrent zoom query service (see internal/serve): JSON aZoom^T /
+// wZoom^T / pipeline endpoints with a fingerprinted result cache,
+// singleflight deduplication, per-request timeouts and graceful drain.
+//
+// Usage:
+//
+//	tgraph-serve -graph snb=/data/snb -graph fig1=/data/fig1@og \
+//	    -addr :8080 -cache-mb 64 -timeout 30s
+//
+// Each -graph names one served directory as name=dir or name=dir@rep
+// (rep one of ve|rg|og|ogc, default ve). On SIGINT/SIGTERM the server
+// stops accepting connections, drains in-flight requests and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// graphFlags collects repeated -graph name=dir[@rep] values.
+type graphFlags []serve.GraphConfig
+
+func (g *graphFlags) String() string {
+	parts := make([]string, len(*g))
+	for i, gc := range *g {
+		parts[i] = gc.Name + "=" + gc.Dir
+	}
+	return strings.Join(parts, ",")
+}
+
+func (g *graphFlags) Set(v string) error {
+	name, rest, ok := strings.Cut(v, "=")
+	if !ok || name == "" || rest == "" {
+		return fmt.Errorf("want name=dir[@rep], got %q", v)
+	}
+	dir, rep, _ := strings.Cut(rest, "@")
+	if dir == "" {
+		return fmt.Errorf("want name=dir[@rep], got %q", v)
+	}
+	*g = append(*g, serve.GraphConfig{Name: name, Dir: dir, Rep: rep})
+	return nil
+}
+
+func main() {
+	var graphs graphFlags
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheMB := flag.Int64("cache-mb", 64, "result cache budget in MiB (0 disables residency)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request computation timeout (0 for none)")
+	parallelism := flag.Int("parallelism", 0, "per-request dataflow parallelism (0 = NumCPU)")
+	flag.Var(&graphs, "graph", "graph to serve as name=dir[@rep]; repeatable")
+	flag.Parse()
+
+	if len(graphs) == 0 {
+		fmt.Fprintln(os.Stderr, "tgraph-serve: at least one -graph name=dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	s, err := serve.New(serve.Config{
+		Graphs:      graphs,
+		CacheBytes:  *cacheMB << 20,
+		Timeout:     *timeout,
+		Parallelism: *parallelism,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("tgraph-serve: listening on %s, serving %s", *addr, graphs.String())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("tgraph-serve: %v, draining", sig)
+	}
+
+	// Stop accepting connections, then wait for in-flight queries.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("tgraph-serve: shutdown: %v", err)
+	}
+	s.Drain()
+	log.Print("tgraph-serve: drained, bye")
+}

@@ -92,9 +92,10 @@ func Example_windowZoom() {
 	}
 	// Output:
 	// 1 [1, 7) {school=MIT, type=person}
-	// 2 [4, 7) {school=CMU, type=person}
-	// 3 [1, 7) {school=MIT, type=person}
+	// 2 [4, 9) {school=CMU, type=person}
+	// 3 [1, 9) {school=MIT, type=person}
 	// 1 -> 2 [4, 7)
+	// 2 -> 3 [7, 9)
 }
 
 // Quantifiers control how much evidence a window needs before an

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/storage"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "serve",
+		Title: "Query service: concurrent cached zooms over SNB",
+		Description: "Closed-loop load generator against the in-process HTTP query service: " +
+			"a skewed mix of wZoom^T specs, singleflight-deduplicated and cached by fingerprint. " +
+			"Expected: steady-state hit rate dominated by the hot queries; hit latency far below cold.",
+		Run: runServe,
+	})
+}
+
+// memWriter is a minimal in-memory http.ResponseWriter for driving the
+// service handler without sockets.
+type memWriter struct {
+	h    http.Header
+	code int
+	body bytes.Buffer
+}
+
+func newMemWriter() *memWriter { return &memWriter{h: make(http.Header), code: http.StatusOK} }
+
+func (w *memWriter) Header() http.Header         { return w.h }
+func (w *memWriter) WriteHeader(code int)        { w.code = code }
+func (w *memWriter) Write(b []byte) (int, error) { return w.body.Write(b) }
+
+// serveMix is the experiment's query mix: the first two entries are the
+// "hot" queries the skewed workload concentrates on.
+func serveMix() []serve.WZoomRequest {
+	var mix []serve.WZoomRequest
+	for _, w := range []int{3, 6, 2, 9} {
+		for _, q := range []string{"exists", "all"} {
+			mix = append(mix, serve.WZoomRequest{
+				Graph:  "snb",
+				Window: fmt.Sprintf("%d units", w),
+				VQuant: q, EQuant: q,
+				VResolve: "last", EResolve: "last",
+			})
+		}
+	}
+	return mix
+}
+
+// percentile returns the q-th percentile of sorted durations.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func runServe(cfg Config) []Table {
+	// Persist an SNB-like graph and serve it.
+	d := SNBDataset(cfg, 36)
+	ctx := cfg.context()
+	dir, err := os.MkdirTemp("", "pgc-serve-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := storage.SaveGraph(dir, core.NewVE(ctx, d.Vertices, d.Edges), storage.SaveOptions{}); err != nil {
+		panic(err)
+	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = 4
+	}
+	srv, err := serve.New(serve.Config{
+		Graphs:      []serve.GraphConfig{{Name: "snb", Dir: dir}},
+		CacheBytes:  64 << 20,
+		Parallelism: workers,
+	})
+	if err != nil {
+		panic(err)
+	}
+	handler := srv.Handler()
+
+	do := func(req serve.WZoomRequest) (string, time.Duration) {
+		b, err := json.Marshal(req)
+		if err != nil {
+			panic(err)
+		}
+		r, err := http.NewRequest("POST", "/v1/wzoom", bytes.NewReader(b))
+		if err != nil {
+			panic(err)
+		}
+		w := newMemWriter()
+		start := time.Now()
+		handler.ServeHTTP(w, r)
+		dur := time.Since(start)
+		if w.code != http.StatusOK {
+			panic(fmt.Sprintf("serve bench: %d %s", w.code, w.body.String()))
+		}
+		return w.h.Get("X-TGraph-Cache"), dur
+	}
+
+	mix := serveMix()
+	counters := obs.Default()
+	hitsAt := func() (int64, int64) {
+		reused := counters.Counter("qcache.hits").Value() + counters.Counter("qcache.shared").Value()
+		return reused, counters.Counter("qcache.misses").Value()
+	}
+
+	// Cold phase: every distinct query once, sequentially — all misses,
+	// measuring uncached zoom latency through the full request path.
+	var cold []time.Duration
+	for _, req := range mix {
+		_, dur := do(req)
+		cold = append(cold, dur)
+	}
+
+	// Steady phase: closed-loop workers over a skewed mix (80% of
+	// requests on the two hot queries), so repeats hit the cache and
+	// concurrent first-timers share flights.
+	reusedBase, missBase := hitsAt()
+	perWorker := cfg.scale(60)
+	var mu sync.Mutex
+	var steady []time.Duration
+	var wg sync.WaitGroup
+	steadyStart := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			hist := obs.Default().Histogram("serve.bench.request")
+			for i := 0; i < perWorker; i++ {
+				var req serve.WZoomRequest
+				if rng.Float64() < 0.8 {
+					req = mix[rng.Intn(2)]
+				} else {
+					req = mix[rng.Intn(len(mix))]
+				}
+				_, dur := do(req)
+				hist.Observe(dur)
+				mu.Lock()
+				steady = append(steady, dur)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	steadyWall := time.Since(steadyStart)
+	reusedNow, missNow := hitsAt()
+	reused, misses := reusedNow-reusedBase, missNow-missBase
+
+	sort.Slice(cold, func(i, j int) bool { return cold[i] < cold[j] })
+	sort.Slice(steady, func(i, j int) bool { return steady[i] < steady[j] })
+	hitRate := 0.0
+	if reused+misses > 0 {
+		hitRate = float64(reused) / float64(reused+misses)
+	}
+
+	// Publish the headline numbers as gauges so BENCH_all.json carries
+	// them alongside the serve.latency.* histograms.
+	counters.Gauge("serve.bench.hit_rate_pct").Set(int64(hitRate * 100))
+	counters.Gauge("serve.bench.p50_us").Set(percentile(steady, 0.50).Microseconds())
+	counters.Gauge("serve.bench.p95_us").Set(percentile(steady, 0.95).Microseconds())
+	counters.Gauge("serve.bench.p99_us").Set(percentile(steady, 0.99).Microseconds())
+
+	row := func(phase string, lat []time.Duration, reqs int64, hit string, wall time.Duration) []string {
+		rps := "-"
+		if wall > 0 {
+			rps = fmt.Sprintf("%.0f", float64(reqs)/wall.Seconds())
+		}
+		return []string{
+			phase, fmt.Sprint(reqs), hit,
+			ms(percentile(lat, 0.50)), ms(percentile(lat, 0.95)), ms(percentile(lat, 0.99)),
+			rps,
+		}
+	}
+	t := Table{
+		Title:  fmt.Sprintf("query service under closed-loop load: SNB-like, %d workers, %d distinct queries", workers, len(mix)),
+		Note:   "cold = sequential first-touch of each query; steady = skewed concurrent mix (80% on 2 hot queries)",
+		Header: []string{"phase", "requests", "hit%", "p50 ms", "p95 ms", "p99 ms", "req/s"},
+	}
+	t.Rows = append(t.Rows,
+		row("cold", cold, int64(len(cold)), "0", 0),
+		row("steady", steady, reused+misses, fmt.Sprintf("%.0f", hitRate*100), steadyWall),
+	)
+	return []Table{t}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+	"repro/internal/graphx"
+)
+
+// Rebind returns a view of g whose jobs execute on ctx, sharing all
+// partition data with the original. Context.Bind swaps the
+// cancellation scope for every job on a context, so two requests
+// attaching deadlines to the same loaded graph through its original
+// context would race; a server instead gives each request a fresh
+// dataflow.Context (with its own deadline) and queries through the
+// rebound view. All four representations are supported.
+func Rebind(g TGraph, ctx *dataflow.Context) (TGraph, error) {
+	switch t := g.(type) {
+	case *VE:
+		return &VE{
+			ctx:       ctx,
+			v:         dataflow.Rebind(t.v, ctx),
+			e:         dataflow.Rebind(t.e, ctx),
+			coalesced: t.coalesced,
+			lifetime:  t.lifetime,
+		}, nil
+	case *OG:
+		return &OG{
+			graph:     graphx.Rebind(t.graph, ctx),
+			edgeIDs:   t.edgeIDs,
+			coalesced: t.coalesced,
+			lifetime:  t.lifetime,
+		}, nil
+	case *RG:
+		snaps := make([]Snapshot, len(t.snapshots))
+		for i, s := range t.snapshots {
+			snaps[i] = Snapshot{Interval: s.Interval, Graph: graphx.Rebind(s.Graph, ctx)}
+		}
+		return &RG{ctx: ctx, snapshots: snaps, coalesced: t.coalesced, lifetime: t.lifetime}, nil
+	case *OGC:
+		return &OGC{
+			graph:     graphx.Rebind(t.graph, ctx),
+			intervals: t.intervals,
+			lifetime:  t.lifetime,
+		}, nil
+	default:
+		return nil, fmt.Errorf("core: rebind: unsupported representation %T", g)
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/temporal"
+)
+
+// Rebound views share data: the same zoom on the original and on a
+// rebound view produces identical results, for all representations.
+func TestRebindSharesData(t *testing.T) {
+	ctx := testCtx()
+	base := figure1(ctx)
+	spec := WZoomSpec{Window: temporal.MustEveryN(3), VQuant: temporal.Most()}
+	for _, tg := range []TGraph{base, ToOG(base), ToRG(base), ToOGC(base)} {
+		fresh := testCtx()
+		rb, err := Rebind(tg, fresh)
+		if err != nil {
+			t.Fatalf("%v: %v", tg.Rep(), err)
+		}
+		if rb.Rep() != tg.Rep() {
+			t.Errorf("rebind changed representation: %v -> %v", tg.Rep(), rb.Rep())
+		}
+		want, err := tg.WZoom(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rb.WZoom(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(canonV(t, got), canonV(t, want)) {
+			t.Errorf("%v: rebound zoom differs from original", tg.Rep())
+		}
+	}
+}
+
+// Cancelling the context bound to a rebound view fails queries through
+// that view only — the original graph's context is untouched. This is
+// the property per-request timeouts in the serving layer rely on.
+func TestRebindIsolatesCancellation(t *testing.T) {
+	ctx := testCtx()
+	base := figure1(ctx)
+	spec := WZoomSpec{Window: temporal.MustEveryN(3)}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	reqCtx := dataflow.NewContext(dataflow.WithParallelism(2), dataflow.WithContext(cancelled))
+	rb, err := Rebind(base, reqCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rb.WZoom(spec); !errors.Is(err, context.Canceled) {
+		t.Errorf("rebound view on cancelled context: err = %v, want context.Canceled", err)
+	}
+	// The original is unaffected by the request context's fate.
+	if _, err := base.WZoom(spec); err != nil {
+		t.Errorf("original graph broken by rebind cancellation: %v", err)
+	}
+}
+
+// Many goroutines query one loaded graph concurrently, each through a
+// rebound view with its own context; run under -race this proves the
+// shared-partition views are data-race free.
+func TestRebindConcurrentQueries(t *testing.T) {
+	ctx := testCtx()
+	base := figure1(ctx)
+	spec := WZoomSpec{Window: temporal.MustEveryN(3), VQuant: temporal.Most()}
+	want := canonV(t, mustWZoom(t, base, spec))
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rb, err := Rebind(base, dataflow.NewContext(dataflow.WithParallelism(2)))
+			if err != nil {
+				errs <- err
+				return
+			}
+			out, err := rb.WZoom(spec)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !reflect.DeepEqual(canonV(t, out), want) {
+				errs <- errors.New("concurrent rebound zoom diverged")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func mustWZoom(t *testing.T, g TGraph, spec WZoomSpec) TGraph {
+	t.Helper()
+	out, err := g.WZoom(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

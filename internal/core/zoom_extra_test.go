@@ -178,12 +178,15 @@ func TestWZoomPerKeyResolve(t *testing.T) {
 	}
 }
 
-// TestWZoomAtLeastBoundary: "at least n" is strict.
+// TestWZoomAtLeastBoundary: "at least n" is inclusive — exactly half
+// the window satisfies AtLeast(0.5) (while Most would reject it), and
+// less than half does not.
 func TestWZoomAtLeastBoundary(t *testing.T) {
 	ctx := testCtx()
 	vs := []VertexTuple{
-		{ID: 1, Interval: temporal.MustInterval(0, 2), Props: props.New("type", "p")}, // covers 2 of 4
-		{ID: 2, Interval: temporal.MustInterval(0, 3), Props: props.New("type", "p")}, // covers 3 of 4
+		{ID: 1, Interval: temporal.MustInterval(0, 1), Props: props.New("type", "p")}, // covers 1 of 4
+		{ID: 2, Interval: temporal.MustInterval(0, 2), Props: props.New("type", "p")}, // covers 2 of 4
+		{ID: 3, Interval: temporal.MustInterval(0, 4), Props: props.New("type", "p")}, // covers 4 of 4 (pins the lifetime)
 	}
 	g := NewVE(ctx, vs, nil)
 	out, err := g.WZoom(WZoomSpec{Window: temporal.MustEveryN(4), VQuant: temporal.MustAtLeast(0.5)})
@@ -191,9 +194,74 @@ func TestWZoomAtLeastBoundary(t *testing.T) {
 		t.Fatal(err)
 	}
 	states := canonV(t, out)
-	if len(states) != 1 || states[0].ID != 2 {
-		t.Errorf("at least 0.5 must be strict: %v", fmtV(states))
+	if len(states) != 2 || states[0].ID != 2 || states[1].ID != 3 {
+		t.Errorf("at least 0.5 must keep exactly-half coverage and drop below-half: %v", fmtV(states))
 	}
+	// Most rejects the exactly-half vertex that AtLeast(0.5) keeps.
+	out, err = g.WZoom(WZoomSpec{Window: temporal.MustEveryN(4), VQuant: temporal.Most()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if states := canonV(t, out); len(states) != 1 || states[0].ID != 3 {
+		t.Errorf("most must reject exactly-half coverage: %v", fmtV(states))
+	}
+}
+
+// TestWZoomAtLeastOneIsAll: "at least 1" retains exactly what All()
+// retains. Before the inclusive fix, AtLeast(1) was unsatisfiable.
+func TestWZoomAtLeastOneIsAll(t *testing.T) {
+	ctx := testCtx()
+	vs := []VertexTuple{
+		{ID: 1, Interval: temporal.MustInterval(0, 4), Props: props.New("type", "p")}, // full window
+		{ID: 2, Interval: temporal.MustInterval(0, 3), Props: props.New("type", "p")}, // 3 of 4
+	}
+	g := NewVE(ctx, vs, nil)
+	for _, q := range []temporal.Quantifier{temporal.MustAtLeast(1), temporal.All()} {
+		for _, tg := range []TGraph{g, ToOG(g), ToRG(g), ToOGC(g)} {
+			out, err := tg.WZoom(WZoomSpec{Window: temporal.MustEveryN(4), VQuant: q})
+			if err != nil {
+				t.Fatal(err)
+			}
+			states := canonV(t, out)
+			if len(states) != 1 || states[0].ID != 1 {
+				t.Errorf("%v/%v: want only the fully-covering vertex, got %v", tg.Rep(), q, fmtV(states))
+			}
+		}
+	}
+}
+
+// TestWZoomTailWindowClamped: with lifetime [0,10) and window size 3,
+// the last window is [9,10), not [9,12). An entity alive for the whole
+// observable tail must pass All() in that window. Before the clamp fix
+// the entity failed (covered 1 of a phantom 3).
+func TestWZoomTailWindowClamped(t *testing.T) {
+	ctx := testCtx()
+	vs := []VertexTuple{
+		{ID: 1, Interval: temporal.MustInterval(0, 10), Props: props.New("type", "p")},
+	}
+	g := NewVE(ctx, vs, nil)
+	spec := WZoomSpec{Window: temporal.MustEveryN(3), VQuant: temporal.All()}
+	for _, tg := range []TGraph{g, ToOG(g), ToRG(g), ToOGC(g)} {
+		out, err := tg.WZoom(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		states := canonV(t, out)
+		// Windows [0,3) [3,6) [6,9) [9,10): all four pass, coalescing to
+		// the full lifetime.
+		merged := temporal.CoalesceIntervals(intervalsOf(states))
+		if len(merged) != 1 || !merged[0].Equal(temporal.MustInterval(0, 10)) {
+			t.Errorf("%v: tail-alive entity must survive All() in the clamped final window: %v", tg.Rep(), fmtV(states))
+		}
+	}
+}
+
+func intervalsOf(vs []VertexTuple) []temporal.Interval {
+	out := make([]temporal.Interval, len(vs))
+	for i, v := range vs {
+		out[i] = v.Interval
+	}
+	return out
 }
 
 // TestWZoomGapsWithinEntity: an entity with a gap inside one window

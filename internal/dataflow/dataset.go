@@ -48,6 +48,20 @@ func Empty[T any](ctx *Context) *Dataset[T] {
 	return &Dataset[T]{ctx: ctx, parts: [][]T{nil}}
 }
 
+// Rebind returns a view of d bound to a different execution context:
+// the partitions are shared unchanged, only the Context executing
+// subsequent transformations differs. Context.Bind swaps the
+// cancellation scope for every job on that context, so concurrent
+// callers sharing one loaded dataset would race their deadlines
+// through it; Rebind lets each caller derive a per-request view on a
+// fresh Context instead.
+func Rebind[T any](d *Dataset[T], ctx *Context) *Dataset[T] {
+	if d == nil || d.ctx == ctx {
+		return d
+	}
+	return &Dataset[T]{ctx: ctx, parts: d.parts}
+}
+
 // Context returns the owning execution context.
 func (d *Dataset[T]) Context() *Context { return d.ctx }
 

@@ -58,22 +58,25 @@ func shuffleByKey[K comparable, V any](d *Dataset[V], key func(V) K, numOut int)
 
 // GroupByKey shuffles by key and materialises one Group per distinct
 // key. Like Spark's groupByKey it moves every record; prefer
-// ReduceByKey or AggregateByKey when a combiner applies.
+// ReduceByKey or AggregateByKey when a combiner applies. The key
+// function is invoked exactly once per record, map-side: the shuffle
+// carries precomputed Pair[K, V] records, so a non-deterministic or
+// stateful key function cannot misgroup on the reduce side.
 func GroupByKey[K comparable, V any](d *Dataset[V], key func(V) K) *Dataset[Group[K, V]] {
-	shuffled := shuffleByKey(d, key, len(d.parts))
+	paired := Map(d, func(v V) Pair[K, V] { return Pair[K, V]{First: key(v), Second: v} })
+	shuffled := shuffleByKey(paired, func(p Pair[K, V]) K { return p.First }, len(d.parts))
 	out := make([][]Group[K, V], len(shuffled))
 	d.ctx.runTasks("groupbykey", len(shuffled), func(i int) {
 		idx := make(map[K]int)
 		var groups []Group[K, V]
-		for _, rec := range shuffled[i] {
-			k := key(rec)
-			j, ok := idx[k]
+		for _, p := range shuffled[i] {
+			j, ok := idx[p.First]
 			if !ok {
 				j = len(groups)
-				idx[k] = j
-				groups = append(groups, Group[K, V]{Key: k})
+				idx[p.First] = j
+				groups = append(groups, Group[K, V]{Key: p.First})
 			}
-			groups[j].Values = append(groups[j].Values, rec)
+			groups[j].Values = append(groups[j].Values, p.Second)
 		}
 		out[i] = groups
 	})

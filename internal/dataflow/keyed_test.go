@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"reflect"
 	"sort"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -24,6 +25,36 @@ func TestGroupByKey(t *testing.T) {
 				t.Errorf("value %d in wrong group %d", v, g.Key)
 			}
 		}
+	}
+}
+
+// TestGroupByKeyInvokesKeyOnce: the key function runs exactly once per
+// record, map-side. Before the Pair-shuffle fix it also ran on the
+// reduce side, so a non-deterministic or stateful key silently
+// misgrouped.
+func TestGroupByKeyInvokesKeyOnce(t *testing.T) {
+	ctx := testCtx()
+	n := 30
+	d := Parallelize(ctx, ints(n), 5)
+	var calls atomic.Int64
+	groups := GroupByKey(d, func(x int) int {
+		calls.Add(1)
+		return x % 3
+	}).Collect()
+	if got := calls.Load(); got != int64(n) {
+		t.Errorf("key function called %d times, want exactly %d", got, n)
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g.Values)
+		for _, v := range g.Values {
+			if v%3 != g.Key {
+				t.Errorf("value %d in wrong group %d", v, g.Key)
+			}
+		}
+	}
+	if total != n {
+		t.Errorf("grouped %d records, want %d", total, n)
 	}
 }
 

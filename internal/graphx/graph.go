@@ -78,6 +78,21 @@ func FromDatasets[VD, ED any](v *dataflow.Dataset[Vertex[VD]], e *dataflow.Datas
 // Context returns the execution context.
 func (g *Graph[VD, ED]) Context() *dataflow.Context { return g.vertices.Context() }
 
+// Rebind returns a view of g whose vertex and edge datasets execute on
+// ctx, sharing the partitions unchanged. See dataflow.Rebind: this is
+// how concurrent callers attach independent cancellation scopes to one
+// loaded graph.
+func Rebind[VD, ED any](g *Graph[VD, ED], ctx *dataflow.Context) *Graph[VD, ED] {
+	if g == nil {
+		return nil
+	}
+	return &Graph[VD, ED]{
+		vertices: dataflow.Rebind(g.vertices, ctx),
+		edges:    dataflow.Rebind(g.edges, ctx),
+		strategy: g.strategy,
+	}
+}
+
 // Vertices returns the vertex dataset.
 func (g *Graph[VD, ED]) Vertices() *dataflow.Dataset[Vertex[VD]] { return g.vertices }
 

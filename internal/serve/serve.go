@@ -1,0 +1,392 @@
+// Package serve is the concurrent query service over loaded TGraphs:
+// stdlib net/http handlers for aZoom^T, wZoom^T and operator pipelines
+// with JSON specs, backed by the qcache result cache.
+//
+// Request flow: the target graph's on-disk identity is re-checked via
+// storage.Stamp on every request (a changed manifest epoch reloads the
+// graph and flushes its cache entries); the request's operator chain is
+// parsed and canonicalised; the cache key is
+// "<graph>|" + qcache.Key(stamp, chain); and the cache's singleflight
+// Do either returns resident response bytes (byte-identical to the
+// cold run, outcome in the X-TGraph-Cache header) or computes them on
+// a fresh per-request dataflow.Context — with its own deadline — over
+// a rebound view of the shared graph (core.Rebind), so concurrent
+// requests never share a cancellation scope.
+//
+// The server reports to the process-wide obs registry:
+//
+//	serve.requests          requests accepted (counter)
+//	serve.errors            requests answered with an error (counter)
+//	serve.computations      cold zoom executions, cache misses (counter)
+//	serve.inflight          requests currently executing (gauge)
+//	serve.latency.<op>      request latency per endpoint (histogram)
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/obs"
+	"repro/internal/qcache"
+	"repro/internal/storage"
+)
+
+// GraphConfig names one on-disk graph directory to serve.
+type GraphConfig struct {
+	// Name is the wire name requests refer to.
+	Name string
+	// Dir is the storage directory (as written by storage.Save).
+	Dir string
+	// Rep is the representation to load and query ("ve", "rg", "og",
+	// "ogc"); empty selects VE.
+	Rep string
+}
+
+// Config configures a Server.
+type Config struct {
+	// Graphs are the served graphs. Names must be unique and non-empty.
+	Graphs []GraphConfig
+	// CacheBytes bounds the result cache; <= 0 disables residency
+	// (requests still deduplicate in flight).
+	CacheBytes int64
+	// Timeout bounds each cold query computation; <= 0 means none.
+	Timeout time.Duration
+	// Parallelism is the per-request dataflow parallelism; < 1 selects
+	// runtime.NumCPU().
+	Parallelism int
+}
+
+// graphHandle is one served graph: the loaded shared TGraph plus the
+// storage stamp it was loaded at.
+type graphHandle struct {
+	name string
+	dir  string
+	rep  core.Representation
+
+	mu    sync.Mutex
+	stamp string
+	graph core.TGraph
+}
+
+// ensure returns the loaded graph and its current stamp, reloading if
+// the directory's stamp no longer matches (and flushing the graph's
+// cache entries, since results keyed under the old stamp are stale —
+// prefix invalidation reclaims their bytes eagerly).
+func (h *graphHandle) ensure(cache *qcache.Cache, parallelism int) (core.TGraph, string, error) {
+	stamp, err := storage.Stamp(h.dir)
+	if err != nil {
+		return nil, "", fmt.Errorf("serve: stamp %s: %w", h.name, err)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.graph == nil || h.stamp != stamp {
+		if h.graph != nil {
+			cache.InvalidatePrefix(h.name + "|")
+		}
+		ctx := dataflow.NewContext(dataflow.WithParallelism(parallelism))
+		g, _, err := storage.Load(ctx, h.dir, storage.LoadOptions{Rep: h.rep})
+		if err != nil {
+			return nil, "", fmt.Errorf("serve: load %s: %w", h.name, err)
+		}
+		h.graph, h.stamp = g, stamp
+	}
+	return h.graph, h.stamp, nil
+}
+
+// Server is the query service. Construct with New; serve its Handler;
+// stop accepting and wait for in-flight requests with Drain.
+type Server struct {
+	mux         *http.ServeMux
+	cache       *qcache.Cache
+	graphs      map[string]*graphHandle
+	names       []string
+	timeout     time.Duration
+	parallelism int
+
+	draining atomic.Bool
+	wg       sync.WaitGroup
+
+	requests     *obs.Counter
+	errorsC      *obs.Counter
+	computations *obs.Counter
+	inflight     *obs.Gauge
+}
+
+// New builds a Server from cfg. Graphs are loaded lazily on first
+// request; New only validates the configuration shape.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Graphs) == 0 {
+		return nil, errors.New("serve: no graphs configured")
+	}
+	r := obs.Default()
+	s := &Server{
+		mux:         http.NewServeMux(),
+		cache:       qcache.New(cfg.CacheBytes),
+		graphs:      make(map[string]*graphHandle, len(cfg.Graphs)),
+		timeout:     cfg.Timeout,
+		parallelism: cfg.Parallelism,
+
+		requests:     r.Counter("serve.requests"),
+		errorsC:      r.Counter("serve.errors"),
+		computations: r.Counter("serve.computations"),
+		inflight:     r.Gauge("serve.inflight"),
+	}
+	for _, gc := range cfg.Graphs {
+		if gc.Name == "" || gc.Dir == "" {
+			return nil, fmt.Errorf("serve: graph needs name and dir, got %q=%q", gc.Name, gc.Dir)
+		}
+		if _, dup := s.graphs[gc.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate graph name %q", gc.Name)
+		}
+		repName := gc.Rep
+		if repName == "" {
+			repName = "ve"
+		}
+		rep, err := parseRep(repName)
+		if err != nil {
+			return nil, fmt.Errorf("serve: graph %q: %w", gc.Name, err)
+		}
+		s.graphs[gc.Name] = &graphHandle{name: gc.Name, dir: gc.Dir, rep: rep}
+		s.names = append(s.names, gc.Name)
+	}
+	sort.Strings(s.names)
+
+	s.mux.HandleFunc("POST /v1/azoom", s.handleAZoom)
+	s.mux.HandleFunc("POST /v1/wzoom", s.handleWZoom)
+	s.mux.HandleFunc("POST /v1/pipeline", s.handlePipeline)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the result cache (for tests and embedding callers).
+func (s *Server) Cache() *qcache.Cache { return s.cache }
+
+// Drain stops admitting requests (they get 503) and blocks until every
+// in-flight request has completed. Call before process exit, after
+// http.Server.Shutdown has stopped accepting connections.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.wg.Wait()
+}
+
+// errorJSON is the error response body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	s.errorsC.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorJSON{Error: err.Error()})
+}
+
+// admit performs the shared request bookkeeping. It returns false if
+// the server is draining (the request was already answered); otherwise
+// the caller must call the returned done func when finished.
+func (s *Server) admit(w http.ResponseWriter, endpoint string) (done func(), ok bool) {
+	// Register before re-checking the flag: Drain sets the flag and then
+	// waits the group, so a request seeing draining==false here is
+	// either already registered or answered 503.
+	s.wg.Add(1)
+	if s.draining.Load() {
+		s.wg.Done()
+		s.errorsC.Add(1)
+		http.Error(w, `{"error":"server draining"}`, http.StatusServiceUnavailable)
+		return nil, false
+	}
+	s.requests.Add(1)
+	s.inflight.Add(1)
+	span := obs.StartSpan("serve." + endpoint)
+	start := time.Now()
+	hist := obs.Default().Histogram("serve.latency." + endpoint)
+	return func() {
+		hist.Observe(time.Since(start))
+		span.End()
+		s.inflight.Add(-1)
+		s.wg.Done()
+	}, true
+}
+
+// run executes a parsed operator chain against a named graph through
+// the cache and writes the response.
+func (s *Server) run(w http.ResponseWriter, graphName string, steps []step) {
+	h, ok := s.graphs[graphName]
+	if !ok {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", graphName))
+		return
+	}
+	g, stamp, err := h.ensure(s.cache, s.parallelism)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, storage.ErrIncompleteSave) {
+			// A save is in progress (or was torn); the graph may become
+			// loadable momentarily.
+			code = http.StatusServiceUnavailable
+		}
+		s.fail(w, code, err)
+		return
+	}
+	key := graphName + "|" + qcache.Key(stamp, canonical(steps))
+	val, outcome, err := s.cache.Do(key, func() (any, int64, error) {
+		defer obs.StartSpan("serve.compute").End()
+		s.computations.Add(1)
+		reqCtx := dataflow.NewContext(
+			dataflow.WithParallelism(s.parallelism),
+			dataflow.WithTimeout(s.timeout),
+		)
+		defer reqCtx.Close()
+		rb, err := core.Rebind(g, reqCtx)
+		if err != nil {
+			return nil, 0, err
+		}
+		var body []byte
+		err = reqCtx.Run(func() error {
+			out := rb
+			for _, st := range steps {
+				var e error
+				if out, e = st.apply(out); e != nil {
+					return e
+				}
+			}
+			var e error
+			body, e = encodeGraph(out)
+			return e
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		return body, int64(len(body)), nil
+	})
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, context.DeadlineExceeded) {
+			code = http.StatusGatewayTimeout
+		}
+		s.fail(w, code, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-TGraph-Cache", outcome.String())
+	w.Write(val.([]byte))
+}
+
+func decodeBody(r *http.Request, into any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(into)
+}
+
+func (s *Server) handleAZoom(w http.ResponseWriter, r *http.Request) {
+	done, ok := s.admit(w, "azoom")
+	if !ok {
+		return
+	}
+	defer done()
+	var req AZoomRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := parseAZoomStep(req.GroupBy, req.NewType, req.Count)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	s.run(w, req.Graph, []step{st})
+}
+
+func (s *Server) handleWZoom(w http.ResponseWriter, r *http.Request) {
+	done, ok := s.admit(w, "wzoom")
+	if !ok {
+		return
+	}
+	defer done()
+	var req WZoomRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := parseWZoomStep(req.Window, req.VQuant, req.EQuant, req.VResolve, req.EResolve)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	s.run(w, req.Graph, []step{st})
+}
+
+func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
+	done, ok := s.admit(w, "pipeline")
+	if !ok {
+		return
+	}
+	defer done()
+	var req PipelineRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	steps, err := parseSteps(req.Steps)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	s.run(w, req.Graph, steps)
+}
+
+// GraphInfo is one entry of the /v1/graphs listing.
+type GraphInfo struct {
+	Name   string `json:"name"`
+	Dir    string `json:"dir"`
+	Rep    string `json:"rep"`
+	Loaded bool   `json:"loaded"`
+	Stamp  string `json:"stamp,omitempty"`
+}
+
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	done, ok := s.admit(w, "graphs")
+	if !ok {
+		return
+	}
+	defer done()
+	out := make([]GraphInfo, 0, len(s.names))
+	for _, name := range s.names {
+		h := s.graphs[name]
+		h.mu.Lock()
+		info := GraphInfo{
+			Name: h.name, Dir: h.dir, Rep: h.rep.String(),
+			Loaded: h.graph != nil, Stamp: h.stamp,
+		}
+		h.mu.Unlock()
+		out = append(out, info)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(obs.Default().Snapshot())
+}

@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/props"
+	"repro/internal/temporal"
+)
+
+// The wire model. Zoom specs travel as JSON strings in the paper's own
+// textual syntax ("3 months", "at least 0.5", "last") and are parsed
+// into validated core specs. The canonical fingerprint of a request is
+// rebuilt from the PARSED forms (WindowSpec.String, Quantifier.String,
+// …), so two spellings of the same query — "3 months" vs "3 units",
+// "AT LEAST 0.5" vs "at least 0.5" — share one cache entry.
+
+// StepRequest is one operator of a pipeline request. Op selects which
+// fields apply: "azoom" (GroupBy, NewType, Count), "wzoom" (Window,
+// VQuant, EQuant, VResolve, EResolve) or "switch" (Rep).
+type StepRequest struct {
+	Op string `json:"op"`
+
+	// aZoom^T fields.
+	GroupBy string `json:"groupBy,omitempty"`
+	NewType string `json:"newType,omitempty"`
+	Count   string `json:"count,omitempty"`
+
+	// wZoom^T fields.
+	Window   string `json:"window,omitempty"`
+	VQuant   string `json:"vquant,omitempty"`
+	EQuant   string `json:"equant,omitempty"`
+	VResolve string `json:"vresolve,omitempty"`
+	EResolve string `json:"eresolve,omitempty"`
+
+	// Representation switch field.
+	Rep string `json:"rep,omitempty"`
+}
+
+// PipelineRequest asks for a chain of operators over a served graph.
+type PipelineRequest struct {
+	Graph string        `json:"graph"`
+	Steps []StepRequest `json:"steps"`
+}
+
+// AZoomRequest is the single-operator aZoom^T endpoint's body.
+type AZoomRequest struct {
+	Graph   string `json:"graph"`
+	GroupBy string `json:"groupBy"`
+	NewType string `json:"newType,omitempty"`
+	Count   string `json:"count,omitempty"`
+}
+
+// WZoomRequest is the single-operator wZoom^T endpoint's body.
+type WZoomRequest struct {
+	Graph    string `json:"graph"`
+	Window   string `json:"window"`
+	VQuant   string `json:"vquant,omitempty"`
+	EQuant   string `json:"equant,omitempty"`
+	VResolve string `json:"vresolve,omitempty"`
+	EResolve string `json:"eresolve,omitempty"`
+}
+
+// step is a parsed, executable operator plus its canonical fingerprint
+// fragment.
+type step struct {
+	canon string
+	apply func(core.TGraph) (core.TGraph, error)
+}
+
+// parseAZoomStep validates an aZoom step and canonicalises it.
+func parseAZoomStep(groupBy, newType, count string) (step, error) {
+	if groupBy == "" {
+		return step{}, fmt.Errorf("azoom: groupBy is required")
+	}
+	if newType == "" {
+		newType = groupBy + "-group"
+	}
+	var aggs []props.AggField
+	if count != "" {
+		aggs = append(aggs, props.Count(count))
+	}
+	spec := core.GroupByProperty(groupBy, newType, aggs...)
+	return step{
+		canon: fmt.Sprintf("azoom(by=%s,type=%s,count=%s)", groupBy, newType, count),
+		apply: func(g core.TGraph) (core.TGraph, error) { return g.AZoom(spec) },
+	}, nil
+}
+
+// parseWZoomStep validates a wZoom step and canonicalises it from the
+// parsed spec objects.
+func parseWZoomStep(window, vquant, equant, vresolve, eresolve string) (step, error) {
+	if window == "" {
+		return step{}, fmt.Errorf("wzoom: window is required")
+	}
+	w, err := temporal.ParseWindowSpec(window)
+	if err != nil {
+		return step{}, err
+	}
+	parseQ := func(s string) (temporal.Quantifier, error) {
+		if s == "" {
+			return temporal.Exists(), nil
+		}
+		return temporal.ParseQuantifier(s)
+	}
+	vq, err := parseQ(vquant)
+	if err != nil {
+		return step{}, err
+	}
+	eq, err := parseQ(equant)
+	if err != nil {
+		return step{}, err
+	}
+	vr, err := props.ParseResolver(vresolve)
+	if err != nil {
+		return step{}, err
+	}
+	er, err := props.ParseResolver(eresolve)
+	if err != nil {
+		return step{}, err
+	}
+	spec := core.WZoomSpec{
+		Window: w, VQuant: vq, EQuant: eq,
+		VResolve: props.ResolveSpec{Default: vr},
+		EResolve: props.ResolveSpec{Default: er},
+	}
+	return step{
+		canon: fmt.Sprintf("wzoom(w=%s,vq=%s,eq=%s,vr=%s,er=%s)", w, vq, eq, vr, er),
+		apply: func(g core.TGraph) (core.TGraph, error) { return g.WZoom(spec) },
+	}, nil
+}
+
+// parseSwitchStep validates a representation switch.
+func parseSwitchStep(rep string) (step, error) {
+	r, err := parseRep(rep)
+	if err != nil {
+		return step{}, err
+	}
+	return step{
+		canon: fmt.Sprintf("switch(%s)", r),
+		apply: func(g core.TGraph) (core.TGraph, error) { return core.Convert(g, r) },
+	}, nil
+}
+
+// parseRep maps the wire names to representations.
+func parseRep(s string) (core.Representation, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "ve":
+		return core.RepVE, nil
+	case "rg":
+		return core.RepRG, nil
+	case "og":
+		return core.RepOG, nil
+	case "ogc":
+		return core.RepOGC, nil
+	default:
+		return 0, fmt.Errorf("unknown representation %q (want ve|rg|og|ogc)", s)
+	}
+}
+
+// parseSteps validates a pipeline's steps.
+func parseSteps(reqs []StepRequest) ([]step, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("pipeline: at least one step is required")
+	}
+	out := make([]step, 0, len(reqs))
+	for i, r := range reqs {
+		var st step
+		var err error
+		switch strings.ToLower(r.Op) {
+		case "azoom":
+			st, err = parseAZoomStep(r.GroupBy, r.NewType, r.Count)
+		case "wzoom":
+			st, err = parseWZoomStep(r.Window, r.VQuant, r.EQuant, r.VResolve, r.EResolve)
+		case "switch":
+			st, err = parseSwitchStep(r.Rep)
+		default:
+			err = fmt.Errorf("unknown op %q (want azoom|wzoom|switch)", r.Op)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("step %d: %w", i, err)
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// canonical joins step fingerprints into the operator-chain part of the
+// cache key.
+func canonical(steps []step) string {
+	parts := make([]string, len(steps))
+	for i, s := range steps {
+		parts[i] = s.canon
+	}
+	return strings.Join(parts, ";")
+}
+
+// The response model: flat coalesced states, deterministically ordered
+// so equal results are equal bytes.
+
+// StateJSON is one vertex or edge state on the wire. Src/Dst are only
+// set for edges.
+type StateJSON struct {
+	ID    int64             `json:"id"`
+	Src   int64             `json:"src,omitempty"`
+	Dst   int64             `json:"dst,omitempty"`
+	Start int64             `json:"start"`
+	End   int64             `json:"end"`
+	Props map[string]string `json:"props,omitempty"`
+}
+
+// GraphJSON is a zoom result on the wire.
+type GraphJSON struct {
+	Rep      string      `json:"rep"`
+	Lifetime [2]int64    `json:"lifetime"`
+	Vertices []StateJSON `json:"vertices"`
+	Edges    []StateJSON `json:"edges"`
+}
+
+// encodeGraph renders a result graph as deterministic JSON bytes: the
+// graph is coalesced, states are sorted, and encoding/json emits map
+// keys sorted — so recomputing the same query yields identical bytes.
+func encodeGraph(g core.TGraph) ([]byte, error) {
+	c := g.Coalesce()
+	life := c.Lifetime()
+	out := GraphJSON{
+		Rep:      c.Rep().String(),
+		Lifetime: [2]int64{int64(life.Start), int64(life.End)},
+		Vertices: []StateJSON{},
+		Edges:    []StateJSON{},
+	}
+	for _, v := range c.VertexStates() {
+		out.Vertices = append(out.Vertices, StateJSON{
+			ID: int64(v.ID), Start: int64(v.Interval.Start), End: int64(v.Interval.End),
+			Props: propsMap(v.Props),
+		})
+	}
+	for _, e := range c.EdgeStates() {
+		out.Edges = append(out.Edges, StateJSON{
+			ID: int64(e.ID), Src: int64(e.Src), Dst: int64(e.Dst),
+			Start: int64(e.Interval.Start), End: int64(e.Interval.End),
+			Props: propsMap(e.Props),
+		})
+	}
+	sort.Slice(out.Vertices, func(i, j int) bool { return stateLess(out.Vertices[i], out.Vertices[j]) })
+	sort.Slice(out.Edges, func(i, j int) bool { return stateLess(out.Edges[i], out.Edges[j]) })
+	return json.Marshal(out)
+}
+
+func stateLess(a, b StateJSON) bool {
+	if a.ID != b.ID {
+		return a.ID < b.ID
+	}
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	if a.Dst != b.Dst {
+		return a.Dst < b.Dst
+	}
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	return a.End < b.End
+}
+
+func propsMap(p props.Props) map[string]string {
+	if p.Len() == 0 {
+		return nil
+	}
+	m := make(map[string]string, p.Len())
+	p.Range(func(k props.Key, v props.Value) bool {
+		m[k.Name()] = v.String()
+		return true
+	})
+	return m
+}

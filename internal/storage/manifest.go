@@ -74,6 +74,12 @@ type ManifestEntry struct {
 type Manifest struct {
 	// Epoch is the format generation that wrote the directory.
 	Epoch int `json:"epoch"`
+	// SaveEpoch is a per-directory save counter: each successful
+	// SaveGraph commits the previous manifest's SaveEpoch + 1. Unlike
+	// Epoch (the format generation, fixed per build) it changes on every
+	// save, giving cached query results an identity to invalidate on;
+	// see Stamp. Manifests written before this field existed read as 0.
+	SaveEpoch int64 `json:"saveEpoch,omitempty"`
 	// Entries lists every committed file.
 	Entries []ManifestEntry `json:"files"`
 	// CRC is the CRC32 of the JSON encoding of Entries, making a torn
@@ -99,9 +105,14 @@ func entriesCRC(entries []ManifestEntry) (uint32, error) {
 	return crc32.ChecksumIEEE(b), nil
 }
 
-// writeManifest atomically writes the MANIFEST commit record.
+// writeManifest atomically writes the MANIFEST commit record,
+// advancing the directory's SaveEpoch past the previous manifest's.
 func writeManifest(dir string, entries []ManifestEntry, hook WriteHook) error {
-	m := Manifest{Epoch: FormatEpoch, Entries: entries}
+	var prevSave int64
+	if prev, err := ReadManifest(dir); err == nil && prev != nil {
+		prevSave = prev.SaveEpoch
+	}
+	m := Manifest{Epoch: FormatEpoch, SaveEpoch: prevSave + 1, Entries: entries}
 	crc, err := entriesCRC(entries)
 	if err != nil {
 		return fmt.Errorf("storage: encode manifest: %w", err)
@@ -144,6 +155,33 @@ func ReadManifest(dir string) (*Manifest, error) {
 			dir, ManifestFile, m.Epoch, FormatEpoch, ErrManifestMismatch)
 	}
 	return &m, nil
+}
+
+// Stamp returns an identity token for the committed contents of a
+// graph directory, suitable as a cache-invalidation key: every
+// successful SaveGraph changes it (the SaveEpoch advances, and the
+// manifest CRC tracks the committed data). Directories predating the
+// manifest format fall back to a fingerprint of the layout files'
+// sizes and modification times. A torn manifest returns its read
+// error so callers don't cache against a damaged directory.
+func Stamp(dir string) (string, error) {
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return "", err
+	}
+	if m != nil {
+		return fmt.Sprintf("manifest:%d:%d:%08x", m.Epoch, m.SaveEpoch, m.CRC), nil
+	}
+	var b strings.Builder
+	b.WriteString("legacy")
+	for _, name := range layoutFiles {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(&b, ":%s:%d:%d", name, info.Size(), info.ModTime().UnixNano())
+	}
+	return b.String(), nil
 }
 
 // checkEntry verifies that the file behind a manifest entry exists with

@@ -58,6 +58,79 @@ func TestManifestRoundTrip(t *testing.T) {
 	}
 }
 
+// Each successful save advances the directory's SaveEpoch, and Stamp
+// tracks it: re-saving (even identical content) changes the stamp,
+// while two reads without an intervening save agree.
+func TestSaveEpochAdvancesAndStampTracksIt(t *testing.T) {
+	dir := t.TempDir()
+	saveSample(t, dir, 100)
+	man, err := ReadManifest(dir)
+	if err != nil || man == nil {
+		t.Fatalf("ReadManifest: %v, %v", man, err)
+	}
+	if man.SaveEpoch != 1 {
+		t.Errorf("first save epoch = %d, want 1", man.SaveEpoch)
+	}
+	s1, err := Stamp(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1Again, err := Stamp(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s1Again {
+		t.Errorf("stamp not stable without a save: %q vs %q", s1, s1Again)
+	}
+	saveSample(t, dir, 100) // identical content, new save
+	man, err = ReadManifest(dir)
+	if err != nil || man == nil {
+		t.Fatalf("ReadManifest after re-save: %v, %v", man, err)
+	}
+	if man.SaveEpoch != 2 {
+		t.Errorf("second save epoch = %d, want 2", man.SaveEpoch)
+	}
+	s2, err := Stamp(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 == s1 {
+		t.Errorf("stamp unchanged across a save: %q", s2)
+	}
+	saveSample(t, dir, 150) // different content
+	s3, err := Stamp(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 == s2 || s3 == s1 {
+		t.Errorf("stamp unchanged across a content change: %q", s3)
+	}
+}
+
+// Stamp still yields an identity for manifest-less legacy directories,
+// and propagates the error for torn manifests instead of handing the
+// cache a stale identity.
+func TestStampLegacyAndTorn(t *testing.T) {
+	dir := t.TempDir()
+	saveSample(t, dir, 50)
+	if err := os.Remove(filepath.Join(dir, ManifestFile)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Stamp(dir)
+	if err != nil {
+		t.Fatalf("legacy stamp: %v", err)
+	}
+	if s == "" || s == "legacy" {
+		t.Errorf("legacy stamp carries no file identity: %q", s)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestFile), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Stamp(dir); !errors.Is(err, ErrIncompleteSave) {
+		t.Errorf("torn manifest stamp err = %v, want ErrIncompleteSave", err)
+	}
+}
+
 // A directory without a manifest (legacy layout or crashed save) is
 // refused by strict loads with ErrIncompleteSave and read best-effort
 // by Permissive ones.

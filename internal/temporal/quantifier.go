@@ -2,6 +2,7 @@ package temporal
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -11,10 +12,15 @@ import (
 // a temporal window. Each quantifier translates to a threshold t on the
 // fraction of the window during which the entity existed:
 //
-//	all        t = 1        (covered == window duration)
-//	most       t > 0.5
-//	at least n t > n
+//	all        t = 1         (covered == window duration)
+//	most       t > 0.5       (strictly more than half)
+//	at least n t >= n        (inclusive: "at least 1" is exactly "all")
 //	exists     t > 0
+//
+// Note the comparison operator differs per quantifier: all and
+// "at least n" are inclusive, most and exists are strict. The pair
+// (Threshold, inclusivity) fully orders quantifiers by restrictiveness;
+// see MoreRestrictiveThan.
 type Quantifier struct {
 	kind quantKind
 	n    float64
@@ -38,10 +44,12 @@ func All() Quantifier { return Quantifier{kind: quantAll} }
 // Most retains entities that exist during more than half of the window.
 func Most() Quantifier { return Quantifier{kind: quantMost} }
 
-// AtLeast retains entities whose coverage fraction strictly exceeds n,
-// with n in [0, 1].
+// AtLeast retains entities whose coverage fraction is at least n, with
+// n in [0, 1]. The comparison is inclusive, so AtLeast(1) behaves
+// exactly like All, and AtLeast(0.5) accepts an entity covering exactly
+// half the window (which Most rejects). NaN is rejected.
 func AtLeast(n float64) (Quantifier, error) {
-	if n < 0 || n > 1 {
+	if math.IsNaN(n) || n < 0 || n > 1 {
 		return Quantifier{}, fmt.Errorf("temporal: at-least threshold %v out of [0, 1]", n)
 	}
 	return Quantifier{kind: quantAtLeast, n: n}, nil
@@ -61,7 +69,9 @@ func MustAtLeast(n float64) Quantifier {
 func Exists() Quantifier { return Quantifier{kind: quantExists} }
 
 // Threshold returns the existence threshold t of the quantifier, used
-// both for matching and for comparing restrictiveness.
+// both for matching and for comparing restrictiveness. Whether the
+// threshold itself satisfies the quantifier depends on strictness: see
+// the package comparison table on Quantifier.
 func (q Quantifier) Threshold() float64 {
 	switch q.kind {
 	case quantAll:
@@ -73,6 +83,14 @@ func (q Quantifier) Threshold() float64 {
 	default:
 		return 0
 	}
+}
+
+// strict reports whether the quantifier's threshold comparison is
+// strict (coverage must exceed the threshold) rather than inclusive
+// (coverage equal to the threshold passes). most and exists are strict;
+// all and "at least n" are inclusive.
+func (q Quantifier) strict() bool {
+	return q.kind == quantMost || q.kind == quantExists
 }
 
 // Satisfied reports whether an entity covered for `covered` of the
@@ -90,18 +108,28 @@ func (q Quantifier) Satisfied(covered, total Time) bool {
 	case quantMost:
 		return 2*covered > total
 	case quantAtLeast:
-		return float64(covered) > q.n*float64(total)
+		return float64(covered) >= q.n*float64(total)
 	default: // exists
 		return true
 	}
 }
 
 // MoreRestrictiveThan reports whether q retains a subset of what other
-// retains, i.e. has a strictly higher threshold. wZoom^T needs a
-// dangling-edge check exactly when the vertex quantifier is more
-// restrictive than the edge quantifier.
+// retains: a strictly higher threshold, or an equal threshold that q
+// compares strictly while other includes it (Most vs AtLeast(0.5)).
+// wZoom^T needs a dangling-edge check exactly when the vertex
+// quantifier is more restrictive than the edge quantifier.
+//
+// Exists and AtLeast(0) accept the same coverages (Satisfied rejects
+// zero coverage regardless of the comparison), but Exists is ordered as
+// more restrictive here; the resulting dangling-edge check is redundant
+// yet harmless.
 func (q Quantifier) MoreRestrictiveThan(other Quantifier) bool {
-	return q.Threshold() > other.Threshold()
+	tq, to := q.Threshold(), other.Threshold()
+	if tq != to {
+		return tq > to
+	}
+	return q.strict() && !other.strict()
 }
 
 // String renders the quantifier in the paper's syntax.
@@ -119,7 +147,7 @@ func (q Quantifier) String() string {
 }
 
 // ParseQuantifier parses "all", "most", "exists" or "at least n" (n a
-// decimal fraction in [0, 1]).
+// decimal fraction in [0, 1], separated from "at least" by whitespace).
 func ParseQuantifier(s string) (Quantifier, error) {
 	t := strings.ToLower(strings.TrimSpace(s))
 	switch t {
@@ -131,6 +159,11 @@ func ParseQuantifier(s string) (Quantifier, error) {
 		return Exists(), nil
 	}
 	if rest, ok := strings.CutPrefix(t, "at least"); ok {
+		// Require a separator so that "at least0.5" is rejected rather
+		// than silently parsed.
+		if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+			return Quantifier{}, fmt.Errorf("temporal: quantifier %q: want \"at least n\"", s)
+		}
 		n, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
 		if err != nil {
 			return Quantifier{}, fmt.Errorf("temporal: quantifier %q: %v", s, err)

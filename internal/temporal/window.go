@@ -56,7 +56,16 @@ func (w unitWindow) Windows(lifetime Interval, _ []Time) []Window {
 	out := make([]Window, 0, int(lifetime.Duration()/w.n)+1)
 	idx := 0
 	for s := lifetime.Start; s < lifetime.End; s += w.n {
-		out = append(out, Window{Index: idx, Interval: Interval{Start: s, End: s + w.n}})
+		// The final window is clamped to the lifetime end (the way
+		// change-based windows end at the last boundary): points past the
+		// lifetime are unobservable, and letting the window overhang would
+		// make quantifiers judge entities against time that cannot exist —
+		// an entity alive for the whole observable tail would fail All().
+		end := s + w.n
+		if end > lifetime.End {
+			end = lifetime.End
+		}
+		out = append(out, Window{Index: idx, Interval: Interval{Start: s, End: end}})
 		idx++
 	}
 	return out

@@ -1,0 +1,143 @@
+package temporal
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Randomized boundary coverage for the window lookup helpers: WindowOf
+// and OverlappingWindows must agree with brute force over arbitrary
+// window relations (unit- and change-based), for time points at window
+// edges and intervals straddling the lifetime ends.
+
+// genWindows draws a random window relation over a random lifetime,
+// alternating between unit and change-based specs.
+func genWindows(r *rand.Rand) (Interval, []Window) {
+	start := Time(r.Intn(21) - 10)
+	life := Interval{Start: start, End: start + Time(1+r.Intn(30))}
+	if r.Intn(2) == 0 {
+		return life, MustEveryN(Time(1+r.Intn(6))).Windows(life, nil)
+	}
+	var changes []Time
+	for t := life.Start + 1; t < life.End; t++ {
+		if r.Intn(3) == 0 {
+			changes = append(changes, t)
+		}
+	}
+	return life, MustEveryNChanges(1+r.Intn(4)).Windows(life, changes)
+}
+
+// bruteWindowOf is the specification WindowOf's binary search must
+// match: the unique window whose interval contains t.
+func bruteWindowOf(windows []Window, t Time) (Window, bool) {
+	for _, w := range windows {
+		if w.Interval.Contains(t) {
+			return w, true
+		}
+	}
+	return Window{}, false
+}
+
+// bruteOverlapping is the specification for OverlappingWindows: an
+// empty interval overlaps nothing.
+func bruteOverlapping(windows []Window, iv Interval) []Window {
+	if iv.IsEmpty() {
+		return nil
+	}
+	var out []Window
+	for _, w := range windows {
+		if w.Interval.Overlaps(iv) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func TestWindowOfQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		life, ws := genWindows(r)
+		// Probe every boundary-adjacent point: window starts, ends, their
+		// neighbours, and the lifetime edges — plus a few random points.
+		probes := []Time{life.Start, life.Start - 1, life.End, life.End - 1, life.End + 1}
+		for _, w := range ws {
+			probes = append(probes, w.Interval.Start, w.Interval.Start-1, w.Interval.End, w.Interval.End-1)
+		}
+		for i := 0; i < 8; i++ {
+			probes = append(probes, life.Start+Time(r.Intn(40)-5))
+		}
+		for _, p := range probes {
+			got, ok := WindowOf(ws, p)
+			want, wantOK := bruteWindowOf(ws, p)
+			if ok != wantOK || got != want {
+				t.Logf("seed %d: WindowOf(%v, %d) = %v, %v; brute force %v, %v", seed, ws, p, got, ok, want, wantOK)
+				return false
+			}
+			if ok && !got.Interval.Contains(p) {
+				t.Logf("seed %d: WindowOf(%d) returned %v not containing the point", seed, p, got)
+				return false
+			}
+		}
+		// Every point inside the lifetime is in exactly one window, and
+		// the lifetime end itself is in none (windows are clamped).
+		if _, ok := WindowOf(ws, life.End); ok {
+			t.Logf("seed %d: lifetime end %d should be outside every window", seed, life.End)
+			return false
+		}
+		for p := life.Start; p < life.End; p++ {
+			if _, ok := WindowOf(ws, p); !ok {
+				t.Logf("seed %d: lifetime point %d not covered by any window in %v", seed, p, ws)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlappingWindowsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		life, ws := genWindows(r)
+		// Intervals at and straddling the lifetime ends, plus random ones.
+		ivs := []Interval{
+			life,
+			{Start: life.Start - 3, End: life.Start + 1}, // straddles the start
+			{Start: life.End - 1, End: life.End + 3},     // straddles the end
+			{Start: life.Start - 5, End: life.End + 5},   // covers everything
+			{Start: life.End, End: life.End + 4},         // entirely past the end
+			{Start: life.Start - 4, End: life.Start},     // entirely before the start
+			{Start: life.Start, End: life.Start},         // empty
+		}
+		for i := 0; i < 8; i++ {
+			s := life.Start + Time(r.Intn(35)-5)
+			ivs = append(ivs, Interval{Start: s, End: s + Time(r.Intn(10))})
+		}
+		for _, iv := range ivs {
+			got := OverlappingWindows(ws, iv)
+			want := bruteOverlapping(ws, iv)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Logf("seed %d: OverlappingWindows(%v, %v) = %v, brute force %v", seed, ws, iv, got, want)
+				return false
+			}
+			// The run must be consecutive in window index.
+			for i := 1; i < len(got); i++ {
+				if got[i].Index != got[i-1].Index+1 {
+					t.Logf("seed %d: OverlappingWindows(%v) indexes not consecutive: %v", seed, iv, got)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,6 +1,7 @@
 package temporal
 
 import (
+	"math"
 	"reflect"
 	"testing"
 )
@@ -26,8 +27,31 @@ func TestEveryNPartialLastWindow(t *testing.T) {
 	if len(got) != 3 {
 		t.Fatalf("want 3 windows, got %v", got)
 	}
-	if got[2].Interval != MustInterval(8, 12) {
-		t.Errorf("last window = %v, want [8, 12)", got[2].Interval)
+	// The final window is clamped to the lifetime end: an overhanging
+	// [8, 12) would make an entity alive for the whole observable tail
+	// [8, 10) fail All() against two unobservable points.
+	if got[2].Interval != MustInterval(8, 10) {
+		t.Errorf("last window = %v, want [8, 10)", got[2].Interval)
+	}
+}
+
+func TestEveryNWindowsNeverOverhangLifetime(t *testing.T) {
+	for n := Time(1); n <= 8; n++ {
+		for _, life := range []Interval{MustInterval(0, 10), MustInterval(3, 17), MustInterval(-5, 2)} {
+			ws := MustEveryN(n).Windows(life, nil)
+			if len(ws) == 0 {
+				t.Fatalf("n=%d life=%v: no windows", n, life)
+			}
+			last := ws[len(ws)-1].Interval
+			if last.End != life.End {
+				t.Errorf("n=%d life=%v: last window %v does not end at lifetime end", n, life, last)
+			}
+			for _, w := range ws {
+				if !life.Covers(w.Interval) {
+					t.Errorf("n=%d life=%v: window %v overhangs the lifetime", n, life, w.Interval)
+				}
+			}
+		}
 	}
 }
 
@@ -152,7 +176,8 @@ func TestQuantifierSatisfied(t *testing.T) {
 		{Exists(), 1, 3, true},
 		{Exists(), 0, 3, false},
 		{MustAtLeast(0.5), 2, 3, true},
-		{MustAtLeast(0.5), 1, 2, false}, // strictly greater than n
+		{MustAtLeast(0.5), 1, 2, true}, // inclusive: exactly half passes "at least 0.5"
+		{MustAtLeast(0.5), 1, 3, false},
 		{All(), 0, 0, false},
 		{All(), 5, 3, true}, // clamped
 	}
@@ -160,6 +185,55 @@ func TestQuantifierSatisfied(t *testing.T) {
 		if got := c.q.Satisfied(c.covered, c.total); got != c.want {
 			t.Errorf("%v.Satisfied(%d, %d) = %v, want %v", c.q, c.covered, c.total, got, c.want)
 		}
+	}
+}
+
+// TestAtLeastBoundaries pins the inclusive semantics of "at least n" at
+// the boundary thresholds against the fixed quantifiers: AtLeast(1) is
+// exactly All (it used to be unsatisfiable with strict >), AtLeast(0)
+// accepts exactly what Exists accepts (zero coverage never passes), and
+// AtLeast(0.5) differs from Most only at exactly-half coverage.
+func TestAtLeastBoundaries(t *testing.T) {
+	coverages := []struct{ covered, total Time }{
+		{0, 4}, {1, 4}, {2, 4}, {3, 4}, {4, 4},
+		{0, 3}, {1, 3}, {2, 3}, {3, 3},
+		{1, 1}, {0, 0}, {7, 4},
+	}
+	for _, c := range coverages {
+		if got, want := MustAtLeast(1).Satisfied(c.covered, c.total), All().Satisfied(c.covered, c.total); got != want {
+			t.Errorf("AtLeast(1).Satisfied(%d, %d) = %v, All = %v; want equal", c.covered, c.total, got, want)
+		}
+		if got, want := MustAtLeast(0).Satisfied(c.covered, c.total), Exists().Satisfied(c.covered, c.total); got != want {
+			t.Errorf("AtLeast(0).Satisfied(%d, %d) = %v, Exists = %v; want equal", c.covered, c.total, got, want)
+		}
+	}
+	// Exactly half: Most is strict, AtLeast(0.5) is inclusive.
+	if Most().Satisfied(2, 4) {
+		t.Error("Most().Satisfied(2, 4): exactly half is not most")
+	}
+	if !MustAtLeast(0.5).Satisfied(2, 4) {
+		t.Error("AtLeast(0.5).Satisfied(2, 4): exactly half is at least half")
+	}
+	// Above half both pass, below half both fail.
+	for _, q := range []Quantifier{Most(), MustAtLeast(0.5)} {
+		if !q.Satisfied(3, 4) {
+			t.Errorf("%v.Satisfied(3, 4) = false", q)
+		}
+		if q.Satisfied(1, 4) {
+			t.Errorf("%v.Satisfied(1, 4) = true", q)
+		}
+	}
+}
+
+func TestAtLeastRejectsNaN(t *testing.T) {
+	if _, err := AtLeast(math.NaN()); err == nil {
+		t.Error("AtLeast(NaN): want error")
+	}
+	if _, err := ParseQuantifier("at least nan"); err == nil {
+		t.Error(`ParseQuantifier("at least nan"): want error`)
+	}
+	if _, err := ParseQuantifier("at least NaN"); err == nil {
+		t.Error(`ParseQuantifier("at least NaN"): want error`)
 	}
 }
 
@@ -175,6 +249,24 @@ func TestQuantifierRestrictiveness(t *testing.T) {
 	}
 	if !MustAtLeast(0.9).MoreRestrictiveThan(Most()) {
 		t.Error("at least 0.9 > most")
+	}
+	// Equal thresholds: the strict comparison retains a subset of the
+	// inclusive one. Most rejects exactly-half coverage that
+	// AtLeast(0.5) accepts, so skipping the dangling-edge check there
+	// would leave dangling edges.
+	if !Most().MoreRestrictiveThan(MustAtLeast(0.5)) {
+		t.Error("most > at least 0.5 (strict vs inclusive at equal threshold)")
+	}
+	if MustAtLeast(0.5).MoreRestrictiveThan(Most()) {
+		t.Error("at least 0.5 is not more restrictive than most")
+	}
+	// AtLeast(1) and All are the same predicate; neither is more
+	// restrictive than the other.
+	if MustAtLeast(1).MoreRestrictiveThan(All()) || All().MoreRestrictiveThan(MustAtLeast(1)) {
+		t.Error("at least 1 and all are equally restrictive")
+	}
+	if MustAtLeast(0.5).MoreRestrictiveThan(MustAtLeast(0.5)) {
+		t.Error("a quantifier is not more restrictive than itself")
 	}
 }
 
@@ -194,7 +286,12 @@ func TestParseQuantifier(t *testing.T) {
 			t.Errorf("ParseQuantifier(%q) = %q, want %q", tc.in, q, tc.want)
 		}
 	}
-	for _, bad := range []string{"", "some", "at least", "at least x", "at least 1.5"} {
+	for _, bad := range []string{
+		"", "some", "at least", "at least x", "at least 1.5",
+		"at least0.5", // missing separator must not parse
+		"at leastest",
+		"at least -0.1",
+	} {
 		if _, err := ParseQuantifier(bad); err == nil {
 			t.Errorf("ParseQuantifier(%q): want error", bad)
 		}

@@ -102,6 +102,37 @@ func (p *Pipeline) ResultUncoalesced() (Graph, error) {
 	return p.g, nil
 }
 
+// CachedResult executes build through cache c under key: a resident
+// result is returned immediately, concurrent identical calls compute
+// once and share, and a computed result graph becomes resident sized
+// by its state count. Key the call with CacheKey over the graph's
+// identity (Stamp for saved graphs) and the operator chain. Because
+// Pipeline executes eagerly, the whole pipeline belongs inside build:
+//
+//	g, outcome, err := tgraph.CachedResult(cache, key, func() (tgraph.Graph, error) {
+//		return tgraph.NewPipeline(base).AZoom(spec).Switch(tgraph.OG).WZoom(w).Result()
+//	})
+func CachedResult(c *QueryCache, key string, build func() (Graph, error)) (Graph, CacheOutcome, error) {
+	v, out, err := c.Do(key, func() (any, int64, error) {
+		g, err := build()
+		if err != nil {
+			return nil, 0, err
+		}
+		return g, graphFootprint(g), nil
+	})
+	if err != nil {
+		return nil, out, err
+	}
+	return v.(Graph), out, nil
+}
+
+// graphFootprint estimates a result graph's resident size for the
+// cache budget. States dominate; count them at a flat per-state cost.
+func graphFootprint(g Graph) int64 {
+	const bytesPerState = 112
+	return int64(len(g.VertexStates())+len(g.EdgeStates())) * bytesPerState
+}
+
 // apply runs one named transformation step, short-circuiting on error.
 func (p *Pipeline) apply(name string, f func(Graph) (Graph, error)) *Pipeline {
 	if p.err != nil {

@@ -105,6 +105,16 @@ func (q *Query) Subtract(other Graph) *Query {
 	return q
 }
 
+// RunCached is Run through cache c: concurrent identical queries
+// execute once, repeats reuse the resident result. key must
+// fingerprint the source graph's identity and the recorded operator
+// chain — build it with CacheKey (and Stamp for saved graphs); the
+// query cannot derive it itself because recorded operators hold opaque
+// functions.
+func (q *Query) RunCached(c *QueryCache, key string) (Graph, CacheOutcome, error) {
+	return CachedResult(c, key, q.Run)
+}
+
 // kinds extracts the operator-kind sequence for planning.
 func (q *Query) kinds() []planner.OpKind {
 	out := make([]planner.OpKind, len(q.ops))

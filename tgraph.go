@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/props"
+	"repro/internal/qcache"
 	"repro/internal/storage"
 	"repro/internal/temporal"
 )
@@ -286,3 +287,54 @@ func VerifyDir(dir string) (VerifyReport, error) { return storage.VerifyDir(dir)
 // *.tmp files and uncommitted orphans); it never touches committed
 // data.
 func RepairDir(dir string) ([]string, error) { return storage.RepairDir(dir) }
+
+// Serving & result caching. internal/serve (surfaced as the
+// cmd/tgraph-serve binary) serves zoom queries over HTTP; the pieces
+// below give library users the same result reuse without the server:
+// a fingerprinted cache with singleflight deduplication, a graph
+// identity token for invalidation, and per-request execution contexts
+// over one shared loaded graph.
+
+// QueryCache is a size-bounded LRU cache for query results with
+// singleflight deduplication: N concurrent computations of the same
+// key execute once and share the result. See Query.RunCached and
+// CachedResult.
+type QueryCache = qcache.Cache
+
+// CacheOutcome classifies how a cached run obtained its result.
+type CacheOutcome = qcache.Outcome
+
+// Cache outcomes.
+const (
+	// CacheMiss: this call executed the computation.
+	CacheMiss = qcache.Miss
+	// CacheHit: the result was resident in the cache.
+	CacheHit = qcache.Hit
+	// CacheShared: the result was shared from a concurrent in-flight
+	// computation of the same key.
+	CacheShared = qcache.Shared
+)
+
+// NewQueryCache returns a cache bounded to maxBytes of resident result
+// bytes; maxBytes <= 0 still deduplicates concurrent computations but
+// retains nothing.
+func NewQueryCache(maxBytes int64) *QueryCache { return qcache.New(maxBytes) }
+
+// CacheKey fingerprints an ordered list of canonical string parts
+// (graph identity, operator chain, specs) into a collision-resistant
+// cache key.
+func CacheKey(parts ...string) string { return qcache.Key(parts...) }
+
+// Stamp returns a token identifying the current contents of a saved
+// graph directory: it changes whenever a save commits (the manifest's
+// save epoch advances), making it the graph-identity part of a cache
+// key. A directory mid-save returns an error wrapping
+// ErrIncompleteSave.
+func Stamp(dir string) (string, error) { return storage.Stamp(dir) }
+
+// Rebind returns a view of g whose jobs execute on ctx, sharing all
+// data with the original. Use it to run concurrent queries with
+// per-request deadlines over one loaded graph: binding a deadline to
+// the graph's own context would race, so give each request its own
+// NewContext(WithTimeout(...)) and query through the rebound view.
+func Rebind(g Graph, ctx *Context) (Graph, error) { return core.Rebind(g, ctx) }
