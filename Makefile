@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test test-race bench fmt bench-json chaos crash smoke-serve
+.PHONY: check build vet lint test test-race bench fmt bench-json chaos crash smoke-serve smoke-scan
 
-check: build vet lint test-race chaos crash smoke-serve
+check: build vet lint test-race chaos crash smoke-serve smoke-scan
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,14 @@ crash:
 # independently.
 smoke-serve:
 	$(GO) test -race -count=1 -run 'TestConcurrentIdenticalRequestsDedup|TestWZoomSmokeAndByteIdenticalHit|TestDistinctQueriesCached' ./internal/serve
+
+# Parallel-scan smoke: the determinism suite proves byte-identical
+# rows/stats at parallelism 1 vs N (with and without corruption), then
+# the scan bench runs at a small scale — it panics if the parallel
+# pass reads a different row count than the sequential one.
+smoke-scan:
+	$(GO) test -race -count=1 -run 'TestScanParallel' ./internal/storage
+	$(GO) run ./cmd/tgraph-bench -exp scan -scale 0.05
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

@@ -49,6 +49,7 @@ func main() {
 		trace      = flag.Bool("trace", false, "record per-stage spans and print the span tree after execution")
 		timeout    = flag.Duration("timeout", 0, "deadline for all dataflow work, e.g. 30s (0 = none)")
 		permissive = flag.Bool("permissive", false, "skip corrupt chunks while loading instead of aborting")
+		scanPar    = flag.Int("scan-parallelism", 0, "storage scan decode workers per file (0 = GOMAXPROCS, 1 = sequential)")
 		verify     = flag.Bool("verify", false, "check MANIFEST, file CRCs and every chunk CRC, print a damage report, and exit (status 1 if damaged)")
 		repair     = flag.Bool("repair", false, "remove stale .tmp files and uncommitted orphans left by aborted saves, then exit")
 	)
@@ -102,7 +103,10 @@ func main() {
 	if *to > *from {
 		rng = tgraph.MustInterval(tgraph.Time(*from), tgraph.Time(*to))
 	}
-	g, stats, err := tgraph.Load(ctx, *dir, tgraph.LoadOptions{Rep: r, Range: rng, Permissive: *permissive})
+	g, stats, err := tgraph.Load(ctx, *dir, tgraph.LoadOptions{
+		Rep: r, Range: rng, Permissive: *permissive,
+		Scan: tgraph.ScanOptions{Parallelism: *scanPar},
+	})
 	if err != nil {
 		fail("load: %v", err)
 	}

@@ -1,7 +1,9 @@
 // Command tgraph-lint runs the repository's custom static checks (see
 // internal/lint): it fails when any package outside internal/props
-// constructs a raw map[string]props.Value, the pattern the interned
-// Props runtime replaced. Usage:
+// constructs a raw map[string]props.Value (the pattern the interned
+// Props runtime replaced), or when an exported symbol in a
+// doc-coverage-enforced package (internal/storage) lacks a godoc
+// comment. Usage:
 //
 //	tgraph-lint [dir]
 //
@@ -28,6 +30,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tgraph-lint: %v\n", err)
 		os.Exit(2)
 	}
+	docDiags, err := lint.CheckDocs(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tgraph-lint: %v\n", err)
+		os.Exit(2)
+	}
+	diags = append(diags, docDiags...)
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, d)
 	}

@@ -58,6 +58,7 @@ func main() {
 	cacheMB := flag.Int64("cache-mb", 64, "result cache budget in MiB (0 disables residency)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request computation timeout (0 for none)")
 	parallelism := flag.Int("parallelism", 0, "per-request dataflow parallelism (0 = NumCPU)")
+	scanParallelism := flag.Int("scan-parallelism", 0, "storage scan decode workers per file when loading graphs (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Var(&graphs, "graph", "graph to serve as name=dir[@rep]; repeatable")
 	flag.Parse()
 
@@ -68,10 +69,11 @@ func main() {
 	}
 
 	s, err := serve.New(serve.Config{
-		Graphs:      graphs,
-		CacheBytes:  *cacheMB << 20,
-		Timeout:     *timeout,
-		Parallelism: *parallelism,
+		Graphs:          graphs,
+		CacheBytes:      *cacheMB << 20,
+		Timeout:         *timeout,
+		Parallelism:     *parallelism,
+		ScanParallelism: *scanParallelism,
 	})
 	if err != nil {
 		log.Fatal(err)

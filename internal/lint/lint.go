@@ -1,14 +1,20 @@
-// Package lint implements the repository's custom static checks,
-// enforcing the property-runtime encapsulation introduced with the
-// interned Props type: property sets must be built through the props
-// package API (props.New, Builder, With...), never as raw
-// map[string]props.Value values. Outside internal/props a raw property
-// map bypasses key interning and the immutability guarantee, so any
-// construction of one — composite literal or make — is a violation.
-// The checker is purely syntactic (go/parser + go/ast, no type
-// checking), which keeps it dependency-free and fast; it recognises
-// the value type through any import alias of the props package or the
-// tgraph facade.
+// Package lint implements the repository's custom static checks:
+//
+//   - property-runtime encapsulation: property sets must be built
+//     through the props package API (props.New, Builder, With...),
+//     never as raw map[string]props.Value values. Outside
+//     internal/props a raw property map bypasses key interning and the
+//     immutability guarantee, so any construction of one — composite
+//     literal or make — is a violation (CheckDir/CheckSource);
+//   - godoc coverage: every exported top-level symbol in the packages
+//     listed in docDirs must carry a doc comment, so the storage/scan
+//     API documented in DESIGN.md stays documented at the source level
+//     (CheckDocs).
+//
+// The checkers are purely syntactic (go/parser + go/ast, no type
+// checking), which keeps them dependency-free and fast; the map check
+// recognises the value type through any import alias of the props
+// package or the tgraph facade.
 package lint
 
 import (
@@ -133,6 +139,137 @@ func CheckSource(fset *token.FileSet, filename string, src []byte) ([]Diagnostic
 		return true
 	})
 	return diags, nil
+}
+
+// docDirs are directory prefixes (relative to the repo root, slash
+// separated) whose packages must document every exported top-level
+// symbol. The storage package is the reference implementation of the
+// on-disk format and the scan engine, so its godoc is treated as part
+// of the format documentation.
+var docDirs = []string{"internal/storage"}
+
+// CheckDocs walks the docDirs under root and reports every exported
+// top-level symbol (func, method, type, const, var) that has no doc
+// comment. A doc comment on a grouped declaration covers the whole
+// group. Test files are exempt.
+func CheckDocs(root string) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	fset := token.NewFileSet()
+	for _, dir := range docDirs {
+		err := filepath.WalkDir(filepath.Join(root, dir), func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if d.Name() == "testdata" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			src, rerr := os.ReadFile(path)
+			if rerr != nil {
+				return rerr
+			}
+			fds, perr := CheckDocsSource(fset, path, src)
+			if perr != nil {
+				return perr
+			}
+			diags = append(diags, fds...)
+			return nil
+		})
+		if err != nil {
+			return diags, err
+		}
+	}
+	return diags, nil
+}
+
+// CheckDocsSource checks one file's source text for undocumented
+// exported symbols (the unit CheckDocs applies per file, exposed for
+// tests).
+func CheckDocsSource(fset *token.FileSet, filename string, src []byte) ([]Diagnostic, error) {
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var diags []Diagnostic
+	report := func(n ast.Node, kind, name string) {
+		diags = append(diags, Diagnostic{
+			Pos:     fset.Position(n.Pos()),
+			Message: fmt.Sprintf("exported %s %s has no doc comment", kind, name),
+		})
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			kind := "function"
+			if d.Recv != nil {
+				// Methods are part of the documented API only when
+				// their receiver type is itself exported; exported
+				// method names on unexported types (Error, Write, …)
+				// just satisfy interfaces.
+				if !ast.IsExported(receiverTypeName(d.Recv)) {
+					continue
+				}
+				kind = "method"
+			}
+			report(d, kind, d.Name.Name)
+		case *ast.GenDecl:
+			if d.Doc != nil {
+				continue // a group doc covers every spec in the group
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && s.Doc == nil {
+						report(s, "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, name := range s.Names {
+						if name.IsExported() {
+							report(s, d.Tok.String(), name.Name)
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	return diags, nil
+}
+
+// receiverTypeName extracts the base type name of a method receiver
+// ("T" from T, *T, T[P] or *T[P]); empty when the shape is unexpected.
+func receiverTypeName(recv *ast.FieldList) string {
+	if recv == nil || len(recv.List) == 0 {
+		return ""
+	}
+	expr := recv.List[0].Type
+	if star, ok := expr.(*ast.StarExpr); ok {
+		expr = star.X
+	}
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	case *ast.IndexListExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
 }
 
 // isRawPropMap reports whether expr is the type map[string]P.Value for

@@ -127,3 +127,76 @@ func TestRepositoryIsClean(t *testing.T) {
 		t.Errorf("%s", d)
 	}
 }
+
+func checkDocs(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	diags, err := CheckDocsSource(token.NewFileSet(), "src.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func TestDocsFlagsUndocumentedExports(t *testing.T) {
+	src := `package x
+func Exported() {}
+type Thing struct{}
+func (t Thing) Method() {}
+const Answer = 42
+var Global int
+`
+	got := checkDocs(t, src)
+	if len(got) != 5 {
+		t.Fatalf("diagnostics = %v, want 5", got)
+	}
+}
+
+func TestDocsAcceptsDocumentedAndUnexported(t *testing.T) {
+	src := `package x
+// Exported does things.
+func Exported() {}
+
+// Thing is a thing.
+type Thing struct{}
+
+// Method acts.
+func (t *Thing) Method() {}
+
+// Grouped constants share one doc.
+const (
+	A = 1
+	B = 2
+)
+
+var internal int
+func helper() {}
+`
+	if got := checkDocs(t, src); len(got) != 0 {
+		t.Fatalf("diagnostics = %v, want none", got)
+	}
+}
+
+func TestDocsSkipsInterfaceMethodsOnUnexportedTypes(t *testing.T) {
+	src := `package x
+type wrapper struct{}
+func (w *wrapper) Error() string { return "" }
+func (w *wrapper) Write(p []byte) (int, error) { return len(p), nil }
+type box[T any] struct{}
+func (b box[T]) Get() T { var z T; return z }
+`
+	if got := checkDocs(t, src); len(got) != 0 {
+		t.Fatalf("diagnostics = %v, want none", got)
+	}
+}
+
+// TestRepositoryDocsAreClean runs the doc-coverage checker over the
+// repository itself: the enforced packages must stay fully documented.
+func TestRepositoryDocsAreClean(t *testing.T) {
+	diags, err := CheckDocs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

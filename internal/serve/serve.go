@@ -63,6 +63,10 @@ type Config struct {
 	// Parallelism is the per-request dataflow parallelism; < 1 selects
 	// runtime.NumCPU().
 	Parallelism int
+	// ScanParallelism is the storage scan engine's decode worker count
+	// used when (re)loading a graph directory (see
+	// storage.ScanOptions.Parallelism); <= 0 selects GOMAXPROCS.
+	ScanParallelism int
 }
 
 // graphHandle is one served graph: the loaded shared TGraph plus the
@@ -80,8 +84,11 @@ type graphHandle struct {
 // ensure returns the loaded graph and its current stamp, reloading if
 // the directory's stamp no longer matches (and flushing the graph's
 // cache entries, since results keyed under the old stamp are stale —
-// prefix invalidation reclaims their bytes eagerly).
-func (h *graphHandle) ensure(cache *qcache.Cache, parallelism int) (core.TGraph, string, error) {
+// prefix invalidation reclaims their bytes eagerly). The load runs
+// through the parallel scan engine with the triggering request's
+// context, so a client that disconnects (or times out) mid-reload
+// aborts the in-flight chunk decodes.
+func (h *graphHandle) ensure(reqCtx context.Context, cache *qcache.Cache, parallelism, scanParallelism int) (core.TGraph, string, error) {
 	stamp, err := storage.Stamp(h.dir)
 	if err != nil {
 		return nil, "", fmt.Errorf("serve: stamp %s: %w", h.name, err)
@@ -93,7 +100,10 @@ func (h *graphHandle) ensure(cache *qcache.Cache, parallelism int) (core.TGraph,
 			cache.InvalidatePrefix(h.name + "|")
 		}
 		ctx := dataflow.NewContext(dataflow.WithParallelism(parallelism))
-		g, _, err := storage.Load(ctx, h.dir, storage.LoadOptions{Rep: h.rep})
+		g, _, err := storage.Load(ctx, h.dir, storage.LoadOptions{
+			Rep:  h.rep,
+			Scan: storage.ScanOptions{Parallelism: scanParallelism, Ctx: reqCtx},
+		})
 		if err != nil {
 			return nil, "", fmt.Errorf("serve: load %s: %w", h.name, err)
 		}
@@ -105,12 +115,13 @@ func (h *graphHandle) ensure(cache *qcache.Cache, parallelism int) (core.TGraph,
 // Server is the query service. Construct with New; serve its Handler;
 // stop accepting and wait for in-flight requests with Drain.
 type Server struct {
-	mux         *http.ServeMux
-	cache       *qcache.Cache
-	graphs      map[string]*graphHandle
-	names       []string
-	timeout     time.Duration
-	parallelism int
+	mux             *http.ServeMux
+	cache           *qcache.Cache
+	graphs          map[string]*graphHandle
+	names           []string
+	timeout         time.Duration
+	parallelism     int
+	scanParallelism int
 
 	draining atomic.Bool
 	wg       sync.WaitGroup
@@ -129,11 +140,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	r := obs.Default()
 	s := &Server{
-		mux:         http.NewServeMux(),
-		cache:       qcache.New(cfg.CacheBytes),
-		graphs:      make(map[string]*graphHandle, len(cfg.Graphs)),
-		timeout:     cfg.Timeout,
-		parallelism: cfg.Parallelism,
+		mux:             http.NewServeMux(),
+		cache:           qcache.New(cfg.CacheBytes),
+		graphs:          make(map[string]*graphHandle, len(cfg.Graphs)),
+		timeout:         cfg.Timeout,
+		parallelism:     cfg.Parallelism,
+		scanParallelism: cfg.ScanParallelism,
 
 		requests:     r.Counter("serve.requests"),
 		errorsC:      r.Counter("serve.errors"),
@@ -223,14 +235,15 @@ func (s *Server) admit(w http.ResponseWriter, endpoint string) (done func(), ok 
 }
 
 // run executes a parsed operator chain against a named graph through
-// the cache and writes the response.
-func (s *Server) run(w http.ResponseWriter, graphName string, steps []step) {
+// the cache and writes the response. r's context scopes any graph
+// reload the request triggers.
+func (s *Server) run(w http.ResponseWriter, r *http.Request, graphName string, steps []step) {
 	h, ok := s.graphs[graphName]
 	if !ok {
 		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", graphName))
 		return
 	}
-	g, stamp, err := h.ensure(s.cache, s.parallelism)
+	g, stamp, err := h.ensure(r.Context(), s.cache, s.parallelism, s.scanParallelism)
 	if err != nil {
 		code := http.StatusInternalServerError
 		if errors.Is(err, storage.ErrIncompleteSave) {
@@ -307,7 +320,7 @@ func (s *Server) handleAZoom(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	s.run(w, req.Graph, []step{st})
+	s.run(w, r, req.Graph, []step{st})
 }
 
 func (s *Server) handleWZoom(w http.ResponseWriter, r *http.Request) {
@@ -326,7 +339,7 @@ func (s *Server) handleWZoom(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	s.run(w, req.Graph, []step{st})
+	s.run(w, r, req.Graph, []step{st})
 }
 
 func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
@@ -345,7 +358,7 @@ func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	s.run(w, req.Graph, steps)
+	s.run(w, r, req.Graph, steps)
 }
 
 // GraphInfo is one entry of the /v1/graphs listing.

@@ -20,6 +20,15 @@
 //
 // The nested layout for OG/OGC (history arrays, with first/last
 // existence columns for pushdown) lives in nested.go.
+//
+// Reads go through the parallel scan engine in scan.go: zone-map
+// survivors are selected sequentially (keeping fault-injection
+// deterministic), decoded concurrently by a worker pool sharing a
+// process-wide buffer pool, and reassembled in chunk order, so results
+// are byte-identical at any ScanOptions.Parallelism. Writes are atomic
+// and a whole-directory save commits through a MANIFEST record. See
+// DESIGN.md "Scan path & parallel decode" and "Durability & crash
+// consistency" for the full architecture.
 package storage
 
 import (
@@ -113,12 +122,20 @@ func encodeDeltaInts(vals []int64) []byte {
 	return buf
 }
 
-// decodeDeltaInts decodes n zig-zag delta varints.
+// decodeDeltaInts decodes n zig-zag delta varints into a fresh slice.
 func decodeDeltaInts(data []byte, n int) ([]int64, error) {
+	return decodeDeltaIntsInto(make([]int64, n), data)
+}
+
+// decodeDeltaIntsInto decodes len(out) zig-zag delta varints into out,
+// the allocation-free primitive behind decodeDeltaInts: the scan
+// engine's pooled scratch buffers (scan.go) pass reused columns here so
+// steady-state chunk decoding allocates nothing for its integer
+// columns.
+func decodeDeltaIntsInto(out []int64, data []byte) ([]int64, error) {
 	r := &byteReader{buf: data}
-	out := make([]int64, n)
 	prev := int64(0)
-	for i := 0; i < n; i++ {
+	for i := range out {
 		d, err := r.varint()
 		if err != nil {
 			return nil, err

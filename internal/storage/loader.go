@@ -134,10 +134,17 @@ type LoadOptions struct {
 	// ChunkHook is the storage fault-injection point, passed through to
 	// the chunk readers (see ReadOptions.ChunkHook).
 	ChunkHook func(site string, chunk []byte) []byte
+	// Scan configures the parallel scan engine (scan.go): worker count
+	// per file and the cancellation context decode workers observe. When
+	// Scan.Ctx is nil, Load binds it to the dataflow context's standard
+	// context so serve-layer deadlines propagate into chunk decoding.
+	// With more than one worker the vertex and edge files of the
+	// directory also load concurrently.
+	Scan ScanOptions
 }
 
 func (o LoadOptions) readOptions() ReadOptions {
-	return ReadOptions{Range: o.Range, Permissive: o.Permissive, ChunkHook: o.ChunkHook}
+	return ReadOptions{Range: o.Range, Permissive: o.Permissive, ChunkHook: o.ChunkHook, Scan: o.Scan}
 }
 
 // repFiles returns the directory files a representation loads from.
@@ -222,14 +229,22 @@ func Load(ctx *dataflow.Context, dir string, opts LoadOptions) (core.TGraph, Sca
 			obsRecoveredSaves.Add(1)
 		}
 	}
+	// Bind the scan to the dataflow context's cancellation scope unless
+	// the caller supplied its own, so deadlines set upstream (serve
+	// request contexts) abort in-flight chunk decodes.
+	if opts.Scan.Ctx == nil && ctx != nil {
+		opts.Scan.Ctx = ctx.Std()
+	}
+	par := opts.Scan.workers() > 1
 	switch opts.Rep {
 	case core.RepVE, core.RepRG:
-		vs, s1, err := ReadVerticesOpts(filepath.Join(dir, FlatVerticesFile), opts.readOptions())
-		if err != nil {
-			return fail(s1, err)
-		}
-		es, s2, err := ReadEdgesOpts(filepath.Join(dir, FlatEdgesFile), opts.readOptions())
-		stats := addStats(s1, s2)
+		vs, es, stats, err := loadPair(par,
+			func() ([]core.VertexTuple, ScanStats, error) {
+				return ReadVerticesOpts(filepath.Join(dir, FlatVerticesFile), opts.readOptions())
+			},
+			func() ([]core.EdgeTuple, ScanStats, error) {
+				return ReadEdgesOpts(filepath.Join(dir, FlatEdgesFile), opts.readOptions())
+			})
 		if err != nil {
 			return fail(stats, err)
 		}
@@ -243,12 +258,13 @@ func Load(ctx *dataflow.Context, dir string, opts LoadOptions) (core.TGraph, Sca
 		}
 		return ve, stats, nil
 	default: // RepOG, RepOGC (repFiles already rejected the rest)
-		vs, s1, err := ReadNestedVerticesOpts(filepath.Join(dir, NestedVerticesFile), opts.readOptions())
-		if err != nil {
-			return fail(s1, err)
-		}
-		es, s2, err := ReadNestedEdgesOpts(filepath.Join(dir, NestedEdgesFile), opts.readOptions())
-		stats := addStats(s1, s2)
+		vs, es, stats, err := loadPair(par,
+			func() ([]core.OGVertex, ScanStats, error) {
+				return ReadNestedVerticesOpts(filepath.Join(dir, NestedVerticesFile), opts.readOptions())
+			},
+			func() ([]core.OGEdge, ScanStats, error) {
+				return ReadNestedEdgesOpts(filepath.Join(dir, NestedEdgesFile), opts.readOptions())
+			})
 		if err != nil {
 			return fail(stats, err)
 		}
@@ -262,6 +278,53 @@ func Load(ctx *dataflow.Context, dir string, opts LoadOptions) (core.TGraph, Sca
 		}
 		return og, stats, nil
 	}
+}
+
+// loadPair reads a directory's vertex and edge files — concurrently
+// when par is set (the scan engine has more than one worker), otherwise
+// in the classic sequential order. Error reporting matches a sequential
+// load exactly: a vertex-file error wins and carries only the vertex
+// stats, an edge-file error carries the combined stats. A panic in the
+// concurrent edge read (write-path crash injection never reaches here,
+// but fault hooks may panic by design) is re-raised on the calling
+// goroutine so recovery behaves as in a sequential load.
+func loadPair[V, E any](
+	par bool,
+	readV func() ([]V, ScanStats, error),
+	readE func() ([]E, ScanStats, error),
+) ([]V, []E, ScanStats, error) {
+	var (
+		es     []E
+		s2     ScanStats
+		eerr   error
+		epanic any
+	)
+	if !par {
+		vs, s1, verr := readV()
+		if verr != nil {
+			return nil, nil, s1, verr
+		}
+		es, s2, eerr = readE()
+		return vs, es, addStats(s1, s2), eerr
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() { epanic = recover() }()
+		es, s2, eerr = readE()
+	}()
+	vs, s1, verr := readV()
+	<-done
+	if epanic != nil {
+		panic(epanic)
+	}
+	if verr != nil {
+		return nil, nil, s1, verr
+	}
+	if eerr != nil {
+		return nil, nil, addStats(s1, s2), eerr
+	}
+	return vs, es, addStats(s1, s2), nil
 }
 
 func addStats(a, b ScanStats) ScanStats {

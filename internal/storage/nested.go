@@ -9,7 +9,6 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/props"
@@ -298,49 +297,55 @@ func openNested(path string) (*nestedReader, error) {
 	return &nestedReader{footer: footer, data: data}, nil
 }
 
-func (r *nestedReader) scan(opts ReadOptions) ([]nestedRow, ScanStats, error) {
-	var stats ScanStats
-	var out []nestedRow
+// scanNested runs the parallel scan engine (scan.go) over a nested PGN
+// file: surviving chunks decode (in parallel when Scan.Parallelism
+// allows) inside the worker, which also decodes and range-clips each
+// entity's history and drops entities whose clipped history is empty
+// (they still count toward ScanStats.RowsRead, matching the flat path).
+// conv builds the output entity from the row and its clipped history.
+func scanNested[T any](r *nestedReader, opts ReadOptions, conv func(rw nestedRow, h []core.HistoryItem) T) ([]T, ScanStats, error) {
 	rng := opts.Range
 	pushdown := !rng.IsEmpty()
-	for _, cm := range r.footer.Chunks {
-		if pushdown && (cm.MinFirstStart >= int64(rng.End) || cm.MaxLastEnd <= int64(rng.Start)) {
-			stats.ChunksSkipped++
-			obsZoneMapSkips.Add(1)
-			continue
-		}
-		stats.ChunksRead++
-		stats.BytesRead += int64(cm.Length)
-		obsChunksRead.Add(1)
-		obsBytesRead.Add(int64(cm.Length))
-		chunk, err := chunkBytes(r.data, cm.Offset, cm.Length, "storage.pgn.chunk", opts.ChunkHook)
-		var rows []nestedRow
-		if err == nil {
-			decodeStart := time.Now()
-			rows, err = decodeNestedChunk(chunk, cm)
-			obsDecode.Observe(time.Since(decodeStart))
-		}
-		if err != nil {
-			if opts.Permissive {
-				stats.ChunksCorrupt++
-				obsCorruptChunks.Add(1)
-				continue
+	return scanFileAs(r.data, opts, r.footer.Chunks,
+		func(cm nestedChunkMeta) bool {
+			return pushdown && (cm.MinFirstStart >= int64(rng.End) || cm.MaxLastEnd <= int64(rng.Start))
+		},
+		func(cm nestedChunkMeta) (int64, int) { return cm.Offset, cm.Length },
+		"storage.pgn.chunk",
+		func(chunk []byte, cm nestedChunkMeta, sc *decodeScratch) (chunkOut[T], error) {
+			rows, err := decodeNestedChunk(chunk, cm, sc)
+			if err != nil {
+				return chunkOut[T]{}, err
 			}
-			return nil, stats, err
-		}
-		for _, rw := range rows {
-			if pushdown && (rw.firstStart >= int64(rng.End) || rw.lastEnd <= int64(rng.Start)) {
-				continue
+			out := chunkOut[T]{rows: make([]T, 0, len(rows))}
+			for _, rw := range rows {
+				if pushdown && (rw.firstStart >= int64(rng.End) || rw.lastEnd <= int64(rng.Start)) {
+					continue
+				}
+				out.read++
+				h, err := decodeHistory(rw.history, rw.keys)
+				if err != nil {
+					if opts.Permissive {
+						out.corrupt++
+						continue
+					}
+					return chunkOut[T]{}, err
+				}
+				h = clipHistory(h, rng)
+				if len(h) == 0 {
+					continue
+				}
+				out.rows = append(out.rows, conv(rw, h))
 			}
-			out = append(out, rw)
-			stats.RowsRead++
-		}
-	}
-	obsRowsRead.Add(int64(stats.RowsRead))
-	return out, stats, nil
+			return out, nil
+		})
 }
 
-func decodeNestedChunk(chunk []byte, cm nestedChunkMeta) ([]nestedRow, error) {
+// decodeNestedChunk decodes one nested chunk into rows drawn from the
+// pooled scratch buffer sc; like decodeChunk, the returned slice is
+// only valid until sc goes back to the pool, and history/keys alias the
+// chunk bytes and its decoded key table.
+func decodeNestedChunk(chunk []byte, cm nestedChunkMeta, sc *decodeScratch) ([]nestedRow, error) {
 	if len(chunk) != cm.Length {
 		return nil, fmt.Errorf("storage: nested chunk has %d bytes, want %d", len(chunk), cm.Length)
 	}
@@ -352,7 +357,7 @@ func decodeNestedChunk(chunk []byte, cm nestedChunkMeta) ([]nestedRow, error) {
 	if len(cm.ColLens) != 6 && len(cm.ColLens) != 7 {
 		return nil, fmt.Errorf("storage: nested chunk has %d columns, want 6 or 7", len(cm.ColLens))
 	}
-	cols := make([][]byte, len(cm.ColLens))
+	var cols [7][]byte
 	pos := 0
 	for i, l := range cm.ColLens {
 		if pos+l > len(chunk) {
@@ -372,28 +377,28 @@ func decodeNestedChunk(chunk []byte, cm nestedChunkMeta) ([]nestedRow, error) {
 		}
 	}
 	n := cm.Rows
-	ids, err := decodeDeltaInts(cols[0], n)
+	ids, err := decodeDeltaIntsInto(sc.int64s(0, n), cols[0])
 	if err != nil {
 		return nil, err
 	}
-	srcs, err := decodeDeltaInts(cols[1], n)
+	srcs, err := decodeDeltaIntsInto(sc.int64s(1, n), cols[1])
 	if err != nil {
 		return nil, err
 	}
-	dsts, err := decodeDeltaInts(cols[2], n)
+	dsts, err := decodeDeltaIntsInto(sc.int64s(2, n), cols[2])
 	if err != nil {
 		return nil, err
 	}
-	firsts, err := decodeDeltaInts(cols[3], n)
+	firsts, err := decodeDeltaIntsInto(sc.int64s(3, n), cols[3])
 	if err != nil {
 		return nil, err
 	}
-	lasts, err := decodeDeltaInts(cols[4], n)
+	lasts, err := decodeDeltaIntsInto(sc.int64s(4, n), cols[4])
 	if err != nil {
 		return nil, err
 	}
 	hr := &byteReader{buf: cols[5]}
-	rows := make([]nestedRow, n)
+	rows := sc.nestedRowBuf(n)
 	for i := 0; i < n; i++ {
 		hl, err := hr.uvarint()
 		if err != nil {
@@ -415,7 +420,7 @@ func ReadNestedVertices(path string, rng temporal.Interval) ([]core.OGVertex, Sc
 }
 
 // ReadNestedVerticesOpts is ReadNestedVertices with full read options
-// (Permissive mode, fault-injection hook).
+// (Permissive mode, fault-injection hook, scan parallelism).
 func ReadNestedVerticesOpts(path string, opts ReadOptions) ([]core.OGVertex, ScanStats, error) {
 	r, err := openNested(path)
 	if err != nil {
@@ -424,28 +429,9 @@ func ReadNestedVerticesOpts(path string, opts ReadOptions) ([]core.OGVertex, Sca
 	if r.footer.Kind != "vertices" {
 		return nil, ScanStats{}, fmt.Errorf("storage: %s holds %s, want vertices", path, r.footer.Kind)
 	}
-	rows, stats, err := r.scan(opts)
-	if err != nil {
-		return nil, stats, err
-	}
-	out := make([]core.OGVertex, 0, len(rows))
-	for _, rw := range rows {
-		h, err := decodeHistory(rw.history, rw.keys)
-		if err != nil {
-			if opts.Permissive {
-				stats.RowsCorrupt++
-				obsCorruptRows.Add(1)
-				continue
-			}
-			return nil, stats, err
-		}
-		h = clipHistory(h, opts.Range)
-		if len(h) == 0 {
-			continue
-		}
-		out = append(out, core.OGVertex{ID: core.VertexID(rw.id), History: h})
-	}
-	return out, stats, nil
+	return scanNested(r, opts, func(rw nestedRow, h []core.HistoryItem) core.OGVertex {
+		return core.OGVertex{ID: core.VertexID(rw.id), History: h}
+	})
 }
 
 // ReadNestedEdges reads OG edges with time-range pushdown.
@@ -462,28 +448,9 @@ func ReadNestedEdgesOpts(path string, opts ReadOptions) ([]core.OGEdge, ScanStat
 	if r.footer.Kind != "edges" {
 		return nil, ScanStats{}, fmt.Errorf("storage: %s holds %s, want edges", path, r.footer.Kind)
 	}
-	rows, stats, err := r.scan(opts)
-	if err != nil {
-		return nil, stats, err
-	}
-	out := make([]core.OGEdge, 0, len(rows))
-	for _, rw := range rows {
-		h, err := decodeHistory(rw.history, rw.keys)
-		if err != nil {
-			if opts.Permissive {
-				stats.RowsCorrupt++
-				obsCorruptRows.Add(1)
-				continue
-			}
-			return nil, stats, err
-		}
-		h = clipHistory(h, opts.Range)
-		if len(h) == 0 {
-			continue
-		}
-		out = append(out, core.OGEdge{ID: core.EdgeID(rw.id), Src: core.VertexID(rw.src), Dst: core.VertexID(rw.dst), History: h})
-	}
-	return out, stats, nil
+	return scanNested(r, opts, func(rw nestedRow, h []core.HistoryItem) core.OGEdge {
+		return core.OGEdge{ID: core.EdgeID(rw.id), Src: core.VertexID(rw.src), Dst: core.VertexID(rw.dst), History: h}
+	})
 }
 
 func clipHistory(h []core.HistoryItem, rng temporal.Interval) []core.HistoryItem {

@@ -9,7 +9,6 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -51,8 +50,13 @@ type ReadOptions struct {
 	// (internal/faults). Sites: "storage.pgc.chunk",
 	// "storage.pgn.chunk". The hook must return the chunk to decode
 	// (possibly a corrupted copy); it must not mutate its input, which
-	// aliases the reader's file buffer.
+	// aliases the reader's file buffer. Hooks run during the sequential
+	// survivor-selection phase, so their call order is independent of
+	// Scan.Parallelism.
 	ChunkHook func(site string, chunk []byte) []byte
+	// Scan configures the parallel scan engine (scan.go): decode worker
+	// count and cancellation context.
+	Scan ScanOptions
 }
 
 // row is the flat on-disk record: vertex rows leave Src/Dst zero and
@@ -299,12 +303,19 @@ func encodeChunk(rows []row) ([]byte, chunkMeta) {
 	return data, meta
 }
 
-// ScanStats reports what a predicate-pushdown scan did.
+// ScanStats reports what a predicate-pushdown scan did. Stats are
+// accumulated in file order regardless of ScanOptions.Parallelism —
+// a parallel scan reports exactly what the sequential scan would.
 type ScanStats struct {
+	// ChunksRead counts chunks that survived zone-map pushdown and were
+	// handed to the decode phase; ChunksSkipped counts chunks pruned by
+	// their zone maps (the storage.zone_map_skips counter).
 	ChunksRead    int
 	ChunksSkipped int
-	RowsRead      int
-	BytesRead     int64
+	// RowsRead counts rows passing the time-range filter; BytesRead is
+	// the compressed chunk bytes the scan touched.
+	RowsRead  int
+	BytesRead int64
 	// ChunksCorrupt counts chunks dropped by a Permissive read (always
 	// 0 on strict reads, which abort instead).
 	ChunksCorrupt int
@@ -361,61 +372,59 @@ func chunkBytes(data []byte, offset int64, length int, site string, hook func(st
 	return chunk, nil
 }
 
-// scan decodes all chunks whose zone map may overlap opts.Range. A zero
-// range (empty interval) disables pushdown and reads everything. In
-// Permissive mode corrupt chunks are skipped and counted instead of
-// aborting the scan.
-func (r *reader) scan(opts ReadOptions) ([]row, ScanStats, error) {
-	var stats ScanStats
-	var out []row
+// scanFlat runs the parallel scan engine (scan.go) over a flat PGC
+// file: chunks whose zone map may overlap opts.Range are decoded (in
+// parallel when Scan.Parallelism allows), row-filtered, and their
+// property blobs decoded inside the worker, with conv building the
+// output tuple. A zero range (empty interval) disables pushdown and
+// reads everything. In Permissive mode corrupt chunks are skipped and
+// counted, and rows whose property blob fails to decode are dropped and
+// counted, instead of aborting the scan.
+func scanFlat[T any](r *reader, opts ReadOptions, conv func(rw row, p props.Props, iv temporal.Interval) T) ([]T, ScanStats, error) {
 	rng := opts.Range
 	pushdown := !rng.IsEmpty()
-	for _, cm := range r.footer.Chunks {
-		if pushdown {
+	return scanFileAs(r.data, opts, r.footer.Chunks,
+		func(cm chunkMeta) bool {
 			// Chunk overlaps [rng.Start, rng.End) only if some row's
 			// [start, end) can intersect it: need start < rng.End and
 			// end > rng.Start.
-			if cm.MinStart >= int64(rng.End) || cm.MaxEnd <= int64(rng.Start) {
-				stats.ChunksSkipped++
-				obsZoneMapSkips.Add(1)
-				continue
+			return pushdown && (cm.MinStart >= int64(rng.End) || cm.MaxEnd <= int64(rng.Start))
+		},
+		func(cm chunkMeta) (int64, int) { return cm.Offset, cm.Length },
+		"storage.pgc.chunk",
+		func(chunk []byte, cm chunkMeta, sc *decodeScratch) (chunkOut[T], error) {
+			rows, err := decodeChunk(chunk, cm, sc)
+			if err != nil {
+				return chunkOut[T]{}, err
 			}
-		}
-		stats.ChunksRead++
-		stats.BytesRead += int64(cm.Length)
-		obsChunksRead.Add(1)
-		obsBytesRead.Add(int64(cm.Length))
-		chunk, err := chunkBytes(r.data, cm.Offset, cm.Length, "storage.pgc.chunk", opts.ChunkHook)
-		var rows []row
-		if err == nil {
-			decodeStart := time.Now()
-			rows, err = decodeChunk(chunk, cm)
-			obsDecode.Observe(time.Since(decodeStart))
-		}
-		if err != nil {
-			if opts.Permissive {
-				stats.ChunksCorrupt++
-				obsCorruptChunks.Add(1)
-				continue
-			}
-			return nil, stats, err
-		}
-		for _, rw := range rows {
-			if pushdown {
-				iv := temporal.Interval{Start: temporal.Time(rw.start), End: temporal.Time(rw.end)}
-				if !iv.Overlaps(rng) {
-					continue
+			out := chunkOut[T]{rows: make([]T, 0, len(rows))}
+			for _, rw := range rows {
+				if pushdown {
+					iv := temporal.Interval{Start: temporal.Time(rw.start), End: temporal.Time(rw.end)}
+					if !iv.Overlaps(rng) {
+						continue
+					}
 				}
+				out.read++
+				p, err := decodeProps(rw.propb, rw.keys)
+				if err != nil {
+					if opts.Permissive {
+						out.corrupt++
+						continue
+					}
+					return chunkOut[T]{}, err
+				}
+				out.rows = append(out.rows, conv(rw, p, clip(rw.start, rw.end, rng)))
 			}
-			out = append(out, rw)
-			stats.RowsRead++
-		}
-	}
-	obsRowsRead.Add(int64(stats.RowsRead))
-	return out, stats, nil
+			return out, nil
+		})
 }
 
-func decodeChunk(chunk []byte, cm chunkMeta) ([]row, error) {
+// decodeChunk decodes one flat chunk into rows drawn from the pooled
+// scratch buffer sc: the returned slice and its integer fields alias
+// sc and are only valid until sc is returned to the pool; propb/keys
+// alias the chunk bytes and the chunk's freshly decoded key table.
+func decodeChunk(chunk []byte, cm chunkMeta, sc *decodeScratch) ([]row, error) {
 	if len(chunk) != cm.Length {
 		return nil, fmt.Errorf("storage: chunk has %d bytes, want %d", len(chunk), cm.Length)
 	}
@@ -427,7 +436,7 @@ func decodeChunk(chunk []byte, cm chunkMeta) ([]row, error) {
 	if len(cm.ColLens) != 6 && len(cm.ColLens) != 7 {
 		return nil, fmt.Errorf("storage: chunk has %d columns, want 6 or 7", len(cm.ColLens))
 	}
-	cols := make([][]byte, len(cm.ColLens))
+	var cols [7][]byte
 	pos := 0
 	for i, l := range cm.ColLens {
 		if pos+l > len(chunk) {
@@ -447,23 +456,23 @@ func decodeChunk(chunk []byte, cm chunkMeta) ([]row, error) {
 		}
 	}
 	n := cm.Rows
-	ids, err := decodeDeltaInts(cols[0], n)
+	ids, err := decodeDeltaIntsInto(sc.int64s(0, n), cols[0])
 	if err != nil {
 		return nil, err
 	}
-	srcs, err := decodeDeltaInts(cols[1], n)
+	srcs, err := decodeDeltaIntsInto(sc.int64s(1, n), cols[1])
 	if err != nil {
 		return nil, err
 	}
-	dsts, err := decodeDeltaInts(cols[2], n)
+	dsts, err := decodeDeltaIntsInto(sc.int64s(2, n), cols[2])
 	if err != nil {
 		return nil, err
 	}
-	starts, err := decodeDeltaInts(cols[3], n)
+	starts, err := decodeDeltaIntsInto(sc.int64s(3, n), cols[3])
 	if err != nil {
 		return nil, err
 	}
-	ends, err := decodeDeltaInts(cols[4], n)
+	ends, err := decodeDeltaIntsInto(sc.int64s(4, n), cols[4])
 	if err != nil {
 		return nil, err
 	}
@@ -471,7 +480,7 @@ func decodeChunk(chunk []byte, cm chunkMeta) ([]row, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]row, n)
+	rows := sc.rowBuf(n)
 	for i := 0; i < n; i++ {
 		rows[i] = row{id: ids[i], src: srcs[i], dst: dsts[i], start: starts[i], end: ends[i], propb: pbs[i], keys: keys}
 	}
@@ -485,7 +494,7 @@ func ReadVertices(path string, rng temporal.Interval) ([]core.VertexTuple, ScanS
 }
 
 // ReadVerticesOpts is ReadVertices with full read options (Permissive
-// mode, fault-injection hook).
+// mode, fault-injection hook, scan parallelism).
 func ReadVerticesOpts(path string, opts ReadOptions) ([]core.VertexTuple, ScanStats, error) {
 	r, err := openPGC(path)
 	if err != nil {
@@ -494,25 +503,9 @@ func ReadVerticesOpts(path string, opts ReadOptions) ([]core.VertexTuple, ScanSt
 	if r.footer.Kind != "vertices" {
 		return nil, ScanStats{}, fmt.Errorf("storage: %s holds %s, want vertices", path, r.footer.Kind)
 	}
-	rows, stats, err := r.scan(opts)
-	if err != nil {
-		return nil, stats, err
-	}
-	out := make([]core.VertexTuple, 0, len(rows))
-	for _, rw := range rows {
-		p, err := decodeProps(rw.propb, rw.keys)
-		if err != nil {
-			if opts.Permissive {
-				stats.RowsCorrupt++
-				obsCorruptRows.Add(1)
-				continue
-			}
-			return nil, stats, err
-		}
-		iv := clip(rw.start, rw.end, opts.Range)
-		out = append(out, core.VertexTuple{ID: core.VertexID(rw.id), Interval: iv, Props: p})
-	}
-	return out, stats, nil
+	return scanFlat(r, opts, func(rw row, p props.Props, iv temporal.Interval) core.VertexTuple {
+		return core.VertexTuple{ID: core.VertexID(rw.id), Interval: iv, Props: p}
+	})
 }
 
 // ReadEdges reads edge states from a PGC file, applying time-range
@@ -530,29 +523,13 @@ func ReadEdgesOpts(path string, opts ReadOptions) ([]core.EdgeTuple, ScanStats, 
 	if r.footer.Kind != "edges" {
 		return nil, ScanStats{}, fmt.Errorf("storage: %s holds %s, want edges", path, r.footer.Kind)
 	}
-	rows, stats, err := r.scan(opts)
-	if err != nil {
-		return nil, stats, err
-	}
-	out := make([]core.EdgeTuple, 0, len(rows))
-	for _, rw := range rows {
-		p, err := decodeProps(rw.propb, rw.keys)
-		if err != nil {
-			if opts.Permissive {
-				stats.RowsCorrupt++
-				obsCorruptRows.Add(1)
-				continue
-			}
-			return nil, stats, err
-		}
-		iv := clip(rw.start, rw.end, opts.Range)
-		out = append(out, core.EdgeTuple{
+	return scanFlat(r, opts, func(rw row, p props.Props, iv temporal.Interval) core.EdgeTuple {
+		return core.EdgeTuple{
 			ID:  core.EdgeID(rw.id),
 			Src: core.VertexID(rw.src), Dst: core.VertexID(rw.dst),
 			Interval: iv, Props: p,
-		})
-	}
-	return out, stats, nil
+		}
+	})
 }
 
 func clip(start, end int64, rng temporal.Interval) temporal.Interval {

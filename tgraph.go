@@ -238,6 +238,12 @@ type LoadOptions = storage.LoadOptions
 // ScanStats reports predicate-pushdown effectiveness.
 type ScanStats = storage.ScanStats
 
+// ScanOptions configures the parallel scan engine used by Load:
+// concurrent chunk-decode workers per file (0 = GOMAXPROCS, 1 =
+// sequential; results are identical at any setting) and an optional
+// cancellation context for aborting in-flight decodes.
+type ScanOptions = storage.ScanOptions
+
 // Save persists a graph directory (flat + nested columnar layouts).
 func Save(dir string, g Graph, opts SaveOptions) error { return storage.SaveGraph(dir, g, opts) }
 
