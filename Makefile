@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test test-race bench fmt bench-json chaos crash smoke-serve smoke-scan
+.PHONY: check build vet lint test test-race bench fmt bench-json chaos crash smoke-serve smoke-scan smoke-overload
 
-check: build vet lint test-race chaos crash smoke-serve smoke-scan
+check: build vet lint test-race chaos crash smoke-serve smoke-scan smoke-overload
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,15 @@ crash:
 # independently.
 smoke-serve:
 	$(GO) test -race -count=1 -run 'TestConcurrentIdenticalRequestsDedup|TestWZoomSmokeAndByteIdenticalHit|TestDistinctQueriesCached' ./internal/serve
+
+# Overload smoke: admission control sheds 4x saturation with bounded
+# queueing and zero 5xx (TestChaosServeOverload), the reload breaker
+# degrades to byte-identical stale serving and recovers
+# (TestChaosReloadBreaker), then the overload bench runs at a small
+# scale — it panics on any 5xx or on a missing degraded response.
+smoke-overload:
+	$(GO) test -race -count=1 -run 'TestChaosServeOverload|TestChaosReloadBreaker|TestAdmissionShed429' ./internal/serve
+	$(GO) run ./cmd/tgraph-bench -exp overload -scale 0.25
 
 # Parallel-scan smoke: the determinism suite proves byte-identical
 # rows/stats at parallelism 1 vs N (with and without corruption), then

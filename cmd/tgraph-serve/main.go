@@ -1,16 +1,22 @@
 // Command tgraph-serve exposes saved TGraph directories as a
 // concurrent zoom query service (see internal/serve): JSON aZoom^T /
 // wZoom^T / pipeline endpoints with a fingerprinted result cache,
-// singleflight deduplication, per-request timeouts and graceful drain.
+// singleflight deduplication, per-request timeouts, admission control
+// with bounded queueing, circuit-broken graph reloads with degraded
+// (stale-graph) fallback, and graceful drain.
 //
 // Usage:
 //
 //	tgraph-serve -graph snb=/data/snb -graph fig1=/data/fig1@og \
-//	    -addr :8080 -cache-mb 64 -timeout 30s
+//	    -addr :8080 -cache-mb 64 -timeout 30s \
+//	    -max-inflight 64 -queue-depth 128 -breaker-threshold 3 \
+//	    -drain-timeout 30s
 //
 // Each -graph names one served directory as name=dir or name=dir@rep
 // (rep one of ve|rg|og|ogc, default ve). On SIGINT/SIGTERM the server
-// stops accepting connections, drains in-flight requests and exits.
+// stops accepting connections and drains in-flight requests; if they
+// outlive -drain-timeout the process exits non-zero so supervisors see
+// the unclean shutdown.
 package main
 
 import (
@@ -52,6 +58,18 @@ func (g *graphFlags) Set(v string) error {
 	return nil
 }
 
+// drainExit drains the server within timeout and returns the process
+// exit code: 0 for a clean drain, 1 when in-flight requests outlived
+// the deadline.
+func drainExit(s *serve.Server, timeout time.Duration) int {
+	if err := s.DrainWithin(timeout); err != nil {
+		log.Printf("tgraph-serve: %v", err)
+		return 1
+	}
+	log.Print("tgraph-serve: drained, bye")
+	return 0
+}
+
 func main() {
 	var graphs graphFlags
 	addr := flag.String("addr", ":8080", "listen address")
@@ -59,6 +77,11 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request computation timeout (0 for none)")
 	parallelism := flag.Int("parallelism", 0, "per-request dataflow parallelism (0 = NumCPU)")
 	scanParallelism := flag.Int("scan-parallelism", 0, "storage scan decode workers per file when loading graphs (0 = GOMAXPROCS, 1 = sequential)")
+	maxInflight := flag.Int("max-inflight", 64, "admission control: max concurrently executing query requests (0 disables shedding)")
+	queueDepth := flag.Int("queue-depth", 128, "admission control: bounded FIFO wait queue behind -max-inflight (0 = shed immediately when full)")
+	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive reload failures that trip a graph's circuit breaker into degraded stale serving")
+	breakerCooldown := flag.Duration("breaker-cooldown", 2*time.Second, "how long a tripped reload breaker stays open before probing the directory again")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown; exceeded = non-zero exit")
 	flag.Var(&graphs, "graph", "graph to serve as name=dir[@rep]; repeatable")
 	flag.Parse()
 
@@ -69,11 +92,15 @@ func main() {
 	}
 
 	s, err := serve.New(serve.Config{
-		Graphs:          graphs,
-		CacheBytes:      *cacheMB << 20,
-		Timeout:         *timeout,
-		Parallelism:     *parallelism,
-		ScanParallelism: *scanParallelism,
+		Graphs:           graphs,
+		CacheBytes:       *cacheMB << 20,
+		Timeout:          *timeout,
+		Parallelism:      *parallelism,
+		ScanParallelism:  *scanParallelism,
+		MaxInflight:      *maxInflight,
+		QueueDepth:       *queueDepth,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -93,12 +120,12 @@ func main() {
 		log.Printf("tgraph-serve: %v, draining", sig)
 	}
 
-	// Stop accepting connections, then wait for in-flight queries.
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	// Stop accepting connections, then wait for in-flight queries up to
+	// the drain deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("tgraph-serve: shutdown: %v", err)
 	}
-	s.Drain()
-	log.Print("tgraph-serve: drained, bye")
+	os.Exit(drainExit(s, *drainTimeout))
 }

@@ -21,7 +21,11 @@
 //	dataflow.join, dataflow.semijoin, dataflow.cogroup (task attempts);
 //	storage.pgc.chunk, storage.pgn.chunk (chunk reads);
 //	storage.write.create, storage.write.short, storage.write.sync,
-//	storage.write.rename (atomic-write crash points).
+//	storage.write.rename (atomic-write crash points);
+//	serve.reload (the query service's stamp-check-and-reload path,
+//	guarded by its circuit breaker), serve.handler (the start of every
+//	query handler, upstream of the panic-recovery middleware) — both
+//	reached through serve.Config.FaultHook / Injector.ServeHook.
 //
 // Rules match sites by prefix, so Site: "dataflow." targets every
 // engine stage and Site: "storage.write." every write crash point.
@@ -212,6 +216,39 @@ func (in *Injector) ChunkHook() func(site string, chunk []byte) []byte {
 			return bad
 		}
 		return chunk
+	}
+}
+
+// ServeHook returns the serving-layer hook (serve.Config.FaultHook),
+// called at the serve.* injection sites. Panic rules panic with the
+// injected *Error — at serve.handler that exercises the serving layer's
+// panic-recovery middleware; Transient rules return the *Error wrapped
+// dataflow.Transient, which the reload path treats as the failure of
+// the guarded operation (feeding the circuit breaker and retry budget);
+// Delay rules sleep, simulating a slow dependency; Corrupt and Crash
+// are ignored here.
+func (in *Injector) ServeHook() func(site string) error {
+	return func(site string) error {
+		for ri, r := range in.rules {
+			if r.Site != "" && !hasPrefix(site, r.Site) {
+				continue
+			}
+			switch r.Kind {
+			case Delay:
+				if _, ok := in.fire(ri, site); ok {
+					time.Sleep(r.Delay)
+				}
+			case Panic:
+				if hit, ok := in.fire(ri, site); ok {
+					panic(&Error{Site: site, Hit: hit})
+				}
+			case Transient:
+				if hit, ok := in.fire(ri, site); ok {
+					return dataflow.Transient(&Error{Site: site, Hit: hit})
+				}
+			}
+		}
+		return nil
 	}
 }
 

@@ -227,3 +227,45 @@ func TestWriteHookDeterministic(t *testing.T) {
 		t.Fatalf("same seed fired %d then %d times", len(a), len(b))
 	}
 }
+
+// ServeHook: Transient rules surface as returned retryable errors,
+// Panic rules panic with the typed *Error, and cadence is per rule.
+func TestServeHookKinds(t *testing.T) {
+	inj := New(7,
+		Rule{Site: "serve.reload", Kind: Transient, Every: 2},
+		Rule{Site: "serve.handler", Kind: Panic, Every: 1},
+	)
+	hook := inj.ServeHook()
+
+	// Hits 1..4 at serve.reload: fires on 2 and 4.
+	var errs []error
+	for i := 0; i < 4; i++ {
+		errs = append(errs, hook("serve.reload"))
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Errorf("odd hits fired: %v", errs)
+	}
+	for _, i := range []int{1, 3} {
+		var fe *Error
+		if !errors.As(errs[i], &fe) || !dataflow.IsTransient(errs[i]) {
+			t.Errorf("hit %d: err = %v, want transient injected *Error", i+1, errs[i])
+		}
+	}
+
+	// serve.handler panics with the typed error.
+	func() {
+		defer func() {
+			r := recover()
+			if fe, ok := r.(*Error); !ok || fe.Site != "serve.handler" {
+				t.Errorf("recovered %v, want *Error at serve.handler", r)
+			}
+		}()
+		hook("serve.handler")
+		t.Error("panic rule did not panic")
+	}()
+
+	counts := inj.Injected()
+	if counts["serve.reload"] != 2 || counts["serve.handler"] != 1 {
+		t.Errorf("injected counts = %v", counts)
+	}
+}

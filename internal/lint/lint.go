@@ -144,9 +144,11 @@ func CheckSource(fset *token.FileSet, filename string, src []byte) ([]Diagnostic
 // docDirs are directory prefixes (relative to the repo root, slash
 // separated) whose packages must document every exported top-level
 // symbol. The storage package is the reference implementation of the
-// on-disk format and the scan engine, so its godoc is treated as part
-// of the format documentation.
-var docDirs = []string{"internal/storage"}
+// on-disk format and the scan engine; serve and resil are the
+// operational surface (endpoints, headers, admission and degradation
+// semantics) documented in DESIGN.md — their godoc is treated as part
+// of that documentation.
+var docDirs = []string{"internal/storage", "internal/serve", "internal/resil"}
 
 // CheckDocs walks the docDirs under root and reports every exported
 // top-level symbol (func, method, type, const, var) that has no doc

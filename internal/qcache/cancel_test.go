@@ -1,0 +1,162 @@
+package qcache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A sharer whose context is cancelled while the leader computes gets
+// its context error promptly — long before the leader finishes — and
+// the leader's result is still computed once and cached.
+func TestSharerCancellationPromptAndLeaderCaches(t *testing.T) {
+	c := New(1 << 20)
+	leaderStarted := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, outcome, err := c.DoCtx(context.Background(), "k", func() (any, int64, error) {
+			close(leaderStarted)
+			<-release
+			return []byte("value"), 5, nil
+		})
+		if outcome != Miss {
+			t.Errorf("leader outcome = %v, want Miss", outcome)
+		}
+		leaderDone <- err
+	}()
+	<-leaderStarted
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sharerDone := make(chan struct{})
+	var sharerErr error
+	var sharerOutcome Outcome
+	go func() {
+		defer close(sharerDone)
+		_, sharerOutcome, sharerErr = c.DoCtx(ctx, "k", func() (any, int64, error) {
+			t.Error("sharer executed the computation")
+			return nil, 0, nil
+		})
+	}()
+	// Let the sharer join the flight, then cancel it while the leader is
+	// still parked. (If scheduling delays the sharer past the cancel, it
+	// joins with an already-cancelled context and returns the same way.)
+	cancelledBefore := c.sharersCancelled.Value()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+
+	select {
+	case <-sharerDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled sharer did not return while the leader was computing")
+	}
+	if !errors.Is(sharerErr, context.Canceled) {
+		t.Errorf("sharer err = %v, want context.Canceled", sharerErr)
+	}
+	if sharerOutcome != Shared {
+		t.Errorf("sharer outcome = %v, want Shared", sharerOutcome)
+	}
+	if got := c.sharersCancelled.Value() - cancelledBefore; got != 1 {
+		t.Errorf("qcache.sharers_cancelled advanced by %d, want 1", got)
+	}
+
+	// The leader is unaffected: it completes and its result is cached.
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader err = %v", err)
+	}
+	if v, ok := c.Get("k"); !ok || string(v.([]byte)) != "value" {
+		t.Errorf("leader result not cached: %v %v", v, ok)
+	}
+}
+
+// Cancelling a sharer leaks no goroutine: after the leader finishes,
+// the goroutine count returns to its pre-test level.
+func TestSharerCancellationNoGoroutineLeak(t *testing.T) {
+	c := New(1 << 20)
+	before := runtime.NumGoroutine()
+
+	leaderStarted := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.DoCtx(context.Background(), "leak", func() (any, int64, error) {
+			close(leaderStarted)
+			<-release
+			return 1, 1, nil
+		})
+	}()
+	<-leaderStarted
+
+	// Many sharers, all cancelled mid-flight.
+	const sharers = 16
+	ctx, cancel := context.WithCancel(context.Background())
+	for i := 0; i < sharers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := c.DoCtx(ctx, "leak", func() (any, int64, error) { return 1, 1, nil })
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Errorf("sharer err = %v", err)
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	close(release)
+	wg.Wait()
+
+	// The runtime reuses goroutines lazily; poll until the count falls
+	// back to (at most) where it started.
+	waitUntil(t, func() bool { return runtime.NumGoroutine() <= before })
+}
+
+// A cancelled sharer does not poison the flight for later callers: the
+// next DoCtx after completion is a Hit with the leader's value.
+func TestSharerCancellationDoesNotPoisonKey(t *testing.T) {
+	c := New(1 << 20)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.DoCtx(context.Background(), "k", func() (any, int64, error) {
+			close(started)
+			<-release
+			return "good", 4, nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, _, err := c.DoCtx(ctx, "k", nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("sharer err = %v, want deadline exceeded", err)
+	}
+	close(release)
+	<-done
+	v, outcome, err := c.DoCtx(context.Background(), "k", func() (any, int64, error) {
+		return nil, 0, fmt.Errorf("must not recompute")
+	})
+	if err != nil || outcome != Hit || v != "good" {
+		t.Errorf("post-cancel call = (%v, %v, %v), want (good, Hit, nil)", v, outcome, err)
+	}
+}
+
+// waitUntil polls cond for up to 2s.
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

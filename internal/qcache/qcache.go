@@ -13,12 +13,14 @@
 //	qcache.misses        computations executed
 //	qcache.evictions     entries evicted by the size bound
 //	qcache.invalidations entries dropped by InvalidatePrefix
+//	qcache.sharers_cancelled sharers that stopped waiting (DoCtx)
 //	qcache.bytes         resident value bytes (gauge, all caches)
 //	qcache.entries       resident entries (gauge, all caches)
 package qcache
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -84,13 +86,14 @@ type Cache struct {
 	items    map[string]*list.Element
 	flights  map[string]*flight
 
-	hits          *obs.Counter
-	shared        *obs.Counter
-	misses        *obs.Counter
-	evictions     *obs.Counter
-	invalidations *obs.Counter
-	bytesGauge    *obs.Gauge
-	entriesGauge  *obs.Gauge
+	hits             *obs.Counter
+	shared           *obs.Counter
+	misses           *obs.Counter
+	evictions        *obs.Counter
+	invalidations    *obs.Counter
+	sharersCancelled *obs.Counter
+	bytesGauge       *obs.Gauge
+	entriesGauge     *obs.Gauge
 }
 
 // New returns a cache bounded to maxBytes of resident value bytes
@@ -99,17 +102,18 @@ type Cache struct {
 func New(maxBytes int64) *Cache {
 	r := obs.Default()
 	return &Cache{
-		maxBytes:      maxBytes,
-		ll:            list.New(),
-		items:         make(map[string]*list.Element),
-		flights:       make(map[string]*flight),
-		hits:          r.Counter("qcache.hits"),
-		shared:        r.Counter("qcache.shared"),
-		misses:        r.Counter("qcache.misses"),
-		evictions:     r.Counter("qcache.evictions"),
-		invalidations: r.Counter("qcache.invalidations"),
-		bytesGauge:    r.Gauge("qcache.bytes"),
-		entriesGauge:  r.Gauge("qcache.entries"),
+		maxBytes:         maxBytes,
+		ll:               list.New(),
+		items:            make(map[string]*list.Element),
+		flights:          make(map[string]*flight),
+		hits:             r.Counter("qcache.hits"),
+		shared:           r.Counter("qcache.shared"),
+		misses:           r.Counter("qcache.misses"),
+		evictions:        r.Counter("qcache.evictions"),
+		invalidations:    r.Counter("qcache.invalidations"),
+		sharersCancelled: r.Counter("qcache.sharers_cancelled"),
+		bytesGauge:       r.Gauge("qcache.bytes"),
+		entriesGauge:     r.Gauge("qcache.entries"),
 	}
 }
 
@@ -147,6 +151,17 @@ func (c *Cache) Get(key string) (any, bool) {
 // the value sized at the returned byte count, and wakes the sharers.
 // Compute errors are shared with waiters but never cached.
 func (c *Cache) Do(key string, compute func() (any, int64, error)) (any, Outcome, error) {
+	return c.DoCtx(context.Background(), key, compute)
+}
+
+// DoCtx is Do with sharer cancellation: ctx bounds only the waiting. A
+// caller that becomes a sharer and whose ctx ends while the leader is
+// still computing stops waiting and returns ctx's error promptly (with
+// Outcome Shared and a nil value); the leader is unaffected — it
+// ignores ctx, finishes the computation, and its result is cached for
+// future callers as usual. The leader's own compute is NOT cancelled by
+// ctx; bound it inside compute if needed.
+func (c *Cache) DoCtx(ctx context.Context, key string, compute func() (any, int64, error)) (any, Outcome, error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -156,7 +171,12 @@ func (c *Cache) Do(key string, compute func() (any, int64, error)) (any, Outcome
 	}
 	if f, ok := c.flights[key]; ok {
 		c.mu.Unlock()
-		<-f.done
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			c.sharersCancelled.Add(1)
+			return nil, Shared, ctx.Err()
+		}
 		c.shared.Add(1)
 		return f.val, Shared, f.err
 	}

@@ -1,0 +1,208 @@
+package resil
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// State is a circuit breaker's position.
+type State int
+
+// The three breaker states. The numeric values are what the
+// resil.breaker.state.<name> gauge publishes.
+const (
+	// Closed: calls flow; consecutive failures are counted.
+	Closed State = 0
+	// Open: calls are refused with ErrOpen until the cooldown elapses.
+	Open State = 1
+	// HalfOpen: one probe call is admitted; its outcome decides between
+	// Closed and another Open period.
+	HalfOpen State = 2
+)
+
+// String renders the state ("closed", "open", "half-open").
+func (s State) String() string {
+	switch s {
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig configures a Breaker.
+type BreakerConfig struct {
+	// Name labels the breaker's state gauge
+	// (resil.breaker.state.<Name>); empty selects "default".
+	Name string
+	// Threshold is the number of consecutive failures that trips the
+	// breaker open; < 1 selects 3.
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe; <= 0 selects 5s.
+	Cooldown time.Duration
+	// Now is the clock; nil selects time.Now. Tests inject a fake clock
+	// to drive the open → half-open transition deterministically.
+	Now func() time.Time
+}
+
+// Breaker is a three-state circuit breaker guarding one failure-prone
+// operation (in the serving stack: one graph's stamp-check-and-reload
+// path). Construct with NewBreaker; all methods are safe for concurrent
+// use.
+//
+// State machine:
+//
+//	Closed --Threshold consecutive failures--> Open
+//	Open --Cooldown elapsed, next call--> HalfOpen (that call probes)
+//	HalfOpen --probe succeeds--> Closed
+//	HalfOpen --probe fails--> Open (cooldown restarts)
+//
+// While Open (and while a HalfOpen probe is in flight) Do refuses
+// instantly with ErrOpen, without invoking the guarded function.
+type Breaker struct {
+	name      string
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    State
+	failures int       // consecutive failures while Closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a HalfOpen probe is in flight
+
+	trips      *obs.Counter
+	probes     *obs.Counter
+	rejections *obs.Counter
+	stateG     *obs.Gauge
+}
+
+// NewBreaker returns a Breaker in the Closed state.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Name == "" {
+		cfg.Name = "default"
+	}
+	if cfg.Threshold < 1 {
+		cfg.Threshold = 3
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 5 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	r := obs.Default()
+	b := &Breaker{
+		name:       cfg.Name,
+		threshold:  cfg.Threshold,
+		cooldown:   cfg.Cooldown,
+		now:        cfg.Now,
+		trips:      r.Counter("resil.breaker.trips"),
+		probes:     r.Counter("resil.breaker.probes"),
+		rejections: r.Counter("resil.breaker.rejections"),
+		stateG:     r.Gauge("resil.breaker.state." + cfg.Name),
+	}
+	b.stateG.Set(int64(Closed))
+	return b
+}
+
+// Do runs f under the breaker: it refuses with ErrOpen without calling
+// f when the breaker is open (or half-open with its probe taken), and
+// otherwise records f's outcome in the state machine and returns f's
+// error. A panic inside f counts as a failure and propagates.
+func (b *Breaker) Do(f func() error) error {
+	if err := b.allow(); err != nil {
+		return err
+	}
+	ok := false
+	defer func() { b.record(ok) }()
+	if err := f(); err != nil {
+		return err
+	}
+	ok = true
+	return nil
+}
+
+// State returns the breaker's current state, accounting for cooldown
+// expiry (an Open breaker whose cooldown has elapsed reports HalfOpen).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.now().Sub(b.openedAt) >= b.cooldown {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// allow decides whether a call may proceed, advancing Open → HalfOpen
+// when the cooldown has elapsed.
+func (b *Breaker) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return nil
+	case Open:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			b.rejections.Add(1)
+			return ErrOpen
+		}
+		b.setStateLocked(HalfOpen)
+		b.probing = true
+		b.probes.Add(1)
+		return nil
+	default: // HalfOpen
+		if b.probing {
+			b.rejections.Add(1)
+			return ErrOpen
+		}
+		b.probing = true
+		b.probes.Add(1)
+		return nil
+	}
+}
+
+// record feeds one allowed call's outcome into the state machine.
+func (b *Breaker) record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		if ok {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.threshold {
+			b.tripLocked()
+		}
+	case HalfOpen:
+		b.probing = false
+		if ok {
+			b.failures = 0
+			b.setStateLocked(Closed)
+			return
+		}
+		b.tripLocked()
+	}
+}
+
+// tripLocked moves the breaker to Open and restarts the cooldown.
+// Callers hold b.mu.
+func (b *Breaker) tripLocked() {
+	b.setStateLocked(Open)
+	b.openedAt = b.now()
+	b.failures = 0
+	b.trips.Add(1)
+}
+
+// setStateLocked updates the state and its gauge. Callers hold b.mu.
+func (b *Breaker) setStateLocked(s State) {
+	b.state = s
+	b.stateG.Set(int64(s))
+}

@@ -1,0 +1,261 @@
+package resil
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic breaker
+// tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+var errBoom = errors.New("boom")
+
+func failing() error    { return errBoom }
+func succeeding() error { return nil }
+
+// The full state machine: closed → (threshold failures) → open →
+// (cooldown) → half-open → (probe fails) → open → (cooldown) →
+// half-open → (probe succeeds) → closed.
+func TestBreakerStateMachine(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{Name: "sm", Threshold: 3, Cooldown: time.Minute, Now: clk.Now})
+
+	if got := b.State(); got != Closed {
+		t.Fatalf("initial state = %v, want closed", got)
+	}
+	// Two failures: still closed.
+	for i := 0; i < 2; i++ {
+		if err := b.Do(failing); !errors.Is(err, errBoom) {
+			t.Fatalf("failure %d: err = %v", i, err)
+		}
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after 2 failures = %v, want closed", got)
+	}
+	// A success resets the consecutive count.
+	if err := b.Do(succeeding); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := b.Do(failing); !errors.Is(err, errBoom) {
+			t.Fatal(err)
+		}
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state = %v after reset + 2 failures, want closed (count was reset)", got)
+	}
+	// The third consecutive failure trips it.
+	if err := b.Do(failing); !errors.Is(err, errBoom) {
+		t.Fatal(err)
+	}
+	if got := b.State(); got != Open {
+		t.Fatalf("state after threshold = %v, want open", got)
+	}
+	// Open: calls refused without running f.
+	ran := false
+	if err := b.Do(func() error { ran = true; return nil }); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open call: err = %v, want ErrOpen", err)
+	}
+	if ran {
+		t.Fatal("guarded function ran while the breaker was open")
+	}
+	// Cooldown elapses: the next call probes. A failing probe reopens.
+	clk.Advance(time.Minute)
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", got)
+	}
+	if err := b.Do(failing); !errors.Is(err, errBoom) {
+		t.Fatalf("failing probe: err = %v", err)
+	}
+	if got := b.State(); got != Open {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	// Before the new cooldown elapses, still refused.
+	clk.Advance(30 * time.Second)
+	if err := b.Do(succeeding); !errors.Is(err, ErrOpen) {
+		t.Fatalf("mid-cooldown: err = %v, want ErrOpen", err)
+	}
+	// After the cooldown, a successful probe closes it.
+	clk.Advance(30 * time.Second)
+	if err := b.Do(succeeding); err != nil {
+		t.Fatalf("successful probe: %v", err)
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+	// And it is genuinely closed: failures start counting from zero.
+	if err := b.Do(failing); !errors.Is(err, errBoom) {
+		t.Fatal(err)
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state = %v after 1 failure post-recovery, want closed", got)
+	}
+}
+
+// While half-open, exactly one probe is admitted; concurrent calls are
+// refused until the probe completes.
+func TestBreakerSingleProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{Name: "probe", Threshold: 1, Cooldown: time.Second, Now: clk.Now})
+	if err := b.Do(failing); !errors.Is(err, errBoom) {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+
+	probeStarted := make(chan struct{})
+	release := make(chan struct{})
+	probeDone := make(chan error, 1)
+	go func() {
+		probeDone <- b.Do(func() error {
+			close(probeStarted)
+			<-release
+			return nil
+		})
+	}()
+	<-probeStarted
+	// The probe slot is taken: everyone else is refused.
+	for i := 0; i < 3; i++ {
+		if err := b.Do(succeeding); !errors.Is(err, ErrOpen) {
+			t.Errorf("concurrent call %d during probe: err = %v, want ErrOpen", i, err)
+		}
+	}
+	close(release)
+	if err := <-probeDone; err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if got := b.State(); got != Closed {
+		t.Errorf("state after probe success = %v, want closed", got)
+	}
+}
+
+// A panic inside the guarded function counts as a failure and
+// propagates to the caller.
+func TestBreakerPanicCountsAsFailure(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Name: "panic", Threshold: 1, Cooldown: time.Minute})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate")
+			}
+		}()
+		b.Do(func() error { panic("kaboom") })
+	}()
+	if got := b.State(); got != Open {
+		t.Errorf("state after panicking call = %v, want open", got)
+	}
+}
+
+// Concurrent traffic against a breaker under -race: the guarded
+// function never runs while open, and the state stays coherent.
+func TestBreakerConcurrent(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{Name: "conc", Threshold: 4, Cooldown: time.Hour, Now: clk.Now})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := b.Do(func() error {
+				if i%2 == 0 {
+					return errBoom
+				}
+				return nil
+			})
+			if err != nil && !errors.Is(err, errBoom) && !errors.Is(err, ErrOpen) {
+				t.Errorf("unexpected error: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	// With an hour-long cooldown the breaker is either closed (failures
+	// interleaved with successes) or open (a streak tripped it) — and
+	// if open, it stays refused.
+	if b.State() == Open {
+		if err := b.Do(succeeding); !errors.Is(err, ErrOpen) {
+			t.Errorf("open breaker admitted a call: %v", err)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{Closed: "closed", Open: "open", HalfOpen: "half-open"} {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestRetryBudget(t *testing.T) {
+	b := NewRetryBudget(0.5, 2)
+	// Starts full: cap retries available.
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("full budget denied a retry")
+	}
+	if b.Allow() {
+		t.Fatal("empty budget allowed a retry")
+	}
+	// Two deposits at ratio 0.5 bank one retry.
+	b.Deposit()
+	if b.Allow() {
+		t.Fatal("half a token allowed a retry")
+	}
+	b.Deposit()
+	if !b.Allow() {
+		t.Fatal("banked token denied")
+	}
+	// The balance never exceeds the cap.
+	for i := 0; i < 100; i++ {
+		b.Deposit()
+	}
+	if got := b.Balance(); got != 2 {
+		t.Errorf("balance = %v after many deposits, want cap 2", got)
+	}
+}
+
+func TestRetryBudgetDefaultsAndConcurrency(t *testing.T) {
+	b := NewRetryBudget(0, 0) // defaults: ratio 0.1, cap 10
+	var wg sync.WaitGroup
+	var allowed sync.Map
+	for i := 0; i < 40; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				b.Deposit()
+			} else if b.Allow() {
+				allowed.Store(i, true)
+			}
+		}(i)
+	}
+	wg.Wait()
+	n := 0
+	allowed.Range(func(_, _ any) bool { n++; return true })
+	// 20 deposits at 0.1 bank 2 tokens on top of the initial 10: at most
+	// 12 retries can ever be granted.
+	if n > 12 {
+		t.Errorf("%d retries allowed, want <= 12", n)
+	}
+	if got := b.Balance(); got < 0 {
+		t.Errorf("balance went negative: %v", got)
+	}
+}

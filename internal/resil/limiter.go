@@ -1,0 +1,209 @@
+package resil
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// serviceEWMAWeight is the weight of the newest observation in the
+// limiter's exponentially weighted moving average of service times.
+const serviceEWMAWeight = 0.2
+
+// Limiter is a deadline-aware admission controller: a concurrency
+// limiter with a bounded, strictly-FIFO wait queue. Construct with
+// NewLimiter; all methods are safe for concurrent use.
+//
+// Admission policy, in order:
+//
+//  1. a free slot (fewer than MaxInflight admitted, empty queue) admits
+//     immediately;
+//  2. a full queue rejects immediately with ErrSaturated;
+//  3. a context whose deadline falls before the estimated time this
+//     request would reach a slot (queue position × EWMA service time /
+//     MaxInflight) rejects immediately with ErrExpired — the caller
+//     would time out anyway, so the slot is better spent on someone
+//     else;
+//  4. otherwise the request waits in FIFO order until a slot frees or
+//     its context ends.
+type Limiter struct {
+	maxInflight int
+	queueDepth  int
+	now         func() time.Time
+
+	mu        sync.Mutex
+	inflight  int
+	queue     *list.List // of *waiter, front = next to admit
+	avgSvcNS  float64    // EWMA of observed service durations
+	svcSeeded bool
+
+	admitted  *obs.Counter
+	rejected  *obs.Counter
+	expired   *obs.Counter
+	canceled  *obs.Counter
+	inflightG *obs.Gauge
+	queuedG   *obs.Gauge
+	waitH     *obs.Histogram
+}
+
+// waiter is one queued Acquire call. granted is set (under the
+// limiter's lock) when a releasing request hands its slot over; the
+// channel is closed afterwards to wake the waiter.
+type waiter struct {
+	ready   chan struct{}
+	granted bool
+}
+
+// NewLimiter returns a Limiter admitting at most maxInflight concurrent
+// requests with up to queueDepth waiting. maxInflight < 1 is treated as
+// 1; queueDepth < 0 as 0 (no queue: reject as soon as the limit is
+// reached).
+func NewLimiter(maxInflight, queueDepth int) *Limiter {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	r := obs.Default()
+	return &Limiter{
+		maxInflight: maxInflight,
+		queueDepth:  queueDepth,
+		now:         time.Now,
+		queue:       list.New(),
+		admitted:    r.Counter("resil.admit.admitted"),
+		rejected:    r.Counter("resil.admit.rejected"),
+		expired:     r.Counter("resil.admit.expired"),
+		canceled:    r.Counter("resil.admit.canceled"),
+		inflightG:   r.Gauge("resil.admit.inflight"),
+		queuedG:     r.Gauge("resil.admit.queued"),
+		waitH:       r.Histogram("resil.admit.wait"),
+	}
+}
+
+// Acquire admits the calling request or rejects it. On success it
+// returns a release function the caller must invoke exactly once when
+// the request finishes; on failure it returns ErrSaturated, ErrExpired
+// or the context's error (if the context ended while queued).
+func (l *Limiter) Acquire(ctx context.Context) (release func(), err error) {
+	enqueued := l.now()
+	l.mu.Lock()
+	if err := ctx.Err(); err != nil {
+		l.expired.Add(1)
+		l.mu.Unlock()
+		return nil, err
+	}
+	if l.inflight < l.maxInflight && l.queue.Len() == 0 {
+		l.admitLocked()
+		l.mu.Unlock()
+		return l.releaseFunc(), nil
+	}
+	if l.queue.Len() >= l.queueDepth {
+		l.rejected.Add(1)
+		l.mu.Unlock()
+		return nil, ErrSaturated
+	}
+	// Deadline-aware rejection: with q requests already queued, this one
+	// is admitted roughly when (q+1)/maxInflight service times have
+	// elapsed. If its deadline lands before that, it would expire in the
+	// queue — shed it now while the rejection is still cheap.
+	if deadline, ok := ctx.Deadline(); ok && l.svcSeeded {
+		wait := time.Duration(l.avgSvcNS * float64(l.queue.Len()+1) / float64(l.maxInflight))
+		if l.now().Add(wait).After(deadline) {
+			l.expired.Add(1)
+			l.mu.Unlock()
+			return nil, ErrExpired
+		}
+	}
+	w := &waiter{ready: make(chan struct{})}
+	el := l.queue.PushBack(w)
+	l.queuedG.Add(1)
+	l.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		l.waitH.Observe(l.now().Sub(enqueued))
+		return l.releaseFunc(), nil
+	case <-ctx.Done():
+		l.mu.Lock()
+		if w.granted {
+			// The slot was handed over concurrently with the context
+			// ending; the caller never sees the release func, so give the
+			// slot back here.
+			l.mu.Unlock()
+			l.releaseFunc()()
+			l.canceled.Add(1)
+			return nil, ctx.Err()
+		}
+		l.queue.Remove(el)
+		l.queuedG.Add(-1)
+		l.canceled.Add(1)
+		l.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Inflight returns the number of currently admitted requests.
+func (l *Limiter) Inflight() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inflight
+}
+
+// Queued returns the number of requests waiting in the queue.
+func (l *Limiter) Queued() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.queue.Len()
+}
+
+// admitLocked counts one admission. Callers hold l.mu.
+func (l *Limiter) admitLocked() {
+	l.inflight++
+	l.admitted.Add(1)
+	l.inflightG.Add(1)
+}
+
+// releaseFunc builds the idempotent release closure for one admitted
+// request. Service time is measured from admission (when the closure is
+// built) to release, and folds into the EWMA the deadline-aware
+// rejection consults.
+func (l *Limiter) releaseFunc() func() {
+	admitted := l.now()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			svc := l.now().Sub(admitted)
+			l.mu.Lock()
+			l.inflight--
+			l.inflightG.Add(-1)
+			l.observeServiceLocked(svc)
+			// Hand the freed slot to the oldest waiter, preserving FIFO.
+			if el := l.queue.Front(); el != nil && l.inflight < l.maxInflight {
+				w := l.queue.Remove(el).(*waiter)
+				l.queuedG.Add(-1)
+				w.granted = true
+				l.admitLocked()
+				close(w.ready)
+			}
+			l.mu.Unlock()
+		})
+	}
+}
+
+// observeServiceLocked folds one observed service duration into the
+// EWMA. Callers hold l.mu.
+func (l *Limiter) observeServiceLocked(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if !l.svcSeeded {
+		l.avgSvcNS = float64(d)
+		l.svcSeeded = true
+		return
+	}
+	l.avgSvcNS = (1-serviceEWMAWeight)*l.avgSvcNS + serviceEWMAWeight*float64(d)
+}

@@ -1,0 +1,291 @@
+package resil
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// An unlimited context admits immediately while slots are free.
+func TestLimiterAdmitsUpToLimit(t *testing.T) {
+	l := NewLimiter(3, 0)
+	var releases []func()
+	for i := 0; i < 3; i++ {
+		rel, err := l.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		releases = append(releases, rel)
+	}
+	if got := l.Inflight(); got != 3 {
+		t.Errorf("inflight = %d, want 3", got)
+	}
+	// Queue depth 0: the fourth is shed immediately.
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Errorf("over-limit acquire: err = %v, want ErrSaturated", err)
+	}
+	for _, rel := range releases {
+		rel()
+	}
+	if got := l.Inflight(); got != 0 {
+		t.Errorf("inflight after release = %d, want 0", got)
+	}
+}
+
+// Queued waiters are admitted in FIFO order as slots free up.
+func TestLimiterQueueFIFO(t *testing.T) {
+	l := NewLimiter(1, 4)
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 4
+	order := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := l.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order <- i
+			r()
+		}(i)
+		// Serialise enqueue order so FIFO is observable.
+		waitFor(t, func() bool { return l.Queued() == i+1 })
+	}
+
+	rel()
+	wg.Wait()
+	close(order)
+	want := 0
+	for got := range order {
+		if got != want {
+			t.Fatalf("admission order: got waiter %d, want %d", got, want)
+		}
+		want++
+	}
+}
+
+// A full queue rejects instantly with ErrSaturated.
+func TestLimiterQueueFullSheds(t *testing.T) {
+	l := NewLimiter(1, 1)
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	queued := make(chan error, 1)
+	go func() {
+		r, err := l.Acquire(context.Background())
+		if err == nil {
+			defer r()
+		}
+		queued <- err
+	}()
+	waitFor(t, func() bool { return l.Queued() == 1 })
+
+	start := time.Now()
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Errorf("err = %v, want ErrSaturated", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("saturated rejection took %v, want immediate", d)
+	}
+	rel()
+	if err := <-queued; err != nil {
+		t.Errorf("queued waiter: %v", err)
+	}
+}
+
+// A waiter whose context ends in the queue gets the context error and
+// leaves the queue.
+func TestLimiterWaiterCancellation(t *testing.T) {
+	l := NewLimiter(1, 4)
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := l.Acquire(ctx)
+		got <- err
+	}()
+	waitFor(t, func() bool { return l.Queued() == 1 })
+	cancel()
+	select {
+	case err := <-got:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter never returned")
+	}
+	if q := l.Queued(); q != 0 {
+		t.Errorf("queued = %d after cancellation, want 0", q)
+	}
+}
+
+// An already-expired context is rejected before touching the queue.
+func TestLimiterExpiredContextRejected(t *testing.T) {
+	l := NewLimiter(1, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := l.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// Deadline-aware admission: once the EWMA knows service takes ~1h, a
+// request with a 1ms deadline behind a full pipe is shed with
+// ErrExpired instead of queueing to certain death.
+func TestLimiterDeadlineAwareShedding(t *testing.T) {
+	l := NewLimiter(1, 4)
+	// Seed the EWMA with an enormous service time via a fake clock. The
+	// clock is anchored at the real now because context.WithDeadline
+	// judges expiry against the real clock.
+	base := time.Now()
+	tick := base
+	var mu sync.Mutex
+	l.now = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return tick
+	}
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	tick = base.Add(time.Hour) // the request "took" an hour
+	mu.Unlock()
+	rel()
+
+	// Occupy the only slot so the deadline check applies to a waiter.
+	rel2, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel2()
+
+	ctx, cancel := context.WithDeadline(context.Background(), base.Add(time.Hour).Add(time.Millisecond))
+	defer cancel()
+	if _, err := l.Acquire(ctx); !errors.Is(err, ErrExpired) {
+		t.Errorf("err = %v, want ErrExpired", err)
+	}
+	// A deadline beyond the estimated wait queues normally.
+	ctx2, cancel2 := context.WithDeadline(context.Background(), base.Add(3*time.Hour))
+	defer cancel2()
+	done := make(chan error, 1)
+	go func() {
+		r, err := l.Acquire(ctx2)
+		if err == nil {
+			r()
+		}
+		done <- err
+	}()
+	waitFor(t, func() bool { return l.Queued() == 1 })
+	rel2()
+	if err := <-done; err != nil {
+		t.Errorf("long-deadline waiter: %v", err)
+	}
+}
+
+// Release is idempotent: calling it twice frees one slot once.
+func TestLimiterReleaseIdempotent(t *testing.T) {
+	l := NewLimiter(2, 0)
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel()
+	if got := l.Inflight(); got != 0 {
+		t.Errorf("inflight = %d after double release, want 0", got)
+	}
+}
+
+// Hammer the limiter from many goroutines under -race: the inflight
+// count never exceeds the limit and every admitted request releases.
+func TestLimiterConcurrencyInvariant(t *testing.T) {
+	const limit = 4
+	l := NewLimiter(limit, 8)
+	var inflight, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			rel, err := l.Acquire(ctx)
+			if err != nil {
+				if !errors.Is(err, ErrSaturated) && !errors.Is(err, ErrExpired) &&
+					!errors.Is(err, context.DeadlineExceeded) {
+					t.Errorf("unexpected acquire error: %v", err)
+				}
+				return
+			}
+			cur := inflight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inflight.Add(-1)
+			rel()
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > limit {
+		t.Errorf("observed %d concurrent admissions, limit is %d", p, limit)
+	}
+	if got := l.Inflight(); got != 0 {
+		t.Errorf("inflight = %d after all released, want 0", got)
+	}
+	if q := l.Queued(); q != 0 {
+		t.Errorf("queued = %d after drain, want 0", q)
+	}
+}
+
+// waitFor polls cond until true or fails the test after 2s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Example-style sanity check that the error values are distinguishable.
+func TestSentinelErrors(t *testing.T) {
+	for _, tc := range []struct{ a, b error }{
+		{ErrSaturated, ErrExpired},
+		{ErrSaturated, ErrOpen},
+		{ErrExpired, ErrOpen},
+	} {
+		if errors.Is(tc.a, tc.b) {
+			t.Errorf("%v matches %v", tc.a, tc.b)
+		}
+	}
+	if got := fmt.Sprint(ErrOpen); got == "" {
+		t.Error("ErrOpen has no message")
+	}
+}

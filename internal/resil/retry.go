@@ -1,0 +1,82 @@
+package resil
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// RetryBudget is a token bucket that bounds retries to a fraction of
+// successful work, preventing retry storms: each completed request
+// deposits Ratio tokens (capped at Cap), each retry withdraws one
+// token, and when the bucket is empty retries are denied. Under a full
+// outage nothing deposits, the bucket drains after at most Cap retries,
+// and offered load stops multiplying exactly when capacity is lowest.
+//
+// Construct with NewRetryBudget; all methods are safe for concurrent
+// use. The budget is purely count-driven (no clock), so its behaviour
+// in tests is deterministic.
+type RetryBudget struct {
+	ratio float64
+	cap   float64
+
+	mu      sync.Mutex
+	balance float64
+
+	allowed *obs.Counter
+	denied  *obs.Counter
+}
+
+// NewRetryBudget returns a budget granting roughly ratio retries per
+// deposited request, holding at most cap banked tokens. ratio <= 0
+// selects 0.1 (10% retry ratio); cap <= 0 selects 10. The bucket starts
+// full, so a cold process can retry immediately.
+func NewRetryBudget(ratio, cap float64) *RetryBudget {
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	if cap <= 0 {
+		cap = 10
+	}
+	r := obs.Default()
+	return &RetryBudget{
+		ratio:   ratio,
+		cap:     cap,
+		balance: cap,
+		allowed: r.Counter("resil.retry.allowed"),
+		denied:  r.Counter("resil.retry.denied"),
+	}
+}
+
+// Deposit records one completed request, banking ratio tokens up to the
+// cap. Call it on every success of the guarded operation.
+func (b *RetryBudget) Deposit() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.balance += b.ratio
+	if b.balance > b.cap {
+		b.balance = b.cap
+	}
+}
+
+// Allow withdraws one retry token, reporting whether the retry may
+// proceed. A denied retry withdraws nothing.
+func (b *RetryBudget) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.balance < 1 {
+		b.denied.Add(1)
+		return false
+	}
+	b.balance--
+	b.allowed.Add(1)
+	return true
+}
+
+// Balance returns the current token balance (for tests and
+// introspection).
+func (b *RetryBudget) Balance() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.balance
+}

@@ -1,25 +1,44 @@
 // Package serve is the concurrent query service over loaded TGraphs:
 // stdlib net/http handlers for aZoom^T, wZoom^T and operator pipelines
-// with JSON specs, backed by the qcache result cache.
+// with JSON specs, backed by the qcache result cache and defended by
+// the internal/resil overload substrate.
 //
-// Request flow: the target graph's on-disk identity is re-checked via
-// storage.Stamp on every request (a changed manifest epoch reloads the
-// graph and flushes its cache entries); the request's operator chain is
+// Request flow: every query request first passes admission control (a
+// deadline-aware concurrency limiter with a bounded FIFO wait queue —
+// excess load is shed with 429 and a Retry-After header instead of
+// queueing unboundedly). Admitted requests re-check the target graph's
+// on-disk identity via storage.Stamp (a changed manifest epoch reloads
+// the graph and flushes its cache entries); that check-and-reload path
+// runs behind a per-graph circuit breaker, and while the breaker is
+// open — or any reload attempt fails with a loaded graph in hand — the
+// service degrades instead of erroring: it answers from the last-good
+// graph view, marks the response X-TGraph-Degraded: stale-graph, and
+// counts it in serve.degraded_requests. The request's operator chain is
 // parsed and canonicalised; the cache key is
 // "<graph>|" + qcache.Key(stamp, chain); and the cache's singleflight
-// Do either returns resident response bytes (byte-identical to the
+// DoCtx either returns resident response bytes (byte-identical to the
 // cold run, outcome in the X-TGraph-Cache header) or computes them on
 // a fresh per-request dataflow.Context — with its own deadline — over
 // a rebound view of the shared graph (core.Rebind), so concurrent
-// requests never share a cancellation scope.
+// requests never share a cancellation scope. A sharer whose client
+// disconnects stops waiting immediately; the leader finishes and its
+// result is cached. Handler panics are converted to typed 500s by a
+// recovery middleware instead of killing the process.
 //
 // The server reports to the process-wide obs registry:
 //
 //	serve.requests          requests accepted (counter)
 //	serve.errors            requests answered with an error (counter)
 //	serve.computations      cold zoom executions, cache misses (counter)
+//	serve.shed_requests     requests shed by admission control (counter)
+//	serve.degraded_requests requests served from a stale graph (counter)
+//	serve.panics_recovered  handler panics converted to 500s (counter)
+//	serve.reload_retries    reload retries granted by the budget (counter)
 //	serve.inflight          requests currently executing (gauge)
 //	serve.latency.<op>      request latency per endpoint (histogram)
+//
+// plus the resil.admit.* / resil.breaker.* metrics of the embedded
+// limiter and per-graph breakers (gauge resil.breaker.state.<graph>).
 package serve
 
 import (
@@ -37,8 +56,15 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/obs"
 	"repro/internal/qcache"
+	"repro/internal/resil"
 	"repro/internal/storage"
 )
+
+// StatusClientClosedRequest is the nginx-convention 499 status the
+// service answers when the client's context was cancelled before the
+// response was ready: not the server's failure, not the client's
+// success.
+const StatusClientClosedRequest = 499
 
 // GraphConfig names one on-disk graph directory to serve.
 type GraphConfig struct {
@@ -67,53 +93,120 @@ type Config struct {
 	// used when (re)loading a graph directory (see
 	// storage.ScanOptions.Parallelism); <= 0 selects GOMAXPROCS.
 	ScanParallelism int
+	// MaxInflight bounds concurrently executing query requests
+	// (admission control); <= 0 disables the limiter and every request
+	// is admitted, preserving the unbounded pre-resilience behaviour.
+	MaxInflight int
+	// QueueDepth bounds the admission controller's FIFO wait queue;
+	// only meaningful when MaxInflight > 0. <= 0 means no queue: the
+	// request after the MaxInflight-th is shed immediately.
+	QueueDepth int
+	// BreakerThreshold is the number of consecutive stamp-check/reload
+	// failures that trips a graph's breaker open; < 1 selects 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped reload breaker stays open
+	// before admitting a half-open probe; <= 0 selects 2s.
+	BreakerCooldown time.Duration
+	// FaultHook, when non-nil, is called at the serve.* fault-injection
+	// sites ("serve.reload" before every stamp-check/reload attempt,
+	// "serve.handler" at the start of every query execution). A
+	// returned error fails the guarded operation; the hook may panic to
+	// simulate a handler crash. Wire it to faults.Injector.ServeHook in
+	// chaos tests; leave nil in production.
+	FaultHook func(site string) error
+
+	// breakerNow overrides the reload breakers' clock so tests can
+	// drive open → half-open transitions deterministically.
+	breakerNow func() time.Time
 }
 
-// graphHandle is one served graph: the loaded shared TGraph plus the
-// storage stamp it was loaded at.
+// graphHandle is one served graph: the loaded shared TGraph, the
+// storage stamp it was loaded at, and the resilience state guarding its
+// reload path.
 type graphHandle struct {
 	name string
 	dir  string
 	rep  core.Representation
+
+	breaker *resil.Breaker
+	budget  *resil.RetryBudget
+	hook    func(site string) error
+	retries *obs.Counter
 
 	mu    sync.Mutex
 	stamp string
 	graph core.TGraph
 }
 
-// ensure returns the loaded graph and its current stamp, reloading if
-// the directory's stamp no longer matches (and flushing the graph's
+// ensure returns a loaded graph and the stamp it answers for, reloading
+// if the directory's stamp no longer matches (and flushing the graph's
 // cache entries, since results keyed under the old stamp are stale —
 // prefix invalidation reclaims their bytes eagerly). The load runs
 // through the parallel scan engine with the triggering request's
 // context, so a client that disconnects (or times out) mid-reload
 // aborts the in-flight chunk decodes.
-func (h *graphHandle) ensure(reqCtx context.Context, cache *qcache.Cache, parallelism, scanParallelism int) (core.TGraph, string, error) {
-	stamp, err := storage.Stamp(h.dir)
-	if err != nil {
-		return nil, "", fmt.Errorf("serve: stamp %s: %w", h.name, err)
-	}
+//
+// The whole stamp-check-and-reload path runs behind the graph's circuit
+// breaker. When it fails — or the breaker is open and refuses to try —
+// and a previously loaded graph is in hand, ensure degrades instead of
+// erroring: it returns the last-good graph and stamp with degraded set,
+// so responses stay byte-identical to the last committed stamp's.
+// Transient reload failures get one immediate retry when the shared
+// retry budget allows it.
+func (h *graphHandle) ensure(reqCtx context.Context, cache *qcache.Cache, parallelism, scanParallelism int) (g core.TGraph, stamp string, degraded bool, err error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.graph == nil || h.stamp != stamp {
-		if h.graph != nil {
-			cache.InvalidatePrefix(h.name + "|")
+	attempt := func() error {
+		if h.hook != nil {
+			if err := h.hook("serve.reload"); err != nil {
+				return err
+			}
 		}
-		ctx := dataflow.NewContext(dataflow.WithParallelism(parallelism))
-		g, _, err := storage.Load(ctx, h.dir, storage.LoadOptions{
-			Rep:  h.rep,
-			Scan: storage.ScanOptions{Parallelism: scanParallelism, Ctx: reqCtx},
-		})
+		stamp, err := storage.Stamp(h.dir)
 		if err != nil {
-			return nil, "", fmt.Errorf("serve: load %s: %w", h.name, err)
+			return fmt.Errorf("serve: stamp %s: %w", h.name, err)
 		}
-		h.graph, h.stamp = g, stamp
+		if h.graph == nil || h.stamp != stamp {
+			if h.graph != nil {
+				cache.InvalidatePrefix(h.name + "|")
+			}
+			ctx := dataflow.NewContext(dataflow.WithParallelism(parallelism))
+			g, _, err := storage.Load(ctx, h.dir, storage.LoadOptions{
+				Rep:  h.rep,
+				Scan: storage.ScanOptions{Parallelism: scanParallelism, Ctx: reqCtx},
+			})
+			if err != nil {
+				return fmt.Errorf("serve: load %s: %w", h.name, err)
+			}
+			h.graph, h.stamp = g, stamp
+		}
+		return nil
 	}
-	return h.graph, h.stamp, nil
+	err = h.breaker.Do(func() error {
+		err := attempt()
+		if err != nil && dataflow.IsTransient(err) && h.budget.Allow() {
+			h.retries.Add(1)
+			err = attempt()
+		}
+		if err == nil {
+			h.budget.Deposit()
+		}
+		return err
+	})
+	if err != nil {
+		if h.graph != nil {
+			// Degraded mode: the directory is unreadable (or the breaker
+			// refuses to check), but the last committed load still answers.
+			return h.graph, h.stamp, true, nil
+		}
+		return nil, "", false, err
+	}
+	return h.graph, h.stamp, false, nil
 }
 
 // Server is the query service. Construct with New; serve its Handler;
-// stop accepting and wait for in-flight requests with Drain.
+// stop accepting and wait for in-flight requests with Drain (or
+// DrainWithin to bound the wait).
 type Server struct {
 	mux             *http.ServeMux
 	cache           *qcache.Cache
@@ -122,6 +215,8 @@ type Server struct {
 	timeout         time.Duration
 	parallelism     int
 	scanParallelism int
+	limiter         *resil.Limiter // nil when MaxInflight <= 0
+	hook            func(site string) error
 
 	draining atomic.Bool
 	wg       sync.WaitGroup
@@ -129,6 +224,9 @@ type Server struct {
 	requests     *obs.Counter
 	errorsC      *obs.Counter
 	computations *obs.Counter
+	shed         *obs.Counter
+	degraded     *obs.Counter
+	panicsC      *obs.Counter
 	inflight     *obs.Gauge
 }
 
@@ -146,12 +244,20 @@ func New(cfg Config) (*Server, error) {
 		timeout:         cfg.Timeout,
 		parallelism:     cfg.Parallelism,
 		scanParallelism: cfg.ScanParallelism,
+		hook:            cfg.FaultHook,
 
 		requests:     r.Counter("serve.requests"),
 		errorsC:      r.Counter("serve.errors"),
 		computations: r.Counter("serve.computations"),
+		shed:         r.Counter("serve.shed_requests"),
+		degraded:     r.Counter("serve.degraded_requests"),
+		panicsC:      r.Counter("serve.panics_recovered"),
 		inflight:     r.Gauge("serve.inflight"),
 	}
+	if cfg.MaxInflight > 0 {
+		s.limiter = resil.NewLimiter(cfg.MaxInflight, cfg.QueueDepth)
+	}
+	budget := resil.NewRetryBudget(0.1, 10)
 	for _, gc := range cfg.Graphs {
 		if gc.Name == "" || gc.Dir == "" {
 			return nil, fmt.Errorf("serve: graph needs name and dir, got %q=%q", gc.Name, gc.Dir)
@@ -167,7 +273,18 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: graph %q: %w", gc.Name, err)
 		}
-		s.graphs[gc.Name] = &graphHandle{name: gc.Name, dir: gc.Dir, rep: rep}
+		s.graphs[gc.Name] = &graphHandle{
+			name: gc.Name, dir: gc.Dir, rep: rep,
+			breaker: resil.NewBreaker(resil.BreakerConfig{
+				Name:      gc.Name,
+				Threshold: cfg.BreakerThreshold,
+				Cooldown:  cfg.BreakerCooldown,
+				Now:       cfg.breakerNow,
+			}),
+			budget:  budget,
+			hook:    cfg.FaultHook,
+			retries: r.Counter("serve.reload_retries"),
+		}
 		s.names = append(s.names, gc.Name)
 	}
 	sort.Strings(s.names)
@@ -177,12 +294,35 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/pipeline", s.handlePipeline)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /livez", s.handleLive)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetrics)
 	return s, nil
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler: the route mux wrapped in
+// the panic-recovery middleware, so a panicking handler answers a typed
+// 500 (counted in serve.panics_recovered) instead of killing the
+// process.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler { //nolint:errorlint // sentinel, by convention compared directly
+				panic(rec)
+			}
+			s.panicsC.Add(1)
+			// Best-effort: if the handler already wrote headers this is a
+			// no-op on the status line, but the connection still closes
+			// with the request completed rather than the process dead.
+			s.fail(w, http.StatusInternalServerError, fmt.Errorf("serve: handler panic: %v", rec))
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
 // Cache exposes the result cache (for tests and embedding callers).
 func (s *Server) Cache() *qcache.Cache { return s.cache }
@@ -195,22 +335,117 @@ func (s *Server) Drain() {
 	s.wg.Wait()
 }
 
-// errorJSON is the error response body.
+// DrainWithin is Drain bounded by a deadline: it stops admitting
+// requests, waits up to d for the in-flight ones, and reports an error
+// naming the number of requests still running if they outlive the
+// deadline (the caller typically exits non-zero so the supervisor knows
+// the shutdown was not clean).
+func (s *Server) DrainWithin(d time.Duration) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(d):
+		return fmt.Errorf("serve: drain deadline %v exceeded with %d request(s) still in flight",
+			d, s.inflight.Value())
+	}
+}
+
+// errorJSON is the error response body. Kind is a stable,
+// machine-readable classification ("shed", "timeout", "canceled",
+// "degraded-unavailable", "panic", "bad-request", …); Dataflow carries
+// the typed dataflow.JobError detail when the failure came from the
+// execution engine.
 type errorJSON struct {
-	Error string `json:"error"`
+	Error    string        `json:"error"`
+	Kind     string        `json:"kind,omitempty"`
+	Dataflow *jobErrorJSON `json:"dataflow,omitempty"`
+}
+
+// jobErrorJSON is the wire form of a *dataflow.JobError: which stage
+// failed, on which partitions, and whether cancellation cut the job
+// short.
+type jobErrorJSON struct {
+	Stage            string `json:"stage,omitempty"`
+	FailedPartitions []int  `json:"failedPartitions,omitempty"`
+	TasksSkipped     int    `json:"tasksSkipped,omitempty"`
+	Cancelled        bool   `json:"cancelled,omitempty"`
+}
+
+// kindFor classifies an error for the JSON body.
+func kindFor(code int, err error) string {
+	switch {
+	case errors.Is(err, resil.ErrSaturated), errors.Is(err, resil.ErrExpired):
+		return "shed"
+	case errors.Is(err, resil.ErrOpen):
+		return "breaker-open"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, storage.ErrIncompleteSave):
+		return "reloading"
+	}
+	switch code {
+	case http.StatusBadRequest:
+		return "bad-request"
+	case http.StatusNotFound:
+		return "not-found"
+	case http.StatusTooManyRequests:
+		return "shed"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusInternalServerError:
+		return "internal"
+	}
+	return ""
 }
 
 func (s *Server) fail(w http.ResponseWriter, code int, err error) {
 	s.errorsC.Add(1)
+	body := errorJSON{Error: err.Error(), Kind: kindFor(code, err)}
+	var je *dataflow.JobError
+	if errors.As(err, &je) {
+		body.Dataflow = &jobErrorJSON{
+			Stage:            je.Stage,
+			FailedPartitions: je.FailedPartitions(),
+			TasksSkipped:     je.TasksSkipped,
+			Cancelled:        je.Cancel != nil,
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(errorJSON{Error: err.Error()})
+	json.NewEncoder(w).Encode(body)
 }
 
-// admit performs the shared request bookkeeping. It returns false if
-// the server is draining (the request was already answered); otherwise
-// the caller must call the returned done func when finished.
-func (s *Server) admit(w http.ResponseWriter, endpoint string) (done func(), ok bool) {
+// statusForRunError maps a query execution failure to its status code:
+// deadline expiry is the gateway's fault (504), client cancellation is
+// the client's (499), a mid-save reload race may clear momentarily
+// (503), everything else is a 500.
+func statusForRunError(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	case errors.Is(err, storage.ErrIncompleteSave):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// admit performs the shared request bookkeeping: drain refusal,
+// admission control (when limited), counters, span and latency
+// histogram. It returns false if the request was already answered
+// (drained or shed); otherwise the caller must call the returned done
+// func when finished.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, endpoint string, limited bool) (done func(), ok bool) {
 	// Register before re-checking the flag: Drain sets the flag and then
 	// waits the group, so a request seeing draining==false here is
 	// either already registered or answered 503.
@@ -218,8 +453,23 @@ func (s *Server) admit(w http.ResponseWriter, endpoint string) (done func(), ok 
 	if s.draining.Load() {
 		s.wg.Done()
 		s.errorsC.Add(1)
-		http.Error(w, `{"error":"server draining"}`, http.StatusServiceUnavailable)
+		http.Error(w, `{"error":"server draining","kind":"draining"}`, http.StatusServiceUnavailable)
 		return nil, false
+	}
+	release := func() {}
+	if limited && s.limiter != nil {
+		rel, err := s.limiter.Acquire(r.Context())
+		if err != nil {
+			s.wg.Done()
+			s.shed.Add(1)
+			// Client-side expiry while queued is the client's outcome, not
+			// an overload signal — but either way the request was not
+			// admitted, so answer with shed semantics: back off and retry.
+			w.Header().Set("Retry-After", "1")
+			s.fail(w, http.StatusTooManyRequests, fmt.Errorf("serve: overloaded: %w", err))
+			return nil, false
+		}
+		release = rel
 	}
 	s.requests.Add(1)
 	s.inflight.Add(1)
@@ -230,32 +480,47 @@ func (s *Server) admit(w http.ResponseWriter, endpoint string) (done func(), ok 
 		hist.Observe(time.Since(start))
 		span.End()
 		s.inflight.Add(-1)
+		release()
 		s.wg.Done()
 	}, true
 }
 
 // run executes a parsed operator chain against a named graph through
 // the cache and writes the response. r's context scopes any graph
-// reload the request triggers.
+// reload the request triggers and bounds this caller's wait on a shared
+// in-flight computation.
 func (s *Server) run(w http.ResponseWriter, r *http.Request, graphName string, steps []step) {
+	if s.hook != nil {
+		if err := s.hook("serve.handler"); err != nil {
+			// An injected handler fault is a crash surrogate: surface it
+			// through the panic-recovery middleware like any other bug.
+			panic(err)
+		}
+	}
 	h, ok := s.graphs[graphName]
 	if !ok {
 		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", graphName))
 		return
 	}
-	g, stamp, err := h.ensure(r.Context(), s.cache, s.parallelism, s.scanParallelism)
+	g, stamp, degraded, err := h.ensure(r.Context(), s.cache, s.parallelism, s.scanParallelism)
 	if err != nil {
 		code := http.StatusInternalServerError
-		if errors.Is(err, storage.ErrIncompleteSave) {
-			// A save is in progress (or was torn); the graph may become
+		if errors.Is(err, storage.ErrIncompleteSave) || errors.Is(err, resil.ErrOpen) {
+			// A save is in progress (or was torn, or the breaker refuses to
+			// look) and no last-good graph exists yet; the graph may become
 			// loadable momentarily.
 			code = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
 		}
 		s.fail(w, code, err)
 		return
 	}
+	if degraded {
+		s.degraded.Add(1)
+		w.Header().Set("X-TGraph-Degraded", "stale-graph")
+	}
 	key := graphName + "|" + qcache.Key(stamp, canonical(steps))
-	val, outcome, err := s.cache.Do(key, func() (any, int64, error) {
+	val, outcome, err := s.cache.DoCtx(r.Context(), key, func() (any, int64, error) {
 		defer obs.StartSpan("serve.compute").End()
 		s.computations.Add(1)
 		reqCtx := dataflow.NewContext(
@@ -286,11 +551,7 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request, graphName string, s
 		return body, int64(len(body)), nil
 	})
 	if err != nil {
-		code := http.StatusInternalServerError
-		if errors.Is(err, context.DeadlineExceeded) {
-			code = http.StatusGatewayTimeout
-		}
-		s.fail(w, code, err)
+		s.fail(w, statusForRunError(err), err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -305,7 +566,7 @@ func decodeBody(r *http.Request, into any) error {
 }
 
 func (s *Server) handleAZoom(w http.ResponseWriter, r *http.Request) {
-	done, ok := s.admit(w, "azoom")
+	done, ok := s.admit(w, r, "azoom", true)
 	if !ok {
 		return
 	}
@@ -324,7 +585,7 @@ func (s *Server) handleAZoom(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleWZoom(w http.ResponseWriter, r *http.Request) {
-	done, ok := s.admit(w, "wzoom")
+	done, ok := s.admit(w, r, "wzoom", true)
 	if !ok {
 		return
 	}
@@ -343,7 +604,7 @@ func (s *Server) handleWZoom(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
-	done, ok := s.admit(w, "pipeline")
+	done, ok := s.admit(w, r, "pipeline", true)
 	if !ok {
 		return
 	}
@@ -363,15 +624,16 @@ func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 
 // GraphInfo is one entry of the /v1/graphs listing.
 type GraphInfo struct {
-	Name   string `json:"name"`
-	Dir    string `json:"dir"`
-	Rep    string `json:"rep"`
-	Loaded bool   `json:"loaded"`
-	Stamp  string `json:"stamp,omitempty"`
+	Name    string `json:"name"`
+	Dir     string `json:"dir"`
+	Rep     string `json:"rep"`
+	Loaded  bool   `json:"loaded"`
+	Stamp   string `json:"stamp,omitempty"`
+	Breaker string `json:"breaker"`
 }
 
 func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
-	done, ok := s.admit(w, "graphs")
+	done, ok := s.admit(w, r, "graphs", false)
 	if !ok {
 		return
 	}
@@ -383,6 +645,7 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 		info := GraphInfo{
 			Name: h.name, Dir: h.dir, Rep: h.rep.String(),
 			Loaded: h.graph != nil, Stamp: h.stamp,
+			Breaker: h.breaker.State().String(),
 		}
 		h.mu.Unlock()
 		out = append(out, info)
@@ -391,12 +654,65 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(out)
 }
 
+// handleHealth is the legacy combined probe: 503 while draining, ok
+// otherwise. Prefer /livez + /readyz, which separate "restart me" from
+// "stop routing to me".
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
 	w.Write([]byte("ok\n"))
+}
+
+// handleLive is the liveness probe: the process is up and the handler
+// runs, nothing more. It stays 200 during drain — a draining process
+// must not be restarted, just taken out of rotation (that is /readyz's
+// job).
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	w.Write([]byte("ok\n"))
+}
+
+// ReadyStatus is the /readyz response body: overall readiness plus a
+// per-graph reason map ("ready", "degraded: …" or the load error).
+type ReadyStatus struct {
+	Ready    bool              `json:"ready"`
+	Draining bool              `json:"draining,omitempty"`
+	Graphs   map[string]string `json:"graphs,omitempty"`
+}
+
+// handleReady is the readiness probe: 200 only when the server is not
+// draining, every configured graph is loaded (loading it now if
+// needed), and no reload breaker is open. During drain it answers 503
+// immediately so load balancers stop routing before http.Server
+// Shutdown races in-flight requests; a graph serving degraded (breaker
+// open, stale view) also reports 503 — the instance still answers, but
+// new traffic is better sent to a healthy replica.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	st := ReadyStatus{Ready: true, Graphs: make(map[string]string, len(s.names))}
+	if s.draining.Load() {
+		st.Ready, st.Draining = false, true
+	} else {
+		for _, name := range s.names {
+			h := s.graphs[name]
+			_, _, degraded, err := h.ensure(r.Context(), s.cache, s.parallelism, s.scanParallelism)
+			switch {
+			case err != nil:
+				st.Ready = false
+				st.Graphs[name] = err.Error()
+			case degraded:
+				st.Ready = false
+				st.Graphs[name] = "degraded: serving stale graph, breaker " + h.breaker.State().String()
+			default:
+				st.Graphs[name] = "ready"
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !st.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(st)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

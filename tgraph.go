@@ -28,6 +28,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/props"
 	"repro/internal/qcache"
+	"repro/internal/resil"
 	"repro/internal/storage"
 	"repro/internal/temporal"
 )
@@ -344,3 +345,54 @@ func Stamp(dir string) (string, error) { return storage.Stamp(dir) }
 // the graph's own context would race, so give each request its own
 // NewContext(WithTimeout(...)) and query through the rebound view.
 func Rebind(g Graph, ctx *Context) (Graph, error) { return core.Rebind(g, ctx) }
+
+// Resilience primitives (internal/resil): the overload substrate the
+// query service is built on, exported for embedded callers that serve
+// zoom results from their own request paths.
+
+// AdmissionLimiter bounds concurrent work with a bounded FIFO wait
+// queue and deadline-aware shedding: Acquire either admits (returning
+// a release func), queues in strict arrival order, or rejects with
+// ErrSaturated / ErrExpired.
+type AdmissionLimiter = resil.Limiter
+
+// NewAdmissionLimiter returns a limiter admitting maxInflight
+// concurrent holders with up to queueDepth waiters.
+func NewAdmissionLimiter(maxInflight, queueDepth int) *AdmissionLimiter {
+	return resil.NewLimiter(maxInflight, queueDepth)
+}
+
+// CircuitBreaker is a three-state (closed/open/half-open) breaker for
+// a repeatedly-called dependency: consecutive failures trip it open,
+// a cooldown later exactly one probe decides whether it closes.
+type CircuitBreaker = resil.Breaker
+
+// CircuitBreakerConfig configures a CircuitBreaker.
+type CircuitBreakerConfig = resil.BreakerConfig
+
+// NewCircuitBreaker returns a breaker with cfg's threshold and
+// cooldown (defaults: 3 consecutive failures, 5s cooldown).
+func NewCircuitBreaker(cfg CircuitBreakerConfig) *CircuitBreaker {
+	return resil.NewBreaker(cfg)
+}
+
+// RetryBudget is a token-bucket retry budget: retries spend from a
+// bucket that only successes refill, so a healthy service retries
+// freely while an outage cannot be amplified by a retry storm.
+type RetryBudget = resil.RetryBudget
+
+// NewRetryBudget returns a budget depositing ratio tokens per success
+// up to cap (defaults 0.1 and 10; the bucket starts full).
+func NewRetryBudget(ratio float64, cap float64) *RetryBudget {
+	return resil.NewRetryBudget(ratio, cap)
+}
+
+// Resilience sentinel errors.
+var (
+	// ErrSaturated reports an admission queue at capacity.
+	ErrSaturated = resil.ErrSaturated
+	// ErrExpired reports a deadline that would expire before service.
+	ErrExpired = resil.ErrExpired
+	// ErrBreakerOpen reports a circuit breaker refusing calls.
+	ErrBreakerOpen = resil.ErrOpen
+)
