@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test test-race bench fmt bench-json chaos crash smoke-serve smoke-scan smoke-overload
+.PHONY: check build vet lint test test-race bench fmt bench-json chaos crash ingest-chaos smoke-serve smoke-scan smoke-overload
 
-check: build vet lint test-race chaos crash smoke-serve smoke-scan smoke-overload
+check: build vet lint test-race chaos crash ingest-chaos smoke-serve smoke-scan smoke-overload
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,16 @@ chaos:
 # never a panic — under the race detector.
 crash:
 	$(GO) test -race -count=1 -run Crash ./...
+
+# Ingestion chaos suite: the WAL crash matrix (injected crashes at
+# every storage.wal.* durability point, torn batches, double crashes),
+# torn-tail truncation at every byte boundary, the compaction crash
+# matrix, concurrent append+scan, and the live serve-path crash /
+# degraded-refusal tests — all under the race detector.
+ingest-chaos:
+	$(GO) test -race -count=1 -run 'TestCrashWAL|TestTornTail|TestMidLogCorruption|TestBatchedSyncDurability|TestConcurrentAppendScan' ./internal/storage/wal
+	$(GO) test -race -count=1 -run 'TestCrashCompactMatrix|TestLoadWALCorruptionModes|TestVerifyAndRepairWALAndLitter' ./internal/storage
+	$(GO) test -race -count=1 -run 'TestAppend' ./internal/serve
 
 # Query-service smoke: N concurrent identical requests execute one
 # zoom (singleflight, asserted via obs counters), hits are

@@ -13,6 +13,14 @@
 //	tgraph-cli -dir /tmp/damaged -rep ve -permissive -info
 //	tgraph-cli -dir /tmp/damaged -verify
 //	tgraph-cli -dir /tmp/damaged -repair
+//	tgraph-cli -dir /tmp/wiki -compact
+//
+// -verify also inspects the directory's write-ahead log segments and
+// reports unexpected litter; -repair heals the log (truncating torn
+// tails), retires fully-subsumed segments, and quarantines litter into
+// quarantine/ instead of deleting it. -compact folds the WAL tail into
+// a fresh committed columnar epoch and retires its segments — run it
+// only while no server is serving the directory.
 package main
 
 import (
@@ -50,12 +58,28 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "deadline for all dataflow work, e.g. 30s (0 = none)")
 		permissive = flag.Bool("permissive", false, "skip corrupt chunks while loading instead of aborting")
 		scanPar    = flag.Int("scan-parallelism", 0, "storage scan decode workers per file (0 = GOMAXPROCS, 1 = sequential)")
-		verify     = flag.Bool("verify", false, "check MANIFEST, file CRCs and every chunk CRC, print a damage report, and exit (status 1 if damaged)")
-		repair     = flag.Bool("repair", false, "remove stale .tmp files and uncommitted orphans left by aborted saves, then exit")
+		verify     = flag.Bool("verify", false, "check MANIFEST, file CRCs, every chunk CRC and the WAL segments, print a damage report, and exit (status 1 if damaged)")
+		repair     = flag.Bool("repair", false, "remove aborted-save litter, heal the WAL, retire subsumed segments and quarantine unexpected files, then exit")
+		compact    = flag.Bool("compact", false, "fold the write-ahead log tail into a fresh committed epoch and retire its segments, then exit (offline only: the directory must not be served)")
 	)
 	flag.Parse()
 	if *dir == "" {
 		fail("-dir is required")
+	}
+	if *compact {
+		var copts []tgraph.Option
+		if *timeout > 0 {
+			copts = append(copts, tgraph.WithTimeout(*timeout))
+		}
+		ctx := tgraph.NewContext(copts...)
+		defer ctx.Close()
+		res, err := tgraph.Compact(ctx, *dir, nil, tgraph.SaveOptions{})
+		if err != nil {
+			fail("compact: %v", err)
+		}
+		fmt.Printf("compacted %s: folded %d WAL record(s) through seq %d, retired %d segment(s)\n",
+			*dir, res.Folded, res.WALSeq, res.SegmentsRetired)
+		return
 	}
 	if *repair {
 		removed, err := tgraph.RepairDir(*dir)

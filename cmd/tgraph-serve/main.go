@@ -13,10 +13,14 @@
 //	    -drain-timeout 30s
 //
 // Each -graph names one served directory as name=dir or name=dir@rep
-// (rep one of ve|rg|og|ogc, default ve). On SIGINT/SIGTERM the server
-// stops accepting connections and drains in-flight requests; if they
-// outlive -drain-timeout the process exits non-zero so supervisors see
-// the unclean shutdown.
+// (rep one of ve|rg|og|ogc, default ve). POST /v1/append ingests live
+// deltas through each directory's write-ahead log (-wal-sync picks the
+// fsync policy; acks are sent only after durability) and invalidates
+// cached results surgically by declared time range; -compact-after
+// folds the log into a fresh columnar epoch inline. On SIGINT/SIGTERM
+// the server stops accepting connections and drains in-flight
+// requests; if they outlive -drain-timeout the process exits non-zero
+// so supervisors see the unclean shutdown.
 package main
 
 import (
@@ -82,6 +86,9 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive reload failures that trip a graph's circuit breaker into degraded stale serving")
 	breakerCooldown := flag.Duration("breaker-cooldown", 2*time.Second, "how long a tripped reload breaker stays open before probing the directory again")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown; exceeded = non-zero exit")
+	walSync := flag.String("wal-sync", "each", "append durability: WAL fsync policy, each (fsync before every ack) | batched (group commit)")
+	walSyncDelay := flag.Duration("wal-sync-delay", 0, "batched mode: max latency an append may wait for its group fsync (0 = WAL default)")
+	compactAfter := flag.Int("compact-after", 0, "fold the WAL into a new columnar epoch after this many appended records (0 disables inline compaction)")
 	flag.Var(&graphs, "graph", "graph to serve as name=dir[@rep]; repeatable")
 	flag.Parse()
 
@@ -101,6 +108,9 @@ func main() {
 		QueueDepth:       *queueDepth,
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
+		WALSyncMode:      *walSync,
+		WALMaxSyncDelay:  *walSyncDelay,
+		CompactAfter:     *compactAfter,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -22,6 +22,10 @@
 //	storage.pgc.chunk, storage.pgn.chunk (chunk reads);
 //	storage.write.create, storage.write.short, storage.write.sync,
 //	storage.write.rename (atomic-write crash points);
+//	storage.wal.append, storage.wal.sync, storage.wal.rotate,
+//	storage.wal.compact (write-ahead-log durability points, reached
+//	through wal.Options.Hook / storage.SaveOptions.FaultHook during
+//	compaction);
 //	serve.reload (the query service's stamp-check-and-reload path,
 //	guarded by its circuit breaker), serve.handler (the start of every
 //	query handler, upstream of the panic-recovery middleware) — both

@@ -143,11 +143,13 @@ func CheckSource(fset *token.FileSet, filename string, src []byte) ([]Diagnostic
 
 // docDirs are directory prefixes (relative to the repo root, slash
 // separated) whose packages must document every exported top-level
-// symbol. The storage package is the reference implementation of the
-// on-disk format and the scan engine; serve and resil are the
-// operational surface (endpoints, headers, admission and degradation
-// semantics) documented in DESIGN.md — their godoc is treated as part
-// of that documentation.
+// symbol; the walk is recursive, so internal/storage covers
+// internal/storage/wal (the write-ahead log's record framing and
+// recovery contract) too. The storage package is the reference
+// implementation of the on-disk format and the scan engine; serve and
+// resil are the operational surface (endpoints, headers, admission and
+// degradation semantics) documented in DESIGN.md — their godoc is
+// treated as part of that documentation.
 var docDirs = []string{"internal/storage", "internal/serve", "internal/resil"}
 
 // CheckDocs walks the docDirs under root and reports every exported

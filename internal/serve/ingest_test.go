@@ -1,0 +1,288 @@
+package serve
+
+// Live-ingestion tests: append durability (an acked append is visible
+// to queries and survives a simulated kill -9 reopen), surgical cache
+// invalidation (results over untouched windows stay resident), refusal
+// semantics (degraded graphs, dead WAL), and inline compaction.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+func appendJSON(t *testing.T, s *Server, req AppendRequest) (AppendResponse, int) {
+	t.Helper()
+	w := doJSON(t, s, "POST", "/v1/append", req)
+	var resp AppendResponse
+	if w.Code == http.StatusOK {
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("append response: %v (%s)", err, w.Body)
+		}
+	}
+	return resp, w.Code
+}
+
+func queryVertexIDs(t *testing.T, s *Server, steps []StepRequest) map[int64]bool {
+	t.Helper()
+	w := doJSON(t, s, "POST", "/v1/pipeline", PipelineRequest{Graph: "fig1", Steps: steps})
+	if w.Code != http.StatusOK {
+		t.Fatalf("pipeline: %d %s", w.Code, w.Body)
+	}
+	var g GraphJSON
+	if err := json.Unmarshal(w.Body.Bytes(), &g); err != nil {
+		t.Fatal(err)
+	}
+	ids := make(map[int64]bool)
+	for _, v := range g.Vertices {
+		ids[v.ID] = true
+	}
+	return ids
+}
+
+// TestAppendVisibleAndDurable: an acked append is immediately visible
+// to queries without a reload, and a fresh storage.Load of the
+// directory — the moral equivalent of restarting after kill -9 — sees
+// the records too, because the 200 was only sent after fsync.
+func TestAppendVisibleAndDurable(t *testing.T) {
+	s, dir := newTestServer(t, Config{})
+	full := []StepRequest{{Op: "range", Start: 0, End: 1000}}
+	if ids := queryVertexIDs(t, s, full); ids[42] {
+		t.Fatal("vertex 42 present before append")
+	}
+	resp, code := appendJSON(t, s, AppendRequest{Graph: "fig1", Deltas: []DeltaJSON{
+		{Kind: "vertex", ID: 42, Start: 10, End: 20, Props: map[string]string{"type": "person"}},
+		{Kind: "edge", ID: 7, Src: 42, Dst: 1, Start: 12, End: 18},
+	}})
+	if code != http.StatusOK {
+		t.Fatalf("append: %d", code)
+	}
+	if resp.FirstSeq != 1 || resp.LastSeq != 2 {
+		t.Errorf("seq range = [%d, %d], want [1, 2]", resp.FirstSeq, resp.LastSeq)
+	}
+	if ids := queryVertexIDs(t, s, full); !ids[42] {
+		t.Error("appended vertex not visible to queries")
+	}
+
+	// Reopen from disk without closing the server's log: only what was
+	// durable at ack time can be there.
+	ctx := dataflow.NewContext(dataflow.WithParallelism(2))
+	g, stats, err := storage.Load(ctx, dir, storage.LoadOptions{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if stats.WALReplayed != 2 {
+		t.Errorf("reopen replayed %d records, want 2", stats.WALReplayed)
+	}
+	found := false
+	for _, v := range g.VertexStates() {
+		if v.ID == 42 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("acked append missing after reopen — durability violated")
+	}
+}
+
+// TestAppendSurgicalInvalidation warms disjoint range queries, appends
+// into one window, and checks the others stay resident: the hit-rate
+// retention the tag index buys over flush-the-graph invalidation.
+func TestAppendSurgicalInvalidation(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	const windows = 10
+	rangeSteps := func(i int) []StepRequest {
+		return []StepRequest{{Op: "range", Start: int64(i * 10), End: int64(i*10 + 10)}}
+	}
+	for i := 0; i < windows; i++ {
+		queryVertexIDs(t, s, rangeSteps(i)) // cold
+	}
+	// A full-graph (untagged) query, which every append must invalidate.
+	fullReq := WZoomRequest{Graph: "fig1", Window: "3 units"}
+	if w := doJSON(t, s, "POST", "/v1/wzoom", fullReq); w.Code != http.StatusOK {
+		t.Fatalf("warm full query: %d", w.Code)
+	}
+
+	resp, code := appendJSON(t, s, AppendRequest{Graph: "fig1", Deltas: []DeltaJSON{
+		{Kind: "vertex", ID: 90, Start: 95, End: 99},
+	}})
+	if code != http.StatusOK {
+		t.Fatalf("append: %d", code)
+	}
+	// Exactly two entries die: the r90:100 window and the full wzoom.
+	if resp.Invalidated != 2 {
+		t.Errorf("invalidated = %d, want 2", resp.Invalidated)
+	}
+
+	before := computations()
+	hits := 0
+	for i := 0; i < windows; i++ {
+		w := doJSON(t, s, "POST", "/v1/pipeline", PipelineRequest{Graph: "fig1", Steps: rangeSteps(i)})
+		if w.Code != http.StatusOK {
+			t.Fatalf("requery %d: %d", i, w.Code)
+		}
+		if w.Header().Get("X-TGraph-Cache") == "hit" {
+			hits++
+		}
+	}
+	// The ISSUE's acceptance bar: > 90% retention. 9 of 10 windows must
+	// still hit; only the touched one recomputes.
+	if hits != windows-1 {
+		t.Errorf("retained %d/%d cached windows, want %d", hits, windows, windows-1)
+	}
+	if got := computations() - before; got != 1 {
+		t.Errorf("recomputed %d windows, want 1", got)
+	}
+	// And the recomputed window must see the new vertex.
+	if ids := queryVertexIDs(t, s, rangeSteps(9)); !ids[90] {
+		t.Error("touched window does not see the appended vertex")
+	}
+	// The full query was invalidated (miss on requery).
+	if w := doJSON(t, s, "POST", "/v1/wzoom", fullReq); w.Header().Get("X-TGraph-Cache") != "miss" {
+		t.Errorf("full query after append: cache %q, want miss", w.Header().Get("X-TGraph-Cache"))
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	cases := []AppendRequest{
+		{Graph: "fig1"}, // no deltas
+		{Graph: "fig1", Deltas: []DeltaJSON{{Kind: "vertex", ID: 1, Start: 5, End: 5}}},         // empty interval
+		{Graph: "fig1", Deltas: []DeltaJSON{{Kind: "vertex", ID: 1, Src: 2, Start: 1, End: 2}}}, // vertex with src
+		{Graph: "fig1", Deltas: []DeltaJSON{{Kind: "blob", ID: 1, Start: 1, End: 2}}},           // bad kind
+	}
+	for i, req := range cases {
+		if _, code := appendJSON(t, s, req); code != http.StatusBadRequest {
+			t.Errorf("case %d: %d, want 400", i, code)
+		}
+	}
+	if _, code := appendJSON(t, s, AppendRequest{Graph: "nope", Deltas: []DeltaJSON{
+		{Kind: "vertex", ID: 1, Start: 1, End: 2},
+	}}); code != http.StatusNotFound {
+		t.Errorf("unknown graph: want 404")
+	}
+}
+
+// TestAppendRefusedWhileDegraded: a graph serving a stale view (reload
+// path failing) must not accept writes.
+func TestAppendRefusedWhileDegraded(t *testing.T) {
+	failing := false
+	s, _ := newTestServer(t, Config{
+		FaultHook: func(site string) error {
+			if site == "serve.reload" && failing {
+				return errors.New("injected reload failure")
+			}
+			return nil
+		},
+	})
+	delta := []DeltaJSON{{Kind: "vertex", ID: 5, Start: 1, End: 2}}
+	if _, code := appendJSON(t, s, AppendRequest{Graph: "fig1", Deltas: delta}); code != http.StatusOK {
+		t.Fatalf("healthy append: %d", code)
+	}
+	failing = true
+	if _, code := appendJSON(t, s, AppendRequest{Graph: "fig1", Deltas: delta}); code != http.StatusServiceUnavailable {
+		t.Errorf("degraded append: %d, want 503", code)
+	}
+	// Queries still answer (degraded) — only writes are refused.
+	w := doJSON(t, s, "POST", "/v1/wzoom", WZoomRequest{Graph: "fig1", Window: "3 units"})
+	if w.Code != http.StatusOK {
+		t.Errorf("degraded query: %d, want 200", w.Code)
+	}
+}
+
+// TestAppendWALCrash: an injected WAL crash fails the append without
+// acking, leaves the log dead (as a real crash would leave the process
+// dead), and loses nothing that was previously acked.
+func TestAppendWALCrash(t *testing.T) {
+	armed := false
+	s, dir := newTestServer(t, Config{
+		WALFaultHook: func(site string) error {
+			if armed && site == "storage.wal.sync" {
+				return errors.New("injected crash")
+			}
+			return nil
+		},
+	})
+	delta := func(id int64) []DeltaJSON {
+		return []DeltaJSON{{Kind: "vertex", ID: id, Start: 1, End: 2}}
+	}
+	if _, code := appendJSON(t, s, AppendRequest{Graph: "fig1", Deltas: delta(1001)}); code != http.StatusOK {
+		t.Fatalf("pre-crash append: %d", code)
+	}
+	armed = true
+	if _, code := appendJSON(t, s, AppendRequest{Graph: "fig1", Deltas: delta(1002)}); code != http.StatusServiceUnavailable {
+		t.Errorf("crashed append: %d, want 503", code)
+	}
+	// The log is dead; further appends keep failing rather than lying.
+	if _, code := appendJSON(t, s, AppendRequest{Graph: "fig1", Deltas: delta(1003)}); code == http.StatusOK {
+		t.Error("append acked on a dead log")
+	}
+	// Reopen: the acked record is there; the crashed ones may or may not
+	// be (they were never acked) — but nothing acked is missing.
+	ctx := dataflow.NewContext(dataflow.WithParallelism(2))
+	g, _, err := storage.Load(ctx, dir, storage.LoadOptions{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	found := false
+	for _, v := range g.VertexStates() {
+		if v.ID == 1001 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("acked pre-crash append lost")
+	}
+}
+
+// TestAppendTriggersCompaction: after CompactAfter records the server
+// folds the WAL into a new epoch inline — the base stamp advances, the
+// WAL tail is subsumed, and queries keep answering the same data.
+func TestAppendTriggersCompaction(t *testing.T) {
+	s, dir := newTestServer(t, Config{CompactAfter: 2})
+	before := obs.Default().Counter("serve.compactions").Value()
+	stampBefore, err := storage.BaseStamp(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, code := appendJSON(t, s, AppendRequest{Graph: "fig1", Deltas: []DeltaJSON{
+		{Kind: "vertex", ID: 50, Start: 10, End: 20},
+		{Kind: "vertex", ID: 51, Start: 20, End: 30},
+	}}); code != http.StatusOK {
+		t.Fatalf("append: %d", code)
+	}
+	if got := obs.Default().Counter("serve.compactions").Value() - before; got != 1 {
+		t.Errorf("serve.compactions advanced by %d, want 1", got)
+	}
+	stampAfter, err := storage.BaseStamp(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stampAfter == stampBefore {
+		t.Error("base stamp unchanged after compaction")
+	}
+	// The fold subsumed the tail: a fresh load replays nothing.
+	ctx := dataflow.NewContext(dataflow.WithParallelism(2))
+	_, stats, err := storage.Load(ctx, dir, storage.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.WALReplayed != 0 {
+		t.Errorf("replayed %d records after compaction, want 0", stats.WALReplayed)
+	}
+	// Queries still see the folded records, without a reload.
+	if ids := queryVertexIDs(t, s, []StepRequest{{Op: "range", Start: 0, End: 1000}}); !ids[50] || !ids[51] {
+		t.Error("folded vertices missing from post-compaction query")
+	}
+	// And the next append keeps working against the rotated log.
+	if _, code := appendJSON(t, s, AppendRequest{Graph: "fig1", Deltas: []DeltaJSON{
+		{Kind: "vertex", ID: 52, Start: 30, End: 40},
+	}}); code != http.StatusOK {
+		t.Fatalf("post-compaction append: %d", code)
+	}
+}

@@ -7,23 +7,44 @@
 // deadline-aware concurrency limiter with a bounded FIFO wait queue —
 // excess load is shed with 429 and a Retry-After header instead of
 // queueing unboundedly). Admitted requests re-check the target graph's
-// on-disk identity via storage.Stamp (a changed manifest epoch reloads
-// the graph and flushes its cache entries); that check-and-reload path
-// runs behind a per-graph circuit breaker, and while the breaker is
-// open — or any reload attempt fails with a loaded graph in hand — the
-// service degrades instead of erroring: it answers from the last-good
-// graph view, marks the response X-TGraph-Degraded: stale-graph, and
-// counts it in serve.degraded_requests. The request's operator chain is
-// parsed and canonicalised; the cache key is
-// "<graph>|" + qcache.Key(stamp, chain); and the cache's singleflight
-// DoCtx either returns resident response bytes (byte-identical to the
-// cold run, outcome in the X-TGraph-Cache header) or computes them on
-// a fresh per-request dataflow.Context — with its own deadline — over
-// a rebound view of the shared graph (core.Rebind), so concurrent
-// requests never share a cancellation scope. A sharer whose client
-// disconnects stops waiting immediately; the leader finishes and its
-// result is cached. Handler panics are converted to typed 500s by a
-// recovery middleware instead of killing the process.
+// on-disk epoch identity via storage.BaseStamp (a changed manifest
+// epoch reloads the graph and flushes its cache entries); that
+// check-and-reload path runs behind a per-graph circuit breaker, and
+// while the breaker is open — or any reload attempt fails with a
+// loaded graph in hand — the service degrades instead of erroring: it
+// answers from the last-good graph view, marks the response
+// X-TGraph-Degraded: stale-graph, and counts it in
+// serve.degraded_requests. The request's operator chain is parsed and
+// canonicalised; the cache key is
+// "<graph>|<rangeTag>|v<tagVersion>|" + qcache.Key(baseStamp, chain);
+// and the
+// cache's singleflight DoCtx either returns resident response bytes
+// (byte-identical to the cold run, outcome in the X-TGraph-Cache
+// header) or computes them on a fresh per-request dataflow.Context —
+// with its own deadline — over a rebound view of the shared graph
+// (core.Rebind), so concurrent requests never share a cancellation
+// scope. A sharer whose client disconnects stops waiting immediately;
+// the leader finishes and its result is cached. Handler panics are
+// converted to typed 500s by a recovery middleware instead of killing
+// the process.
+//
+// Live ingestion: POST /v1/append appends vertex/edge deltas to the
+// graph directory's write-ahead log (internal/storage/wal) and acks
+// only after they are durable under the configured fsync policy — a
+// 200 means the records survive kill -9. The in-memory graph view is
+// advanced in place (no reload from disk), and invalidation is
+// surgical: the cache key's <rangeTag> segment names the time range
+// the result declared (via "range" pipeline steps; "full" when it
+// declared none), the server keeps a tag → interval index per graph,
+// and an append invalidates only the tags its deltas' time span
+// overlaps. Results over windows the append cannot have changed stay
+// resident — that is the hit-rate-retention property the ingest bench
+// measures. The server owns the directory's WAL exclusively while
+// serving it (single writer); offline appends (tgraph-import -append)
+// must not run against a live server. After Config.CompactAfter
+// appended records, the server folds the WAL tail into a fresh
+// columnar epoch (storage.Compact) inline, which resets the graph's
+// base stamp without reloading.
 //
 // The server reports to the process-wide obs registry:
 //
@@ -34,6 +55,10 @@
 //	serve.degraded_requests requests served from a stale graph (counter)
 //	serve.panics_recovered  handler panics converted to 500s (counter)
 //	serve.reload_retries    reload retries granted by the budget (counter)
+//	serve.appends           append requests acked durable (counter)
+//	serve.append_records    delta records acked durable (counter)
+//	serve.cache_invalidated cached results dropped by append invalidation (counter)
+//	serve.compactions       inline epoch compactions triggered by appends (counter)
 //	serve.inflight          requests currently executing (gauge)
 //	serve.latency.<op>      request latency per endpoint (histogram)
 //
@@ -58,6 +83,8 @@ import (
 	"repro/internal/qcache"
 	"repro/internal/resil"
 	"repro/internal/storage"
+	"repro/internal/storage/wal"
+	"repro/internal/temporal"
 )
 
 // StatusClientClosedRequest is the nginx-convention 499 status the
@@ -107,6 +134,19 @@ type Config struct {
 	// BreakerCooldown is how long a tripped reload breaker stays open
 	// before admitting a half-open probe; <= 0 selects 2s.
 	BreakerCooldown time.Duration
+	// WALSyncMode selects the write-ahead log's fsync policy for
+	// appends: "each" (default; every append fsyncs before acking) or
+	// "batched" (group commit bounded by WALMaxSyncDelay).
+	WALSyncMode string
+	// WALMaxSyncDelay bounds how long a batched append may wait for its
+	// group fsync; <= 0 selects the WAL default (2ms). Ignored under
+	// "each".
+	WALMaxSyncDelay time.Duration
+	// CompactAfter triggers an inline epoch compaction (folding the WAL
+	// tail into new columnar files and retiring its segments) once a
+	// graph has accumulated this many appended records; <= 0 disables
+	// automatic compaction (compact offline with tgraph-cli -compact).
+	CompactAfter int
 	// FaultHook, when non-nil, is called at the serve.* fault-injection
 	// sites ("serve.reload" before every stamp-check/reload attempt,
 	// "serve.handler" at the start of every query execution). A
@@ -114,6 +154,12 @@ type Config struct {
 	// simulate a handler crash. Wire it to faults.Injector.ServeHook in
 	// chaos tests; leave nil in production.
 	FaultHook func(site string) error
+	// WALFaultHook, when non-nil, is passed to the write-ahead log as
+	// its crash-injection hook (storage.wal.* sites) and to compaction
+	// (storage.wal.compact, storage.write.*). Wire it to
+	// faults.Injector.WriteHook in chaos tests; leave nil in
+	// production.
+	WALFaultHook func(site string) error
 
 	// breakerNow overrides the reload breakers' clock so tests can
 	// drive open → half-open transitions deterministically.
@@ -121,8 +167,10 @@ type Config struct {
 }
 
 // graphHandle is one served graph: the loaded shared TGraph, the
-// storage stamp it was loaded at, and the resilience state guarding its
-// reload path.
+// storage base stamp it answers for, the write-ahead log it owns as
+// the directory's single writer, the tag → interval index that makes
+// append-time cache invalidation surgical, and the resilience state
+// guarding its reload path.
 type graphHandle struct {
 	name string
 	dir  string
@@ -133,9 +181,33 @@ type graphHandle struct {
 	hook    func(site string) error
 	retries *obs.Counter
 
+	walOpts      wal.Options
+	compactAfter int
+
 	mu    sync.Mutex
-	stamp string
+	stamp string // storage.BaseStamp at load/compaction time
 	graph core.TGraph
+	log   *wal.Log
+	// deps maps each served rangeTag to the time interval results under
+	// it depend on; the zero interval means "everything" (the "full"
+	// tag). An append invalidates exactly the overlapping tags.
+	deps map[string]depEntry
+	// appended counts records logged since the last compaction.
+	appended int
+}
+
+// depEntry is one rangeTag's invalidation state. version is baked into
+// the cache key ("…|<tag>|v<version>|…") and bumped on every append
+// that overlaps the interval: a query racing an append may still
+// insert a result computed from the pre-append graph, but it inserts
+// under the old version's key, which no later lookup uses — the bump,
+// not the prefix sweep, is what makes invalidation correct; the sweep
+// just reclaims bytes eagerly. Entries are never deleted while the
+// stamp is unchanged (a deleted tag re-created at version 0 would
+// resurrect pre-append results).
+type depEntry struct {
+	iv      temporal.Interval
+	version uint64
 }
 
 // ensure returns a loaded graph and the stamp it answers for, reloading
@@ -162,7 +234,10 @@ func (h *graphHandle) ensure(reqCtx context.Context, cache *qcache.Cache, parall
 				return err
 			}
 		}
-		stamp, err := storage.Stamp(h.dir)
+		// The base stamp tracks committed epochs only: live appends this
+		// server acks advance the in-memory view directly (and invalidate
+		// surgically), so they must not — and do not — trip a reload.
+		stamp, err := storage.BaseStamp(h.dir)
 		if err != nil {
 			return fmt.Errorf("serve: stamp %s: %w", h.name, err)
 		}
@@ -171,6 +246,8 @@ func (h *graphHandle) ensure(reqCtx context.Context, cache *qcache.Cache, parall
 				cache.InvalidatePrefix(h.name + "|")
 			}
 			ctx := dataflow.NewContext(dataflow.WithParallelism(parallelism))
+			// Load replays any WAL records the manifest does not subsume,
+			// so the view includes every previously acked append.
 			g, _, err := storage.Load(ctx, h.dir, storage.LoadOptions{
 				Rep:  h.rep,
 				Scan: storage.ScanOptions{Parallelism: scanParallelism, Ctx: reqCtx},
@@ -178,7 +255,19 @@ func (h *graphHandle) ensure(reqCtx context.Context, cache *qcache.Cache, parall
 			if err != nil {
 				return fmt.Errorf("serve: load %s: %w", h.name, err)
 			}
+			if h.log == nil {
+				// Take the directory's single-writer role: recovery (torn-tail
+				// truncation) already ran if needed, and appends go here.
+				l, _, err := wal.Open(h.dir, h.walOpts)
+				if err != nil {
+					return fmt.Errorf("serve: wal %s: %w", h.name, err)
+				}
+				h.log = l
+			}
 			h.graph, h.stamp = g, stamp
+			// Version reset is safe here: the stamp changed, so old keys
+			// can never collide with the new epoch's.
+			h.deps = make(map[string]depEntry)
 		}
 		return nil
 	}
@@ -204,6 +293,110 @@ func (h *graphHandle) ensure(reqCtx context.Context, cache *qcache.Cache, parall
 	return h.graph, h.stamp, false, nil
 }
 
+// append logs the deltas durably, advances the in-memory view, and
+// surgically invalidates the overlapping cache tags. It runs under
+// h.mu so appends serialise with reloads and with each other (the WAL
+// itself also serialises, but the in-memory rebuild must see a
+// consistent graph). compacted reports whether an inline epoch
+// compaction ran; compactErr carries its failure without un-acking the
+// append (the records are durable either way — compaction retries at
+// the next trigger, or offline via tgraph-cli -compact).
+func (h *graphHandle) append(cache *qcache.Cache, parallelism int, ds []wal.Delta) (resp AppendResponse, compacted bool, compactErr, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.log == nil || h.graph == nil {
+		return AppendResponse{}, false, nil, fmt.Errorf("serve: graph %q not loaded", h.name)
+	}
+	last, err := h.log.Append(ds...)
+	if err != nil {
+		return AppendResponse{}, false, nil, fmt.Errorf("serve: append %s: %w", h.name, err)
+	}
+	first := last - uint64(len(ds)) + 1
+	// Advance the in-memory view in place. If the rebuild fails the
+	// records are still durable in the log: drop the loaded graph so the
+	// next request reloads from storage, which replays them.
+	if aerr := h.applyLocked(ds); aerr != nil {
+		h.graph = nil
+		cache.InvalidatePrefix(h.name + "|")
+		return AppendResponse{}, false, nil, fmt.Errorf("serve: apply %s: %w", h.name, aerr)
+	}
+	// Surgical invalidation: only tags whose declared interval the
+	// deltas' span overlaps (plus "full", which depends on everything).
+	// The version bump is the correctness mechanism; the prefix sweep
+	// reclaims the dead entries' bytes.
+	span := deltaSpan(ds)
+	invalidated := 0
+	for tag, e := range h.deps {
+		if tag == "full" || e.iv.IsEmpty() || e.iv.Overlaps(span) {
+			invalidated += cache.InvalidatePrefix(fmt.Sprintf("%s|%s|v%d|", h.name, tag, e.version))
+			e.version++
+			h.deps[tag] = e
+		}
+	}
+	h.appended += len(ds)
+	resp = AppendResponse{FirstSeq: first, LastSeq: last, Invalidated: invalidated}
+	if h.compactAfter > 0 && h.appended >= h.compactAfter {
+		if cerr := h.compactLocked(cache, parallelism); cerr != nil {
+			// Leave h.appended as is so the next append retries.
+			return resp, false, cerr, nil
+		}
+		return resp, true, nil, nil
+	}
+	return resp, false, nil, nil
+}
+
+// applyLocked rebuilds the in-memory graph with the deltas folded in,
+// mirroring what a storage.Load replay would produce. Caller holds
+// h.mu.
+func (h *graphHandle) applyLocked(ds []wal.Delta) error {
+	g := h.graph
+	vs := append([]core.VertexTuple(nil), g.VertexStates()...)
+	es := append([]core.EdgeTuple(nil), g.EdgeStates()...)
+	for _, d := range ds {
+		if vt, ok := d.VertexTuple(); ok {
+			vs = append(vs, vt)
+		} else if et, ok := d.EdgeTuple(); ok {
+			es = append(es, et)
+		}
+	}
+	ve := core.NewVE(g.Context(), vs, es)
+	if g.Rep() == core.RepVE {
+		h.graph = ve
+		return nil
+	}
+	ng, err := core.Convert(ve, g.Rep())
+	if err != nil {
+		return err
+	}
+	h.graph = ng
+	return nil
+}
+
+// compactLocked folds the WAL tail into a fresh columnar epoch and
+// adopts the new base stamp without reloading (the in-memory view
+// already includes every folded record). Caller holds h.mu.
+func (h *graphHandle) compactLocked(cache *qcache.Cache, parallelism int) error {
+	ctx := dataflow.NewContext(dataflow.WithParallelism(parallelism))
+	defer ctx.Close()
+	if _, err := storage.Compact(ctx, h.dir, h.log, storage.SaveOptions{
+		FaultHook: storage.WriteHook(h.walOpts.Hook),
+	}); err != nil {
+		return err
+	}
+	stamp, err := storage.BaseStamp(h.dir)
+	if err != nil {
+		return err
+	}
+	// Entries keyed under the old stamp can never hit again; reclaim
+	// their bytes eagerly. The deps/version reset is safe because the
+	// stamp changed with the new epoch.
+	h.stamp = stamp
+	cache.InvalidatePrefix(h.name + "|")
+	h.deps = make(map[string]depEntry)
+	h.appended = 0
+	return nil
+}
+
 // Server is the query service. Construct with New; serve its Handler;
 // stop accepting and wait for in-flight requests with Drain (or
 // DrainWithin to bound the wait).
@@ -221,13 +414,17 @@ type Server struct {
 	draining atomic.Bool
 	wg       sync.WaitGroup
 
-	requests     *obs.Counter
-	errorsC      *obs.Counter
-	computations *obs.Counter
-	shed         *obs.Counter
-	degraded     *obs.Counter
-	panicsC      *obs.Counter
-	inflight     *obs.Gauge
+	requests      *obs.Counter
+	errorsC       *obs.Counter
+	computations  *obs.Counter
+	shed          *obs.Counter
+	degraded      *obs.Counter
+	panicsC       *obs.Counter
+	appends       *obs.Counter
+	appendRecords *obs.Counter
+	invalidatedC  *obs.Counter
+	compactions   *obs.Counter
+	inflight      *obs.Gauge
 }
 
 // New builds a Server from cfg. Graphs are loaded lazily on first
@@ -246,14 +443,23 @@ func New(cfg Config) (*Server, error) {
 		scanParallelism: cfg.ScanParallelism,
 		hook:            cfg.FaultHook,
 
-		requests:     r.Counter("serve.requests"),
-		errorsC:      r.Counter("serve.errors"),
-		computations: r.Counter("serve.computations"),
-		shed:         r.Counter("serve.shed_requests"),
-		degraded:     r.Counter("serve.degraded_requests"),
-		panicsC:      r.Counter("serve.panics_recovered"),
-		inflight:     r.Gauge("serve.inflight"),
+		requests:      r.Counter("serve.requests"),
+		errorsC:       r.Counter("serve.errors"),
+		computations:  r.Counter("serve.computations"),
+		shed:          r.Counter("serve.shed_requests"),
+		degraded:      r.Counter("serve.degraded_requests"),
+		panicsC:       r.Counter("serve.panics_recovered"),
+		appends:       r.Counter("serve.appends"),
+		appendRecords: r.Counter("serve.append_records"),
+		invalidatedC:  r.Counter("serve.cache_invalidated"),
+		compactions:   r.Counter("serve.compactions"),
+		inflight:      r.Gauge("serve.inflight"),
 	}
+	walMode, err := wal.ParseSyncMode(cfg.WALSyncMode)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	walOpts := wal.Options{Mode: walMode, MaxSyncDelay: cfg.WALMaxSyncDelay, Hook: cfg.WALFaultHook}
 	if cfg.MaxInflight > 0 {
 		s.limiter = resil.NewLimiter(cfg.MaxInflight, cfg.QueueDepth)
 	}
@@ -281,9 +487,11 @@ func New(cfg Config) (*Server, error) {
 				Cooldown:  cfg.BreakerCooldown,
 				Now:       cfg.breakerNow,
 			}),
-			budget:  budget,
-			hook:    cfg.FaultHook,
-			retries: r.Counter("serve.reload_retries"),
+			budget:       budget,
+			hook:         cfg.FaultHook,
+			retries:      r.Counter("serve.reload_retries"),
+			walOpts:      walOpts,
+			compactAfter: cfg.CompactAfter,
 		}
 		s.names = append(s.names, gc.Name)
 	}
@@ -292,6 +500,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/azoom", s.handleAZoom)
 	s.mux.HandleFunc("POST /v1/wzoom", s.handleWZoom)
 	s.mux.HandleFunc("POST /v1/pipeline", s.handlePipeline)
+	s.mux.HandleFunc("POST /v1/append", s.handleAppend)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /livez", s.handleLive)
@@ -333,6 +542,21 @@ func (s *Server) Cache() *qcache.Cache { return s.cache }
 func (s *Server) Drain() {
 	s.draining.Store(true)
 	s.wg.Wait()
+	s.closeLogs()
+}
+
+// closeLogs releases the write-ahead logs the server owns, flushing
+// any batched-but-unsynced records first.
+func (s *Server) closeLogs() {
+	for _, name := range s.names {
+		h := s.graphs[name]
+		h.mu.Lock()
+		if h.log != nil {
+			h.log.Close()
+			h.log = nil
+		}
+		h.mu.Unlock()
+	}
 }
 
 // DrainWithin is Drain bounded by a deadline: it stops admitting
@@ -349,6 +573,7 @@ func (s *Server) DrainWithin(d time.Duration) error {
 	}()
 	select {
 	case <-done:
+		s.closeLogs()
 		return nil
 	case <-time.After(d):
 		return fmt.Errorf("serve: drain deadline %v exceeded with %d request(s) still in flight",
@@ -519,7 +744,30 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request, graphName string, s
 		s.degraded.Add(1)
 		w.Header().Set("X-TGraph-Degraded", "stale-graph")
 	}
-	key := graphName + "|" + qcache.Key(stamp, canonical(steps))
+	// Record which time range this chain's result depends on, so an
+	// append can invalidate exactly the overlapping tags. The tag and
+	// its current version are baked into the key as their own segments:
+	// an append bumps the versions of (only) the overlapping tags and
+	// sweeps their prefixes. The graph view and the tag version must be
+	// read under one lock so a concurrent append cannot hand us a new
+	// version with a pre-append graph (the reverse — old version, old
+	// graph — is safe: our insertion key dies with the bump).
+	dep := chainDepends(steps)
+	tag := rangeTag(dep)
+	h.mu.Lock()
+	if h.deps == nil {
+		h.deps = make(map[string]depEntry)
+	}
+	e, seen := h.deps[tag]
+	if !seen {
+		e = depEntry{iv: dep}
+		h.deps[tag] = e
+	}
+	if h.graph != nil {
+		g, stamp = h.graph, h.stamp
+	}
+	h.mu.Unlock()
+	key := fmt.Sprintf("%s|%s|v%d|%s", graphName, tag, e.version, qcache.Key(stamp, canonical(steps)))
 	val, outcome, err := s.cache.DoCtx(r.Context(), key, func() (any, int64, error) {
 		defer obs.StartSpan("serve.compute").End()
 		s.computations.Add(1)
@@ -622,6 +870,75 @@ func (s *Server) handlePipeline(w http.ResponseWriter, r *http.Request) {
 	s.run(w, r, req.Graph, steps)
 }
 
+// handleAppend is the live-ingestion endpoint: it logs the request's
+// deltas to the graph's write-ahead log and answers 200 only after
+// they are durable under the configured fsync policy — an acked append
+// survives kill -9. A degraded graph (unreadable directory, open
+// breaker) refuses appends with 503: accepting writes against a view
+// the server cannot reconcile with disk risks divergence.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	done, ok := s.admit(w, r, "append", true)
+	if !ok {
+		return
+	}
+	defer done()
+	var req AppendRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ds, err := parseDeltas(req.Deltas)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	h, ok := s.graphs[req.Graph]
+	if !ok {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", req.Graph))
+		return
+	}
+	_, _, degraded, err := h.ensure(r.Context(), s.cache, s.parallelism, s.scanParallelism)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, storage.ErrIncompleteSave) || errors.Is(err, resil.ErrOpen) {
+			code = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
+		}
+		s.fail(w, code, err)
+		return
+	}
+	if degraded {
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusServiceUnavailable,
+			fmt.Errorf("serve: graph %q is degraded (stale view); refusing append", req.Graph))
+		return
+	}
+	resp, compacted, compactErr, err := h.append(s.cache, s.parallelism, ds)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if wal.IsCrash(err) {
+			// The log is dead from an injected crash; the process would be
+			// too in a real one. Refuse rather than misreport durability.
+			code = http.StatusServiceUnavailable
+		}
+		s.fail(w, code, err)
+		return
+	}
+	s.appends.Add(1)
+	s.appendRecords.Add(int64(len(ds)))
+	s.invalidatedC.Add(int64(resp.Invalidated))
+	if compacted {
+		s.compactions.Add(1)
+	}
+	if compactErr != nil {
+		// The append is acked regardless — its records are durable; only
+		// the fold into a new epoch failed and will retry.
+		w.Header().Set("X-TGraph-Compact", "failed: "+compactErr.Error())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
 // GraphInfo is one entry of the /v1/graphs listing.
 type GraphInfo struct {
 	Name    string `json:"name"`
@@ -630,6 +947,10 @@ type GraphInfo struct {
 	Loaded  bool   `json:"loaded"`
 	Stamp   string `json:"stamp,omitempty"`
 	Breaker string `json:"breaker"`
+	// WALSeq is the highest durable log sequence (0 before first load or
+	// append); Appended counts records logged since the last compaction.
+	WALSeq   uint64 `json:"walSeq,omitempty"`
+	Appended int    `json:"appended,omitempty"`
 }
 
 func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
@@ -646,6 +967,10 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 			Name: h.name, Dir: h.dir, Rep: h.rep.String(),
 			Loaded: h.graph != nil, Stamp: h.stamp,
 			Breaker: h.breaker.State().String(),
+		}
+		if h.log != nil {
+			info.WALSeq = h.log.LastSeq()
+			info.Appended = h.appended
 		}
 		h.mu.Unlock()
 		out = append(out, info)

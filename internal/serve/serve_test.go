@@ -306,7 +306,7 @@ func TestDrain(t *testing.T) {
 		t.Fatalf("warmup: %d", w.Code)
 	}
 
-	stamp, err := storage.Stamp(dir)
+	stamp, err := storage.BaseStamp(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +314,7 @@ func TestDrain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := "fig1|" + qcache.Key(stamp, canonical([]step{st}))
+	key := "fig1|full|v0|" + qcache.Key(stamp, canonical([]step{st}))
 
 	// Park a flight on the key the request will use.
 	started := make(chan struct{})

@@ -8,6 +8,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/props"
+	"repro/internal/storage"
+	"repro/internal/storage/wal"
 	"repro/internal/temporal"
 )
 
@@ -20,7 +22,8 @@ import (
 
 // StepRequest is one operator of a pipeline request. Op selects which
 // fields apply: "azoom" (GroupBy, NewType, Count), "wzoom" (Window,
-// VQuant, EQuant, VResolve, EResolve) or "switch" (Rep).
+// VQuant, EQuant, VResolve, EResolve), "switch" (Rep) or "range"
+// (Start, End).
 type StepRequest struct {
 	Op string `json:"op"`
 
@@ -38,6 +41,14 @@ type StepRequest struct {
 
 	// Representation switch field.
 	Rep string `json:"rep,omitempty"`
+
+	// Range fields: restrict the pipeline to states overlapping
+	// [Start, End), clipped. A range step also declares the request's
+	// time dependency, which is what lets live appends invalidate the
+	// cache surgically (see the append handler): a cached result whose
+	// range does not overlap an appended delta stays resident.
+	Start int64 `json:"start,omitempty"`
+	End   int64 `json:"end,omitempty"`
 }
 
 // PipelineRequest asks for a chain of operators over a served graph.
@@ -65,10 +76,12 @@ type WZoomRequest struct {
 }
 
 // step is a parsed, executable operator plus its canonical fingerprint
-// fragment.
+// fragment. depends is the time interval the step's output can depend
+// on (zero = everything); only range steps constrain it.
 type step struct {
-	canon string
-	apply func(core.TGraph) (core.TGraph, error)
+	canon   string
+	depends temporal.Interval
+	apply   func(core.TGraph) (core.TGraph, error)
 }
 
 // parseAZoomStep validates an aZoom step and canonicalises it.
@@ -145,6 +158,41 @@ func parseSwitchStep(rep string) (step, error) {
 	}, nil
 }
 
+// parseRangeStep validates a time-range restriction step: states are
+// clipped to [start, end) exactly like a storage-level range load, so
+// the step's output provably depends only on that window.
+func parseRangeStep(start, end int64) (step, error) {
+	if end <= start {
+		return step{}, fmt.Errorf("range: want start < end, got [%d, %d)", start, end)
+	}
+	iv := temporal.MustInterval(temporal.Time(start), temporal.Time(end))
+	return step{
+		canon:   fmt.Sprintf("range(%d,%d)", start, end),
+		depends: iv,
+		apply: func(g core.TGraph) (core.TGraph, error) {
+			var vs []core.VertexTuple
+			for _, v := range g.VertexStates() {
+				if v.Interval.Overlaps(iv) {
+					v.Interval = v.Interval.Intersect(iv)
+					vs = append(vs, v)
+				}
+			}
+			var es []core.EdgeTuple
+			for _, e := range g.EdgeStates() {
+				if e.Interval.Overlaps(iv) {
+					e.Interval = e.Interval.Intersect(iv)
+					es = append(es, e)
+				}
+			}
+			ve := core.NewVE(g.Context(), vs, es)
+			if g.Rep() == core.RepVE {
+				return ve, nil
+			}
+			return core.Convert(ve, g.Rep())
+		},
+	}, nil
+}
+
 // parseRep maps the wire names to representations.
 func parseRep(s string) (core.Representation, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
@@ -177,8 +225,10 @@ func parseSteps(reqs []StepRequest) ([]step, error) {
 			st, err = parseWZoomStep(r.Window, r.VQuant, r.EQuant, r.VResolve, r.EResolve)
 		case "switch":
 			st, err = parseSwitchStep(r.Rep)
+		case "range":
+			st, err = parseRangeStep(r.Start, r.End)
 		default:
-			err = fmt.Errorf("unknown op %q (want azoom|wzoom|switch)", r.Op)
+			err = fmt.Errorf("unknown op %q (want azoom|wzoom|switch|range)", r.Op)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("step %d: %w", i, err)
@@ -196,6 +246,119 @@ func canonical(steps []step) string {
 		parts[i] = s.canon
 	}
 	return strings.Join(parts, ";")
+}
+
+// chainDepends is the time interval a chain's result can depend on:
+// the intersection of its range steps' windows, or the zero interval
+// (meaning "everything") when the chain has none.
+func chainDepends(steps []step) temporal.Interval {
+	var dep temporal.Interval
+	for _, s := range steps {
+		if s.depends.IsEmpty() {
+			continue
+		}
+		if dep.IsEmpty() {
+			dep = s.depends
+		} else {
+			dep = dep.Intersect(s.depends)
+		}
+	}
+	return dep
+}
+
+// rangeTag names a chain's dependency interval as a cache-key segment,
+// so an append can invalidate exactly the tags its deltas overlap via
+// prefix invalidation. Chains without a range step share the "full"
+// tag, which every append invalidates.
+func rangeTag(dep temporal.Interval) string {
+	if dep.IsEmpty() {
+		return "full"
+	}
+	return fmt.Sprintf("r%d:%d", dep.Start, dep.End)
+}
+
+// The ingestion wire model.
+
+// DeltaJSON is one vertex or edge state to append. Props values are
+// auto-typed the same way CSV import types cells (int, float, bool,
+// then string).
+type DeltaJSON struct {
+	Kind  string            `json:"kind"` // "vertex" | "edge"
+	ID    int64             `json:"id"`
+	Src   int64             `json:"src,omitempty"`
+	Dst   int64             `json:"dst,omitempty"`
+	Start int64             `json:"start"`
+	End   int64             `json:"end"`
+	Props map[string]string `json:"props,omitempty"`
+}
+
+// AppendRequest asks to append deltas to a served graph's write-ahead
+// log. The request is acked only after the records are durable under
+// the server's fsync policy.
+type AppendRequest struct {
+	Graph  string      `json:"graph"`
+	Deltas []DeltaJSON `json:"deltas"`
+}
+
+// AppendResponse reports the sequence range the deltas were logged at
+// and how many cached results the append invalidated (results whose
+// declared time range does not overlap the deltas stay resident).
+type AppendResponse struct {
+	FirstSeq    uint64 `json:"firstSeq"`
+	LastSeq     uint64 `json:"lastSeq"`
+	Invalidated int    `json:"invalidated"`
+}
+
+// parseDeltas validates and converts the wire deltas.
+func parseDeltas(reqs []DeltaJSON) ([]wal.Delta, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("append: at least one delta is required")
+	}
+	out := make([]wal.Delta, 0, len(reqs))
+	for i, d := range reqs {
+		if d.End <= d.Start {
+			return nil, fmt.Errorf("delta %d: want start < end, got [%d, %d)", i, d.Start, d.End)
+		}
+		wd := wal.Delta{
+			ID:       d.ID,
+			Interval: temporal.MustInterval(temporal.Time(d.Start), temporal.Time(d.End)),
+		}
+		switch strings.ToLower(d.Kind) {
+		case "vertex":
+			wd.Kind = wal.KindVertex
+			if d.Src != 0 || d.Dst != 0 {
+				return nil, fmt.Errorf("delta %d: vertex delta carries src/dst", i)
+			}
+		case "edge":
+			wd.Kind = wal.KindEdge
+			wd.Src, wd.Dst = d.Src, d.Dst
+		default:
+			return nil, fmt.Errorf("delta %d: unknown kind %q (want vertex|edge)", i, d.Kind)
+		}
+		if len(d.Props) > 0 {
+			var b props.Builder
+			b.Grow(len(d.Props))
+			for k, v := range d.Props {
+				if k == "" {
+					return nil, fmt.Errorf("delta %d: empty property name", i)
+				}
+				b.Set(k, storage.ParseValue(v))
+			}
+			wd.Props = b.Build()
+		}
+		out = append(out, wd)
+	}
+	return out, nil
+}
+
+// deltaSpan is the smallest interval covering every delta — the append's
+// footprint for surgical cache invalidation.
+func deltaSpan(ds []wal.Delta) temporal.Interval {
+	span := ds[0].Interval
+	for _, d := range ds[1:] {
+		span = span.Union(d.Interval)
+	}
+	return span
 }
 
 // The response model: flat coalesced states, deterministically ordered

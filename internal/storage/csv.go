@@ -210,12 +210,16 @@ func parsePropCells(cells []string, labels []string) props.Props {
 		if i >= len(labels) || cell == "" {
 			continue
 		}
-		b.Set(labels[i], parseValue(cell))
+		b.Set(labels[i], ParseValue(cell))
 	}
 	return b.Build()
 }
 
-func parseValue(s string) props.Value {
+// ParseValue auto-types a textual cell the way CSV import does: int,
+// then float, then bool, falling back to string. The serve layer uses
+// the same typing for appended delta properties so HTTP-ingested and
+// CSV-imported data agree.
+func ParseValue(s string) props.Value {
 	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
 		return props.Int(n)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataflow"
+	"repro/internal/storage/wal"
 	"repro/internal/temporal"
 )
 
@@ -36,6 +37,14 @@ type SaveOptions struct {
 	// FaultHook is the write-path crash-injection point (see WriteHook);
 	// nil in production.
 	FaultHook WriteHook
+	// WALSeq is the highest write-ahead-log sequence number the saved
+	// files subsume, recorded in the manifest so Load replays only later
+	// records. Zero means "the directory's whole current WAL tail": a
+	// full SaveGraph writes the complete in-memory graph, so whatever
+	// the log holds is folded by definition. Compact instead passes the
+	// sequence it captured before replaying, so records appended while
+	// it ran stay live.
+	WALSeq uint64
 }
 
 // SaveGraph persists a TGraph into dir transactionally: every file is
@@ -102,6 +111,16 @@ func SaveGraph(dir string, g core.TGraph, opts SaveOptions) (err error) {
 
 	// Commit: rename every staged file into place, then write the
 	// manifest last — its atomic appearance is the commit point.
+	walSeq := opts.WALSeq
+	if walSeq == 0 && wal.Exists(dir) {
+		tail, ok, terr := wal.TailSeq(dir)
+		if terr != nil {
+			return fmt.Errorf("storage: save %s: %w", dir, terr)
+		}
+		if ok {
+			walSeq = tail
+		}
+	}
 	for len(staged) > 0 {
 		if err := staged[0].commit(opts.FaultHook); err != nil {
 			staged = staged[1:] // already consumed (renamed or removed)
@@ -109,7 +128,7 @@ func SaveGraph(dir string, g core.TGraph, opts SaveOptions) (err error) {
 		}
 		staged = staged[1:]
 	}
-	return writeManifest(dir, entries, opts.FaultHook)
+	return writeManifest(dir, entries, walSeq, opts.FaultHook)
 }
 
 // LoadOptions configures the GraphLoader.
@@ -160,26 +179,28 @@ func repFiles(rep core.Representation) ([]string, error) {
 }
 
 // checkManifest validates dir's commit record against the files the
-// load will read. It returns degraded=true when a Permissive load
-// should proceed despite a torn or mismatched manifest (counted in
-// storage.manifest_mismatches and, on success, storage.recovered_saves).
-// A missing manifest is ErrIncompleteSave under strict loads and a
-// silent legacy fallback under Permissive ones.
-func checkManifest(dir string, need []string, permissive bool) (degraded bool, err error) {
+// load will read, returning the parsed manifest (nil when missing or
+// torn) so the caller knows which WAL records the files subsume. It
+// returns degraded=true when a Permissive load should proceed despite
+// a torn or mismatched manifest (counted in storage.manifest_mismatches
+// and, on success, storage.recovered_saves). A missing manifest is
+// ErrIncompleteSave under strict loads and a silent legacy fallback
+// under Permissive ones.
+func checkManifest(dir string, need []string, permissive bool) (man *Manifest, degraded bool, err error) {
 	man, manErr := ReadManifest(dir)
 	if manErr != nil {
 		obsManifestMismatches.Add(1)
 		if !permissive {
-			return false, manErr
+			return nil, false, manErr
 		}
-		return true, nil
+		return nil, true, nil
 	}
 	if man == nil {
 		if !permissive {
-			return false, fmt.Errorf("storage: %s has no %s (crashed save or pre-manifest layout; Permissive mode loads it best-effort): %w",
+			return nil, false, fmt.Errorf("storage: %s has no %s (crashed save or pre-manifest layout; Permissive mode loads it best-effort): %w",
 				dir, ManifestFile, ErrIncompleteSave)
 		}
-		return false, nil
+		return nil, false, nil
 	}
 	for _, name := range need {
 		ent := man.Entry(name)
@@ -191,12 +212,39 @@ func checkManifest(dir string, need []string, permissive bool) (degraded bool, e
 		if err != nil {
 			obsManifestMismatches.Add(1)
 			if !permissive {
-				return false, err
+				return man, false, err
 			}
-			return true, nil
+			return man, true, nil
 		}
 	}
-	return false, nil
+	return man, false, nil
+}
+
+// replayWAL reads the directory's WAL tail past afterSeq — the records
+// the manifest does not subsume — clipping deltas to the load range
+// the same way the chunk scan clips rows. Strict loads fail on mid-log
+// corruption; Permissive ones skip and count it.
+func replayWAL(dir string, afterSeq uint64, opts LoadOptions) (deltas []wal.Delta, skipped int, err error) {
+	if !wal.Exists(dir) {
+		return nil, 0, nil
+	}
+	res, err := wal.Read(dir, afterSeq, opts.Permissive)
+	if err != nil {
+		return nil, 0, err
+	}
+	deltas = res.Deltas
+	if !opts.Range.IsEmpty() {
+		kept := deltas[:0]
+		for _, d := range deltas {
+			if !d.Interval.Overlaps(opts.Range) {
+				continue
+			}
+			d.Interval = d.Interval.Intersect(opts.Range)
+			kept = append(kept, d)
+		}
+		deltas = kept
+	}
+	return deltas, res.Skipped, nil
 }
 
 // Load is the GraphLoader utility: it initialises any representation
@@ -205,13 +253,24 @@ func checkManifest(dir string, need []string, permissive bool) (degraded bool, e
 // structural sort order); OG and OGC load from the nested files. The
 // directory's MANIFEST is checked first: strict loads refuse
 // incomplete or mismatched saves with typed errors, Permissive loads
-// fall back to best-effort reads.
+// fall back to best-effort reads. Write-ahead-log records the manifest
+// does not subsume (sequence > Manifest.WALSeq) are replayed on top of
+// the committed files, so a load always observes every acked append —
+// and replaying the same directory twice observes them exactly once.
 func Load(ctx *dataflow.Context, dir string, opts LoadOptions) (core.TGraph, ScanStats, error) {
 	need, err := repFiles(opts.Rep)
 	if err != nil {
 		return nil, ScanStats{}, err
 	}
-	degraded, err := checkManifest(dir, need, opts.Permissive)
+	man, degraded, err := checkManifest(dir, need, opts.Permissive)
+	if err != nil {
+		return nil, ScanStats{}, err
+	}
+	var subsumed uint64
+	if man != nil {
+		subsumed = man.WALSeq
+	}
+	wd, walSkipped, err := replayWAL(dir, subsumed, opts)
 	if err != nil {
 		return nil, ScanStats{}, err
 	}
@@ -249,6 +308,14 @@ func Load(ctx *dataflow.Context, dir string, opts LoadOptions) (core.TGraph, Sca
 			return fail(stats, err)
 		}
 		recovered()
+		for _, d := range wd {
+			if vt, ok := d.VertexTuple(); ok {
+				vs = append(vs, vt)
+			} else if et, ok := d.EdgeTuple(); ok {
+				es = append(es, et)
+			}
+		}
+		stats.WALReplayed, stats.WALSkipped = len(wd), walSkipped
 		ve := core.NewVE(ctx, vs, es)
 		if opts.Rep == core.RepRG {
 			return core.ToRG(ve), stats, nil
@@ -269,6 +336,8 @@ func Load(ctx *dataflow.Context, dir string, opts LoadOptions) (core.TGraph, Sca
 			return fail(stats, err)
 		}
 		recovered()
+		vs, es = mergeNestedDeltas(vs, es, wd)
+		stats.WALReplayed, stats.WALSkipped = len(wd), walSkipped
 		og := core.NewOG(ctx, vs, es)
 		if opts.Rep == core.RepOGC {
 			return core.ToOGC(og), stats, nil
@@ -325,6 +394,50 @@ func loadPair[V, E any](
 		return nil, nil, addStats(s1, s2), eerr
 	}
 	return vs, es, addStats(s1, s2), nil
+}
+
+// mergeNestedDeltas folds replayed WAL records into per-entity history
+// arrays: a delta for an entity the files already hold appends to its
+// history (NewOG re-sorts), a delta for a new entity adds it. Edge
+// identity is the full (ID, Src, Dst) triple, matching core.ToOG.
+func mergeNestedDeltas(vs []core.OGVertex, es []core.OGEdge, wd []wal.Delta) ([]core.OGVertex, []core.OGEdge) {
+	if len(wd) == 0 {
+		return vs, es
+	}
+	vidx := make(map[core.VertexID]int, len(vs))
+	for i, v := range vs {
+		vidx[v.ID] = i
+	}
+	type ekey struct{ id, src, dst int64 }
+	eidx := make(map[ekey]int, len(es))
+	for i, e := range es {
+		eidx[ekey{int64(e.ID), int64(e.Src), int64(e.Dst)}] = i
+	}
+	for _, d := range wd {
+		item := core.HistoryItem{Interval: d.Interval, Props: d.Props}
+		switch d.Kind {
+		case wal.KindVertex:
+			id := core.VertexID(d.ID)
+			if i, ok := vidx[id]; ok {
+				vs[i].History = append(vs[i].History, item)
+			} else {
+				vidx[id] = len(vs)
+				vs = append(vs, core.OGVertex{ID: id, History: []core.HistoryItem{item}})
+			}
+		case wal.KindEdge:
+			k := ekey{d.ID, d.Src, d.Dst}
+			if i, ok := eidx[k]; ok {
+				es[i].History = append(es[i].History, item)
+			} else {
+				eidx[k] = len(es)
+				es = append(es, core.OGEdge{
+					ID: core.EdgeID(d.ID), Src: core.VertexID(d.Src), Dst: core.VertexID(d.Dst),
+					History: []core.HistoryItem{item},
+				})
+			}
+		}
+	}
+	return vs, es
 }
 
 func addStats(a, b ScanStats) ScanStats {

@@ -10,7 +10,15 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/storage/wal"
 )
+
+// QuarantineDir is the subdirectory RepairDir moves unexpected litter
+// into instead of deleting it: files the storage layer never writes
+// may still be someone's data, so repair makes the directory loadable
+// without destroying evidence.
+const QuarantineDir = "quarantine"
 
 // The MANIFEST file is the commit record of a graph directory.
 // SaveGraph stages every data file as a fsynced temp file, renames them
@@ -80,6 +88,12 @@ type Manifest struct {
 	// save, giving cached query results an identity to invalidate on;
 	// see Stamp. Manifests written before this field existed read as 0.
 	SaveEpoch int64 `json:"saveEpoch,omitempty"`
+	// WALSeq is the highest write-ahead-log sequence number this
+	// epoch's files subsume: Load replays only WAL records with a
+	// later sequence, which is what makes replay idempotent across
+	// compaction crashes (see Compact). Manifests written before the
+	// WAL existed read as 0 — replay everything.
+	WALSeq uint64 `json:"walSeq,omitempty"`
 	// Entries lists every committed file.
 	Entries []ManifestEntry `json:"files"`
 	// CRC is the CRC32 of the JSON encoding of Entries, making a torn
@@ -106,13 +120,18 @@ func entriesCRC(entries []ManifestEntry) (uint32, error) {
 }
 
 // writeManifest atomically writes the MANIFEST commit record,
-// advancing the directory's SaveEpoch past the previous manifest's.
-func writeManifest(dir string, entries []ManifestEntry, hook WriteHook) error {
+// advancing the directory's SaveEpoch past the previous manifest's and
+// recording the WAL sequence the committed files subsume.
+func writeManifest(dir string, entries []ManifestEntry, walSeq uint64, hook WriteHook) error {
 	var prevSave int64
 	if prev, err := ReadManifest(dir); err == nil && prev != nil {
 		prevSave = prev.SaveEpoch
+		if walSeq < prev.WALSeq {
+			// A plain re-save never rolls the subsumption point back.
+			walSeq = prev.WALSeq
+		}
 	}
-	m := Manifest{Epoch: FormatEpoch, SaveEpoch: prevSave + 1, Entries: entries}
+	m := Manifest{Epoch: FormatEpoch, SaveEpoch: prevSave + 1, WALSeq: walSeq, Entries: entries}
 	crc, err := entriesCRC(entries)
 	if err != nil {
 		return fmt.Errorf("storage: encode manifest: %w", err)
@@ -157,14 +176,16 @@ func ReadManifest(dir string) (*Manifest, error) {
 	return &m, nil
 }
 
-// Stamp returns an identity token for the committed contents of a
-// graph directory, suitable as a cache-invalidation key: every
-// successful SaveGraph changes it (the SaveEpoch advances, and the
-// manifest CRC tracks the committed data). Directories predating the
-// manifest format fall back to a fingerprint of the layout files'
-// sizes and modification times. A torn manifest returns its read
-// error so callers don't cache against a damaged directory.
-func Stamp(dir string) (string, error) {
+// BaseStamp returns the epoch identity of a graph directory: the part
+// of its cache-invalidation stamp that changes only when a SaveGraph
+// (or Compact) commits a new MANIFEST. It deliberately ignores the
+// write-ahead log, which is what lets the serving layer invalidate
+// surgically on appends — the base stays stable while the WAL tail
+// advances. Directories predating the manifest format fall back to a
+// fingerprint of the layout files' sizes and modification times. A
+// torn manifest returns its read error so callers don't cache against
+// a damaged directory.
+func BaseStamp(dir string) (string, error) {
 	m, err := ReadManifest(dir)
 	if err != nil {
 		return "", err
@@ -182,6 +203,35 @@ func Stamp(dir string) (string, error) {
 		fmt.Fprintf(&b, ":%s:%d:%d", name, info.Size(), info.ModTime().UnixNano())
 	}
 	return b.String(), nil
+}
+
+// Stamp returns the full identity token for the committed contents of
+// a graph directory, suitable as a cache-invalidation key: the
+// BaseStamp, plus — when the directory carries WAL records the
+// manifest does not subsume — the log's tail sequence, so every acked
+// append changes the stamp too. Compaction folds the tail into the
+// base (the new manifest subsumes it) without changing what the data
+// says, and the suffix disappears.
+func Stamp(dir string) (string, error) {
+	base, err := BaseStamp(dir)
+	if err != nil {
+		return "", err
+	}
+	tail, ok, err := wal.TailSeq(dir)
+	if err != nil {
+		return "", err
+	}
+	if !ok {
+		return base, nil
+	}
+	var subsumed uint64
+	if m, err := ReadManifest(dir); err == nil && m != nil {
+		subsumed = m.WALSeq
+	}
+	if tail > subsumed {
+		return fmt.Sprintf("%s+wal:%d", base, tail), nil
+	}
+	return base, nil
 }
 
 // checkEntry verifies that the file behind a manifest entry exists with
@@ -203,8 +253,11 @@ type FileReport struct {
 	// Name is the file name relative to the directory.
 	Name string
 	// Status is "ok", "missing", "size-mismatch", "crc-mismatch",
-	// "unreadable", "corrupt-chunks", or "orphan" (present on disk but
-	// not committed by the manifest).
+	// "unreadable", "corrupt-chunks", "orphan" (present on disk but
+	// not committed by the manifest), "unexpected" (a file the storage
+	// layer never writes — stray litter RepairDir quarantines), or a
+	// WAL segment status ("torn-tail", "torn-header",
+	// "corrupt-records", "seq-gap"; see wal.SegmentInfo).
 	Status string
 	// Detail elaborates on non-ok statuses.
 	Detail string
@@ -285,10 +338,30 @@ func chunkCRCs(path string) (chunks int, bad []int, err error) {
 	return len(r.footer.Chunks), bad, nil
 }
 
+// expectedFile reports whether name is something the storage layer
+// itself writes into a graph directory: committed layout files, the
+// manifest, in-flight temp files, WAL segments, or the quarantine
+// directory RepairDir moves litter into. Anything else is unexpected
+// litter.
+func expectedFile(name string) bool {
+	if name == ManifestFile || strings.HasSuffix(name, tmpSuffix) ||
+		wal.IsSegmentName(name) || name == QuarantineDir {
+		return true
+	}
+	for _, l := range layoutFiles {
+		if name == l {
+			return true
+		}
+	}
+	return false
+}
+
 // VerifyDir checks a graph directory end to end: manifest validity,
 // every committed file's size and whole-file CRC, every chunk CRC
-// inside the columnar files, plus stale temp files and orphans from
-// aborted saves. Damage lands in the report; the error return is
+// inside the columnar files, the structural health of every WAL
+// segment (torn tails, torn headers, mid-log corruption, sequence
+// gaps), plus stale temp files, orphans from aborted saves and
+// unexpected litter. Damage lands in the report; the error return is
 // reserved for not being able to inspect the directory at all.
 func VerifyDir(dir string) (VerifyReport, error) {
 	rep := VerifyReport{Dir: dir, Clean: true}
@@ -301,6 +374,11 @@ func VerifyDir(dir string) (VerifyReport, error) {
 		onDisk[e.Name()] = true
 		if strings.HasSuffix(e.Name(), tmpSuffix) {
 			rep.TmpFiles = append(rep.TmpFiles, e.Name())
+			rep.Clean = false
+		}
+		if !expectedFile(e.Name()) {
+			rep.Files = append(rep.Files, FileReport{Name: e.Name(), Status: "unexpected",
+				Detail: "not written by the storage layer (use -repair to quarantine)"})
 			rep.Clean = false
 		}
 	}
@@ -356,13 +434,44 @@ func VerifyDir(dir string) (VerifyReport, error) {
 			}
 		}
 	}
+
+	// WAL segments: structural health from a read-only inspection. A
+	// segment whose every record is already subsumed by the manifest is
+	// healthy pre-retirement state, noted but not damage.
+	infos, err := wal.Inspect(dir)
+	if err != nil {
+		return rep, fmt.Errorf("storage: verify %s: %w", dir, err)
+	}
+	var subsumed uint64
+	if man != nil {
+		subsumed = man.WALSeq
+	}
+	for _, info := range infos {
+		fr := FileReport{Name: info.Name, Status: info.Status, Detail: info.Detail}
+		if info.Status == "ok" && info.LastSeq <= subsumed && info.Records > 0 {
+			fr.Detail = fmt.Sprintf("fully subsumed by manifest walSeq %d (retirable)", subsumed)
+		}
+		if info.Status != "ok" {
+			rep.Clean = false
+		}
+		rep.Files = append(rep.Files, fr)
+	}
 	return rep, nil
 }
 
-// RepairDir removes the litter an aborted save leaves behind: stale
-// *.tmp files always, plus — when a valid manifest exists — layout
-// files on disk that the manifest never committed (orphans). It never
-// touches committed data. The removed names are returned.
+// RepairDir makes a damaged graph directory loadable again without
+// destroying committed data or evidence:
+//
+//   - stale *.tmp files from aborted saves are removed;
+//   - layout files on disk that a valid manifest never committed
+//     (orphans) are removed;
+//   - WAL segments are healed by a permissive open — torn tails
+//     truncated, torn-header segments removed — and segments the
+//     manifest already subsumes are retired;
+//   - unexpected litter (files the storage layer never writes) is
+//     moved into the quarantine/ subdirectory, not deleted.
+//
+// The names of removed, repaired or quarantined files are returned.
 func RepairDir(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -392,6 +501,63 @@ func RepairDir(dir string) ([]string, error) {
 			removed = append(removed, name)
 		}
 	}
+
+	// Heal the WAL: a permissive open truncates torn tails and removes
+	// torn-header segments; then segments the manifest fully subsumes
+	// are retired. Mid-log corruption is left in place (permissive
+	// loads skip it, and deleting it would be silent data loss) — the
+	// report from VerifyDir is the operator's signal.
+	if wal.Exists(dir) {
+		l, rec, werr := wal.Open(dir, wal.Options{Permissive: true})
+		if werr != nil {
+			return removed, fmt.Errorf("storage: repair %s: %w", dir, werr)
+		}
+		if rec.TruncatedBytes > 0 {
+			removed = append(removed, fmt.Sprintf("wal: truncated %d torn-tail bytes", rec.TruncatedBytes))
+		}
+		for _, name := range rec.RemovedSegments {
+			removed = append(removed, name)
+		}
+		if manErr == nil && man != nil && man.WALSeq > 0 {
+			if l.LastSeq() <= man.WALSeq {
+				// Even the active segment is fully subsumed (a crash
+				// between a compaction's commit and its retirement step);
+				// rotate so it stops being active and can retire too.
+				if rerr := l.Rotate(); rerr != nil {
+					l.Close()
+					return removed, fmt.Errorf("storage: repair %s: %w", dir, rerr)
+				}
+			}
+			retired, rerr := l.RetireThrough(man.WALSeq)
+			if rerr != nil {
+				l.Close()
+				return removed, fmt.Errorf("storage: repair %s: %w", dir, rerr)
+			}
+			if retired > 0 {
+				removed = append(removed, fmt.Sprintf("wal: retired %d subsumed segment(s)", retired))
+			}
+		}
+		if err := l.Close(); err != nil {
+			return removed, fmt.Errorf("storage: repair %s: %w", dir, err)
+		}
+	}
+
+	// Quarantine unexpected litter: rename, never delete.
+	for _, e := range entries {
+		name := e.Name()
+		if expectedFile(name) || strings.HasSuffix(name, tmpSuffix) {
+			continue
+		}
+		qdir := filepath.Join(dir, QuarantineDir)
+		if err := os.MkdirAll(qdir, 0o755); err != nil {
+			return removed, fmt.Errorf("storage: repair %s: %w", dir, err)
+		}
+		if err := os.Rename(filepath.Join(dir, name), filepath.Join(qdir, name)); err != nil {
+			return removed, fmt.Errorf("storage: repair %s: %w", dir, err)
+		}
+		removed = append(removed, name+" (quarantined)")
+	}
+
 	sort.Strings(removed)
 	if len(removed) > 0 {
 		obsRecoveredSaves.Add(1)

@@ -322,6 +322,12 @@ type ScanStats struct {
 	// RowsCorrupt counts rows dropped by a Permissive read because
 	// their property blob failed to decode.
 	RowsCorrupt int
+	// WALReplayed counts write-ahead-log records replayed on top of the
+	// committed files (after range clipping); WALSkipped counts corrupt
+	// WAL records a Permissive load skipped. Both are 0 for plain file
+	// reads — only Load replays the log.
+	WALReplayed int
+	WALSkipped  int
 }
 
 // reader reads a PGC file with optional time-range pushdown.

@@ -30,6 +30,7 @@ import (
 	"repro/internal/qcache"
 	"repro/internal/resil"
 	"repro/internal/storage"
+	"repro/internal/storage/wal"
 	"repro/internal/temporal"
 )
 
@@ -295,6 +296,72 @@ func VerifyDir(dir string) (VerifyReport, error) { return storage.VerifyDir(dir)
 // data.
 func RepairDir(dir string) ([]string, error) { return storage.RepairDir(dir) }
 
+// Live ingestion: crash-safe appends through a per-directory
+// write-ahead log (internal/storage/wal). Appended deltas are durable
+// once Append returns (under the configured sync mode), Load replays
+// any records the manifest does not subsume, and Compact folds the
+// tail into a fresh columnar epoch. The log is single-writer per
+// directory.
+
+// WALDelta is one vertex or edge state appended to a graph
+// directory's write-ahead log.
+type WALDelta = wal.Delta
+
+// WAL is an open, appendable write-ahead log (see OpenWAL).
+type WAL = wal.Log
+
+// WALOptions configures OpenWAL: sync mode ("each" fsyncs before every
+// ack, "batched" group-commits within WALMaxSyncDelay), segment size,
+// and strict-vs-permissive recovery.
+type WALOptions = wal.Options
+
+// WALRecovery reports what opening the log found and repaired (torn
+// tails truncated, corrupt records skipped).
+type WALRecovery = wal.Recovery
+
+// WAL delta kinds.
+const (
+	WALVertex = wal.KindVertex
+	WALEdge   = wal.KindEdge
+)
+
+// OpenWAL opens (creating if needed) the write-ahead log of a graph
+// directory, running torn-tail recovery first. The caller becomes the
+// directory's single writer until Close.
+func OpenWAL(dir string, opts WALOptions) (*WAL, WALRecovery, error) {
+	return wal.Open(dir, opts)
+}
+
+// ParseWALSyncMode parses "each" or "batched" (empty selects each).
+func ParseWALSyncMode(s string) (wal.SyncMode, error) { return wal.ParseSyncMode(s) }
+
+// AppendCSV streams vertices.csv (+ optional edges.csv) from the in
+// directory into the write-ahead log of the existing graph directory
+// dir, batch records per durable append. Never run it against a
+// directory a live server is serving.
+func AppendCSV(dir, in string, batch int, opts WALOptions) (int, error) {
+	return storage.AppendCSV(dir, in, batch, opts)
+}
+
+// CompactResult reports what an epoch compaction did.
+type CompactResult = storage.CompactResult
+
+// Compact folds a graph directory's write-ahead log tail into a fresh
+// committed epoch (transactional SaveGraph) and retires the subsumed
+// segments. Pass the open log when you own one (a server compacting
+// inline); pass nil to let Compact open the directory transiently —
+// the caller must hold the directory's single-writer role either way.
+func Compact(ctx *Context, dir string, l *WAL, opts SaveOptions) (CompactResult, error) {
+	return storage.Compact(ctx, dir, l, opts)
+}
+
+// BaseStamp is Stamp without the live-WAL suffix: it identifies the
+// last committed manifest epoch only, changing on saves and
+// compactions but not on appends. Servers key caches on it so acked
+// appends (which advance the in-memory view directly) do not force
+// reloads.
+func BaseStamp(dir string) (string, error) { return storage.BaseStamp(dir) }
+
 // Serving & result caching. internal/serve (surfaced as the
 // cmd/tgraph-serve binary) serves zoom queries over HTTP; the pieces
 // below give library users the same result reuse without the server:
@@ -334,9 +401,11 @@ func CacheKey(parts ...string) string { return qcache.Key(parts...) }
 
 // Stamp returns a token identifying the current contents of a saved
 // graph directory: it changes whenever a save commits (the manifest's
-// save epoch advances), making it the graph-identity part of a cache
-// key. A directory mid-save returns an error wrapping
-// ErrIncompleteSave.
+// save epoch advances) and whenever the write-ahead log holds records
+// beyond what the manifest subsumes, making it the graph-identity part
+// of a cache key. A directory mid-save returns an error wrapping
+// ErrIncompleteSave. See BaseStamp for the committed-epoch-only
+// variant.
 func Stamp(dir string) (string, error) { return storage.Stamp(dir) }
 
 // Rebind returns a view of g whose jobs execute on ctx, sharing all
