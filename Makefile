@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test test-race bench fmt bench-json chaos crash ingest-chaos smoke-serve smoke-scan smoke-overload
+.PHONY: check build vet lint test test-race bench fmt bench-json chaos crash ingest-chaos smoke-serve smoke-scan smoke-overload smoke-incr
 
-check: build vet lint test-race chaos crash ingest-chaos smoke-serve smoke-scan smoke-overload
+check: build vet lint test-race chaos crash ingest-chaos smoke-serve smoke-scan smoke-overload smoke-incr
 
 build:
 	$(GO) build ./...
@@ -74,6 +74,17 @@ smoke-overload:
 smoke-scan:
 	$(GO) test -race -count=1 -run 'TestScanParallel' ./internal/storage
 	$(GO) run ./cmd/tgraph-bench -exp scan -scale 0.05
+
+# Incremental-maintenance smoke: the quick harness proves incremental
+# aZoom/wZoom views byte-identical to from-scratch recomputation across
+# representations, the serve patch path round-trips (append → patched
+# cache entry → body identical to a cold recompute), then the incr
+# bench runs at a small scale — it panics if a patched result diverges
+# from the batch recompute.
+smoke-incr:
+	$(GO) test -race -count=1 -run 'TestQuickIncr' ./internal/incr
+	$(GO) test -race -count=1 -run 'TestAppendPatchesViews|TestChangeWindowStaysOnInvalidatePath' ./internal/serve
+	$(GO) run ./cmd/tgraph-bench -exp incr -scale 0.25
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

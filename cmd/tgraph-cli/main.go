@@ -46,7 +46,7 @@ func main() {
 		from       = flag.Int64("from", 0, "load range start (0 and 0 = everything)")
 		to         = flag.Int64("to", 0, "load range end")
 		info       = flag.Bool("info", false, "print graph statistics and exit")
-		keyStats   = flag.Bool("stats", false, "print the property key-dictionary summary (distinct keys, per-key cardinality and value types) and exit")
+		keyStats   = flag.Bool("stats", false, "print the property key-dictionary summary (distinct keys, per-key cardinality and value types) plus the WAL segment/pending-record summary, and exit")
 		azoom      = flag.String("azoom", "", "aZoom^T: group vertices by this property")
 		count      = flag.String("count", "", "aZoom^T: add a count aggregate under this label")
 		wzoom      = flag.String("wzoom", "", "wZoom^T window spec, e.g. \"3 months\" or \"2 changes\"")
@@ -148,6 +148,7 @@ func main() {
 
 	if *keyStats {
 		printKeyStats(g)
+		printWALStats(*dir)
 		return
 	}
 
@@ -234,6 +235,49 @@ func printInfo(g tgraph.Graph) {
 	if rg, ok := g.(*core.RG); ok {
 		fmt.Printf("  snapshots: %d\n", rg.NumSnapshots())
 	}
+}
+
+// printWALStats renders the write-ahead-log side of -stats: the
+// segment inventory and how many durable records the committed
+// manifest has not yet subsumed (those replay on every load until the
+// next compaction folds them in).
+func printWALStats(dir string) {
+	infos, err := tgraph.InspectWAL(dir)
+	if err != nil {
+		fail("wal inspect: %v", err)
+	}
+	if len(infos) == 0 {
+		fmt.Println("wal: no segments")
+		return
+	}
+	var bytes int64
+	records, damaged := 0, 0
+	for _, s := range infos {
+		bytes += s.Bytes
+		records += s.Records
+		if s.Status != "ok" {
+			damaged++
+		}
+	}
+	fmt.Printf("wal: %d segment(s), %d bytes, %d record(s)", len(infos), bytes, records)
+	if damaged > 0 {
+		fmt.Printf(", %d segment(s) damaged (run -verify)", damaged)
+	}
+	fmt.Println()
+	sub, err := tgraph.SubsumedWALSeq(dir)
+	if err != nil {
+		fail("wal stats: read manifest: %v", err)
+	}
+	rr, err := tgraph.ReadWAL(dir, sub, true)
+	if err != nil {
+		fail("wal stats: read log: %v", err)
+	}
+	if len(rr.Deltas) == 0 {
+		fmt.Printf("wal: manifest subsumes every record (through seq %d); nothing pending\n", sub)
+		return
+	}
+	fmt.Printf("wal: %d pending record(s) past the manifest (seq %d..%d) — folded at the next compaction\n",
+		len(rr.Deltas), sub+1, rr.LastSeq)
 }
 
 // printKeyStats renders the per-graph key-dictionary summary: every

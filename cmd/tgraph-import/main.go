@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	tgraph "repro"
 	"repro/internal/storage"
@@ -47,13 +48,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tgraph-import: %v\n", err)
 			os.Exit(2)
 		}
-		n, err := tgraph.AppendCSV(*out, *in, *batch, tgraph.WALOptions{Mode: mode})
+		start := time.Now()
+		st, err := tgraph.AppendCSV(*out, *in, *batch, tgraph.WALOptions{Mode: mode})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tgraph-import: append: %v (%d records already durable)\n", err, n)
+			fmt.Fprintf(os.Stderr, "tgraph-import: append: %v (%d records already durable)\n", err, st.Records)
 			os.Exit(1)
 		}
-		fmt.Printf("appended %d records to the WAL of %s (compact with: tgraph-cli -dir %s -compact)\n",
-			n, *out, *out)
+		elapsed := time.Since(start)
+		rate := float64(st.Records) / elapsed.Seconds()
+		if st.Records == 0 {
+			fmt.Printf("appended 0 records to the WAL of %s (input was empty)\n", *out)
+			return
+		}
+		fmt.Printf("appended %d records to the WAL of %s in %v (%.0f records/s, acked seq %d..%d)\n",
+			st.Records, *out, elapsed.Round(time.Millisecond), rate, st.FirstSeq, st.LastSeq)
+		fmt.Printf("compact with: tgraph-cli -dir %s -compact\n", *out)
 		return
 	}
 	var sortOrder storage.SortOrder

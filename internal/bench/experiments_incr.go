@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/incr"
+	"repro/internal/obs"
+	"repro/internal/props"
+	"repro/internal/storage/wal"
+	"repro/internal/temporal"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "incr",
+		Title: "Incremental zoom maintenance: patch latency vs from-scratch recompute",
+		Description: "Maintains materialized aZoom and wZoom views over WikiTalk while small " +
+			"delta batches (0.1%-1% of the tuple count) stream in, comparing the per-batch " +
+			"patch latency against recomputing the zoom from scratch on the grown graph. " +
+			"Every patched result is checked byte-identical to the recompute (panic on " +
+			"divergence). Expected: >=10x speedup for batches at or below 1% of the tuples, " +
+			"with zero full-rebuild fallbacks for these in-lifetime delta shapes.",
+		Run: runIncr,
+	})
+}
+
+// incrCanon canonicalizes uncoalesced zoom output the way the serving
+// layer would encode it: coalesced, flattened, sorted. Used to assert
+// the patched view matches the from-scratch recompute byte for byte.
+func incrCanon(ctx *dataflow.Context, vs []core.VertexTuple, es []core.EdgeTuple) string {
+	c := core.NewVE(ctx, vs, es).Coalesce()
+	cvs, ces := c.VertexStates(), c.EdgeStates()
+	lines := make([]string, 0, len(cvs)+len(ces))
+	for _, t := range cvs {
+		lines = append(lines, fmt.Sprintf("v %d [%d,%d) %s", t.ID, t.Interval.Start, t.Interval.End, t.Props.String()))
+	}
+	for _, t := range ces {
+		lines = append(lines, fmt.Sprintf("e %d %d->%d [%d,%d) %s", t.ID, t.Src, t.Dst, t.Interval.Start, t.Interval.End, t.Props.String()))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// incrDeltas fabricates one delta batch in the WikiTalk shape: new
+// user vertices (fresh names, so aZoom grows fresh groups) and new
+// message edges between existing users, all inside the base lifetime
+// so windows never restructure.
+func incrDeltas(r *rand.Rand, n, users, snapshots int, round int) []wal.Delta {
+	ds := make([]wal.Delta, 0, n)
+	for i := 0; i < n; i++ {
+		start := temporal.Time(r.Intn(snapshots - 1))
+		serial := round*n + i
+		if i%2 == 0 {
+			id := int64(1_000_000 + serial)
+			ds = append(ds, wal.Delta{
+				Kind: wal.KindVertex, ID: id,
+				Interval: temporal.MustInterval(start, temporal.Time(snapshots)),
+				Props: props.New(
+					"type", "user",
+					"name", fmt.Sprintf("user%07d", id),
+					"editCount", int64(r.Intn(1500)),
+				),
+			})
+		} else {
+			ds = append(ds, wal.Delta{
+				Kind: wal.KindEdge, ID: int64(1_000_000 + serial),
+				Src: int64(1 + r.Intn(users)), Dst: int64(1 + r.Intn(users)),
+				Interval: temporal.MustInterval(start, start+1),
+				Props:    props.New("type", "message"),
+			})
+		}
+	}
+	return ds
+}
+
+func runIncr(cfg Config) []Table {
+	const snapshots = 12
+	d := WikiTalkDataset(cfg, snapshots)
+	ctx := cfg.context()
+	base := core.NewVE(ctx, d.Vertices, d.Edges)
+	users := cfg.scale(2000)
+	total := len(d.Vertices) + len(d.Edges)
+
+	azSpec := azoomSpecFor(d.Name)
+	wzSpec := existsSpec(3)
+
+	t := Table{
+		Title: fmt.Sprintf("incremental view maintenance on %s (%d tuples)", d.Name, total),
+		Note:  "patch = View.Apply on the materialized view; recompute = batch zoom on the grown graph",
+		Header: []string{"view", "delta %", "records", "patch p50 ms", "patch p99 ms",
+			"recompute p50 ms", "speedup", "fallback %"},
+	}
+
+	g := obs.Default()
+	const rounds = 6
+	totalApplies, totalFallbacks := 0, 0
+	for _, frac := range []float64{0.001, 0.005, 0.01} {
+		n := max(1, int(float64(total)*frac))
+		for _, kind := range []string{"azoom", "wzoom"} {
+			r := rand.New(rand.NewSource(cfg.Seed + 9))
+			var view incr.View
+			var err error
+			switch kind {
+			case "azoom":
+				view, err = incr.NewAZoomView(base, azSpec, incr.Options{})
+			case "wzoom":
+				view, err = incr.NewWZoomView(base, wzSpec, incr.Options{})
+			}
+			if err != nil {
+				panic(fmt.Sprintf("incr bench: new %s view: %v", kind, err))
+			}
+
+			vs := append([]core.VertexTuple(nil), d.Vertices...)
+			es := append([]core.EdgeTuple(nil), d.Edges...)
+			var patchLat, recomputeLat []time.Duration
+			fallbacks := 0
+			for round := 0; round < rounds; round++ {
+				batch := incrDeltas(r, n, users, snapshots, round)
+				for _, dd := range batch {
+					switch dd.Kind {
+					case wal.KindVertex:
+						vs = append(vs, core.VertexTuple{
+							ID: core.VertexID(dd.ID), Interval: dd.Interval, Props: dd.Props,
+						})
+					case wal.KindEdge:
+						es = append(es, core.EdgeTuple{
+							ID: core.EdgeID(dd.ID), Src: core.VertexID(dd.Src), Dst: core.VertexID(dd.Dst),
+							Interval: dd.Interval, Props: dd.Props,
+						})
+					}
+				}
+				var st incr.Stats
+				patchLat = append(patchLat, timeOnce(func() {
+					st, err = view.Apply(batch)
+				}))
+				if err != nil {
+					panic(fmt.Sprintf("incr bench: apply: %v", err))
+				}
+				totalApplies++
+				if st.FallbackFull {
+					fallbacks++
+					totalFallbacks++
+				}
+
+				grown := core.NewVE(ctx, vs, es)
+				var zoomed core.TGraph
+				recomputeLat = append(recomputeLat, timeOnce(func() {
+					switch kind {
+					case "azoom":
+						zoomed, err = grown.AZoom(azSpec)
+					case "wzoom":
+						zoomed, err = grown.WZoom(wzSpec)
+					}
+				}))
+				if err != nil {
+					panic(fmt.Sprintf("incr bench: recompute: %v", err))
+				}
+				if round == rounds-1 {
+					rvs, res := view.Result()
+					if got, want := incrCanon(ctx, rvs, res), canonOf(ctx, zoomed); got != want {
+						panic(fmt.Sprintf("incr bench: %s patched view diverges from batch recompute at %.1f%% deltas", kind, frac*100))
+					}
+				}
+			}
+
+			sort.Slice(patchLat, func(i, j int) bool { return patchLat[i] < patchLat[j] })
+			sort.Slice(recomputeLat, func(i, j int) bool { return recomputeLat[i] < recomputeLat[j] })
+			p50, p99 := percentile(patchLat, 0.50), percentile(patchLat, 0.99)
+			r50 := percentile(recomputeLat, 0.50)
+			speedup := float64(r50) / float64(max(p50, 1))
+			fallbackPct := 100 * fallbacks / rounds
+			t.Rows = append(t.Rows, []string{
+				kind, fmt.Sprintf("%.1f", frac*100), fmt.Sprint(n),
+				ms(p50), ms(p99), ms(r50),
+				fmt.Sprintf("%.1fx", speedup), fmt.Sprint(fallbackPct),
+			})
+			if frac == 0.01 && kind == "azoom" {
+				g.Gauge("incr.bench.patch_p50_us").Set(p50.Microseconds())
+				g.Gauge("incr.bench.patch_p99_us").Set(p99.Microseconds())
+				g.Gauge("incr.bench.speedup_pct").Set(int64(speedup * 100))
+			}
+		}
+	}
+
+	// Fallback probe: a delta whose interval starts before the base
+	// lifetime shifts the window alignment, so the wZoom view must
+	// detect non-decomposability and rebuild from its materialized
+	// base. The probe proves the detection fires and prices the
+	// rebuild; its apply counts into the fallback-rate gauge.
+	{
+		view, err := incr.NewWZoomView(base, wzSpec, incr.Options{})
+		if err != nil {
+			panic(fmt.Sprintf("incr bench: new wzoom view: %v", err))
+		}
+		shift := []wal.Delta{{
+			Kind: wal.KindVertex, ID: 2_000_000,
+			Interval: temporal.MustInterval(-3, 1),
+			Props:    props.New("type", "user", "name", "user-early", "editCount", int64(1)),
+		}}
+		var st incr.Stats
+		lat := timeOnce(func() { st, err = view.Apply(shift) })
+		if err != nil {
+			panic(fmt.Sprintf("incr bench: fallback apply: %v", err))
+		}
+		totalApplies++
+		if !st.FallbackFull {
+			panic("incr bench: lifetime-shifting delta did not trigger the full-rebuild fallback")
+		}
+		totalFallbacks++
+		vs := append(append([]core.VertexTuple(nil), d.Vertices...), core.VertexTuple{
+			ID: 2_000_000, Interval: shift[0].Interval, Props: shift[0].Props,
+		})
+		zoomed, err := core.NewVE(ctx, vs, d.Edges).WZoom(wzSpec)
+		if err != nil {
+			panic(fmt.Sprintf("incr bench: fallback recompute: %v", err))
+		}
+		rvs, res := view.Result()
+		if incrCanon(ctx, rvs, res) != canonOf(ctx, zoomed) {
+			panic("incr bench: wzoom fallback rebuild diverges from batch recompute")
+		}
+		t.Rows = append(t.Rows, []string{
+			"wzoom", "lifetime shift", "1", ms(lat), ms(lat), "", "rebuild", "100",
+		})
+	}
+	g.Gauge("incr.bench.fallback_rate_pct").Set(int64(100 * totalFallbacks / totalApplies))
+	return []Table{t}
+}
+
+// canonOf canonicalizes a batch zoom result graph.
+func canonOf(ctx *dataflow.Context, zoomed core.TGraph) string {
+	c := zoomed.Coalesce()
+	return incrCanon(ctx, c.VertexStates(), c.EdgeStates())
+}

@@ -59,43 +59,13 @@ func azoomVerticesDataflow(spec AZoomSpec, mapped *dataflow.Dataset[azVertexStat
 	gsp.End()
 	defer obs.StartSpan("align-aggregate").End()
 	return dataflow.FlatMap(groups, func(gr dataflow.Group[VertexID, azVertexState]) []VertexTuple {
-		ivs := make([]temporal.Interval, len(gr.Values))
+		// The group kernel is shared with incremental maintenance
+		// (internal/incr), which re-runs it per affected Skolem group.
+		states := make([]AZState, len(gr.Values))
 		for i, s := range gr.Values {
-			ivs[i] = s.Interval
+			states[i] = AZState{Interval: s.Interval, Props: s.Orig}
 		}
-		bounds := temporal.Boundaries(ivs)
-		// NewProps derives the new vertex's identifying properties from
-		// its Skolem identity, so one call covers the whole group.
-		base := spec.newProps(gr.Key, gr.Values[0].Orig)
-		type frag struct {
-			iv  temporal.Interval
-			agg props.AggState
-		}
-		idx := make(map[temporal.Interval]int)
-		var frags []frag
-		for _, s := range gr.Values {
-			for _, fr := range temporal.SplitBy(s.Interval, bounds) {
-				i, ok := idx[fr]
-				if !ok {
-					idx[fr] = len(frags)
-					frags = append(frags, frag{iv: fr, agg: agg.Init(s.Orig)})
-					continue
-				}
-				agg.Accumulate(frags[i].agg, s.Orig)
-			}
-		}
-		// Insertion sort; fragment counts per group are small and
-		// sort.Slice allocates.
-		for i := 1; i < len(frags); i++ {
-			for j := i; j > 0 && frags[j].iv.Before(frags[j-1].iv); j-- {
-				frags[j], frags[j-1] = frags[j-1], frags[j]
-			}
-		}
-		out := make([]VertexTuple, 0, len(frags))
-		for _, f := range frags {
-			out = append(out, VertexTuple{ID: gr.Key, Interval: f.iv, Props: agg.Result(base, f.agg)})
-		}
-		return out
+		return AZoomGroup(spec, agg, gr.Key, states)
 	})
 }
 
@@ -136,22 +106,9 @@ func (g *VE) azoom(spec AZoomSpec) (TGraph, error) {
 	rsp := obs.StartSpan("edge-redirect")
 	e := dataflow.FilterMap(j2, func(p dataflow.Pair[dataflow.Pair[EdgeTuple, VertexTuple], VertexTuple]) (EdgeTuple, bool) {
 		et, v1, v2 := p.First.First, p.First.Second, p.Second
-		iv := et.Interval.Intersect(v1.Interval).Intersect(v2.Interval)
-		if iv.IsEmpty() {
-			return EdgeTuple{}, false
-		}
-		s1, ok1 := spec.Skolem(v1.ID, v1.Props)
-		s2, ok2 := spec.Skolem(v2.ID, v2.Props)
-		if !ok1 || !ok2 {
-			return EdgeTuple{}, false
-		}
-		return EdgeTuple{
-			ID:       edgeSkolem(et.ID, s1, s2),
-			Src:      s1,
-			Dst:      s2,
-			Interval: iv,
-			Props:    et.Props,
-		}, true
+		return redirectOne(spec, edgeSkolem, et,
+			AZState{Interval: v1.Interval, Props: v1.Props},
+			AZState{Interval: v2.Interval, Props: v2.Props})
 	})
 	rsp.End()
 	return veFromDatasets(g.ctx, v, e, false), nil
@@ -202,12 +159,19 @@ func (g *OG) azoom(spec AZoomSpec) (TGraph, error) {
 		return nil, err
 	}
 
-	// Edge redirection via the routing table (recompute_history).
+	// Edge redirection via the routing table (recompute_history). The
+	// table holds the endpoint states in the kernel's exported form so
+	// each edge state runs through the same RedirectEdge kernel the
+	// incremental engine uses.
 	rsp := obs.StartSpan("edge-redirect")
-	table := make(map[VertexID][]HistoryItem)
+	table := make(map[VertexID][]AZState)
 	for _, part := range g.graph.Vertices().Partitions() {
 		for _, v := range part {
-			table[v.ID] = v.Attr
+			states := make([]AZState, len(v.Attr))
+			for i, h := range v.Attr {
+				states[i] = AZState{Interval: h.Interval, Props: h.Props}
+			}
+			table[v.ID] = states
 		}
 	}
 	edgeSkolem := spec.edgeSkolem()
@@ -218,30 +182,12 @@ func (g *OG) azoom(spec AZoomSpec) (TGraph, error) {
 	redirected := dataflow.FlatMap(g.graph.Edges(), func(e graphx.Edge[[]HistoryItem]) []dataflow.Pair[newEdgeKey, HistoryItem] {
 		out := make([]dataflow.Pair[newEdgeKey, HistoryItem], 0, len(e.Attr))
 		for _, eh := range e.Attr {
-			for _, sh := range table[e.Src] {
-				is := eh.Interval.Intersect(sh.Interval)
-				if is.IsEmpty() {
-					continue
-				}
-				s1, ok := spec.Skolem(e.Src, sh.Props)
-				if !ok {
-					continue
-				}
-				for _, dh := range table[e.Dst] {
-					iv := is.Intersect(dh.Interval)
-					if iv.IsEmpty() {
-						continue
-					}
-					s2, ok := spec.Skolem(e.Dst, dh.Props)
-					if !ok {
-						continue
-					}
-					key := newEdgeKey{id: edgeSkolem(e.ID, s1, s2), src: s1, dst: s2}
-					out = append(out, dataflow.Pair[newEdgeKey, HistoryItem]{
-						First:  key,
-						Second: HistoryItem{Interval: iv, Props: eh.Props},
-					})
-				}
+			et := EdgeTuple{ID: e.ID, Src: e.Src, Dst: e.Dst, Interval: eh.Interval, Props: eh.Props}
+			for _, t := range RedirectEdge(spec, edgeSkolem, et, table[e.Src], table[e.Dst]) {
+				out = append(out, dataflow.Pair[newEdgeKey, HistoryItem]{
+					First:  newEdgeKey{id: t.ID, src: t.Src, dst: t.Dst},
+					Second: HistoryItem{Interval: t.Interval, Props: t.Props},
+				})
 			}
 		}
 		return out

@@ -28,37 +28,9 @@ type wzKey[ID comparable] struct {
 	Win int
 }
 
-// wzState is one input state clipped to a window.
-type wzState struct {
-	Start   temporal.Time // original state start, for first/last ordering
-	Covered temporal.Time // points of the window covered by this state
-	Props   props.Props
-}
-
-// wzReduce groups clipped states per (entity, window), applies the
-// quantifier against the window duration, and resolves attributes.
-// Returns ok=false when the quantifier rejects the group. The resolve
-// spec arrives pre-bound so the hot loop does no label interning.
-func wzReduce(states []wzState, window temporal.Window, q temporal.Quantifier, r props.BoundResolve) (props.Props, bool) {
-	var covered temporal.Time
-	for _, s := range states {
-		covered += s.Covered
-	}
-	if !q.Satisfied(covered, window.Interval.Duration()) {
-		return props.Props{}, false
-	}
-	if len(states) == 1 {
-		// Single-state window: resolution is the identity, and Props is
-		// immutable, so the state's property set is returned as-is.
-		return states[0].Props, true
-	}
-	sort.SliceStable(states, func(i, j int) bool { return states[i].Start < states[j].Start })
-	ps := make([]props.Props, len(states))
-	for i, s := range states {
-		ps[i] = s.Props
-	}
-	return r.Apply(ps), true
-}
+// The per-window reduce (clip, quantify, resolve) lives in
+// zoomstage.go as the exported WZState/WZoomReduce kernel, shared with
+// the incremental maintenance engine.
 
 // wzoomWindows materialises the window relation for a graph. Change
 // points feed change-based window specs; unit specs ignore them.
@@ -157,13 +129,13 @@ func wzoomTuplesDataflow[T any, ID comparable](
 ) *dataflow.Dataset[T] {
 	br := r.Bind()
 	asp := obs.StartSpan("align-clip")
-	aligned := dataflow.FlatMap(d, func(t T) []dataflow.Pair[wzKey[ID], wzState] {
+	aligned := dataflow.FlatMap(d, func(t T) []dataflow.Pair[wzKey[ID], WZState] {
 		iv := ivOf(t)
-		var out []dataflow.Pair[wzKey[ID], wzState]
+		var out []dataflow.Pair[wzKey[ID], WZState]
 		for _, w := range temporal.OverlappingWindows(windows, iv) {
-			out = append(out, dataflow.Pair[wzKey[ID], wzState]{
+			out = append(out, dataflow.Pair[wzKey[ID], WZState]{
 				First: wzKey[ID]{ID: idOf(t), Win: w.Index},
-				Second: wzState{
+				Second: WZState{
 					Start:   iv.Start,
 					Covered: iv.Intersect(w.Interval).Duration(),
 					Props:   propsOf(t),
@@ -174,16 +146,16 @@ func wzoomTuplesDataflow[T any, ID comparable](
 	})
 	asp.End()
 	gsp := obs.StartSpan("group-by")
-	groups := dataflow.GroupByKey(aligned, func(p dataflow.Pair[wzKey[ID], wzState]) wzKey[ID] { return p.First })
+	groups := dataflow.GroupByKey(aligned, func(p dataflow.Pair[wzKey[ID], WZState]) wzKey[ID] { return p.First })
 	gsp.End()
 	defer obs.StartSpan("filter-resolve").End()
-	return dataflow.FlatMap(groups, func(gr dataflow.Group[wzKey[ID], dataflow.Pair[wzKey[ID], wzState]]) []T {
-		states := make([]wzState, len(gr.Values))
+	return dataflow.FlatMap(groups, func(gr dataflow.Group[wzKey[ID], dataflow.Pair[wzKey[ID], WZState]]) []T {
+		states := make([]WZState, len(gr.Values))
 		for i, p := range gr.Values {
 			states[i] = p.Second
 		}
 		w := windows[gr.Key.Win]
-		p, ok := wzReduce(states, w, q, br)
+		p, ok := WZoomReduce(states, w, q, br)
 		if !ok {
 			return nil
 		}
@@ -215,38 +187,15 @@ func (g *OG) wzoom(spec WZoomSpec) (TGraph, error) {
 	wsp.End()
 	vres, eres := spec.VResolve.Bind(), spec.EResolve.Bind()
 
-	recompute := func(h []HistoryItem, q temporal.Quantifier, r props.BoundResolve) []HistoryItem {
-		byWin := make(map[int][]wzState)
-		for _, it := range h {
-			for _, w := range temporal.OverlappingWindows(windows, it.Interval) {
-				byWin[w.Index] = append(byWin[w.Index], wzState{
-					Start:   it.Interval.Start,
-					Covered: it.Interval.Intersect(w.Interval).Duration(),
-					Props:   it.Props,
-				})
-			}
-		}
-		wins := make([]int, 0, len(byWin))
-		for w := range byWin {
-			wins = append(wins, w)
-		}
-		sort.Ints(wins)
-		out := make([]HistoryItem, 0, len(wins))
-		for _, wi := range wins {
-			w := windows[wi]
-			if p, ok := wzReduce(byWin[wi], w, q, r); ok {
-				out = append(out, HistoryItem{Interval: w.Interval, Props: p})
-			}
-		}
-		return out
-	}
-
 	if err := checkpoint(g.Context(), "wzoom.OG:vertices"); err != nil {
 		return nil, err
 	}
+	// WZoomEntity (zoomstage.go) is the per-entity kernel shared with
+	// incremental maintenance: OG applies it to every entity, incr
+	// re-applies it only to entities a delta touched.
 	vsp := obs.StartSpan("vertices")
 	newV := dataflow.Map(g.graph.Vertices(), func(v graphx.Vertex[[]HistoryItem]) graphx.Vertex[[]HistoryItem] {
-		v.Attr = recompute(v.Attr, spec.VQuant, vres)
+		v.Attr = WZoomEntity(v.Attr, windows, spec.VQuant, vres)
 		return v
 	}).Filter(func(v graphx.Vertex[[]HistoryItem]) bool { return len(v.Attr) > 0 })
 	vsp.End()
@@ -256,7 +205,7 @@ func (g *OG) wzoom(spec WZoomSpec) (TGraph, error) {
 	}
 	esp := obs.StartSpan("edges")
 	newE := dataflow.Map(g.graph.Edges(), func(e graphx.Edge[[]HistoryItem]) graphx.Edge[[]HistoryItem] {
-		e.Attr = recompute(e.Attr, spec.EQuant, eres)
+		e.Attr = WZoomEntity(e.Attr, windows, spec.EQuant, eres)
 		return e
 	}).Filter(func(e graphx.Edge[[]HistoryItem]) bool { return len(e.Attr) > 0 })
 	esp.End()
@@ -342,23 +291,23 @@ func (g *RG) wzoom(spec WZoomSpec) (TGraph, error) {
 			return nil, err
 		}
 		w := windows[wi]
-		vStates := make(map[VertexID][]wzState)
+		vStates := make(map[VertexID][]WZState)
 		type ekey struct {
 			id       EdgeID
 			src, dst VertexID
 		}
-		eStates := make(map[ekey][]wzState)
+		eStates := make(map[ekey][]WZState)
 		for _, ref := range byWin[wi] {
 			covered := ref.iv.Intersect(w.Interval).Duration()
 			for _, part := range ref.g.Vertices().Partitions() {
 				for _, v := range part {
-					vStates[v.ID] = append(vStates[v.ID], wzState{Start: ref.iv.Start, Covered: covered, Props: v.Attr})
+					vStates[v.ID] = append(vStates[v.ID], WZState{Start: ref.iv.Start, Covered: covered, Props: v.Attr})
 				}
 			}
 			for _, part := range ref.g.Edges().Partitions() {
 				for _, e := range part {
 					k := ekey{id: e.ID, src: e.Src, dst: e.Dst}
-					eStates[k] = append(eStates[k], wzState{Start: ref.iv.Start, Covered: covered, Props: e.Attr})
+					eStates[k] = append(eStates[k], WZState{Start: ref.iv.Start, Covered: covered, Props: e.Attr})
 				}
 			}
 		}
@@ -370,7 +319,7 @@ func (g *RG) wzoom(spec WZoomSpec) (TGraph, error) {
 		}
 		sort.Slice(vids, func(i, j int) bool { return vids[i] < vids[j] })
 		for _, id := range vids {
-			if p, ok := wzReduce(vStates[id], w, spec.VQuant, vres); ok {
+			if p, ok := WZoomReduce(vStates[id], w, spec.VQuant, vres); ok {
 				keptV[id] = struct{}{}
 				svs = append(svs, graphx.Vertex[props.Props]{ID: id, Attr: p})
 			}
@@ -383,7 +332,7 @@ func (g *RG) wzoom(spec WZoomSpec) (TGraph, error) {
 		sort.Slice(eks, func(i, j int) bool { return eks[i].id < eks[j].id })
 		dangling := spec.VQuant.MoreRestrictiveThan(spec.EQuant)
 		for _, k := range eks {
-			p, ok := wzReduce(eStates[k], w, spec.EQuant, eres)
+			p, ok := WZoomReduce(eStates[k], w, spec.EQuant, eres)
 			if !ok {
 				continue
 			}

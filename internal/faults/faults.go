@@ -29,7 +29,11 @@
 //	serve.reload (the query service's stamp-check-and-reload path,
 //	guarded by its circuit breaker), serve.handler (the start of every
 //	query handler, upstream of the panic-recovery middleware) — both
-//	reached through serve.Config.FaultHook / Injector.ServeHook.
+//	reached through serve.Config.FaultHook / Injector.ServeHook;
+//	incr.apply.azoom, incr.apply.wzoom (the start of view maintenance)
+//	and incr.apply.commit (the last fallible step before a view commits
+//	its staged patch) — reached through incr.Options.Hook, which also
+//	accepts Injector.ServeHook.
 //
 // Rules match sites by prefix, so Site: "dataflow." targets every
 // engine stage and Site: "storage.write." every write crash point.

@@ -1,0 +1,242 @@
+package incr
+
+import (
+	"time"
+
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/props"
+	"repro/internal/storage/wal"
+)
+
+// AZoomView is a materialized aZoom^T result. It indexes the input
+// vertex states by Skolem group and by vertex id, and the input edge
+// states by edge identity with a vertex→incident-edge index, so a
+// delta maps directly to the groups whose outputs it can change:
+//
+//   - vertex delta → the new state's Skolem group (re-reduced whole,
+//     because a new state introduces new elementary-interval
+//     boundaries inside the group) plus the redirected outputs of
+//     every edge incident to the vertex;
+//   - edge delta → that input edge's redirected outputs only.
+//
+// aZoom^T decomposes fully under the insert-only delta model — all
+// built-in aggregates are commutative and associative (props.AggKind;
+// AggAny keeps the smallest value) — so the view never needs a full
+// fallback; AggCustom is refused at construction (ErrUnsupported)
+// because the view cannot verify a user combine function.
+type AZoomView struct {
+	mu   sync.RWMutex
+	spec core.AZoomSpec
+	agg  props.BoundAgg
+	esk  core.EdgeSkolemFunc
+	opts Options
+
+	// Base-state indexes (append order preserved: graph iteration
+	// order at build, then WAL order).
+	vStates  map[core.VertexID][]core.AZState // input vertex → its states
+	groups   map[core.VertexID][]core.AZState // Skolem group → contributing states
+	eStates  map[edgeKey][]core.EdgeTuple     // input edge → its states
+	incident map[core.VertexID][]edgeKey      // vertex → incident input edges
+
+	// Materialized outputs, uncoalesced (aZoom^T leaves its output
+	// uncoalesced; the serving layer coalesces on encode).
+	outV map[core.VertexID][]core.VertexTuple // per Skolem group
+	outE map[edgeKey][]core.EdgeTuple         // per input edge
+}
+
+// NewAZoomView builds the view from the graph's current states — one
+// batch-zoom-equivalent pass over the base data, after which Apply
+// patches incrementally. The graph's states must reflect every delta
+// already applied; subsequent deltas go through Apply.
+func NewAZoomView(g core.TGraph, spec core.AZoomSpec, opts Options) (*AZoomView, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	for _, f := range spec.Agg.Fields {
+		if f.Kind == props.AggCustom {
+			return nil, ErrUnsupported
+		}
+	}
+	v := &AZoomView{
+		spec:     spec,
+		agg:      spec.Agg.Bind(),
+		esk:      spec.BoundEdgeSkolem(),
+		opts:     opts,
+		vStates:  make(map[core.VertexID][]core.AZState),
+		groups:   make(map[core.VertexID][]core.AZState),
+		eStates:  make(map[edgeKey][]core.EdgeTuple),
+		incident: make(map[core.VertexID][]edgeKey),
+		outV:     make(map[core.VertexID][]core.VertexTuple),
+		outE:     make(map[edgeKey][]core.EdgeTuple),
+	}
+	for _, t := range g.VertexStates() {
+		v.vStates[t.ID] = append(v.vStates[t.ID], core.AZState{Interval: t.Interval, Props: t.Props})
+		if nid, ok := spec.Skolem(t.ID, t.Props); ok {
+			v.groups[nid] = append(v.groups[nid], core.AZState{Interval: t.Interval, Props: t.Props})
+		}
+	}
+	for _, t := range g.EdgeStates() {
+		k := edgeKey{ID: t.ID, Src: t.Src, Dst: t.Dst}
+		if _, seen := v.eStates[k]; !seen {
+			v.addIncident(k)
+		}
+		v.eStates[k] = append(v.eStates[k], t)
+	}
+	for nid, states := range v.groups {
+		v.outV[nid] = core.AZoomGroup(spec, v.agg, nid, states)
+	}
+	for k, states := range v.eStates {
+		v.outE[k] = v.redirect(k, states, v.vStates)
+	}
+	mViewBuild.Add(1)
+	return v, nil
+}
+
+// addIncident registers k in the incident index of both endpoints.
+func (v *AZoomView) addIncident(k edgeKey) {
+	v.incident[k.Src] = append(v.incident[k.Src], k)
+	if k.Dst != k.Src {
+		v.incident[k.Dst] = append(v.incident[k.Dst], k)
+	}
+}
+
+// redirect recomputes one input edge's redirected output states
+// against the given vertex-state index (the staged index during Apply,
+// the committed one at build).
+func (v *AZoomView) redirect(k edgeKey, states []core.EdgeTuple, vStates map[core.VertexID][]core.AZState) []core.EdgeTuple {
+	src, dst := vStates[k.Src], vStates[k.Dst]
+	var out []core.EdgeTuple
+	for _, et := range states {
+		out = append(out, core.RedirectEdge(v.spec, v.esk, et, src, dst)...)
+	}
+	return out
+}
+
+// Apply folds a batch of WAL deltas into the view. Staging happens
+// first; the committed maps are written only after the final fault
+// site, so an error (injected or real) leaves the view at its
+// pre-delta state.
+func (v *AZoomView) Apply(deltas []wal.Delta) (Stats, error) {
+	start := time.Now()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var stats Stats
+	if err := v.opts.hookErr("incr.apply.azoom"); err != nil {
+		return stats, err
+	}
+
+	// Stage base-state additions copy-on-write and collect the touched
+	// groups and edges.
+	stagedV := make(map[core.VertexID][]core.AZState)
+	stagedG := make(map[core.VertexID][]core.AZState)
+	stagedE := make(map[edgeKey][]core.EdgeTuple)
+	newEdges := make(map[edgeKey]bool)
+	touchedG := make(map[core.VertexID]bool)
+	touchedE := make(map[edgeKey]bool)
+	vOf := func(id core.VertexID) []core.AZState {
+		if s, ok := stagedV[id]; ok {
+			return s
+		}
+		return v.vStates[id]
+	}
+	for _, d := range deltas {
+		switch d.Kind {
+		case wal.KindVertex:
+			t, _ := d.VertexTuple()
+			st := core.AZState{Interval: t.Interval, Props: t.Props}
+			stagedV[t.ID] = appendCopy(vOf(t.ID), st)
+			if nid, ok := v.spec.Skolem(t.ID, t.Props); ok {
+				if _, ok := stagedG[nid]; !ok {
+					stagedG[nid] = appendCopy(v.groups[nid])
+				}
+				stagedG[nid] = append(stagedG[nid], st)
+				touchedG[nid] = true
+			}
+			for _, k := range v.incident[t.ID] {
+				touchedE[k] = true
+			}
+			// Edges staged in this same batch are indexed below; a
+			// later vertex delta for one of their endpoints still
+			// touches them because every staged edge is recomputed.
+		case wal.KindEdge:
+			t, _ := d.EdgeTuple()
+			k := edgeKey{ID: t.ID, Src: t.Src, Dst: t.Dst}
+			if _, ok := stagedE[k]; !ok {
+				stagedE[k] = appendCopy(v.eStates[k])
+				if _, seen := v.eStates[k]; !seen {
+					newEdges[k] = true
+				}
+			}
+			stagedE[k] = append(stagedE[k], t)
+			touchedE[k] = true
+		}
+	}
+
+	// Recompute the touched groups from the staged indexes.
+	newOutV := make(map[core.VertexID][]core.VertexTuple, len(touchedG))
+	for nid := range touchedG {
+		newOutV[nid] = core.AZoomGroup(v.spec, v.agg, nid, stagedG[nid])
+		stats.GroupsPatched++
+	}
+	newOutE := make(map[edgeKey][]core.EdgeTuple, len(touchedE))
+	for k := range touchedE {
+		states := v.eStates[k]
+		if s, ok := stagedE[k]; ok {
+			states = s
+		}
+		// The redirect reads endpoint states through the staged view so
+		// a vertex and an incident edge landing in one batch compose.
+		src, dst := vOf(k.Src), vOf(k.Dst)
+		var out []core.EdgeTuple
+		for _, et := range states {
+			out = append(out, core.RedirectEdge(v.spec, v.esk, et, src, dst)...)
+		}
+		newOutE[k] = out
+		stats.GroupsPatched++
+	}
+
+	if err := v.opts.hookErr("incr.apply.commit"); err != nil {
+		return Stats{}, err
+	}
+	// Commit: plain map writes only — no fallible step past this
+	// point, so the view is never observable half-patched.
+	for id, s := range stagedV {
+		v.vStates[id] = s
+	}
+	for nid, s := range stagedG {
+		v.groups[nid] = s
+	}
+	for k, s := range stagedE {
+		v.eStates[k] = s
+	}
+	for k := range newEdges {
+		v.addIncident(k)
+	}
+	for nid, out := range newOutV {
+		v.outV[nid] = out
+	}
+	for k, out := range newOutE {
+		v.outE[k] = out
+	}
+	stats.record()
+	mLatency.Observe(time.Since(start))
+	return stats, nil
+}
+
+// Result snapshots the materialized output as uncoalesced zoomed state
+// tuples, the same relation the batch aZoom emits.
+func (v *AZoomView) Result() ([]core.VertexTuple, []core.EdgeTuple) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	var vs []core.VertexTuple
+	for _, out := range v.outV {
+		vs = append(vs, out...)
+	}
+	var es []core.EdgeTuple
+	for _, out := range v.outE {
+		es = append(es, out...)
+	}
+	return vs, es
+}

@@ -149,8 +149,11 @@ func CheckSource(fset *token.FileSet, filename string, src []byte) ([]Diagnostic
 // implementation of the on-disk format and the scan engine; serve and
 // resil are the operational surface (endpoints, headers, admission and
 // degradation semantics) documented in DESIGN.md — their godoc is
-// treated as part of that documentation.
-var docDirs = []string{"internal/storage", "internal/serve", "internal/resil"}
+// treated as part of that documentation. incr holds the materialized
+// zoom views whose patch-vs-fallback rules DESIGN.md specifies; its
+// godoc must state those contracts next to the code that enforces
+// them.
+var docDirs = []string{"internal/storage", "internal/serve", "internal/resil", "internal/incr"}
 
 // CheckDocs walks the docDirs under root and reports every exported
 // top-level symbol (func, method, type, const, var) that has no doc

@@ -13,6 +13,7 @@
 //	qcache.misses        computations executed
 //	qcache.evictions     entries evicted by the size bound
 //	qcache.invalidations entries dropped by InvalidatePrefix
+//	qcache.patches       bodies refreshed in place by Patch
 //	qcache.sharers_cancelled sharers that stopped waiting (DoCtx)
 //	qcache.bytes         resident value bytes (gauge, all caches)
 //	qcache.entries       resident entries (gauge, all caches)
@@ -47,16 +48,23 @@ const (
 	// Shared: another in-flight call was computing the same key; this
 	// call blocked and shares its result.
 	Shared
+	// Patched: the resident result was produced by Patch — incremental
+	// view maintenance refreshed the body in place instead of the entry
+	// being recomputed after an invalidation.
+	Patched
 )
 
 // String renders the outcome as a wire-friendly token ("miss", "hit",
-// "shared") — the serving layer exposes it in a response header.
+// "shared", "patched") — the serving layer exposes it in a response
+// header.
 func (o Outcome) String() string {
 	switch o {
 	case Hit:
 		return "hit"
 	case Shared:
 		return "shared"
+	case Patched:
+		return "patched"
 	default:
 		return "miss"
 	}
@@ -67,6 +75,9 @@ type entry struct {
 	key  string
 	val  any
 	size int64
+	// patched marks a body written by Patch rather than computed by a
+	// flight; hits on it report Outcome Patched.
+	patched bool
 }
 
 // flight is one in-progress computation other callers may join.
@@ -91,6 +102,7 @@ type Cache struct {
 	misses           *obs.Counter
 	evictions        *obs.Counter
 	invalidations    *obs.Counter
+	patches          *obs.Counter
 	sharersCancelled *obs.Counter
 	bytesGauge       *obs.Gauge
 	entriesGauge     *obs.Gauge
@@ -111,6 +123,7 @@ func New(maxBytes int64) *Cache {
 		misses:           r.Counter("qcache.misses"),
 		evictions:        r.Counter("qcache.evictions"),
 		invalidations:    r.Counter("qcache.invalidations"),
+		patches:          r.Counter("qcache.patches"),
 		sharersCancelled: r.Counter("qcache.sharers_cancelled"),
 		bytesGauge:       r.Gauge("qcache.bytes"),
 		entriesGauge:     r.Gauge("qcache.entries"),
@@ -144,6 +157,33 @@ func (c *Cache) Get(key string) (any, bool) {
 	return nil, false
 }
 
+// Patch inserts or replaces the resident value for key in place,
+// marking it so hits report Outcome Patched. It is the maintenance-side
+// counterpart of InvalidatePrefix: when incremental view maintenance
+// (internal/incr) can produce the post-delta body directly, the serving
+// layer patches the entry under the new version key instead of letting
+// the next query recompute from a cold miss. Patch bypasses
+// singleflight — it never joins or cancels a flight; a racing computed
+// insert for the same key simply overwrites the body (both are valid
+// post-delta results). It reports whether the value became resident
+// (false when residency is disabled or the value exceeds the budget).
+func (c *Cache) Patch(key string, val any, size int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size < 0 {
+		size = 0
+	}
+	if c.maxBytes <= 0 || size > c.maxBytes {
+		return false
+	}
+	c.insertLocked(key, val, size)
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).patched = true
+	}
+	c.patches.Add(1)
+	return true
+}
+
 // Do returns the value for key, computing it at most once across
 // concurrent callers: a resident value is returned immediately (Hit);
 // if another call is computing the key, Do blocks and shares its
@@ -166,8 +206,13 @@ func (c *Cache) DoCtx(ctx context.Context, key string, compute func() (any, int6
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits.Add(1)
+		ent := el.Value.(*entry)
+		out := Hit
+		if ent.patched {
+			out = Patched
+		}
 		c.mu.Unlock()
-		return el.Value.(*entry).val, Hit, nil
+		return ent.val, out, nil
 	}
 	if f, ok := c.flights[key]; ok {
 		c.mu.Unlock()
@@ -222,11 +267,12 @@ func (c *Cache) insertLocked(key string, val any, size int64) {
 		return
 	}
 	if el, ok := c.items[key]; ok {
-		// A racing Invalidate + recompute can land here; replace in place.
+		// A racing Invalidate + recompute can land here; replace in
+		// place. A computed body also clears the patched provenance.
 		old := el.Value.(*entry)
 		c.bytes -= old.size
 		c.bytesGauge.Add(-old.size)
-		old.val, old.size = val, size
+		old.val, old.size, old.patched = val, size, false
 		c.ll.MoveToFront(el)
 	} else {
 		el := c.ll.PushFront(&entry{key: key, val: val, size: size})

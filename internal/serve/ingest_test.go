@@ -142,9 +142,14 @@ func TestAppendSurgicalInvalidation(t *testing.T) {
 	if ids := queryVertexIDs(t, s, rangeSteps(9)); !ids[90] {
 		t.Error("touched window does not see the appended vertex")
 	}
-	// The full query was invalidated (miss on requery).
-	if w := doJSON(t, s, "POST", "/v1/wzoom", fullReq); w.Header().Get("X-TGraph-Cache") != "miss" {
-		t.Errorf("full query after append: cache %q, want miss", w.Header().Get("X-TGraph-Cache"))
+	// The full query was invalidated and then patched in place by view
+	// maintenance: the requery serves the refreshed body without a cold
+	// recompute.
+	if resp.Patched != 1 {
+		t.Errorf("patched = %d, want 1", resp.Patched)
+	}
+	if w := doJSON(t, s, "POST", "/v1/wzoom", fullReq); w.Header().Get("X-TGraph-Cache") != "patched" {
+		t.Errorf("full query after append: cache %q, want patched", w.Header().Get("X-TGraph-Cache"))
 	}
 }
 

@@ -39,7 +39,17 @@
 // and an append invalidates only the tags its deltas' time span
 // overlaps. Results over windows the append cannot have changed stay
 // resident — that is the hit-rate-retention property the ingest bench
-// measures. The server owns the directory's WAL exclusively while
+// measures. Full-graph chains go one better: when a single azoom/wzoom
+// chain with no range restriction is queried, the server registers an
+// incrementally maintained view for it (internal/incr), and each append
+// routes its acked deltas into the view and patches the chain's cache
+// entry in place under the bumped version key (qcache.Patch) — the next
+// query answers X-TGraph-Cache: patched with a body byte-identical to a
+// cold recompute. Chains incremental maintenance cannot patch soundly
+// (change-based windows, custom aggregates, OGC graphs) stay on the
+// invalidate path, and any view failure degrades its chain back to
+// invalidation — patching only ever improves hit rate, never
+// correctness. The server owns the directory's WAL exclusively while
 // serving it (single writer); offline appends (tgraph-import -append)
 // must not run against a live server. After Config.CompactAfter
 // appended records, the server folds the WAL tail into a fresh
@@ -63,7 +73,9 @@
 //	serve.latency.<op>      request latency per endpoint (histogram)
 //
 // plus the resil.admit.* / resil.breaker.* metrics of the embedded
-// limiter and per-graph breakers (gauge resil.breaker.state.<graph>).
+// limiter and per-graph breakers (gauge resil.breaker.state.<graph>),
+// the incr.* counters/histogram of view maintenance, and qcache.patches
+// for cache bodies refreshed in place.
 package serve
 
 import (
@@ -79,6 +91,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataflow"
+	"repro/internal/incr"
 	"repro/internal/obs"
 	"repro/internal/qcache"
 	"repro/internal/resil"
@@ -192,8 +205,30 @@ type graphHandle struct {
 	// it depend on; the zero interval means "everything" (the "full"
 	// tag). An append invalidates exactly the overlapping tags.
 	deps map[string]depEntry
+	// views maps a canonical chain to its incrementally maintained zoom
+	// view slot. Slots are registered when an eligible chain (a single
+	// azoom/wzoom step with no range restriction) is first queried,
+	// built lazily at the next append, and used to patch the chain's
+	// cache entry in place instead of leaving it to cold recomputation.
+	views map[string]*viewSlot
 	// appended counts records logged since the last compaction.
 	appended int
+}
+
+// viewSlot is one registered chain the handle maintains a materialized
+// view for. view is nil until the first append after registration (the
+// view is built from the post-append graph, so no Apply is needed that
+// round) and reset to nil when an Apply or encode fails — the view
+// falls behind the graph, and dropping it is always safe because the
+// version bump already invalidated the stale cache entry. disabled
+// marks chains incremental maintenance refuses (incr.ErrUnsupported,
+// change-sensitive windows); they stay on the invalidate path for good.
+type viewSlot struct {
+	canon    string
+	az       *core.AZoomSpec
+	wz       *core.WZoomSpec
+	view     incr.View
+	disabled bool
 }
 
 // depEntry is one rangeTag's invalidation state. version is baked into
@@ -266,8 +301,11 @@ func (h *graphHandle) ensure(reqCtx context.Context, cache *qcache.Cache, parall
 			}
 			h.graph, h.stamp = g, stamp
 			// Version reset is safe here: the stamp changed, so old keys
-			// can never collide with the new epoch's.
+			// can never collide with the new epoch's. Materialized views
+			// were built over the replaced graph; drop them and let the
+			// next append rebuild from the fresh load.
 			h.deps = make(map[string]depEntry)
+			h.dropViewsLocked()
 		}
 		return nil
 	}
@@ -317,6 +355,7 @@ func (h *graphHandle) append(cache *qcache.Cache, parallelism int, ds []wal.Delt
 	// next request reloads from storage, which replays them.
 	if aerr := h.applyLocked(ds); aerr != nil {
 		h.graph = nil
+		h.dropViewsLocked()
 		cache.InvalidatePrefix(h.name + "|")
 		return AppendResponse{}, false, nil, fmt.Errorf("serve: apply %s: %w", h.name, aerr)
 	}
@@ -333,8 +372,13 @@ func (h *graphHandle) append(cache *qcache.Cache, parallelism int, ds []wal.Delt
 			h.deps[tag] = e
 		}
 	}
+	// Incremental view maintenance: patch the registered chains' cache
+	// entries under the just-bumped version, so the next query for them
+	// hits a fresh body (X-TGraph-Cache: patched) instead of paying a
+	// cold recompute.
+	patched := h.maintainViewsLocked(cache, ds)
 	h.appended += len(ds)
-	resp = AppendResponse{FirstSeq: first, LastSeq: last, Invalidated: invalidated}
+	resp = AppendResponse{FirstSeq: first, LastSeq: last, Invalidated: invalidated, Patched: patched}
 	if h.compactAfter > 0 && h.appended >= h.compactAfter {
 		if cerr := h.compactLocked(cache, parallelism); cerr != nil {
 			// Leave h.appended as is so the next append retries.
@@ -370,6 +414,124 @@ func (h *graphHandle) applyLocked(ds []wal.Delta) error {
 	}
 	h.graph = ng
 	return nil
+}
+
+// registerViewLocked registers a materialized-view slot for an
+// eligible chain: a single azoom or wzoom step with no range
+// restriction (the "full" tag — range-restricted chains already enjoy
+// surgical invalidation, and multi-step chains are not single-view
+// maintainable). OGC graphs are excluded: the topology-only
+// representation drops the properties a patched body would need to
+// reproduce byte-identically. Caller holds h.mu.
+func (h *graphHandle) registerViewLocked(steps []step) {
+	if h.rep == core.RepOGC || len(steps) != 1 {
+		return
+	}
+	st := steps[0]
+	if st.azSpec == nil && st.wzSpec == nil {
+		return
+	}
+	if _, ok := h.views[st.canon]; ok {
+		return
+	}
+	if h.views == nil {
+		h.views = make(map[string]*viewSlot)
+	}
+	h.views[st.canon] = &viewSlot{canon: st.canon, az: st.azSpec, wz: st.wzSpec}
+}
+
+// dropViewsLocked discards every built view (keeping registrations and
+// disabled marks) — called when the in-memory graph is replaced or
+// dropped, which the views were built over. Caller holds h.mu.
+func (h *graphHandle) dropViewsLocked() {
+	for _, sl := range h.views {
+		sl.view = nil
+	}
+}
+
+// maintainViewsLocked advances every registered view past ds and
+// patches the corresponding cache entries under the current (bumped)
+// "full"-tag version. A slot without a view yet is built from the
+// post-append graph — which already includes ds, so no Apply is needed
+// this round. Any failure (unsupported spec, Apply error, encode error)
+// degrades that slot to the invalidate path: correctness never depends
+// on a patch landing, only hit-rate does. Caller holds h.mu. Returns
+// how many entries were patched.
+func (h *graphHandle) maintainViewsLocked(cache *qcache.Cache, ds []wal.Delta) int {
+	if len(h.views) == 0 || h.graph == nil {
+		return 0
+	}
+	patched := 0
+	for _, sl := range h.views {
+		if sl.disabled {
+			continue
+		}
+		if sl.view == nil {
+			v, err := h.buildViewLocked(sl)
+			if err != nil {
+				sl.disabled = true
+				continue
+			}
+			sl.view = v
+		} else if _, err := sl.view.Apply(ds); err != nil {
+			sl.view = nil
+			continue
+		}
+		body, err := h.encodeViewLocked(sl.view)
+		if err != nil {
+			sl.view = nil
+			continue
+		}
+		e, ok := h.deps["full"]
+		if !ok {
+			// The chain was registered but its tag entry may not exist yet
+			// (or was reset); create it at version 0, exactly where run()
+			// would start it.
+			h.deps["full"] = e
+		}
+		key := fmt.Sprintf("%s|%s|v%d|%s", h.name, "full", e.version, qcache.Key(h.stamp, sl.canon))
+		if cache.Patch(key, body, int64(len(body))) {
+			patched++
+		}
+	}
+	return patched
+}
+
+// buildViewLocked constructs the slot's view over the current graph.
+// Change-sensitive window specs are refused: their window relation can
+// restructure on any delta (and the RG batch path windows over
+// uncoalesced states, so even a full rebuild is not byte-safe across
+// representations) — those chains stay on the invalidate path.
+func (h *graphHandle) buildViewLocked(sl *viewSlot) (incr.View, error) {
+	opts := incr.Options{Hook: h.hook}
+	if sl.az != nil {
+		return incr.NewAZoomView(h.graph, *sl.az, opts)
+	}
+	v, err := incr.NewWZoomView(h.graph, *sl.wz, opts)
+	if err != nil {
+		return nil, err
+	}
+	if v.ChangeSensitive() {
+		return nil, incr.ErrUnsupported
+	}
+	return v, nil
+}
+
+// encodeViewLocked renders a view's result exactly as the cold path
+// renders the chain's: converted to the handle's representation and
+// deterministically encoded, so a patched body is byte-identical to the
+// recompute it replaces.
+func (h *graphHandle) encodeViewLocked(v incr.View) ([]byte, error) {
+	vs, es := v.Result()
+	var g core.TGraph = core.NewVE(h.graph.Context(), vs, es)
+	if h.rep != core.RepVE {
+		cg, err := core.Convert(g, h.rep)
+		if err != nil {
+			return nil, err
+		}
+		g = cg
+	}
+	return encodeGraph(g)
 }
 
 // compactLocked folds the WAL tail into a fresh columnar epoch and
@@ -763,6 +925,10 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request, graphName string, s
 		e = depEntry{iv: dep}
 		h.deps[tag] = e
 	}
+	// Eligible chains also register a materialized-view slot here, so
+	// the next append can patch this chain's entry instead of leaving it
+	// invalidated.
+	h.registerViewLocked(steps)
 	if h.graph != nil {
 		g, stamp = h.graph, h.stamp
 	}

@@ -77,11 +77,15 @@ type WZoomRequest struct {
 
 // step is a parsed, executable operator plus its canonical fingerprint
 // fragment. depends is the time interval the step's output can depend
-// on (zero = everything); only range steps constrain it.
+// on (zero = everything); only range steps constrain it. Zoom steps
+// also retain their parsed spec (azSpec/wzSpec) so the serving layer
+// can register an incrementally maintained view for the chain.
 type step struct {
 	canon   string
 	depends temporal.Interval
 	apply   func(core.TGraph) (core.TGraph, error)
+	azSpec  *core.AZoomSpec
+	wzSpec  *core.WZoomSpec
 }
 
 // parseAZoomStep validates an aZoom step and canonicalises it.
@@ -98,8 +102,9 @@ func parseAZoomStep(groupBy, newType, count string) (step, error) {
 	}
 	spec := core.GroupByProperty(groupBy, newType, aggs...)
 	return step{
-		canon: fmt.Sprintf("azoom(by=%s,type=%s,count=%s)", groupBy, newType, count),
-		apply: func(g core.TGraph) (core.TGraph, error) { return g.AZoom(spec) },
+		canon:  fmt.Sprintf("azoom(by=%s,type=%s,count=%s)", groupBy, newType, count),
+		apply:  func(g core.TGraph) (core.TGraph, error) { return g.AZoom(spec) },
+		azSpec: &spec,
 	}, nil
 }
 
@@ -141,8 +146,9 @@ func parseWZoomStep(window, vquant, equant, vresolve, eresolve string) (step, er
 		EResolve: props.ResolveSpec{Default: er},
 	}
 	return step{
-		canon: fmt.Sprintf("wzoom(w=%s,vq=%s,eq=%s,vr=%s,er=%s)", w, vq, eq, vr, er),
-		apply: func(g core.TGraph) (core.TGraph, error) { return g.WZoom(spec) },
+		canon:  fmt.Sprintf("wzoom(w=%s,vq=%s,eq=%s,vr=%s,er=%s)", w, vq, eq, vr, er),
+		apply:  func(g core.TGraph) (core.TGraph, error) { return g.WZoom(spec) },
+		wzSpec: &spec,
 	}, nil
 }
 
@@ -300,13 +306,16 @@ type AppendRequest struct {
 	Deltas []DeltaJSON `json:"deltas"`
 }
 
-// AppendResponse reports the sequence range the deltas were logged at
-// and how many cached results the append invalidated (results whose
-// declared time range does not overlap the deltas stay resident).
+// AppendResponse reports the sequence range the deltas were logged at,
+// how many cached results the append invalidated (results whose
+// declared time range does not overlap the deltas stay resident), and
+// how many cache entries incremental view maintenance patched in place
+// (those serve the post-append result without a cold recompute).
 type AppendResponse struct {
 	FirstSeq    uint64 `json:"firstSeq"`
 	LastSeq     uint64 `json:"lastSeq"`
 	Invalidated int    `json:"invalidated"`
+	Patched     int    `json:"patched,omitempty"`
 }
 
 // parseDeltas validates and converts the wire deltas.

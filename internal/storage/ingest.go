@@ -20,23 +20,31 @@ import (
 // never run AppendCSV against a directory a live tgraph-serve is
 // serving).
 
+// AppendStats reports what one AppendCSV run acked durable: the record
+// count and the WAL sequence range the records were logged at (both
+// seqs 0 when nothing was appended).
+type AppendStats struct {
+	Records           int
+	FirstSeq, LastSeq uint64
+}
+
 // AppendCSV streams vertices.csv (and edges.csv, if present) from the
 // in directory into the write-ahead log of the existing graph
 // directory dir, appending in batches of batch records per durable
 // group (batch < 1 selects 512). Rows are converted straight to WAL
 // deltas row-by-row — the file is never held in memory whole — and the
 // next Load (or Compact) folds them into the graph. It returns the
-// number of records appended; on error, records already appended and
-// synced stay durable (the WAL is append-only; re-running the import
-// duplicates rows, so fix the input and compact rather than blindly
-// retrying).
-func AppendCSV(dir, in string, batch int, opts wal.Options) (n int, err error) {
+// acked record count and sequence range; on error, records already
+// appended and synced stay durable (the WAL is append-only; re-running
+// the import duplicates rows, so fix the input and compact rather than
+// blindly retrying).
+func AppendCSV(dir, in string, batch int, opts wal.Options) (stats AppendStats, err error) {
 	man, merr := ReadManifest(dir)
 	if merr != nil {
-		return 0, fmt.Errorf("storage: append-csv: %w", merr)
+		return stats, fmt.Errorf("storage: append-csv: %w", merr)
 	}
 	if man == nil {
-		return 0, fmt.Errorf("storage: append-csv: %s is not a committed graph directory (no %s): %w",
+		return stats, fmt.Errorf("storage: append-csv: %s is not a committed graph directory (no %s): %w",
 			dir, ManifestFile, ErrIncompleteSave)
 	}
 	if batch < 1 {
@@ -44,7 +52,7 @@ func AppendCSV(dir, in string, batch int, opts wal.Options) (n int, err error) {
 	}
 	l, _, err := wal.Open(dir, opts)
 	if err != nil {
-		return 0, err
+		return stats, err
 	}
 	defer func() {
 		if cerr := l.Close(); err == nil {
@@ -57,10 +65,15 @@ func AppendCSV(dir, in string, batch int, opts wal.Options) (n int, err error) {
 		if len(buf) == 0 {
 			return nil
 		}
-		if _, err := l.Append(buf...); err != nil {
+		last, err := l.Append(buf...)
+		if err != nil {
 			return err
 		}
-		n += len(buf)
+		if stats.Records == 0 {
+			stats.FirstSeq = last - uint64(len(buf)) + 1
+		}
+		stats.LastSeq = last
+		stats.Records += len(buf)
 		buf = buf[:0]
 		return nil
 	}
@@ -74,7 +87,7 @@ func AppendCSV(dir, in string, batch int, opts wal.Options) (n int, err error) {
 
 	vf, err := os.Open(in + "/vertices.csv")
 	if err != nil {
-		return n, fmt.Errorf("storage: append-csv: %w", err)
+		return stats, fmt.Errorf("storage: append-csv: %w", err)
 	}
 	err = streamCSV(vf, []string{"id", "start", "end"}, func(row, labels []string) error {
 		id, err := strconv.ParseInt(row[0], 10, 64)
@@ -92,7 +105,7 @@ func AppendCSV(dir, in string, batch int, opts wal.Options) (n int, err error) {
 	})
 	vf.Close()
 	if err != nil {
-		return n, fmt.Errorf("storage: append-csv: vertices.csv: %w", err)
+		return stats, fmt.Errorf("storage: append-csv: vertices.csv: %w", err)
 	}
 
 	ef, err := os.Open(in + "/edges.csv")
@@ -100,7 +113,7 @@ func AppendCSV(dir, in string, batch int, opts wal.Options) (n int, err error) {
 	case os.IsNotExist(err):
 		err = nil
 	case err != nil:
-		return n, fmt.Errorf("storage: append-csv: %w", err)
+		return stats, fmt.Errorf("storage: append-csv: %w", err)
 	default:
 		err = streamCSV(ef, []string{"id", "src", "dst", "start", "end"}, func(row, labels []string) error {
 			nums := make([]int64, 3)
@@ -122,10 +135,10 @@ func AppendCSV(dir, in string, batch int, opts wal.Options) (n int, err error) {
 		})
 		ef.Close()
 		if err != nil {
-			return n, fmt.Errorf("storage: append-csv: edges.csv: %w", err)
+			return stats, fmt.Errorf("storage: append-csv: edges.csv: %w", err)
 		}
 	}
-	return n, flush()
+	return stats, flush()
 }
 
 // streamCSV reads one CSV file row-by-row: it validates the fixed

@@ -73,6 +73,12 @@ func (w unitWindow) Windows(lifetime Interval, _ []Time) []Window {
 
 func (w unitWindow) String() string { return fmt.Sprintf("%d units", w.n) }
 
+// UsesChangePoints reports that unit windows ignore the change points:
+// their relation depends only on the lifetime. Incremental maintenance
+// (internal/incr) keys off this to decide whether a delta can
+// restructure the window relation.
+func (w unitWindow) UsesChangePoints() bool { return false }
+
 // changeWindow implements "n changes": each window spans n consecutive
 // states of the graph (n elementary intervals between change points).
 type changeWindow struct {
@@ -126,6 +132,11 @@ func (w changeWindow) Windows(lifetime Interval, changePoints []Time) []Window {
 }
 
 func (w changeWindow) String() string { return fmt.Sprintf("%d changes", w.n) }
+
+// UsesChangePoints reports that change-based windows derive their
+// boundaries from the change points, so any state insertion can
+// restructure the whole window relation.
+func (w changeWindow) UsesChangePoints() bool { return true }
 
 // ParseWindowSpec parses the paper's textual window specification
 // "n {unit|changes}", e.g. "3 months", "10 min", "2 changes". All time

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataflow"
+	"repro/internal/incr"
 	"repro/internal/props"
 	"repro/internal/qcache"
 	"repro/internal/resil"
@@ -335,11 +336,82 @@ func OpenWAL(dir string, opts WALOptions) (*WAL, WALRecovery, error) {
 // ParseWALSyncMode parses "each" or "batched" (empty selects each).
 func ParseWALSyncMode(s string) (wal.SyncMode, error) { return wal.ParseSyncMode(s) }
 
+// WALSegmentInfo is one segment's line in a WAL inspection: sequence
+// span, record and byte counts, and structural status ("ok",
+// "torn-tail", "torn-header", "corrupt-records", "seq-gap").
+type WALSegmentInfo = wal.SegmentInfo
+
+// InspectWAL reports the structural health of dir's WAL segments
+// without mutating anything.
+func InspectWAL(dir string) ([]WALSegmentInfo, error) { return wal.Inspect(dir) }
+
+// WALReadResult is what ReadWAL decoded: the records after the
+// requested floor plus whole-log counts.
+type WALReadResult = wal.ReadResult
+
+// ReadWAL decodes dir's WAL records with sequence > afterSeq, in
+// sequence order. Permissive reads skip corrupt records instead of
+// failing.
+func ReadWAL(dir string, afterSeq uint64, permissive bool) (WALReadResult, error) {
+	return wal.Read(dir, afterSeq, permissive)
+}
+
+// SubsumedWALSeq returns the highest WAL sequence the directory's
+// committed manifest subsumes: records at or below it are already
+// folded into the columnar epoch; records above it are pending (they
+// replay on load and fold at the next compaction).
+func SubsumedWALSeq(dir string) (uint64, error) {
+	m, err := storage.ReadManifest(dir)
+	if err != nil {
+		return 0, err
+	}
+	return m.WALSeq, nil
+}
+
+// Incremental zoom maintenance (internal/incr): materialized zoom
+// views that fold WAL deltas into the previous result instead of
+// re-running the zoom, byte-identical (canonically) to the batch
+// operators.
+
+// ZoomView is a maintainable materialized zoom result: Apply folds a
+// batch of WAL deltas in, Result snapshots the current output as
+// uncoalesced state tuples. Apply calls must be serialized by the
+// caller; Result may race Apply.
+type ZoomView = incr.View
+
+// ZoomViewStats reports what one ZoomView.Apply did: Skolem groups
+// patched, (entity, window) groups re-reduced, and whether the view
+// fell back to a full rebuild.
+type ZoomViewStats = incr.Stats
+
+// ZoomViewOptions configures a zoom view (fault-injection hook).
+type ZoomViewOptions = incr.Options
+
+// ErrViewUnsupported reports a zoom spec a view cannot maintain
+// incrementally (custom aggregates; see also change-based windows,
+// which build but rebuild fully on every Apply).
+var ErrViewUnsupported = incr.ErrUnsupported
+
+// NewAZoomView builds a materialized aZoom^T view over the graph's
+// current states; subsequent WAL deltas go through Apply.
+func NewAZoomView(g Graph, spec AZoomSpec, opts ZoomViewOptions) (*incr.AZoomView, error) {
+	return incr.NewAZoomView(g, spec, opts)
+}
+
+// NewWZoomView builds a materialized wZoom^T view over the graph's
+// current states; subsequent WAL deltas go through Apply.
+func NewWZoomView(g Graph, spec WZoomSpec, opts ZoomViewOptions) (*incr.WZoomView, error) {
+	return incr.NewWZoomView(g, spec, opts)
+}
+
+// AppendStats reports what one AppendCSV run acked durable.
+type AppendStats = storage.AppendStats
+
 // AppendCSV streams vertices.csv (+ optional edges.csv) from the in
 // directory into the write-ahead log of the existing graph directory
 // dir, batch records per durable append. Never run it against a
 // directory a live server is serving.
-func AppendCSV(dir, in string, batch int, opts WALOptions) (int, error) {
+func AppendCSV(dir, in string, batch int, opts WALOptions) (AppendStats, error) {
 	return storage.AppendCSV(dir, in, batch, opts)
 }
 
@@ -387,6 +459,10 @@ const (
 	// CacheShared: the result was shared from a concurrent in-flight
 	// computation of the same key.
 	CacheShared = qcache.Shared
+	// CachePatched: the resident result was refreshed in place by
+	// incremental view maintenance (QueryCache.Patch) rather than
+	// recomputed.
+	CachePatched = qcache.Patched
 )
 
 // NewQueryCache returns a cache bounded to maxBytes of resident result
