@@ -17,7 +17,11 @@
 // deltas through each directory's write-ahead log (-wal-sync picks the
 // fsync policy; acks are sent only after durability) and invalidates
 // cached results surgically by declared time range; -compact-after
-// folds the log into a fresh columnar epoch inline. On SIGINT/SIGTERM
+// folds the log into a fresh columnar epoch inline. -shards N splits
+// each flat graph across N in-process shard workers at load time and
+// serves queries scatter-gather (byte-identical to unsharded);
+// directories pre-split with tgraph-shard are detected automatically
+// and served from their per-shard storage and WALs. On SIGINT/SIGTERM
 // the server stops accepting connections and drains in-flight
 // requests; if they outlive -drain-timeout the process exits non-zero
 // so supervisors see the unclean shutdown.
@@ -89,6 +93,9 @@ func main() {
 	walSync := flag.String("wal-sync", "each", "append durability: WAL fsync policy, each (fsync before every ack) | batched (group commit)")
 	walSyncDelay := flag.Duration("wal-sync-delay", 0, "batched mode: max latency an append may wait for its group fsync (0 = WAL default)")
 	compactAfter := flag.Int("compact-after", 0, "fold the WAL into a new columnar epoch after this many appended records (0 disables inline compaction)")
+	shards := flag.Int("shards", 0, "split each flat graph into this many in-process shards at load time and serve scatter-gather (<= 1 serves unsharded; directories pre-split by tgraph-shard are always served sharded)")
+	shardStrategy := flag.String("shard-strategy", "", "vertex-cut placement for -shards: EdgePartition2D (default) | EdgePartition1D | RandomVertexCut | TimeRange")
+	shardPartial := flag.Bool("shard-partial", false, "answer 200 with the surviving shards' merge (X-TGraph-Shards: k/n) when some shards fail, instead of failing the request")
 	flag.Var(&graphs, "graph", "graph to serve as name=dir[@rep]; repeatable")
 	flag.Parse()
 
@@ -111,6 +118,9 @@ func main() {
 		WALSyncMode:      *walSync,
 		WALMaxSyncDelay:  *walSyncDelay,
 		CompactAfter:     *compactAfter,
+		Shards:           *shards,
+		ShardStrategy:    *shardStrategy,
+		ShardPartial:     *shardPartial,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/storage"
+	"repro/internal/temporal"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "shard",
+		Title: "Sharded scatter-gather: cold load and zoom latency vs shard count",
+		Description: "Splits WikiTalk- and SNB-like graphs into 1/2/4/8 on-disk shards " +
+			"(EdgePartition2D vertex-cut) and measures the scan-bound cold path — parallel " +
+			"per-shard storage loads plus a first aZoom^T — and warm scatter/merge zoom " +
+			"latency, all byte-identical to unsharded. Expected: cold p50 speedup " +
+			"approaching the shard count (each shard scans 1/N of the data concurrently); " +
+			"warm wZoom^T gains from per-leg parallelism, warm aZoom^T stays merge-bound.",
+		Run: runShard,
+	})
+}
+
+var shardCounts = []int{1, 2, 4, 8}
+
+// shardOpenOpts makes every measured run scan-bound and cold: one
+// decode worker per shard (cross-shard concurrency is the variable
+// under test) and no partial-result cache residency.
+func shardOpenOpts() shard.Options {
+	return shard.Options{Parallelism: 1, ScanParallelism: 1, CacheBytes: 0}
+}
+
+// runShardColds measures reps cold opens: per-shard parallel scans plus
+// the first aZoom^T through the scatter. Returns sorted latencies.
+func runShardColds(dir string, az core.AZoomSpec, reps int, cfg Config) []time.Duration {
+	out := make([]time.Duration, 0, reps)
+	for i := 0; i < reps; i++ {
+		c, err := shard.Open(dir, shardOpenOpts())
+		if err != nil {
+			panic(fmt.Sprintf("shard bench: open: %v", err))
+		}
+		ctx := cfg.context()
+		start := time.Now()
+		if _, err := c.Ensure(context.Background()); err != nil {
+			panic(fmt.Sprintf("shard bench: ensure: %v", err))
+		}
+		if _, _, err := c.Run(context.Background(), ctx, shard.Query{Canon: "bench-az", Rep: core.RepVE, AZ: &az}); err != nil {
+			panic(fmt.Sprintf("shard bench: %v", err))
+		}
+		out = append(out, time.Since(start))
+		ctx.Close()
+		c.Close()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// runShardQueries measures reps warm executions of one query through an
+// already loaded coordinator and returns the sorted latencies.
+func runShardQueries(c *shard.Coordinator, q shard.Query, reps int, cfg Config) []time.Duration {
+	out := make([]time.Duration, 0, reps)
+	for i := 0; i < reps; i++ {
+		ctx := cfg.context()
+		start := time.Now()
+		_, st, err := c.Run(context.Background(), ctx, q)
+		out = append(out, time.Since(start))
+		ctx.Close()
+		if err != nil {
+			panic(fmt.Sprintf("shard bench: %v", err))
+		}
+		if st.OK != st.N {
+			panic(fmt.Sprintf("shard bench: partial coverage %s", st.Header()))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func runShard(cfg Config) []Table {
+	datasets := []struct {
+		name      string
+		snapshots int
+	}{
+		{"WikiTalk", 24},
+		{"SNB", 24},
+	}
+	reps := max(5, cfg.scale(9))
+	gauges := obs.Default()
+
+	t := Table{
+		Title: fmt.Sprintf("sharded serving by shard count (%d runs each, 1 decode worker per shard)", reps),
+		Note: "cold = parallel per-shard scans + first azoom; speedup = cold p50 at 1 shard / cold p50 at N; " +
+			"warm queries scatter to loaded workers and merge at the coordinator",
+		Header: []string{"dataset", "shards", "cold p50 ms", "cold p99 ms", "azoom p50 ms", "wzoom p50 ms", "wzoom p99 ms", "cold speedup"},
+	}
+	for _, d := range datasets {
+		var vs []core.VertexTuple
+		var es []core.EdgeTuple
+		switch d.name {
+		case "WikiTalk":
+			g := WikiTalkDataset(cfg, d.snapshots)
+			vs, es = g.Vertices, g.Edges
+		default:
+			g := SNBDataset(cfg, d.snapshots)
+			vs, es = g.Vertices, g.Edges
+		}
+		az := azoomSpecFor(d.name)
+		wz := existsSpec(temporal.Time(4))
+		var base time.Duration
+		for _, n := range shardCounts {
+			dir, err := os.MkdirTemp("", "pgc-shard-*")
+			if err != nil {
+				panic(err)
+			}
+			ctx := cfg.context()
+			if err := shard.SaveDir(ctx, dir, vs, es, shard.VertexCut{}, n, storage.SaveOptions{}); err != nil {
+				panic(fmt.Sprintf("shard bench: split: %v", err))
+			}
+			ctx.Close()
+
+			cold := runShardColds(dir, az, reps, cfg)
+			c, err := shard.Open(dir, shardOpenOpts())
+			if err != nil {
+				panic(fmt.Sprintf("shard bench: open: %v", err))
+			}
+			if _, err := c.Ensure(context.Background()); err != nil {
+				panic(fmt.Sprintf("shard bench: ensure: %v", err))
+			}
+			azLat := runShardQueries(c, shard.Query{Canon: "bench-az", Rep: core.RepVE, AZ: &az}, reps, cfg)
+			wzLat := runShardQueries(c, shard.Query{Canon: "bench-wz", Rep: core.RepVE, WZ: &wz}, reps, cfg)
+			c.Close()
+			os.RemoveAll(dir)
+
+			p50, p99 := percentile(cold, 0.50), percentile(cold, 0.99)
+			if n == 1 {
+				base = p50
+			}
+			speedup := float64(base) / float64(max(p50, 1))
+			t.Rows = append(t.Rows, []string{
+				d.name, fmt.Sprint(n),
+				ms(p50), ms(p99),
+				ms(percentile(azLat, 0.50)),
+				ms(percentile(wzLat, 0.50)), ms(percentile(wzLat, 0.99)),
+				fmt.Sprintf("%.2fx", speedup),
+			})
+			gauges.Gauge(fmt.Sprintf("shard.bench.%s.cold_p50_us.n%d", d.name, n)).Set(p50.Microseconds())
+			gauges.Gauge(fmt.Sprintf("shard.bench.%s.cold_p99_us.n%d", d.name, n)).Set(p99.Microseconds())
+			gauges.Gauge(fmt.Sprintf("shard.bench.%s.azoom_p50_us.n%d", d.name, n)).Set(percentile(azLat, 0.50).Microseconds())
+			gauges.Gauge(fmt.Sprintf("shard.bench.%s.wzoom_p50_us.n%d", d.name, n)).Set(percentile(wzLat, 0.50).Microseconds())
+			gauges.Gauge(fmt.Sprintf("shard.bench.%s.speedup_x100.n%d", d.name, n)).Set(int64(speedup * 100))
+		}
+	}
+	return []Table{t}
+}

@@ -40,18 +40,56 @@ func (EdgePartition1D) Partition(src, _ VertexID, numParts int) int {
 
 func (EdgePartition1D) String() string { return "EdgePartition1D" }
 
-// EdgePartition2D arranges partitions in a sqrt(P) x sqrt(P) grid and
-// assigns edge (s, d) to cell (hash(s) mod R, hash(d) mod C). Each
-// vertex is mirrored to at most 2*sqrt(P) partitions — GraphX's
+// EdgePartition2D arranges partitions in a grid of R = ceil(sqrt(P))
+// rows and assigns edge (s, d) to a cell determined by (hash(s),
+// hash(d)). A source vertex is mirrored only within one row and a
+// destination vertex to at most one cell per row, so each vertex lands
+// on at most R + ceil(P/R) <= 2*ceil(sqrt(P)) partitions — GraphX's
 // bounded-replication guarantee.
+//
+// When P is a perfect square the grid is exactly side x side and the
+// placement matches the classic GraphX scheme (row*side + col). For
+// other P the grid is ragged: R rows whose widths differ by at most
+// one (P%R rows of width ceil(P/R), the rest of width floor(P/R)),
+// with the row drawn from hash(s) weighted by row width so every cell
+// — and therefore every partition — receives 1/P of the edge mass.
+// (A naive (row*side+col) % numParts wrap folds the out-of-range grid
+// cells onto low-numbered partitions, skewing load up to 2x.)
 type EdgePartition2D struct{}
 
 // Partition implements PartitionStrategy.
 func (EdgePartition2D) Partition(src, dst VertexID, numParts int) int {
-	side := int(math.Ceil(math.Sqrt(float64(numParts))))
-	row := int(mix64(uint64(src)) % uint64(side))
-	col := int(mix64(uint64(dst)) % uint64(side))
-	return (row*side + col) % numParts
+	if numParts < 1 {
+		return 0
+	}
+	rows := int(math.Ceil(math.Sqrt(float64(numParts))))
+	if rows*rows == numParts {
+		// Perfect square: keep the historical side x side placement
+		// byte-for-byte stable.
+		row := int(mix64(uint64(src)) % uint64(rows))
+		col := int(mix64(uint64(dst)) % uint64(rows))
+		return row*rows + col
+	}
+	// Ragged grid: "extra" rows of width base+1 precede rows of width
+	// base. Rows are chosen with probability proportional to their
+	// width via a single uniform draw in [0, numParts), so each cell
+	// carries exactly 1/numParts of the edge mass.
+	base := numParts / rows
+	extra := numParts % rows
+	wide := extra * (base + 1)
+	h := int(mix64(uint64(src)) % uint64(numParts))
+	var offset, width int
+	if h < wide {
+		row := h / (base + 1)
+		offset = row * (base + 1)
+		width = base + 1
+	} else {
+		row := (h - wide) / base
+		offset = wide + row*base
+		width = base
+	}
+	col := int(mix64(uint64(dst)) % uint64(width))
+	return offset + col
 }
 
 func (EdgePartition2D) String() string { return "EdgePartition2D" }

@@ -153,6 +153,28 @@ func (l *Limiter) Inflight() int {
 	return l.inflight
 }
 
+// RetryAfterSeconds estimates how long a shed client should back off
+// before retrying, in whole seconds: the EWMA service time scaled by
+// the current queue length (position queue+1, divided by the slot
+// count), rounded up and clamped to [1, 30]. Before any service time
+// has been observed it returns the floor of 1 second.
+func (l *Limiter) RetryAfterSeconds() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.svcSeeded {
+		return 1
+	}
+	wait := time.Duration(l.avgSvcNS * float64(l.queue.Len()+1) / float64(l.maxInflight))
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		return 1
+	}
+	if secs > 30 {
+		return 30
+	}
+	return secs
+}
+
 // Queued returns the number of requests waiting in the queue.
 func (l *Limiter) Queued() int {
 	l.mu.Lock()

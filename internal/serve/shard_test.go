@@ -1,0 +1,358 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/props"
+	"repro/internal/shard"
+	"repro/internal/storage"
+	"repro/internal/temporal"
+)
+
+// shardFixture generates a deterministic graph large enough that every
+// shard count under test gets non-trivial masters, mirrors and edges,
+// with fragmented histories so window merges cross shard boundaries.
+func shardFixture() ([]core.VertexTuple, []core.EdgeTuple) {
+	seed := uint64(42)
+	next := func(n uint64) uint64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return (seed >> 33) % n
+	}
+	var vs []core.VertexTuple
+	var es []core.EdgeTuple
+	const nv = 60
+	for i := 0; i < nv; i++ {
+		start := temporal.Time(next(40))
+		frags := 1 + int(next(3))
+		for f := 0; f < frags; f++ {
+			length := temporal.Time(3 + next(20))
+			vs = append(vs, core.VertexTuple{
+				ID:       core.VertexID(i + 1),
+				Interval: temporal.MustInterval(start, start+length),
+				Props:    props.New("dept", fmt.Sprintf("d%d", i%5), "score", int64(next(50))),
+			})
+			start += length + temporal.Time(next(4))
+		}
+	}
+	for e := 0; e < 150; e++ {
+		src := core.VertexID(1 + next(nv))
+		dst := core.VertexID(1 + next(nv))
+		if src == dst {
+			dst = src%nv + 1
+		}
+		start := temporal.Time(next(60))
+		es = append(es, core.EdgeTuple{
+			ID:       core.EdgeID(e + 1),
+			Src:      src,
+			Dst:      dst,
+			Interval: temporal.MustInterval(start, start+temporal.Time(2+next(15))),
+			Props:    props.New("kind", fmt.Sprintf("k%d", e%3)),
+		})
+	}
+	return vs, es
+}
+
+// saveShardFixture writes the fixture flat into dir.
+func saveShardFixture(t *testing.T, dir string) {
+	t.Helper()
+	vs, es := shardFixture()
+	ctx := dataflow.NewContext(dataflow.WithParallelism(2))
+	defer ctx.Close()
+	if err := storage.SaveGraph(dir, core.NewVE(ctx, vs, es), storage.SaveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newServerOn serves dir as "g" with the given config and representation.
+func newServerOn(t *testing.T, dir, rep string, cfg Config) *Server {
+	t.Helper()
+	cfg.Graphs = []GraphConfig{{Name: "g", Dir: dir, Rep: rep}}
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = 2
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 1 << 20
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// shardQueries is the request matrix the identity tests replay against
+// flat and sharded servers: both single-operator endpoints, unit and
+// change-based windows, and pipelines exercising the clip and gather
+// paths.
+func shardQueries(t *testing.T, s *Server) map[string]*bytes.Buffer {
+	t.Helper()
+	out := make(map[string]*bytes.Buffer)
+	do := func(name, path string, body any) {
+		w := doJSON(t, s, "POST", path, body)
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s: %d %s", name, w.Code, w.Body)
+		}
+		out[name] = w.Body
+	}
+	do("azoom", "/v1/azoom", AZoomRequest{Graph: "g", GroupBy: "dept", Count: "members"})
+	do("wzoom-unit", "/v1/wzoom", WZoomRequest{Graph: "g", Window: "4 units", VQuant: "exists"})
+	do("wzoom-changes", "/v1/wzoom", WZoomRequest{Graph: "g", Window: "2 changes", VQuant: "at least 0.5", VResolve: "last"})
+	do("wzoom-dangling", "/v1/wzoom", WZoomRequest{Graph: "g", Window: "3 units", VQuant: "all", EQuant: "exists"})
+	do("pipeline-range", "/v1/pipeline", PipelineRequest{Graph: "g", Steps: []StepRequest{
+		{Op: "range", Start: 10, End: 40},
+		{Op: "azoom", GroupBy: "dept"},
+	}})
+	do("pipeline-switch", "/v1/pipeline", PipelineRequest{Graph: "g", Steps: []StepRequest{
+		{Op: "switch", Rep: "og"},
+		{Op: "wzoom", Window: "5 units", VQuant: "exists"},
+	}})
+	return out
+}
+
+// Sharded responses are byte-identical to the unsharded server's, for
+// every shard count, strategy and representation under test, and carry
+// the full-coverage X-TGraph-Shards header.
+func TestShardedByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	saveShardFixture(t, dir)
+	for _, rep := range []string{"ve", "og"} {
+		// Servers run sequentially (Drain releases the WAL), so they can
+		// all serve the same directory.
+		flat := newServerOn(t, dir, rep, Config{})
+		want := shardQueries(t, flat)
+		flat.Drain()
+		for _, n := range []int{2, 4} {
+			for _, strategy := range []string{"", "TimeRange"} {
+				name := fmt.Sprintf("rep=%s/n=%d/strategy=%q", rep, n, strategy)
+				sharded := newServerOn(t, dir, rep, Config{Shards: n, ShardStrategy: strategy})
+				got := shardQueries(t, sharded)
+				for q, body := range want {
+					if !bytes.Equal(body.Bytes(), got[q].Bytes()) {
+						t.Errorf("%s: query %s: sharded body differs from unsharded", name, q)
+					}
+				}
+				w := doJSON(t, sharded, "POST", "/v1/azoom", AZoomRequest{Graph: "g", GroupBy: "dept", Count: "members"})
+				if h := w.Header().Get("X-TGraph-Shards"); h != fmt.Sprintf("%d/%d", n, n) {
+					t.Errorf("%s: X-TGraph-Shards = %q, want %d/%d", name, h, n, n)
+				}
+				sharded.Drain()
+			}
+		}
+	}
+}
+
+// A directory pre-split by SaveDir is detected and served sharded with
+// no Shards config, byte-identical to the flat directory, and reported
+// on /v1/graphs.
+func TestShardedDiskAutoDetect(t *testing.T) {
+	flatDir := t.TempDir()
+	saveShardFixture(t, flatDir)
+	flat := newServerOn(t, flatDir, "ve", Config{})
+	want := shardQueries(t, flat)
+	flat.Drain()
+
+	vs, es := shardFixture()
+	for _, n := range []int{1, 3} {
+		splitDir := t.TempDir()
+		ctx := dataflow.NewContext(dataflow.WithParallelism(2))
+		if err := shard.SaveDir(ctx, splitDir, vs, es, shard.VertexCut{}, n, storage.SaveOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		ctx.Close()
+		s := newServerOn(t, splitDir, "ve", Config{})
+		got := shardQueries(t, s)
+		for q, body := range want {
+			if !bytes.Equal(body.Bytes(), got[q].Bytes()) {
+				t.Errorf("n=%d: query %s: pre-split body differs from flat", n, q)
+			}
+		}
+		w := doJSON(t, s, "GET", "/v1/graphs", nil)
+		var infos []GraphInfo
+		if err := json.Unmarshal(w.Body.Bytes(), &infos); err != nil {
+			t.Fatal(err)
+		}
+		if len(infos) != 1 || infos[0].Shards != n || !infos[0].Loaded {
+			t.Errorf("n=%d: /v1/graphs = %+v, want loaded with %d shards", n, infos, n)
+		}
+		s.Drain()
+	}
+}
+
+// shardAppendDeltas exercises every routing case: a state for an
+// existing vertex, an edge whose endpoints live on (potentially)
+// different shards, a brand-new vertex, and an edge touching it.
+func shardAppendDeltas() []DeltaJSON {
+	return []DeltaJSON{
+		{Kind: "vertex", ID: 7, Start: 90, End: 110, Props: map[string]string{"dept": "d1", "score": "9"}},
+		{Kind: "edge", ID: 900, Src: 7, Dst: 29, Start: 95, End: 105, Props: map[string]string{"kind": "k1"}},
+		{Kind: "vertex", ID: 5000, Start: 100, End: 120, Props: map[string]string{"dept": "d0", "score": "3"}},
+		{Kind: "edge", ID: 901, Src: 5000, Dst: 7, Start: 101, End: 115, Props: map[string]string{"kind": "k2"}},
+	}
+}
+
+// Appends against an in-memory sharded server keep the sharded view
+// byte-identical to a flat server fed the same deltas, and invalidate
+// the sharded cache entries.
+func TestShardedAppendParity(t *testing.T) {
+	flatDir, shardDir := t.TempDir(), t.TempDir()
+	saveShardFixture(t, flatDir)
+	saveShardFixture(t, shardDir)
+	flat := newServerOn(t, flatDir, "ve", Config{})
+	defer flat.Drain()
+	sharded := newServerOn(t, shardDir, "ve", Config{Shards: 3})
+	defer sharded.Drain()
+
+	azoom := AZoomRequest{Graph: "g", GroupBy: "dept", Count: "members"}
+	// Warm both caches pre-append.
+	doJSON(t, flat, "POST", "/v1/azoom", azoom)
+	w := doJSON(t, sharded, "POST", "/v1/azoom", azoom)
+	if w.Code != http.StatusOK {
+		t.Fatalf("pre-append azoom: %d %s", w.Code, w.Body)
+	}
+
+	app := AppendRequest{Graph: "g", Deltas: shardAppendDeltas()}
+	for _, s := range []*Server{flat, sharded} {
+		if w := doJSON(t, s, "POST", "/v1/append", app); w.Code != http.StatusOK {
+			t.Fatalf("append: %d %s", w.Code, w.Body)
+		}
+	}
+
+	wf := doJSON(t, flat, "POST", "/v1/azoom", azoom)
+	ws := doJSON(t, sharded, "POST", "/v1/azoom", azoom)
+	if wf.Code != http.StatusOK || ws.Code != http.StatusOK {
+		t.Fatalf("post-append codes: %d %d", wf.Code, ws.Code)
+	}
+	if got := ws.Header().Get("X-TGraph-Cache"); got != "miss" {
+		t.Errorf("post-append sharded X-TGraph-Cache = %q, want miss (invalidated)", got)
+	}
+	if !bytes.Equal(wf.Body.Bytes(), ws.Body.Bytes()) {
+		t.Error("post-append sharded body differs from flat")
+	}
+	wz := WZoomRequest{Graph: "g", Window: "4 units", VQuant: "exists"}
+	wfz := doJSON(t, flat, "POST", "/v1/wzoom", wz)
+	wsz := doJSON(t, sharded, "POST", "/v1/wzoom", wz)
+	if !bytes.Equal(wfz.Body.Bytes(), wsz.Body.Bytes()) {
+		t.Error("post-append sharded wzoom differs from flat")
+	}
+}
+
+// Appends against a pre-split directory go to the owning shards' WALs
+// and survive a restart: a new server over the same directory replays
+// them and answers byte-identically.
+func TestShardedDiskAppendDurability(t *testing.T) {
+	splitDir := t.TempDir()
+	vs, es := shardFixture()
+	ctx := dataflow.NewContext(dataflow.WithParallelism(2))
+	if err := shard.SaveDir(ctx, splitDir, vs, es, shard.VertexCut{}, 3, storage.SaveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	ctx.Close()
+
+	s1 := newServerOn(t, splitDir, "ve", Config{})
+	if w := doJSON(t, s1, "POST", "/v1/append",
+		AppendRequest{Graph: "g", Deltas: shardAppendDeltas()}); w.Code != http.StatusOK {
+		t.Fatalf("append: %d %s", w.Code, w.Body)
+	}
+	azoom := AZoomRequest{Graph: "g", GroupBy: "dept", Count: "members"}
+	w1 := doJSON(t, s1, "POST", "/v1/azoom", azoom)
+	if w1.Code != http.StatusOK {
+		t.Fatalf("post-append azoom: %d %s", w1.Code, w1.Body)
+	}
+	s1.Drain()
+
+	s2 := newServerOn(t, splitDir, "ve", Config{})
+	defer s2.Drain()
+	w2 := doJSON(t, s2, "POST", "/v1/azoom", azoom)
+	if w2.Code != http.StatusOK {
+		t.Fatalf("replayed azoom: %d %s", w2.Code, w2.Body)
+	}
+	if !bytes.Equal(w1.Body.Bytes(), w2.Body.Bytes()) {
+		t.Error("restarted server's body differs: shard WAL replay lost appends")
+	}
+}
+
+// legFaultOnce returns a FaultHook failing exactly one shard leg.
+func legFaultOnce(err error) func(string) error {
+	var mu sync.Mutex
+	fired := false
+	return func(site string) error {
+		if site != "shard.leg" {
+			return nil
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if fired {
+			return nil
+		}
+		fired = true
+		return err
+	}
+}
+
+// With ShardPartial a failed shard degrades the response to a partial
+// merge (200, X-TGraph-Shards k/n, never cached); without it the
+// request fails with the typed scatter error. Either way the next
+// request recovers full coverage.
+func TestShardedPartialDegraded(t *testing.T) {
+	dir := t.TempDir()
+	saveShardFixture(t, dir)
+	boom := errors.New("injected shard fault")
+	azoom := AZoomRequest{Graph: "g", GroupBy: "dept", Count: "members"}
+
+	t.Run("partial", func(t *testing.T) {
+		s := newServerOn(t, dir, "ve", Config{Shards: 4, ShardPartial: true, FaultHook: legFaultOnce(boom)})
+		defer s.Drain()
+		w := doJSON(t, s, "POST", "/v1/azoom", azoom)
+		if w.Code != http.StatusOK {
+			t.Fatalf("partial request: %d %s", w.Code, w.Body)
+		}
+		if h := w.Header().Get("X-TGraph-Shards"); h != "3/4" {
+			t.Errorf("X-TGraph-Shards = %q, want 3/4", h)
+		}
+		if h := w.Header().Get("X-TGraph-Degraded"); h != "partial-shards" {
+			t.Errorf("X-TGraph-Degraded = %q, want partial-shards", h)
+		}
+		// The partial body was not cached: the retry recomputes at full
+		// coverage and only then becomes a hit.
+		w2 := doJSON(t, s, "POST", "/v1/azoom", azoom)
+		if w2.Header().Get("X-TGraph-Cache") != "miss" || w2.Header().Get("X-TGraph-Shards") != "4/4" {
+			t.Errorf("recovery request: cache=%q shards=%q, want miss 4/4",
+				w2.Header().Get("X-TGraph-Cache"), w2.Header().Get("X-TGraph-Shards"))
+		}
+		w3 := doJSON(t, s, "POST", "/v1/azoom", azoom)
+		if w3.Header().Get("X-TGraph-Cache") != "hit" {
+			t.Errorf("third request cache = %q, want hit", w3.Header().Get("X-TGraph-Cache"))
+		}
+		if !bytes.Equal(w2.Body.Bytes(), w3.Body.Bytes()) {
+			t.Error("full-coverage hit not byte-identical")
+		}
+	})
+
+	t.Run("fail-fast", func(t *testing.T) {
+		s := newServerOn(t, dir, "ve", Config{Shards: 4, FaultHook: legFaultOnce(boom)})
+		defer s.Drain()
+		w := doJSON(t, s, "POST", "/v1/azoom", azoom)
+		if w.Code != http.StatusInternalServerError {
+			t.Fatalf("fail-fast request: %d %s, want 500", w.Code, w.Body)
+		}
+		var body errorJSON
+		if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+			t.Fatal(err)
+		}
+		if body.Dataflow == nil || body.Dataflow.Stage != "shard.scatter" {
+			t.Errorf("error detail = %+v, want dataflow stage shard.scatter", body.Dataflow)
+		}
+		w2 := doJSON(t, s, "POST", "/v1/azoom", azoom)
+		if w2.Code != http.StatusOK || w2.Header().Get("X-TGraph-Shards") != "4/4" {
+			t.Errorf("recovery: %d shards=%q, want 200 4/4", w2.Code, w2.Header().Get("X-TGraph-Shards"))
+		}
+	})
+}

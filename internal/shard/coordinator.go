@@ -1,0 +1,615 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"slices"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/obs"
+	"repro/internal/props"
+	"repro/internal/storage/wal"
+	"repro/internal/temporal"
+)
+
+// Scatter instruments (registered on the default obs registry, like
+// every other subsystem's).
+var (
+	mScatters      = obs.Default().Counter("shard.scatters")
+	mLegs          = obs.Default().Counter("shard.legs")
+	mLegFailures   = obs.Default().Counter("shard.leg_failures")
+	mPartialMerges = obs.Default().Counter("shard.partial_merges")
+	mFallbacks     = obs.Default().Counter("shard.fallbacks")
+	mGroupsMerged  = obs.Default().Counter("shard.groups_merged")
+	mLegLatency    = obs.Default().Histogram("shard.leg_latency")
+)
+
+// legBudgetFraction is how much of the request's remaining deadline the
+// scatter legs get; the rest is reserved for the coordinator merge.
+const legBudgetFraction = 0.9
+
+// Options configures a Coordinator and its workers.
+type Options struct {
+	// Parallelism sizes each worker's dataflow context.
+	Parallelism int
+	// ScanParallelism sizes each worker's storage scan pool.
+	ScanParallelism int
+	// CacheBytes bounds each worker's partial-result cache.
+	CacheBytes int64
+	// Partial enables degraded partial-result merges when a subset of
+	// shards fails; when false the first leg failure cancels siblings
+	// and the scatter reports a typed *dataflow.JobError.
+	Partial bool
+	// WALOpts configures the per-shard write-ahead logs.
+	WALOpts wal.Options
+	// OpenWAL opens the shard WALs for appends (disk-backed only).
+	OpenWAL bool
+	// FaultHook, when non-nil, is invoked at fault sites (site
+	// "shard.leg" at the start of every scatter leg) and its error fails
+	// the leg — the chaos-testing seam, mirroring internal/faults.
+	FaultHook func(site string) error
+}
+
+// Coordinator owns N in-process shard workers and serves scatter-gather
+// queries over them. Loads and appends are serialised; queries run
+// concurrently.
+type Coordinator struct {
+	n       int
+	st      Strategy
+	partial bool
+	hook    func(site string) error
+	workers []*Worker
+
+	mu sync.Mutex // serialises Ensure and Append
+}
+
+// Open builds a Coordinator over a split directory written by SaveDir.
+// Workers load lazily on the first Ensure.
+func Open(dir string, opts Options) (*Coordinator, error) {
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	st, err := m.strategyOf()
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{n: m.Shards, st: st, partial: opts.Partial, hook: opts.FaultHook}
+	for i := 0; i < m.Shards; i++ {
+		c.workers = append(c.workers, newDiskWorker(i, shardDir(dir, i), opts))
+	}
+	return c, nil
+}
+
+// NewFromStates splits the given states in memory and builds a loaded
+// Coordinator over them — the serving layer's path for flat (unsplit)
+// graph directories run with -shards > 1.
+func NewFromStates(vs []core.VertexTuple, es []core.EdgeTuple, st Strategy, n int, opts Options) *Coordinator {
+	parts, bound := Split(vs, es, st, n)
+	c := &Coordinator{n: len(parts), st: bound, partial: opts.Partial, hook: opts.FaultHook}
+	for i, p := range parts {
+		c.workers = append(c.workers, newMemWorker(i, p, opts))
+	}
+	return c
+}
+
+// N returns the shard count.
+func (c *Coordinator) N() int { return c.n }
+
+// Strategy returns the coordinator's bound placement strategy.
+func (c *Coordinator) Strategy() Strategy { return c.st }
+
+// Close releases every worker's dataflow context and logs.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.workers {
+		w.close()
+	}
+}
+
+// Ensure loads (or reloads, when their on-disk stamps changed) all
+// disk-backed workers and returns the combined base stamp identifying
+// the coordinator's committed on-disk state. Like the unsharded base
+// stamp, it tracks committed epochs only: live appends advance the
+// workers in place (and invalidate via their version-keyed caches and
+// the serving layer's tag versions) without changing it. In-memory
+// coordinators are always current.
+func (c *Coordinator) Ensure(ctx context.Context) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Shards load concurrently — each worker owns its storage directory
+	// and scan pool, so a cold N-shard ensure scans N ways in parallel.
+	errs := make([]error, c.n)
+	var wg sync.WaitGroup
+	for i, w := range c.workers {
+		wg.Add(1)
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			errs[i] = w.ensure(ctx)
+		}(i, w)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return "", err
+	}
+	stamps := make([]string, 0, c.n)
+	for _, w := range c.workers {
+		w.mu.RLock()
+		stamps = append(stamps, w.stamp)
+		w.mu.RUnlock()
+	}
+	return strings.Join(stamps, ","), nil
+}
+
+// Query is one operator chain, decomposed by the serving layer for
+// scatter dispatch: when the chain's first step is an aZoom, a wZoom or
+// a range restriction, the corresponding field carries it so the
+// coordinator can evaluate it shard-side; First holds the first step's
+// unsharded closure for the gather fallback (nil when Clip covers it),
+// and Tail holds the remaining steps, always applied at the coordinator
+// after the merge.
+type Query struct {
+	// Canon is the canonical form of the first step, used in per-shard
+	// partial-result cache keys.
+	Canon string
+	// Rep is the graph's serving representation — the representation
+	// the merged states are converted to before First/Tail run.
+	Rep core.Representation
+	// AZ/WZ are set when the first step is the respective zoom.
+	AZ *core.AZoomSpec
+	WZ *core.WZoomSpec
+	// Clip is set when the first step is a range restriction; the clip
+	// is applied shard-side and non-overlapping shards are pruned.
+	Clip temporal.Interval
+	// First applies the first step unsharded (fallback path); nil when
+	// Clip represents it.
+	First func(core.TGraph) (core.TGraph, error)
+	// Tail applies the remaining steps in order.
+	Tail []func(core.TGraph) (core.TGraph, error)
+}
+
+// Stats describes how a scatter went, for response headers and logs.
+type Stats struct {
+	// N and OK are the shard count and the number of shards whose
+	// contribution is reflected in the result (pruned shards count: they
+	// contributed everything they had, namely nothing).
+	N, OK int
+	// Partial marks a degraded merge (OK < N with Partial mode on).
+	Partial bool
+	// Fallback marks the gather-states fallback path.
+	Fallback bool
+}
+
+// Header renders the Stats as the X-TGraph-Shards header value, "k/n".
+func (s Stats) Header() string { return fmt.Sprintf("%d/%d", s.OK, s.N) }
+
+// repFast reports whether the representation is eligible for shard-side
+// zoom evaluation. VE and OG coalesce per entity before zooming, which
+// is exactly what the workers' normalized histories reproduce; RG
+// windows over raw fragments and OGC is topology-only, so both take the
+// (still byte-identical) gather fallback.
+func repFast(r core.Representation) bool { return r == core.RepVE || r == core.RepOG }
+
+// specUsesChangePoints reports whether the window spec derives its
+// relation from the graph's change points (the probe phase then also
+// collects per-shard state boundaries). Same detection as the
+// incremental views: the optional UsesChangePoints method, assumed true
+// for unknown specs.
+func specUsesChangePoints(w temporal.WindowSpec) bool {
+	type changePointUser interface{ UsesChangePoints() bool }
+	if u, ok := w.(changePointUser); ok {
+		return u.UsesChangePoints()
+	}
+	return true
+}
+
+// hasCustomAgg reports whether the aggregate spec carries a user
+// combine function. Custom combines are merged at the coordinator only
+// via the fallback: the spec documents them commutative/associative,
+// but the unsharded batch path is the semantic reference and the
+// fallback reproduces it exactly.
+func hasCustomAgg(s props.AggSpec) bool {
+	for _, f := range s.Fields {
+		if f.Kind == props.AggCustom {
+			return true
+		}
+	}
+	return false
+}
+
+// Run scatters the query to the shard workers, merges the partial
+// results with the zoomstage kernels and applies the chain's tail. The
+// returned graph is byte-identical (after the serving layer's canonical
+// encode) to running the same chain over the unsharded graph; Stats
+// reports the scatter shape. On failure the error is (or wraps) a
+// *dataflow.JobError with stage "shard.scatter" naming every failed
+// shard.
+func (c *Coordinator) Run(ctx context.Context, dctx *dataflow.Context, q Query) (core.TGraph, Stats, error) {
+	mScatters.Add(1)
+	st := Stats{N: c.n}
+	lctx, cancel := legContext(ctx)
+	defer cancel()
+	switch {
+	case q.AZ != nil && c.st.EntityLocal() && repFast(q.Rep) && !hasCustomAgg(q.AZ.Agg):
+		g, err := c.runAZoom(lctx, dctx, q, &st)
+		return g, st, err
+	case q.WZ != nil && c.st.EntityLocal() && repFast(q.Rep):
+		g, err := c.runWZoom(lctx, dctx, q, &st)
+		return g, st, err
+	default:
+		g, err := c.runGather(lctx, dctx, q, &st)
+		return g, st, err
+	}
+}
+
+// legContext derives the scatter legs' deadline from the request
+// budget: legBudgetFraction of the remaining time, reserving the rest
+// for the merge and encode.
+func legContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return context.WithCancel(ctx)
+	}
+	rem := time.Until(dl)
+	if rem <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithDeadline(ctx, time.Now().Add(time.Duration(float64(rem)*legBudgetFraction)))
+}
+
+// scatter fans leg out to every included worker concurrently, one
+// span-instrumented goroutine per shard. Excluded (pruned) workers
+// yield a nil result and count as succeeded. Without Partial mode the
+// first failure cancels the sibling legs; legs that die of that
+// sibling cancellation are reported as skipped, not failed. The ok
+// count is the number of workers whose contribution the caller may
+// merge.
+func (c *Coordinator) scatter(ctx context.Context, include func(int, *Worker) bool, leg func(context.Context, *Worker) (any, error)) ([]any, int, error) {
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]any, c.n)
+	errs := make([]error, c.n)
+	ran := make([]bool, c.n)
+	var wg sync.WaitGroup
+	for i, w := range c.workers {
+		if include != nil && !include(i, w) {
+			continue
+		}
+		ran[i] = true
+		wg.Add(1)
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			span := obs.StartSpan("shard.leg")
+			defer span.End()
+			start := time.Now()
+			defer func() {
+				mLegLatency.Observe(time.Since(start))
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("shard %d: leg panic: %v", i, r)
+				}
+				if errs[i] != nil && !c.partial {
+					cancel()
+				}
+			}()
+			mLegs.Add(1)
+			if c.hook != nil {
+				if err := c.hook("shard.leg"); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			results[i], errs[i] = leg(ictx, w)
+		}(i, w)
+	}
+	wg.Wait()
+
+	ok := 0
+	var tasks []*dataflow.TaskError
+	skipped := 0
+	siblingCancel := ctx.Err() == nil // ictx cancellations came from a failed sibling
+	for i := range results {
+		switch {
+		case errs[i] == nil:
+			ok++
+		case siblingCancel && errors.Is(errs[i], context.Canceled):
+			skipped++
+		default:
+			mLegFailures.Add(1)
+			tasks = append(tasks, &dataflow.TaskError{
+				Stage:     "shard.scatter",
+				Partition: i,
+				Attempts:  1,
+				Err:       errs[i],
+			})
+		}
+	}
+	if len(tasks) == 0 && skipped == 0 {
+		return results, ok, nil
+	}
+	je := &dataflow.JobError{Stage: "shard.scatter", Tasks: tasks, TasksSkipped: skipped}
+	if err := ctx.Err(); err != nil {
+		je.Cancel = err
+	}
+	return results, ok, je
+}
+
+// degrade resolves a scatter's outcome: full success passes through, a
+// failure with Partial mode and at least one survivor switches the
+// request to degraded mode, anything else propagates the typed error.
+func (c *Coordinator) degrade(st *Stats, ok int, err error) error {
+	st.OK = ok
+	if err == nil {
+		return nil
+	}
+	if !c.partial || ok == 0 {
+		return err
+	}
+	st.Partial = true
+	mPartialMerges.Add(1)
+	return nil
+}
+
+// runAZoom is the shard-side aZoom path: each worker contributes its
+// masters' Skolem-group states and its local edges' redirected outputs;
+// the coordinator re-reduces each group — now complete — with
+// AZoomGroup, the exact batch kernel.
+func (c *Coordinator) runAZoom(ctx context.Context, dctx *dataflow.Context, q Query, st *Stats) (core.TGraph, error) {
+	spec := *q.AZ
+	esk := spec.BoundEdgeSkolem()
+	res, ok, serr := c.scatter(ctx, nil, func(ctx context.Context, w *Worker) (any, error) {
+		return w.azoomPartial(ctx, &spec, esk, q.Canon)
+	})
+	if err := c.degrade(st, ok, serr); err != nil {
+		return nil, err
+	}
+	groups := make(map[core.VertexID][]core.AZState)
+	var es []core.EdgeTuple
+	for _, r := range res {
+		if r == nil {
+			continue
+		}
+		p := r.(*azPartial)
+		for id, s := range p.Groups {
+			groups[id] = append(groups[id], s...)
+		}
+		es = append(es, p.Edges...)
+	}
+	agg := spec.Agg.Bind()
+	var vs []core.VertexTuple
+	for id, s := range groups {
+		vs = append(vs, core.AZoomGroup(spec, agg, id, s)...)
+	}
+	mGroupsMerged.Add(int64(len(groups)))
+	return c.finish(dctx, q, vs, es, false)
+}
+
+// runWZoom is the two-phase shard-side wZoom path. Phase one probes
+// every shard for its data span (and, for change-based window specs,
+// its normalized state boundaries); the coordinator merges them into
+// the global lifetime and change-point set — exact, because boundary
+// sets union losslessly and the change-window spec filters to the
+// lifetime interior itself — and derives the window relation once.
+// Phase two scatters that relation for per-entity windowed reduction;
+// the dangling-edge semijoin runs at the coordinator against the merged
+// (global) vertex outputs.
+func (c *Coordinator) runWZoom(ctx context.Context, dctx *dataflow.Context, q Query, st *Stats) (core.TGraph, error) {
+	spec := *q.WZ
+	cs := specUsesChangePoints(spec.Window)
+	probes, _, perr := c.scatter(ctx, nil, func(_ context.Context, w *Worker) (any, error) {
+		return w.wzoomProbe(cs), nil
+	})
+	alive := func(i int) bool { return probes[i] != nil }
+
+	lifetime := temporal.Empty
+	var bounds []temporal.Time
+	for i := range probes {
+		if !alive(i) {
+			continue
+		}
+		p := probes[i].(wzProbe)
+		lifetime = temporal.Span(lifetime, p.Lifetime)
+		bounds = append(bounds, p.Bounds...)
+	}
+	slices.Sort(bounds)
+	bounds = slices.Compact(bounds)
+	windows := spec.Window.Windows(lifetime, bounds)
+
+	vres, eres := spec.VResolve.Bind(), spec.EResolve.Bind()
+	parts, _, serr := c.scatter(ctx, func(i int, _ *Worker) bool { return alive(i) }, func(ctx context.Context, w *Worker) (any, error) {
+		return w.wzoomPartial(ctx, &spec, vres, eres, windows, q.Canon)
+	})
+	ok := 0
+	for i := range parts {
+		if alive(i) && parts[i] != nil {
+			ok++
+		}
+	}
+	if serr == nil {
+		serr = perr
+	}
+	if err := c.degrade(st, ok, serr); err != nil {
+		return nil, err
+	}
+
+	vOut := make(map[core.VertexID][]core.HistoryItem)
+	eOut := make(map[edgeKey][]core.HistoryItem)
+	for i := range parts {
+		if !alive(i) || parts[i] == nil {
+			continue
+		}
+		p := parts[i].(*wzPartial)
+		for id, h := range p.V { // masters are disjoint across shards
+			vOut[id] = h
+		}
+		for k, h := range p.E { // so are edge owners
+			eOut[k] = h
+		}
+	}
+	var vs []core.VertexTuple
+	for id, out := range vOut {
+		for _, it := range out {
+			vs = append(vs, core.VertexTuple{ID: id, Interval: it.Interval, Props: it.Props})
+		}
+	}
+	dangling := spec.VQuant.MoreRestrictiveThan(spec.EQuant)
+	covered := func(id core.VertexID, iv temporal.Interval) bool {
+		for _, it := range vOut[id] {
+			if it.Interval.Covers(iv) {
+				return true
+			}
+		}
+		return false
+	}
+	var es []core.EdgeTuple
+	for k, out := range eOut {
+		for _, it := range out {
+			if dangling && (!covered(k.Src, it.Interval) || !covered(k.Dst, it.Interval)) {
+				continue
+			}
+			es = append(es, core.EdgeTuple{ID: k.ID, Src: k.Src, Dst: k.Dst, Interval: it.Interval, Props: it.Props})
+		}
+	}
+	return c.finish(dctx, q, vs, es, false)
+}
+
+// runGather is the fallback for every other chain shape: collect the
+// shards' raw base states (masters and owned edges — the lossless
+// multiset), clipped and pruned by the leading range restriction when
+// present, and run the unsharded operator chain over the merged graph.
+func (c *Coordinator) runGather(ctx context.Context, dctx *dataflow.Context, q Query, st *Stats) (core.TGraph, error) {
+	mFallbacks.Add(1)
+	st.Fallback = true
+	var include func(int, *Worker) bool
+	if !q.Clip.IsEmpty() {
+		include = func(_ int, w *Worker) bool { return w.Span().Overlaps(q.Clip) }
+	}
+	res, ok, serr := c.scatter(ctx, include, func(ctx context.Context, w *Worker) (any, error) {
+		return w.states(ctx, q.Clip)
+	})
+	if err := c.degrade(st, ok, serr); err != nil {
+		return nil, err
+	}
+	var vs []core.VertexTuple
+	var es []core.EdgeTuple
+	for _, r := range res {
+		if r == nil {
+			continue
+		}
+		p := r.(*statesPartial)
+		vs = append(vs, p.V...)
+		es = append(es, p.E...)
+	}
+	g, err := c.mergeGraph(dctx, q, vs, es)
+	if err != nil {
+		return nil, err
+	}
+	if q.First != nil {
+		if g, err = q.First(g); err != nil {
+			return nil, err
+		}
+	}
+	return c.tail(q, g)
+}
+
+// finish materialises merged zoom outputs in the serving representation
+// and applies the chain's tail steps.
+func (c *Coordinator) finish(dctx *dataflow.Context, q Query, vs []core.VertexTuple, es []core.EdgeTuple, _ bool) (core.TGraph, error) {
+	g, err := c.mergeGraph(dctx, q, vs, es)
+	if err != nil {
+		return nil, err
+	}
+	return c.tail(q, g)
+}
+
+// mergeGraph builds the merged VE relation and converts it to the
+// serving representation — the same construction the serving layer's
+// view encode uses, so the downstream encode canonicalises identically.
+func (c *Coordinator) mergeGraph(dctx *dataflow.Context, q Query, vs []core.VertexTuple, es []core.EdgeTuple) (core.TGraph, error) {
+	return core.Convert(core.NewVE(dctx, vs, es), q.Rep)
+}
+
+// tail applies the chain's remaining steps.
+func (c *Coordinator) tail(q Query, g core.TGraph) (core.TGraph, error) {
+	var err error
+	for _, f := range q.Tail {
+		if g, err = f(g); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Append routes WAL deltas to their owning shards, preserving the
+// serving layer's durability order (per-shard log write before the
+// in-memory mutation). Vertex deltas go to the vertex's master shard
+// and are replicated to every shard holding an edge that references the
+// vertex; edge deltas go to the edge's owner, after seeding mirrors for
+// any foreign endpoint the owner has not seen yet (so the redirect
+// kernel keeps joining against full endpoint state lists).
+func (c *Coordinator) Append(deltas []wal.Delta) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range deltas {
+		switch d.Kind {
+		case wal.KindVertex:
+			t, _ := d.VertexTuple()
+			owner := c.st.VertexShard(t, c.n)
+			if err := c.workers[owner].appendMaster(d); err != nil {
+				return err
+			}
+			if !c.st.EntityLocal() {
+				continue
+			}
+			for i, w := range c.workers {
+				if i == owner || !w.wantsMirror(t.ID) {
+					continue
+				}
+				if err := w.appendMirror(d); err != nil {
+					return err
+				}
+			}
+		case wal.KindEdge:
+			t, _ := d.EdgeTuple()
+			owner := c.st.EdgeShard(t, c.n)
+			if c.st.EntityLocal() {
+				for _, id := range [2]core.VertexID{t.Src, t.Dst} {
+					master := c.st.VertexShard(core.VertexTuple{ID: id}, c.n)
+					if master == owner || c.workers[owner].hasVertex(id) {
+						continue
+					}
+					h := c.workers[master].masterStates(id)
+					seeds := make([]wal.Delta, 0, len(h))
+					for _, it := range h {
+						seeds = append(seeds, wal.Delta{
+							Kind:     wal.KindVertex,
+							ID:       int64(id),
+							Interval: it.Interval,
+							Props:    it.Props,
+						})
+					}
+					if len(seeds) > 0 {
+						if err := c.workers[owner].appendMirror(seeds...); err != nil {
+							return err
+						}
+					} else {
+						// Nothing to seed yet, but remember the endpoint so a
+						// later vertex append replicates here.
+						c.workers[owner].noteEndpoint(id)
+					}
+				}
+			}
+			if err := c.workers[owner].appendEdge(d); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("shard: append: unknown delta kind %v", d.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,470 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/graphx"
+	"repro/internal/props"
+	"repro/internal/storage"
+	"repro/internal/storage/wal"
+	"repro/internal/temporal"
+)
+
+// genGraph builds a deterministic temporal graph: vertices carrying a
+// dept property (the aZoom grouping key) and a score, edges between
+// random endpoints, both with 1-3 fragmented states — fragmentation
+// included on purpose, the merges must be insensitive to it.
+func genGraph(nv, ne int) ([]core.VertexTuple, []core.EdgeTuple) {
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func(n uint64) uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state % n
+	}
+	var vs []core.VertexTuple
+	for i := 0; i < nv; i++ {
+		id := core.VertexID(i + 1)
+		dept := fmt.Sprintf("d%d", next(5))
+		states := int(next(3)) + 1
+		for s := 0; s < states; s++ {
+			start := temporal.Time(next(90))
+			end := start + temporal.Time(next(10)) + 1
+			vs = append(vs, core.VertexTuple{
+				ID:       id,
+				Interval: temporal.Interval{Start: start, End: end},
+				Props:    props.New("dept", dept, "score", fmt.Sprint(next(100))),
+			})
+		}
+	}
+	var es []core.EdgeTuple
+	for i := 0; i < ne; i++ {
+		src := core.VertexID(next(uint64(nv)) + 1)
+		dst := core.VertexID(next(uint64(nv)) + 1)
+		states := int(next(2)) + 1
+		for s := 0; s < states; s++ {
+			start := temporal.Time(next(90))
+			end := start + temporal.Time(next(10)) + 1
+			es = append(es, core.EdgeTuple{
+				ID: core.EdgeID(i + 1), Src: src, Dst: dst,
+				Interval: temporal.Interval{Start: start, End: end},
+				Props:    props.New("w", fmt.Sprint(next(9))),
+			})
+		}
+	}
+	return vs, es
+}
+
+// canon renders a graph in the serving layer's canonical form:
+// coalesced states, sorted, plus the lifetime — the byte-identity
+// equivalence the coordinator guarantees.
+func canon(t *testing.T, g core.TGraph) string {
+	t.Helper()
+	c := g.Coalesce()
+	vs := c.VertexStates()
+	es := c.EdgeStates()
+	sort.Slice(vs, func(i, j int) bool {
+		a, b := vs[i], vs[j]
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		if a.Interval.Start != b.Interval.Start {
+			return a.Interval.Start < b.Interval.Start
+		}
+		return a.Interval.End < b.Interval.End
+	})
+	sort.Slice(es, func(i, j int) bool {
+		a, b := es[i], es[j]
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		if a.Interval.Start != b.Interval.Start {
+			return a.Interval.Start < b.Interval.Start
+		}
+		return a.Interval.End < b.Interval.End
+	})
+	out := fmt.Sprintf("life=%v\n", c.Lifetime())
+	for _, v := range vs {
+		out += fmt.Sprintf("v %d %v %v\n", v.ID, v.Interval, v.Props)
+	}
+	for _, e := range es {
+		out += fmt.Sprintf("e %d %d->%d %v %v\n", e.ID, e.Src, e.Dst, e.Interval, e.Props)
+	}
+	return out
+}
+
+func azSpec() core.AZoomSpec {
+	return core.GroupByProperty("dept", "group",
+		props.Count("members"), props.Sum("total", "score"), props.Min("lo", "score"))
+}
+
+func wzSpec(window temporal.WindowSpec, dangling bool) core.WZoomSpec {
+	s := core.WZoomSpec{Window: window}
+	if dangling {
+		s.VQuant = temporal.All()
+		s.EQuant = temporal.Exists()
+	}
+	return s
+}
+
+var allStrategies = []Strategy{
+	VertexCut{},
+	VertexCut{Edges: graphx.RandomVertexCut{}},
+	TimeRange{},
+}
+
+// TestSplitLossless asserts every input state lands in exactly one
+// part's Masters/Edges for every strategy and shard count.
+func TestSplitLossless(t *testing.T) {
+	vs, es := genGraph(60, 120)
+	for _, st := range allStrategies {
+		for _, n := range []int{1, 2, 3, 4, 7} {
+			parts, _ := Split(vs, es, st, n)
+			nv, ne := 0, 0
+			for _, p := range parts {
+				nv += len(p.Masters)
+				ne += len(p.Edges)
+			}
+			if nv != len(vs) || ne != len(es) {
+				t.Fatalf("%s n=%d: split not lossless: %d/%d vertices, %d/%d edges",
+					st.Name(), n, nv, len(vs), ne, len(es))
+			}
+		}
+	}
+}
+
+// runBoth runs the same query sharded and unsharded and compares the
+// canonical forms.
+func runBoth(t *testing.T, name string, vs []core.VertexTuple, es []core.EdgeTuple, st Strategy, n int, q Query, direct func(core.TGraph) (core.TGraph, error)) {
+	t.Helper()
+	dctx := dataflow.NewContext(dataflow.WithParallelism(2))
+	defer dctx.Close()
+	want, err := direct(core.NewVE(dctx, vs, es))
+	if err != nil {
+		t.Fatalf("%s: direct: %v", name, err)
+	}
+	c := NewFromStates(vs, es, st, n, Options{Parallelism: 2})
+	defer c.Close()
+	got, stats, err := c.Run(context.Background(), dctx, q)
+	if err != nil {
+		t.Fatalf("%s: sharded: %v", name, err)
+	}
+	if stats.N != n || stats.OK != n || stats.Partial {
+		t.Fatalf("%s: stats = %+v, want full %d/%d", name, stats, n, n)
+	}
+	if g, w := canon(t, got), canon(t, want); g != w {
+		t.Errorf("%s (%s, n=%d): sharded output differs\n--- got ---\n%s--- want ---\n%s", name, st.Name(), n, g, w)
+	}
+}
+
+// TestAZoomByteIdentity covers the shard-side aZoom path (vertex cuts)
+// and the gather fallback (TimeRange) against the batch kernel.
+func TestAZoomByteIdentity(t *testing.T) {
+	vs, es := genGraph(60, 120)
+	spec := azSpec()
+	for _, st := range allStrategies {
+		for _, n := range []int{1, 2, 4} {
+			q := Query{
+				Canon: "azoom-test", Rep: core.RepVE, AZ: &spec,
+				First: func(g core.TGraph) (core.TGraph, error) { return g.AZoom(spec) },
+			}
+			runBoth(t, "azoom", vs, es, st, n, q,
+				func(g core.TGraph) (core.TGraph, error) { return g.AZoom(spec) })
+		}
+	}
+}
+
+// TestAZoomCustomAggFallsBack asserts custom aggregates skip the
+// shard-side reduce but still merge byte-identically via gather.
+func TestAZoomCustomAggFallsBack(t *testing.T) {
+	vs, es := genGraph(40, 80)
+	spec := azSpec()
+	spec.Agg.Fields = append(spec.Agg.Fields,
+		props.Custom("cat", "dept", func(a, b props.Value) props.Value {
+			if a.String() <= b.String() {
+				return a
+			}
+			return b
+		}))
+	q := Query{
+		Canon: "azoom-custom", Rep: core.RepVE, AZ: &spec,
+		First: func(g core.TGraph) (core.TGraph, error) { return g.AZoom(spec) },
+	}
+	dctx := dataflow.NewContext(dataflow.WithParallelism(2))
+	defer dctx.Close()
+	c := NewFromStates(vs, es, VertexCut{}, 3, Options{Parallelism: 2})
+	defer c.Close()
+	got, stats, err := c.Run(context.Background(), dctx, q)
+	if err != nil {
+		t.Fatalf("sharded: %v", err)
+	}
+	if !stats.Fallback {
+		t.Fatalf("custom aggregate did not take the fallback: %+v", stats)
+	}
+	want, err := core.NewVE(dctx, vs, es).AZoom(spec)
+	if err != nil {
+		t.Fatalf("direct: %v", err)
+	}
+	if g, w := canon(t, got), canon(t, want); g != w {
+		t.Errorf("custom-agg fallback differs\n--- got ---\n%s--- want ---\n%s", g, w)
+	}
+}
+
+// TestWZoomByteIdentity covers the two-phase wZoom path for unit and
+// change-based windows, with and without the dangling-edge semijoin.
+func TestWZoomByteIdentity(t *testing.T) {
+	vs, es := genGraph(60, 120)
+	cases := []struct {
+		name string
+		spec core.WZoomSpec
+	}{
+		{"unit", wzSpec(temporal.MustEveryN(10), false)},
+		{"unit-dangling", wzSpec(temporal.MustEveryN(7), true)},
+		{"changes", wzSpec(temporal.MustEveryNChanges(3), false)},
+		{"changes-dangling", wzSpec(temporal.MustEveryNChanges(2), true)},
+	}
+	for _, tc := range cases {
+		spec := tc.spec
+		for _, st := range allStrategies {
+			for _, n := range []int{1, 2, 4} {
+				q := Query{
+					Canon: "wzoom-" + tc.name, Rep: core.RepVE, WZ: &spec,
+					First: func(g core.TGraph) (core.TGraph, error) { return g.WZoom(spec) },
+				}
+				runBoth(t, "wzoom/"+tc.name, vs, es, st, n, q,
+					func(g core.TGraph) (core.TGraph, error) { return g.WZoom(spec) })
+			}
+		}
+	}
+}
+
+// TestRangeGatherPrunes asserts leading range restrictions prune
+// non-overlapping shards under TimeRange and still merge exactly.
+func TestRangeGatherPrunes(t *testing.T) {
+	vs, es := genGraph(60, 120)
+	clip := temporal.Interval{Start: 10, End: 30}
+	spec := azSpec()
+	q := Query{
+		Canon: "range-azoom", Rep: core.RepVE, Clip: clip,
+		Tail: []func(core.TGraph) (core.TGraph, error){
+			func(g core.TGraph) (core.TGraph, error) { return g.AZoom(spec) },
+		},
+	}
+	clipStates := func(g core.TGraph) (core.TGraph, error) {
+		var cvs []core.VertexTuple
+		for _, v := range g.VertexStates() {
+			if v.Interval.Overlaps(clip) {
+				v.Interval = v.Interval.Intersect(clip)
+				cvs = append(cvs, v)
+			}
+		}
+		var ces []core.EdgeTuple
+		for _, e := range g.EdgeStates() {
+			if e.Interval.Overlaps(clip) {
+				e.Interval = e.Interval.Intersect(clip)
+				ces = append(ces, e)
+			}
+		}
+		return core.NewVE(g.Context(), cvs, ces).AZoom(spec)
+	}
+	runBoth(t, "range+azoom", vs, es, TimeRange{}, 4, q, clipStates)
+}
+
+// TestSaveDirOpenRoundTrip splits to disk, reopens through the
+// manifest, and asserts the disk-backed coordinator answers exactly
+// like the in-memory one, WAL machinery included.
+func TestSaveDirOpenRoundTrip(t *testing.T) {
+	vs, es := genGraph(40, 80)
+	dctx := dataflow.NewContext(dataflow.WithParallelism(2))
+	defer dctx.Close()
+	dir := t.TempDir()
+	if err := SaveDir(dctx, dir, vs, es, VertexCut{}, 3, storage.SaveOptions{}); err != nil {
+		t.Fatalf("SaveDir: %v", err)
+	}
+	if !IsSharded(dir) {
+		t.Fatal("IsSharded = false after SaveDir")
+	}
+	c, err := Open(dir, Options{Parallelism: 2, OpenWAL: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer c.Close()
+	stamp, err := c.Ensure(context.Background())
+	if err != nil {
+		t.Fatalf("Ensure: %v", err)
+	}
+	if stamp == "" {
+		t.Fatal("Ensure returned empty stamp")
+	}
+	spec := azSpec()
+	q := Query{Canon: "disk-azoom", Rep: core.RepVE, AZ: &spec}
+	got, _, err := c.Run(context.Background(), dctx, q)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want, err := core.NewVE(dctx, vs, es).AZoom(spec)
+	if err != nil {
+		t.Fatalf("direct: %v", err)
+	}
+	if g, w := canon(t, got), canon(t, want); g != w {
+		t.Errorf("disk-backed output differs\n--- got ---\n%s--- want ---\n%s", g, w)
+	}
+}
+
+// TestAppendRouting appends vertex and edge deltas (including an edge
+// whose foreign endpoint must be mirror-seeded, and a vertex created
+// after an edge referencing it) and asserts the sharded result still
+// matches the unsharded graph grown by the same deltas.
+func TestAppendRouting(t *testing.T) {
+	vs, es := genGraph(30, 50)
+	c := NewFromStates(vs, es, VertexCut{}, 4, Options{Parallelism: 2})
+	defer c.Close()
+
+	deltas := []wal.Delta{
+		// New state of an existing vertex.
+		{Kind: wal.KindVertex, ID: 3, Interval: temporal.Interval{Start: 95, End: 99}, Props: props.New("dept", "d1", "score", "7")},
+		// New edge between far-apart vertices (forces mirror seeding).
+		{Kind: wal.KindEdge, ID: 9001, Src: 1, Dst: 29, Interval: temporal.Interval{Start: 50, End: 60}, Props: props.New("w", "3")},
+		// Edge referencing a vertex that does not exist yet...
+		{Kind: wal.KindEdge, ID: 9002, Src: 2, Dst: 2000, Interval: temporal.Interval{Start: 10, End: 20}, Props: props.New("w", "1")},
+		// ...and the vertex arriving afterwards.
+		{Kind: wal.KindVertex, ID: 2000, Interval: temporal.Interval{Start: 5, End: 25}, Props: props.New("dept", "d9", "score", "50")},
+	}
+	if err := c.Append(deltas); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	for _, d := range deltas {
+		switch d.Kind {
+		case wal.KindVertex:
+			tp, _ := d.VertexTuple()
+			vs = append(vs, tp)
+		case wal.KindEdge:
+			tp, _ := d.EdgeTuple()
+			es = append(es, tp)
+		}
+	}
+	dctx := dataflow.NewContext(dataflow.WithParallelism(2))
+	defer dctx.Close()
+	spec := azSpec()
+	q := Query{Canon: "append-azoom", Rep: core.RepVE, AZ: &spec}
+	got, _, err := c.Run(context.Background(), dctx, q)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want, err := core.NewVE(dctx, vs, es).AZoom(spec)
+	if err != nil {
+		t.Fatalf("direct: %v", err)
+	}
+	if g, w := canon(t, got), canon(t, want); g != w {
+		t.Errorf("post-append output differs\n--- got ---\n%s--- want ---\n%s", g, w)
+	}
+	// And the raw gather must reproduce the grown multiset exactly.
+	q2 := Query{Canon: "append-gather", Rep: core.RepVE}
+	got2, stats, err := c.Run(context.Background(), dctx, q2)
+	if err != nil {
+		t.Fatalf("gather: %v", err)
+	}
+	if !stats.Fallback {
+		t.Fatalf("plain gather not marked fallback: %+v", stats)
+	}
+	if g, w := canon(t, got2), canon(t, core.NewVE(dctx, vs, es)); g != w {
+		t.Errorf("post-append gather differs\n--- got ---\n%s--- want ---\n%s", g, w)
+	}
+}
+
+// TestChaosPartialFailure fault-injects one shard leg and asserts both
+// failure modes: fail-fast mode surfaces a typed *dataflow.JobError
+// naming the failed shard, and partial mode degrades to a k/n merge.
+func TestChaosPartialFailure(t *testing.T) {
+	vs, es := genGraph(40, 80)
+	spec := azSpec()
+	q := Query{Canon: "chaos-azoom", Rep: core.RepVE, AZ: &spec}
+	boom := errors.New("injected shard fault")
+	hookOnce := func() func(string) error {
+		var mu sync.Mutex
+		fired := false
+		return func(site string) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if site == "shard.leg" && !fired {
+				fired = true
+				return boom
+			}
+			return nil
+		}
+	}
+
+	t.Run("fail-fast", func(t *testing.T) {
+		dctx := dataflow.NewContext(dataflow.WithParallelism(2))
+		defer dctx.Close()
+		c := NewFromStates(vs, es, VertexCut{}, 4, Options{Parallelism: 2, FaultHook: hookOnce()})
+		defer c.Close()
+		_, _, err := c.Run(context.Background(), dctx, q)
+		var je *dataflow.JobError
+		if !errors.As(err, &je) {
+			t.Fatalf("want *dataflow.JobError, got %v", err)
+		}
+		if je.Stage != "shard.scatter" {
+			t.Errorf("stage = %q, want shard.scatter", je.Stage)
+		}
+		if len(je.FailedPartitions()) != 1 {
+			t.Errorf("failed partitions = %v, want exactly one", je.FailedPartitions())
+		}
+		if !errors.Is(err, boom) {
+			t.Errorf("JobError does not unwrap to the injected fault: %v", err)
+		}
+	})
+
+	t.Run("partial", func(t *testing.T) {
+		dctx := dataflow.NewContext(dataflow.WithParallelism(2))
+		defer dctx.Close()
+		c := NewFromStates(vs, es, VertexCut{}, 4, Options{Parallelism: 2, Partial: true, FaultHook: hookOnce()})
+		defer c.Close()
+		g, stats, err := c.Run(context.Background(), dctx, q)
+		if err != nil {
+			t.Fatalf("partial mode should degrade, got %v", err)
+		}
+		if !stats.Partial || stats.OK != 3 || stats.N != 4 {
+			t.Fatalf("stats = %+v, want partial 3/4", stats)
+		}
+		if stats.Header() != "3/4" {
+			t.Errorf("header = %q, want 3/4", stats.Header())
+		}
+		if g == nil || len(g.VertexStates()) == 0 {
+			t.Error("degraded merge returned no data")
+		}
+	})
+}
+
+// TestLegDeadline asserts the per-leg deadline derives from the request
+// budget: a context that is already past its deadline fails the scatter
+// with a cancellation-carrying JobError.
+func TestLegDeadline(t *testing.T) {
+	vs, es := genGraph(20, 30)
+	dctx := dataflow.NewContext(dataflow.WithParallelism(2))
+	defer dctx.Close()
+	c := NewFromStates(vs, es, VertexCut{}, 2, Options{Parallelism: 2})
+	defer c.Close()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	spec := azSpec()
+	_, _, err := c.Run(ctx, dctx, Query{Canon: "deadline", Rep: core.RepVE, AZ: &spec})
+	if err == nil {
+		t.Fatal("expired deadline did not fail the scatter")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error does not carry the deadline cause: %v", err)
+	}
+}
